@@ -1,0 +1,40 @@
+"""Ablation: FREQUENT decrement strategy (eager vs. lazy offset).
+
+DESIGN.md §5 calls out the choice between literally decrementing every stored
+counter (the paper's pseudocode) and the amortised-O(1) global-offset
+implementation.  This benchmark times both on a decrement-heavy workload
+(weakly skewed data, where the frequent set churns constantly) and asserts
+the externally visible counters are identical.
+"""
+
+import pytest
+
+from repro.algorithms.frequent import Frequent
+from repro.streams.generators import zipf_stream
+
+STREAM = zipf_stream(num_items=20_000, alpha=0.8, total=150_000, seed=78)
+COUNTERS = 500
+
+
+@pytest.mark.parametrize("mode", ["lazy", "eager"])
+def test_frequent_update_cost(benchmark, mode):
+    def run():
+        summary = Frequent(num_counters=COUNTERS, mode=mode)
+        STREAM.feed(summary)
+        return summary
+
+    summary = benchmark.pedantic(run, iterations=1, rounds=3)
+    assert len(summary) <= COUNTERS
+
+
+def test_frequent_modes_identical_counters(benchmark):
+    def run():
+        lazy = Frequent(num_counters=COUNTERS, mode="lazy")
+        eager = Frequent(num_counters=COUNTERS, mode="eager")
+        STREAM.feed(lazy)
+        STREAM.feed(eager)
+        return lazy, eager
+
+    lazy, eager = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert lazy.counters() == eager.counters()
+    assert lazy.decrements == pytest.approx(eager.decrements)

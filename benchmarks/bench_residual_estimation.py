@@ -1,0 +1,33 @@
+"""Benchmark E6: estimating F1_res(k) (Theorem 6).
+
+Checks that ``F1 - ||f'||_1`` computed from the summary's top-k counters is a
+``(1 ± eps)`` approximation of the true residual for every configuration in
+the sweep.
+"""
+
+from repro.experiments.sparse_recovery import format_residual, run_residual_estimation
+
+
+def test_residual_estimation_sweep(once):
+    rows = once(run_residual_estimation)
+    print("\n" + format_residual(rows))
+
+    assert rows
+    assert all(row.within_bounds for row in rows)
+
+    # The estimate error shrinks (relatively) as epsilon shrinks.
+    for algorithm in ("FREQUENT", "SPACESAVING"):
+        for k in (5, 10, 20):
+            series = sorted(
+                (
+                    row
+                    for row in rows
+                    if row.algorithm == algorithm and row.k == k
+                ),
+                key=lambda row: -row.epsilon,
+            )
+            relative = [
+                abs(row.estimated_residual - row.true_residual) / row.true_residual
+                for row in series
+            ]
+            assert relative[-1] <= relative[0] + 1e-9

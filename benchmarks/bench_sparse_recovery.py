@@ -1,0 +1,32 @@
+"""Benchmark E5: k-sparse recovery (Theorem 5).
+
+Runs the (k, epsilon, p) sweep with the Theorem 5 counter budgets and checks:
+
+* the achieved Lp error never exceeds the theorem's bound;
+* it is never below the information-theoretic optimum ``(Fp_res(k))^(1/p)``;
+* shrinking epsilon moves the achieved error towards that optimum.
+"""
+
+from repro.experiments.sparse_recovery import format_k_sparse, run_k_sparse_recovery
+
+
+def test_k_sparse_recovery_sweep(once):
+    rows = once(run_k_sparse_recovery)
+    print("\n" + format_k_sparse(rows))
+
+    assert rows
+    assert all(row.within_bound for row in rows)
+    assert all(row.achieved_error >= row.optimal_error - 1e-6 for row in rows)
+
+    # For a fixed (algorithm, k, p), smaller epsilon never hurts the error by
+    # more than a rounding epsilon and brings it close to optimal at 0.1.
+    for algorithm in ("FREQUENT", "SPACESAVING"):
+        for k in (5, 10, 20):
+            series = [
+                row
+                for row in rows
+                if row.algorithm == algorithm and row.k == k and row.p == 1.0
+            ]
+            series.sort(key=lambda row: -row.epsilon)
+            assert series[-1].achieved_error <= series[0].achieved_error + 1e-6
+            assert series[-1].achieved_error <= 1.2 * series[-1].optimal_error + 1e-6

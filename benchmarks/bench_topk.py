@@ -1,0 +1,28 @@
+"""Benchmark E9: exact-order top-k on Zipfian data (Theorem 9).
+
+Asserts that with the Theorem 9 counter budget the top-k is retrieved in the
+exact correct order (recall 1.0) for every (alpha, k) configuration, for
+both FREQUENT and SPACESAVING, while heavily under-provisioned summaries are
+reported alongside for contrast (no exactness asserted for them).
+"""
+
+from repro.experiments.topk import format_topk, run_topk
+
+
+def test_topk_sweep(once):
+    rows = once(run_topk)
+    print("\n" + format_topk(rows))
+
+    provisioned = [row for row in rows if row.provisioned == "theorem9"]
+    assert provisioned
+    assert all(row.exact_order for row in provisioned)
+    assert all(row.recall == 1.0 for row in provisioned)
+
+    # The undersized configurations use genuinely less space (context for the
+    # table; their order may or may not be exact).
+    undersized = [row for row in rows if row.provisioned == "undersized"]
+    assert undersized
+    assert all(
+        under.num_counters < full.num_counters
+        for under, full in zip(undersized, provisioned)
+    )

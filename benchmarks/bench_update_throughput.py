@@ -1,0 +1,40 @@
+"""Micro-benchmark: per-update cost of every summary type.
+
+Not a table from the paper, but part of its practical argument: counter
+algorithms have small constants compared to sketches, whose every update
+touches ``depth`` cells and evaluates ``depth`` (or ``2*depth``) hash
+functions.  The benchmark times a fixed batch of updates through each
+summary at a comparable memory budget.
+"""
+
+import pytest
+
+from repro.algorithms.frequent import Frequent
+from repro.algorithms.lossy_counting import LossyCounting
+from repro.algorithms.space_saving import SpaceSaving
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.count_sketch import CountSketch
+from repro.streams.generators import zipf_stream
+
+STREAM = zipf_stream(num_items=10_000, alpha=1.1, total=50_000, seed=79)
+
+SUMMARIES = {
+    "frequent": lambda: Frequent(num_counters=1_000),
+    "spacesaving": lambda: SpaceSaving(num_counters=1_000),
+    "lossycounting": lambda: LossyCounting(epsilon=0.001),
+    "count-min": lambda: CountMinSketch(width=500, depth=4),
+    "count-sketch": lambda: CountSketch(width=500, depth=4),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SUMMARIES))
+def test_update_throughput(benchmark, name):
+    factory = SUMMARIES[name]
+
+    def run():
+        summary = factory()
+        STREAM.feed(summary)
+        return summary
+
+    summary = benchmark.pedantic(run, iterations=1, rounds=3)
+    assert summary.stream_length == STREAM.total_weight

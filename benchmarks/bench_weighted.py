@@ -1,0 +1,33 @@
+"""Benchmark E10: real-valued update streams (Theorem 10).
+
+Asserts that FREQUENT_R and SPACESAVING_R keep the k-tail guarantee with
+constants A = B = 1 on weighted Zipf streams, and that SPACESAVING_R's
+counters conserve the total processed weight (the invariant its analysis
+relies on).
+"""
+
+from repro.algorithms.space_saving_real import SpaceSavingR
+from repro.experiments.weighted import format_weighted, run_weighted
+from repro.streams.generators import weighted_zipf_stream
+
+
+def test_weighted_guarantee_sweep(once):
+    rows = once(run_weighted)
+    print("\n" + format_weighted(rows))
+
+    assert rows
+    assert all(row.within_bound for row in rows)
+
+
+def test_space_saving_r_weight_conservation(benchmark):
+    stream = weighted_zipf_stream(
+        num_items=2_000, alpha=1.2, num_updates=20_000, weight_scale=30.0, seed=3
+    )
+
+    def run():
+        summary = SpaceSavingR(num_counters=200)
+        stream.feed(summary)
+        return summary
+
+    summary = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert abs(sum(summary.counters().values()) - stream.total_weight) < 1e-6 * stream.total_weight

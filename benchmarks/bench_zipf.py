@@ -1,0 +1,27 @@
+"""Benchmark E8: Zipfian data guarantee (Theorem 8).
+
+Asserts that with the Theorem 8 budget ``(A+B)(1/eps)^(1/alpha)`` the error
+stays below ``eps * F1`` for every skew / epsilon combination, and that the
+space saving relative to the classical ``1/eps`` sizing grows with the skew.
+"""
+
+from repro.experiments.zipf import format_zipf, run_zipf
+
+
+def test_zipf_guarantee_sweep(once):
+    rows = once(run_zipf)
+    print("\n" + format_zipf(rows))
+
+    assert rows
+    assert all(row.within_bound for row in rows)
+
+    # The space saving factor (classical counters / Theorem 8 counters) grows
+    # with alpha for every epsilon.
+    for epsilon in (0.02, 0.01, 0.005):
+        factors = [
+            row.space_saving_factor
+            for row in rows
+            if row.algorithm == "SPACESAVING" and row.epsilon == epsilon
+        ]
+        assert factors == sorted(factors)
+        assert factors[-1] > 5 * factors[0]

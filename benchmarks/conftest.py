@@ -1,0 +1,32 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables / theorem-experiments
+(see DESIGN.md §4 for the index).  The experiment functions themselves live
+in :mod:`repro.experiments`; the benchmarks time one full run of each and
+assert the paper's qualitative claims on the produced rows, so
+``pytest benchmarks/ --benchmark-only`` both reproduces and validates every
+experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Time exactly one execution of an experiment function.
+
+    Experiment runs take seconds, so the default calibration (many rounds)
+    would make the suite needlessly slow without adding information.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture wrapper around :func:`run_once`."""
+
+    def runner(func, *args, **kwargs):
+        return run_once(benchmark, func, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,87 @@
+"""Network monitoring: heavy-hitter flows by packet count and by byte volume.
+
+This is the workload the paper's introduction motivates (network measurement
+with limited per-router memory).  A synthetic packet trace with Zipfian flow
+popularity and bursty arrivals stands in for a real capture; we find
+
+* the flows sending the most *packets* (unit-weight stream), and
+* the flows sending the most *bytes* (real-valued weights, Section 6.1),
+
+each with a summary several orders of magnitude smaller than exact counting,
+and we verify the k-tail error guarantee on both.
+
+Run with:  python examples/network_monitoring.py
+"""
+
+from repro import SpaceSaving, SpaceSavingR
+from repro.core import check_tail_guarantee
+from repro.core.tail_guarantee import GuaranteeCheck, TailGuarantee
+from repro.metrics.error import max_error, residual
+from repro.streams.exact import ExactCounter
+from repro.streams.trace import SyntheticTraceGenerator
+
+NUM_FLOWS = 50_000
+NUM_PACKETS = 300_000
+COUNTERS = 2_000
+TOP = 10
+
+
+def packets_per_flow(generator: SyntheticTraceGenerator) -> None:
+    print("=== packets per flow (unit weights) ===")
+    trace = generator.packet_stream(NUM_PACKETS)
+    summary = SpaceSaving(num_counters=COUNTERS)
+    trace.feed(summary)
+
+    exact = ExactCounter()
+    trace.feed(exact)
+    print(f"summary footprint : {summary.size_in_words():,} words")
+    print(f"exact footprint   : {exact.size_in_words():,} words")
+
+    frequencies = trace.frequencies()
+    print(f"\ntop {TOP} flows by estimated packet count:")
+    for flow, estimate in summary.top_k(TOP):
+        print(f"  flow {flow:>6}: estimated {estimate:8.0f}   true {frequencies[flow]:8.0f}")
+
+    check = check_tail_guarantee(summary, frequencies, k=50)
+    print(
+        f"\nk-tail guarantee (k=50): observed {check.observed:.1f} <= bound {check.bound:.1f}"
+        f"  -> {check.holds}"
+    )
+
+
+def bytes_per_flow(generator: SyntheticTraceGenerator) -> None:
+    print("\n=== bytes per flow (real-valued weights, SPACESAVING_R) ===")
+    byte_trace = generator.byte_stream(NUM_PACKETS)
+    summary = SpaceSavingR(num_counters=COUNTERS)
+    byte_trace.feed(summary)
+
+    frequencies = byte_trace.frequencies()
+    print(f"total traffic: {byte_trace.total_weight / 1e6:.1f} MB")
+    print(f"\ntop {TOP} flows by estimated byte volume:")
+    for flow, estimate in summary.top_k(TOP):
+        true = frequencies.get(flow, 0.0)
+        print(
+            f"  flow {flow:>6}: estimated {estimate / 1e3:9.1f} KB"
+            f"   true {true / 1e3:9.1f} KB"
+        )
+
+    k = 50
+    guarantee = TailGuarantee.for_algorithm(summary)
+    check = GuaranteeCheck(
+        observed=max_error(frequencies, summary),
+        bound=guarantee.bound(residual(frequencies, k), COUNTERS, k),
+    )
+    print(
+        f"\nweighted k-tail guarantee (k={k}): observed {check.observed:,.0f} bytes"
+        f" <= bound {check.bound:,.0f} bytes  -> {check.holds}"
+    )
+
+
+def main() -> None:
+    generator = SyntheticTraceGenerator(num_flows=NUM_FLOWS, alpha=1.15, seed=7)
+    packets_per_flow(generator)
+    bytes_per_flow(generator)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,209 @@
+"""Common interface for frequency estimation summaries.
+
+Every algorithm in :mod:`repro.algorithms` and :mod:`repro.sketches`
+implements the :class:`FrequencyEstimator` abstract base class.  The interface
+follows the formalisation in Section 2 of the paper: the state of an
+algorithm is (conceptually) an ``n``-dimensional vector of counters ``c`` with
+at most ``m`` non-zero entries; the non-zero entries form the *frequent set*
+``T``; the per-item estimation error is ``delta_i = |f_i - c_i|``.
+
+Concrete classes only store the non-zero counters, so their memory footprint
+is ``O(m)`` words as in the paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Iterator, List, Tuple
+
+Item = Hashable
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """An immutable snapshot of a summary's counters.
+
+    Attributes
+    ----------
+    counts:
+        Mapping from item to its (estimated) count.  Only items in the
+        frequent set appear.
+    errors:
+        Optional mapping from item to the algorithm's recorded per-item error
+        bound (``epsilon_i`` in the SPACESAVING paper).  Empty when the
+        algorithm does not track per-item error.
+    stream_length:
+        Total weight processed so far (``F1`` of the processed prefix).
+    num_counters:
+        The configured counter budget ``m``.
+    """
+
+    counts: Dict[Item, float]
+    errors: Dict[Item, float] = field(default_factory=dict)
+    stream_length: float = 0.0
+    num_counters: int = 0
+
+    def top_k(self, k: int) -> List[Tuple[Item, float]]:
+        """Return the ``k`` largest counters as ``(item, count)`` pairs.
+
+        Ties are broken deterministically by the item's representation so
+        that snapshots compare reproducibly across runs.
+        """
+        ordered = sorted(self.counts.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+        return ordered[:k]
+
+    def to_sparse_vector(self, k: int | None = None) -> Dict[Item, float]:
+        """Return the counters restricted to the top ``k`` items.
+
+        With ``k=None`` all stored counters are returned (the "m-sparse"
+        recovery of Section 4.2); otherwise only the ``k`` largest (the
+        "k-sparse" recovery of Section 4.1).
+        """
+        if k is None:
+            return dict(self.counts)
+        return dict(self.top_k(k))
+
+
+class FrequencyEstimator(ABC):
+    """Abstract base class for streaming frequency summaries.
+
+    Parameters
+    ----------
+    num_counters:
+        The counter budget ``m``.  Counter algorithms store at most ``m``
+        (item, count) pairs; sketches interpret this as their total number of
+        cells so that space comparisons are apples-to-apples.
+    """
+
+    #: Whether estimates never exceed true frequencies (FREQUENT) or never
+    #: fall below them (SPACESAVING).  One of ``"under"``, ``"over"``,
+    #: ``"none"``.
+    estimate_side: str = "none"
+
+    def __init__(self, num_counters: int) -> None:
+        if num_counters < 1:
+            raise ValueError(f"num_counters must be >= 1, got {num_counters}")
+        self._num_counters = int(num_counters)
+        self._stream_length = 0.0
+        self._items_processed = 0
+
+    # ------------------------------------------------------------------ #
+    # Core streaming interface
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def update(self, item: Item, weight: float = 1.0) -> None:
+        """Process one stream token (``weight`` occurrences of ``item``)."""
+
+    @abstractmethod
+    def estimate(self, item: Item) -> float:
+        """Return the estimated frequency of ``item`` (0 if not stored)."""
+
+    @abstractmethod
+    def counters(self) -> Dict[Item, float]:
+        """Return the current non-zero counters as a dict."""
+
+    def update_many(self, items: Iterable[Item]) -> None:
+        """Process a sequence of unit-weight items."""
+        for item in items:
+            self.update(item)
+
+    def update_weighted(self, pairs: Iterable[Tuple[Item, float]]) -> None:
+        """Process a sequence of ``(item, weight)`` tuples."""
+        for item, weight in pairs:
+            self.update(item, weight)
+
+    # ------------------------------------------------------------------ #
+    # Derived queries
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, item: Item) -> bool:
+        return item in self.counters()
+
+    def __len__(self) -> int:
+        """Number of items currently stored in the frequent set."""
+        return len(self.counters())
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self.counters())
+
+    @property
+    def num_counters(self) -> int:
+        """The configured counter budget ``m``."""
+        return self._num_counters
+
+    @property
+    def stream_length(self) -> float:
+        """Total weight processed so far (``F1`` of the prefix)."""
+        return self._stream_length
+
+    @property
+    def items_processed(self) -> int:
+        """Number of stream tokens processed (regardless of weight)."""
+        return self._items_processed
+
+    def snapshot(self) -> CounterSnapshot:
+        """Return an immutable snapshot of the current state."""
+        return CounterSnapshot(
+            counts=dict(self.counters()),
+            errors=dict(self.per_item_errors()),
+            stream_length=self._stream_length,
+            num_counters=self._num_counters,
+        )
+
+    def per_item_errors(self) -> Dict[Item, float]:
+        """Per-item error bounds, when the algorithm records them.
+
+        SPACESAVING records, for each stored item, the counter value it
+        inherited when it entered the frequent set; that value upper-bounds
+        the overestimation of the item.  Algorithms that do not track this
+        return an empty mapping.
+        """
+        return {}
+
+    def top_k(self, k: int) -> List[Tuple[Item, float]]:
+        """Return the ``k`` items with largest estimated frequency."""
+        return self.snapshot().top_k(k)
+
+    def heavy_hitters(self, phi: float) -> List[Tuple[Item, float]]:
+        """Return items whose estimate exceeds ``phi * stream_length``.
+
+        This is the classical phi-heavy-hitters query.  Because counter
+        algorithms may over- or under-estimate, callers that need exact
+        semantics should combine this with the error bound from
+        :mod:`repro.core.bounds`.
+        """
+        if not 0.0 < phi < 1.0:
+            raise ValueError(f"phi must lie in (0, 1), got {phi}")
+        threshold = phi * self._stream_length
+        return [
+            (item, count)
+            for item, count in self.top_k(len(self))
+            if count > threshold
+        ]
+
+    def size_in_words(self) -> int:
+        """Memory footprint in machine words, per the paper's cost model.
+
+        Counter algorithms store one (item, count) pair per counter, i.e.
+        2 words per counter.  Sketch subclasses override this.
+        """
+        return 2 * self._num_counters
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping helpers for subclasses
+    # ------------------------------------------------------------------ #
+
+    def _record_update(self, weight: float) -> None:
+        """Track stream length; subclasses call this once per update."""
+        if weight < 0:
+            raise ValueError(f"negative weights are not supported, got {weight}")
+        self._stream_length += weight
+        self._items_processed += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(m={self._num_counters}, "
+            f"stored={len(self)}, N={self._stream_length:g})"
+        )

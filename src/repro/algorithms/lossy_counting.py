@@ -1,0 +1,129 @@
+"""The LOSSYCOUNTING algorithm of Manku and Motwani.
+
+LOSSYCOUNTING appears in Table 1 of the paper as a baseline counter
+algorithm: it offers an ``epsilon * F1`` error guarantee but needs
+``O(1/epsilon * log(epsilon * N))`` counters in the worst case (adversarial
+stream orderings), in contrast with the fixed ``O(1/epsilon)`` budget of
+FREQUENT and SPACESAVING.  We implement it so the Table 1 comparison and the
+space-vs-error benchmarks include it.
+
+The algorithm divides the stream into buckets of width ``w = ceil(1/epsilon)``.
+Each stored entry carries ``(count, delta)``, where ``delta`` is the maximum
+possible undercount accrued before the entry was (re)inserted.  At every
+bucket boundary, entries with ``count + delta <= current_bucket`` are pruned.
+
+Unlike the fixed-budget algorithms, the number of stored entries varies over
+time; :meth:`LossyCounting.size_in_words` reports the *current* footprint and
+:attr:`LossyCounting.max_entries` the high-water mark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from repro.algorithms.base import FrequencyEstimator, Item
+
+
+class LossyCounting(FrequencyEstimator):
+    """LOSSYCOUNTING summary with error parameter ``epsilon``.
+
+    Parameters
+    ----------
+    epsilon:
+        Target error rate: after processing ``N`` items, every estimate
+        satisfies ``f_i - epsilon * N <= c_i <= f_i``.
+
+    Examples
+    --------
+    >>> summary = LossyCounting(epsilon=0.1)
+    >>> summary.update_many(["a"] * 60 + ["b"] * 40)
+    >>> 50 <= summary.estimate("a") <= 60
+    True
+    """
+
+    estimate_side = "under"
+
+    def __init__(self, epsilon: float) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+        self._epsilon = float(epsilon)
+        self._bucket_width = int(math.ceil(1.0 / epsilon))
+        super().__init__(self._bucket_width)
+        # item -> (count, delta)
+        self._entries: Dict[Item, Tuple[float, float]] = {}
+        self._current_bucket = 1
+        self._seen = 0
+        self.max_entries = 0
+
+    # ------------------------------------------------------------------ #
+    # FrequencyEstimator interface
+    # ------------------------------------------------------------------ #
+
+    def update(self, item: Item, weight: float = 1.0) -> None:
+        """Process ``weight`` unit occurrences of ``item``.
+
+        The classical algorithm is defined over unit-weight streams; integer
+        weights are unrolled to preserve its exact pruning schedule.
+        """
+        if weight != int(weight) or weight < 0:
+            raise ValueError(
+                "LossyCounting only accepts non-negative integer weights; "
+                f"got {weight!r}"
+            )
+        for _ in range(int(weight)):
+            self._update_one(item)
+
+    def _update_one(self, item: Item) -> None:
+        self._record_update(1.0)
+        self._seen += 1
+        entry = self._entries.get(item)
+        if entry is not None:
+            self._entries[item] = (entry[0] + 1.0, entry[1])
+        else:
+            self._entries[item] = (1.0, float(self._current_bucket - 1))
+        self.max_entries = max(self.max_entries, len(self._entries))
+        if self._seen % self._bucket_width == 0:
+            self._prune()
+            self._current_bucket += 1
+
+    def _prune(self) -> None:
+        """Drop entries whose count plus slack falls below the bucket id."""
+        bucket = self._current_bucket
+        dead = [
+            item
+            for item, (count, delta) in self._entries.items()
+            if count + delta <= bucket
+        ]
+        for item in dead:
+            del self._entries[item]
+
+    def estimate(self, item: Item) -> float:
+        entry = self._entries.get(item)
+        return 0.0 if entry is None else entry[0]
+
+    def counters(self) -> Dict[Item, float]:
+        return {item: count for item, (count, _) in self._entries.items()}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def epsilon(self) -> float:
+        """The configured error rate."""
+        return self._epsilon
+
+    @property
+    def bucket_width(self) -> int:
+        """Width of each pruning bucket, ``ceil(1/epsilon)``."""
+        return self._bucket_width
+
+    @property
+    def current_entries(self) -> int:
+        """Number of entries stored right now."""
+        return len(self._entries)
+
+    def size_in_words(self) -> int:
+        """Current footprint: 3 words per entry (item, count, delta)."""
+        return 3 * len(self._entries)

@@ -1,0 +1,301 @@
+"""Command-line interface for the heavy-hitters library.
+
+Installed as the ``repro`` console script.  Subcommands:
+
+``generate``
+    Write a synthetic workload (Zipf / uniform / trace / query-log) to a
+    text file, one item per line (optionally ``item,weight`` pairs).
+``heavy-hitters``
+    Stream a workload file through a counter algorithm and print the items
+    above a frequency threshold with their certified intervals.
+``top-k``
+    Print the top-k items of a workload file.
+``summarize``
+    Build a summary of a workload file and write it as JSON (the wire format
+    from :mod:`repro.serialization`) -- the per-site half of Section 6.2.
+``merge``
+    Merge several summary JSON files into one and print its top items --
+    the coordinator half of Section 6.2.
+``experiments``
+    Run the reproduction experiment suite and print every table.
+
+Every subcommand works on plain text files so the tool composes with standard
+UNIX tooling (``cut``, ``zcat``, ...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro import serialization
+from repro.algorithms.base import FrequencyEstimator
+from repro.algorithms.frequent import Frequent
+from repro.algorithms.frequent_real import FrequentR
+from repro.algorithms.space_saving import SpaceSaving
+from repro.algorithms.space_saving_real import SpaceSavingR
+from repro.core.heavy_hitters import HeavyHitters
+from repro.core.merging import merge_summaries
+from repro.streams.generators import uniform_stream, zipf_stream
+from repro.streams.trace import QueryLogGenerator, SyntheticTraceGenerator
+
+_UNIT_ALGORITHMS: dict[str, Callable[[int], FrequencyEstimator]] = {
+    "spacesaving": lambda m: SpaceSaving(num_counters=m),
+    "frequent": lambda m: Frequent(num_counters=m),
+}
+
+_WEIGHTED_ALGORITHMS: dict[str, Callable[[int], FrequencyEstimator]] = {
+    "spacesaving": lambda m: SpaceSavingR(num_counters=m),
+    "frequent": lambda m: FrequentR(num_counters=m),
+}
+
+
+# --------------------------------------------------------------------------- #
+# Workload I/O
+# --------------------------------------------------------------------------- #
+
+
+def _read_tokens(path: Path, weighted: bool) -> Iterable[Tuple[str, float]]:
+    """Yield (item, weight) pairs from a workload file.
+
+    Lines are either a bare item (weight 1) or ``item,weight``.  Blank lines
+    and lines starting with ``#`` are skipped.
+    """
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if "," in line and weighted:
+                item, _, weight_text = line.rpartition(",")
+                try:
+                    weight = float(weight_text)
+                except ValueError as error:
+                    raise SystemExit(
+                        f"{path}:{line_number}: invalid weight {weight_text!r}"
+                    ) from error
+                yield item, weight
+            else:
+                yield line, 1.0
+
+
+def _feed_file(
+    summary: FrequencyEstimator, path: Path, weighted: bool
+) -> FrequencyEstimator:
+    for item, weight in _read_tokens(path, weighted):
+        summary.update(item, weight)
+    return summary
+
+
+# --------------------------------------------------------------------------- #
+# Subcommand implementations
+# --------------------------------------------------------------------------- #
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.workload == "zipf":
+        stream = zipf_stream(
+            num_items=args.items, alpha=args.alpha, total=args.length, seed=args.seed
+        )
+        lines = [str(item) for item in stream.items]
+    elif args.workload == "uniform":
+        stream = uniform_stream(num_items=args.items, total=args.length, seed=args.seed)
+        lines = [str(item) for item in stream.items]
+    elif args.workload == "trace":
+        generator = SyntheticTraceGenerator(
+            num_flows=args.items, alpha=args.alpha, seed=args.seed
+        )
+        byte_stream = generator.byte_stream(args.length)
+        lines = [f"{flow},{size:.0f}" for flow, size in byte_stream.pairs]
+    else:  # query-log
+        generator = QueryLogGenerator(
+            vocabulary_size=args.items, alpha=args.alpha, seed=args.seed
+        )
+        lines = list(generator.query_stream(args.length).items)
+    output = Path(args.output)
+    output.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    print(f"wrote {len(lines):,} tokens to {output}")
+    return 0
+
+
+def _build_summary(args: argparse.Namespace) -> FrequencyEstimator:
+    registry = _WEIGHTED_ALGORITHMS if args.weighted else _UNIT_ALGORITHMS
+    factory = registry[args.algorithm]
+    summary = factory(args.counters)
+    return _feed_file(summary, Path(args.input), args.weighted)
+
+
+def _cmd_heavy_hitters(args: argparse.Namespace) -> int:
+    hh = HeavyHitters(phi=args.phi, epsilon=args.epsilon or args.phi / 2, algorithm=args.algorithm)
+    for item, weight in _read_tokens(Path(args.input), args.weighted):
+        hh.update(item, weight)
+    reports = hh.report()
+    print(f"stream weight: {hh.stream_length:,.0f}")
+    print(f"threshold    : {args.phi * hh.stream_length:,.1f} ({args.phi:.2%})")
+    print(f"{'status':<11} {'item':<24} {'estimate':>12} {'low':>12} {'high':>12}")
+    for report in reports:
+        status = "guaranteed" if report.guaranteed else "possible"
+        print(
+            f"{status:<11} {str(report.item):<24} {report.estimate:>12.1f} "
+            f"{report.lower:>12.1f} {report.upper:>12.1f}"
+        )
+    if not reports:
+        print("(no items above the threshold)")
+    return 0
+
+
+def _cmd_top_k(args: argparse.Namespace) -> int:
+    summary = _build_summary(args)
+    print(f"{'rank':>4} {'item':<24} {'estimate':>12}")
+    for rank, (item, estimate) in enumerate(summary.top_k(args.k), start=1):
+        print(f"{rank:>4} {str(item):<24} {estimate:>12.1f}")
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    summary = _build_summary(args)
+    payload = serialization.dump(summary)
+    text = json.dumps(payload, sort_keys=True, indent=None)
+    Path(args.output).write_text(text, encoding="utf-8")
+    words = serialization.serialized_size_words(payload)
+    print(
+        f"summarised {summary.stream_length:,.0f} units into {len(summary)} counters "
+        f"({words} words on the wire) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    summaries = [
+        serialization.loads(Path(path).read_text(encoding="utf-8"))
+        for path in args.summaries
+    ]
+    budgets = {summary.num_counters for summary in summaries}
+    classes = {type(summary) for summary in summaries}
+    if len(classes) > 1:
+        raise SystemExit("all summaries must come from the same algorithm")
+    if len(budgets) > 1:
+        raise SystemExit("all summaries must use the same counter budget")
+    cls = classes.pop()
+    budget = budgets.pop()
+    merged = merge_summaries(
+        summaries,
+        k=args.k,
+        make_estimator=lambda: cls(num_counters=budget),
+        mode=args.mode,
+    )
+    constants = merged.merged_constants
+    print(
+        f"merged {len(summaries)} summaries "
+        f"(guarantee constants A={constants.a:.0f}, B={constants.b:.0f})"
+    )
+    print(f"{'rank':>4} {'item':<24} {'estimate':>12}")
+    for rank, (item, estimate) in enumerate(merged.estimator.top_k(args.k), start=1):
+        print(f"{rank:>4} {str(item):<24} {estimate:>12.1f}")
+    if args.output:
+        Path(args.output).write_text(
+            serialization.dumps(merged.estimator), encoding="utf-8"
+        )
+        print(f"wrote merged summary to {args.output}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import runner
+
+    return runner.main(["--quick"] if args.quick else [])
+
+
+# --------------------------------------------------------------------------- #
+# Argument parsing
+# --------------------------------------------------------------------------- #
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Heavy hitters with strong (residual) error bounds -- PODS 2009 reproduction.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="write a synthetic workload file")
+    generate.add_argument("output", help="path of the workload file to write")
+    generate.add_argument(
+        "--workload",
+        choices=("zipf", "uniform", "trace", "query-log"),
+        default="zipf",
+    )
+    generate.add_argument("--items", type=int, default=10_000, help="domain size")
+    generate.add_argument("--length", type=int, default=100_000, help="stream length")
+    generate.add_argument("--alpha", type=float, default=1.2, help="Zipf skew")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=_cmd_generate)
+
+    def add_summary_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("input", help="workload file (one item, or item,weight, per line)")
+        sub.add_argument(
+            "--algorithm", choices=sorted(_UNIT_ALGORITHMS), default="spacesaving"
+        )
+        sub.add_argument("--counters", type=int, default=1_000, help="counter budget m")
+        sub.add_argument(
+            "--weighted",
+            action="store_true",
+            help="treat lines as item,weight pairs (Section 6.1 algorithms)",
+        )
+
+    hh = subparsers.add_parser(
+        "heavy-hitters", help="report items above a frequency threshold"
+    )
+    hh.add_argument("input", help="workload file")
+    hh.add_argument("--phi", type=float, default=0.01, help="report threshold fraction")
+    hh.add_argument(
+        "--epsilon", type=float, default=None, help="uncertainty slack (default phi/2)"
+    )
+    hh.add_argument(
+        "--algorithm", choices=sorted(_UNIT_ALGORITHMS), default="spacesaving"
+    )
+    hh.add_argument("--weighted", action="store_true")
+    hh.set_defaults(func=_cmd_heavy_hitters)
+
+    top_k = subparsers.add_parser("top-k", help="print the k most frequent items")
+    add_summary_arguments(top_k)
+    top_k.add_argument("--k", type=int, default=10)
+    top_k.set_defaults(func=_cmd_top_k)
+
+    summarize = subparsers.add_parser(
+        "summarize", help="build a summary and write it as JSON"
+    )
+    add_summary_arguments(summarize)
+    summarize.add_argument("--output", required=True, help="summary JSON path")
+    summarize.set_defaults(func=_cmd_summarize)
+
+    merge = subparsers.add_parser("merge", help="merge summary JSON files")
+    merge.add_argument("summaries", nargs="+", help="summary JSON files to merge")
+    merge.add_argument("--k", type=int, default=10, help="tail parameter / items to print")
+    merge.add_argument(
+        "--mode", choices=("all_counters", "top_k"), default="all_counters"
+    )
+    merge.add_argument("--output", default=None, help="optionally write the merged summary")
+    merge.set_defaults(func=_cmd_merge)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="run the paper-reproduction experiment suite"
+    )
+    experiments.add_argument("--quick", action="store_true", help="reduced grid")
+    experiments.set_defaults(func=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

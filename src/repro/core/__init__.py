@@ -1,0 +1,99 @@
+"""Core analysis layer: the paper's contribution, made executable.
+
+Every theorem in the paper is represented here either as a *bound* (a
+function computing the guaranteed error for given parameters, in
+:mod:`repro.core.bounds`) or as a *procedure* (sparse recovery, merging,
+lower-bound construction) plus a *verifier* that checks an actual run of a
+counter algorithm against its guarantee.
+
+Modules
+-------
+bounds
+    Closed-form error bounds: Definitions 1-2, Theorems 2, 5, 6, 7, 8, 9,
+    11 and 13.
+tail_guarantee
+    The Heavy-Tolerant Counter (HTC) framework of Section 3: tail-guarantee
+    constants per algorithm, empirical verification of guarantees, and
+    checkers for the *x-prefix guaranteed* / *heavy tolerance* definitions.
+sparse_recovery
+    k-sparse and m-sparse recovery and residual estimation (Section 4).
+zipf
+    Space bounds for Zipfian data (Theorem 8).
+topk
+    Top-k retrieval on Zipfian data (Theorem 9).
+merging
+    Merging multiple summaries (Section 6.2, Theorem 11).
+lower_bound
+    The space lower bound for deterministic counter algorithms (Theorem 13).
+heavy_hitters
+    A high-level, user-facing heavy-hitters API tying everything together.
+"""
+
+from repro.core.bounds import (
+    heavy_hitter_bound,
+    k_sparse_recovery_bound,
+    k_tail_bound,
+    lower_bound_error,
+    m_sparse_recovery_bound,
+    merged_tail_constants,
+    minimum_counters_for_lower_bound,
+    residual_estimation_bounds,
+    tail_constants_for,
+    zipf_counters_needed,
+    zipf_error_bound,
+)
+from repro.core.heavy_hitters import HeavyHitters, find_heavy_hitters
+from repro.core.lower_bound import LowerBoundResult, run_lower_bound_experiment
+from repro.core.merging import MergeResult, merge_summaries
+from repro.core.sparse_recovery import (
+    SparseRecoveryResult,
+    counters_for_sparse_recovery,
+    estimate_residual,
+    k_sparse_recovery,
+    m_sparse_recovery,
+)
+from repro.core.tail_guarantee import (
+    GuaranteeCheck,
+    TailGuarantee,
+    check_heavy_hitter_guarantee,
+    check_tail_guarantee,
+    is_heavy_tolerant_on,
+    is_prefix_guaranteed,
+)
+from repro.core.topk import counters_for_topk, top_k_with_guarantee
+from repro.core.zipf import counters_for_zipf, zipf_guarantee_check
+
+__all__ = [
+    "heavy_hitter_bound",
+    "k_tail_bound",
+    "k_sparse_recovery_bound",
+    "m_sparse_recovery_bound",
+    "residual_estimation_bounds",
+    "merged_tail_constants",
+    "zipf_error_bound",
+    "zipf_counters_needed",
+    "lower_bound_error",
+    "minimum_counters_for_lower_bound",
+    "tail_constants_for",
+    "HeavyHitters",
+    "find_heavy_hitters",
+    "LowerBoundResult",
+    "run_lower_bound_experiment",
+    "MergeResult",
+    "merge_summaries",
+    "SparseRecoveryResult",
+    "counters_for_sparse_recovery",
+    "estimate_residual",
+    "k_sparse_recovery",
+    "m_sparse_recovery",
+    "GuaranteeCheck",
+    "TailGuarantee",
+    "check_heavy_hitter_guarantee",
+    "check_tail_guarantee",
+    "is_heavy_tolerant_on",
+    "is_prefix_guaranteed",
+    "counters_for_topk",
+    "top_k_with_guarantee",
+    "counters_for_zipf",
+    "zipf_guarantee_check",
+]

@@ -1,0 +1,187 @@
+"""High-level heavy-hitters API.
+
+This module wires the algorithms, bounds and recovery procedures into the
+interface a downstream user actually wants: *"give me the items above a
+frequency threshold, with guarantees"*.  It uses the paper's k-tail bound to
+report, for every returned item, a certified frequency interval, and to
+classify the answer set into guaranteed hits and possible hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.algorithms.base import FrequencyEstimator, Item
+from repro.algorithms.frequent import Frequent
+from repro.algorithms.space_saving import SpaceSaving
+from repro.core.tail_guarantee import TailGuarantee
+
+_ALGORITHMS = {
+    "spacesaving": SpaceSaving,
+    "frequent": Frequent,
+}
+
+
+@dataclass(frozen=True)
+class HeavyHitterReport:
+    """One reported item with its certified frequency interval."""
+
+    item: Item
+    estimate: float
+    lower: float
+    upper: float
+    guaranteed: bool
+
+
+@dataclass
+class HeavyHitters:
+    """Streaming phi-heavy-hitters with certified output.
+
+    Parameters
+    ----------
+    phi:
+        Report items whose true frequency exceeds ``phi * N``.
+    epsilon:
+        Uncertainty slack: items with frequency in
+        ``((phi - epsilon) * N, phi * N]`` may or may not be reported.
+        The counter budget is ``ceil(1/epsilon)`` so that the worst-case
+        error (Definition 1) is below ``epsilon * N``; on skewed data the
+        k-tail bound makes the realised uncertainty far smaller.
+    algorithm:
+        ``"spacesaving"`` (default) or ``"frequent"``.
+
+    Examples
+    --------
+    >>> hh = HeavyHitters(phi=0.2, epsilon=0.05)
+    >>> hh.update_many(["a"] * 40 + ["b"] * 35 + list(range(25)))
+    >>> {report.item for report in hh.report() if report.guaranteed} >= {"a", "b"}
+    True
+    """
+
+    phi: float
+    epsilon: float
+    algorithm: str = "spacesaving"
+    _estimator: FrequencyEstimator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.phi < 1.0:
+            raise ValueError(f"phi must lie in (0, 1), got {self.phi}")
+        if not 0.0 < self.epsilon <= self.phi:
+            raise ValueError(
+                f"epsilon must lie in (0, phi]; got epsilon={self.epsilon}, phi={self.phi}"
+            )
+        key = self.algorithm.replace("_", "").replace("-", "").lower()
+        if key not in _ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; expected one of {sorted(_ALGORITHMS)}"
+            )
+        budget = max(1, int(round(1.0 / self.epsilon)))
+        self._estimator = _ALGORITHMS[key](num_counters=budget)
+
+    # ------------------------------------------------------------------ #
+    # Streaming
+    # ------------------------------------------------------------------ #
+
+    def update(self, item: Item, weight: float = 1.0) -> None:
+        """Process one occurrence (or ``weight`` occurrences) of ``item``."""
+        self._estimator.update(item, weight)
+
+    def update_many(self, items: Iterable[Item]) -> None:
+        """Process a sequence of unit-weight items."""
+        self._estimator.update_many(items)
+
+    @property
+    def estimator(self) -> FrequencyEstimator:
+        """The underlying counter summary (for advanced queries)."""
+        return self._estimator
+
+    @property
+    def stream_length(self) -> float:
+        return self._estimator.stream_length
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def _error_bound(self) -> float:
+        """The worst-case per-item error of the underlying summary.
+
+        Uses the strongest information available: SPACESAVING's minimum
+        counter (Lemma 3 of [25]) when exposed, otherwise the Definition 1
+        bound ``F1 / m``.
+        """
+        minimum = getattr(self._estimator, "min_count", None)
+        if minimum is not None:
+            return float(minimum)
+        return self._estimator.stream_length / self._estimator.num_counters
+
+    def intervals(self) -> Dict[Item, Tuple[float, float]]:
+        """Certified ``[lower, upper]`` frequency interval per stored item."""
+        error = self._error_bound()
+        side = self._estimator.estimate_side
+        per_item = self._estimator.per_item_errors()
+        intervals: Dict[Item, Tuple[float, float]] = {}
+        for item, count in self._estimator.counters().items():
+            item_error = per_item.get(item, error)
+            if side == "over":
+                intervals[item] = (max(0.0, count - item_error), count)
+            elif side == "under":
+                intervals[item] = (count, count + item_error)
+            else:
+                intervals[item] = (max(0.0, count - item_error), count + item_error)
+        return intervals
+
+    def report(self, phi: Optional[float] = None) -> List[HeavyHitterReport]:
+        """All candidate heavy hitters above threshold ``phi`` (default: self.phi).
+
+        Items whose certified lower bound already exceeds the threshold are
+        marked ``guaranteed``; items whose upper bound exceeds it are
+        included as possible hits.  No item with true frequency above
+        ``phi * N`` can be missing (the summary's error is below
+        ``epsilon * N <= phi * N``).
+        """
+        threshold = (phi if phi is not None else self.phi) * self.stream_length
+        reports = []
+        for item, (lower, upper) in self.intervals().items():
+            if upper <= threshold:
+                continue
+            estimate = self._estimator.estimate(item)
+            reports.append(
+                HeavyHitterReport(
+                    item=item,
+                    estimate=estimate,
+                    lower=lower,
+                    upper=upper,
+                    guaranteed=lower > threshold,
+                )
+            )
+        reports.sort(key=lambda report: (-report.estimate, repr(report.item)))
+        return reports
+
+    def guaranteed_items(self, phi: Optional[float] = None) -> List[Item]:
+        """Items certainly above the threshold (no false positives)."""
+        return [report.item for report in self.report(phi) if report.guaranteed]
+
+    def tail_guarantee(self) -> TailGuarantee:
+        """The proved (A, B) constants of the underlying algorithm."""
+        return TailGuarantee.for_algorithm(self._estimator)
+
+
+def find_heavy_hitters(
+    items: Iterable[Item],
+    phi: float,
+    epsilon: Optional[float] = None,
+    algorithm: str = "spacesaving",
+) -> List[HeavyHitterReport]:
+    """One-shot convenience wrapper: find the phi-heavy hitters of a sequence.
+
+    Examples
+    --------
+    >>> reports = find_heavy_hitters(["x"] * 60 + ["y"] * 30 + ["z"] * 10, phi=0.25)
+    >>> [report.item for report in reports if report.guaranteed]
+    ['x', 'y']
+    """
+    hh = HeavyHitters(phi=phi, epsilon=epsilon if epsilon is not None else phi / 2.0, algorithm=algorithm)
+    hh.update_many(items)
+    return hh.report()

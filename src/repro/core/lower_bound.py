@@ -1,0 +1,105 @@
+"""The space lower bound for deterministic counter algorithms (Theorem 13).
+
+The proof constructs two streams sharing a prefix in which ``m + k`` items
+occur ``X`` times each; after the prefix, any ``m``-counter algorithm must
+have "forgotten" at least ``k`` of them.  Stream A then repeats ``k``
+forgotten items once each; stream B introduces ``k`` brand-new items.  The
+algorithm's state evolves identically on both suffixes, so its estimates
+coincide -- yet the true frequencies differ by ``X``; on one of the streams
+some item's error is at least ``X/2 ~ F1_res(k) / (2m)``.
+
+:func:`run_lower_bound_experiment` executes this construction against a
+concrete algorithm and reports the error actually forced, alongside the
+theoretical minimum, so benchmarks can confirm that FREQUENT and SPACESAVING
+sit within a small constant factor of the optimal space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.algorithms.base import FrequencyEstimator
+from repro.core.bounds import lower_bound_error
+from repro.metrics.error import max_error, residual
+from repro.streams.adversarial import lower_bound_streams
+
+EstimatorFactory = Callable[[], FrequencyEstimator]
+
+
+@dataclass(frozen=True)
+class LowerBoundResult:
+    """Outcome of running the Theorem 13 construction against an algorithm."""
+
+    forced_error: float
+    theoretical_minimum: float
+    residual_a: float
+    residual_b: float
+    num_counters: int
+    k: int
+    repetitions: int
+
+    @property
+    def matches_lower_bound(self) -> bool:
+        """Whether the construction forced at least the predicted error."""
+        return self.forced_error >= self.theoretical_minimum - 1e-9
+
+    @property
+    def error_vs_residual_ratio(self) -> float:
+        """Forced error as a multiple of ``F1_res(k) / (2m)`` on stream A."""
+        denominator = self.residual_a / (2.0 * self.num_counters)
+        return self.forced_error / denominator if denominator > 0 else float("inf")
+
+
+def run_lower_bound_experiment(
+    make_estimator: EstimatorFactory,
+    num_counters: int,
+    k: int,
+    repetitions: int,
+    adaptive: bool = True,
+) -> LowerBoundResult:
+    """Run the two adversarial streams and measure the error forced.
+
+    Parameters
+    ----------
+    make_estimator:
+        Factory returning a fresh instance of the algorithm under test with
+        ``num_counters`` counters.
+    num_counters, k, repetitions:
+        The construction parameters ``m``, ``k`` and ``X``.
+    adaptive:
+        When True (the default, and what the proof does), the adversary first
+        runs the prefix against the algorithm, observes which ``k`` prefix
+        items it "forgot" (or remembers least), and repeats exactly those in
+        stream A.  When False the fixed streams from
+        :func:`repro.streams.adversarial.lower_bound_streams` are used.
+    """
+    stream_a, stream_b = lower_bound_streams(num_counters, k, repetitions)
+    if adaptive:
+        probe = make_estimator()
+        probe.update_many(stream_a.items[: repetitions * (num_counters + k)])
+        prefix_items = [f"a{i}" for i in range(1, num_counters + k + 1)]
+        # Pick the k prefix items the algorithm remembers least -- the proof's
+        # "assume WLOG the other k elements are a_1 ... a_k".
+        forgotten = sorted(prefix_items, key=probe.estimate)[:k]
+        prefix = stream_a.items[: repetitions * (num_counters + k)]
+        from repro.streams.stream import Stream
+
+        stream_a = Stream(prefix + forgotten, name=stream_a.name + " (adaptive)")
+
+    def worst_error(stream) -> float:
+        estimator = make_estimator()
+        estimator.update_many(stream.items)
+        return max_error(stream.frequencies(), estimator)
+
+    error_a = worst_error(stream_a)
+    error_b = worst_error(stream_b)
+    return LowerBoundResult(
+        forced_error=max(error_a, error_b),
+        theoretical_minimum=lower_bound_error(num_counters, k, repetitions),
+        residual_a=residual(stream_a.frequencies(), k),
+        residual_b=residual(stream_b.frequencies(), k),
+        num_counters=num_counters,
+        k=k,
+        repetitions=repetitions,
+    )

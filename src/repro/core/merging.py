@@ -1,0 +1,171 @@
+"""Merging multiple summaries (Section 6.2, Theorem 11).
+
+Given ``l`` streams summarised independently by the same counter algorithm,
+Theorem 11 shows how to build a summary of their union that keeps a k-tail
+guarantee with constants ``(3A, A+B)``: extract a sparse approximation
+``f'^(j)`` from each summary, feed a stream realising each ``f'^(j)`` into a
+fresh instance of the counter algorithm, and use the result as the summary of
+``f = sum_j f^(j)``.
+
+Two variants of the "extract a sparse approximation" step are provided:
+
+* ``mode="all_counters"`` (default) replays every stored counter of each
+  summary.  The per-item deviation between ``f^(j)`` and this approximation
+  is bounded by the summary's own error bound for *every* item, which is the
+  property the Theorem 11 error decomposition needs; empirically the merged
+  summary stays comfortably within the ``(3A, A+B)`` bound.
+* ``mode="top_k"`` replays only the ``k`` largest counters, which is the
+  literal construction described in the paper's proof and the right choice
+  when the merge is communication-bounded (only ``k`` pairs travel per
+  site).  Items ranked just outside the top ``k`` of every site are dropped
+  entirely, so on mildly skewed data the merged error for those items can
+  exceed the ``(3A, A+B)`` bound -- the ablation benchmark
+  ``bench_merge.py`` quantifies this, and EXPERIMENTS.md discusses it.
+
+:func:`merge_summaries` implements both and returns a :class:`MergeResult`
+that exposes the merged estimator, the merged guarantee constants, and a
+bound evaluator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Mapping, Sequence
+
+from repro.algorithms.base import FrequencyEstimator, Item
+from repro.core.bounds import k_tail_bound, merged_tail_constants
+from repro.core.sparse_recovery import k_sparse_recovery
+from repro.core.tail_guarantee import GuaranteeCheck, TailGuarantee
+from repro.metrics.error import max_error, residual
+
+EstimatorFactory = Callable[[], FrequencyEstimator]
+
+
+@dataclass
+class MergeResult:
+    """Outcome of merging several counter summaries."""
+
+    estimator: FrequencyEstimator
+    k: int
+    source_constants: TailGuarantee
+    merged_constants: TailGuarantee
+    num_sources: int
+
+    def bound(self, frequencies: Mapping[Item, float]) -> float:
+        """The Theorem 11 error bound for the merged summary."""
+        residual_value = residual(frequencies, self.k)
+        return k_tail_bound(
+            residual_value,
+            self.estimator.num_counters,
+            self.k,
+            a=self.merged_constants.a,
+            b=self.merged_constants.b,
+        )
+
+    def check(self, frequencies: Mapping[Item, float]) -> GuaranteeCheck:
+        """Verify the merged guarantee against the true combined frequencies."""
+        return GuaranteeCheck(
+            observed=max_error(frequencies, self.estimator),
+            bound=self.bound(frequencies),
+            description=(
+                f"merged k-tail guarantee (A={self.merged_constants.a}, "
+                f"B={self.merged_constants.b}, k={self.k}, "
+                f"m={self.estimator.num_counters}, sources={self.num_sources})"
+            ),
+        )
+
+
+def _replay_sparse_vector(
+    estimator: FrequencyEstimator, vector: Mapping[Item, float]
+) -> None:
+    """Feed a stream realising ``vector`` into ``estimator``.
+
+    Counter values from SPACESAVING-style summaries are real-valued after
+    corrections, so the replay uses weighted updates; for integer counters
+    this is equivalent to replaying that many unit occurrences.
+    """
+    for item, value in sorted(vector.items(), key=lambda kv: (-kv[1], repr(kv[0]))):
+        if value > 0:
+            estimator.update(item, value)
+
+
+MERGE_MODES = ("all_counters", "top_k")
+
+
+def merge_summaries(
+    summaries: Sequence[FrequencyEstimator],
+    k: int,
+    make_estimator: EstimatorFactory,
+    source_constants: TailGuarantee | None = None,
+    mode: str = "all_counters",
+) -> MergeResult:
+    """Merge summaries of separate streams per Theorem 11.
+
+    Parameters
+    ----------
+    summaries:
+        The per-stream summaries (all produced by the same algorithm with the
+        same counter budget).
+    k:
+        The tail parameter of the desired merged guarantee.
+    make_estimator:
+        Factory returning a fresh instance of the counter algorithm used for
+        the final merging pass (typically the same class and budget as the
+        sources).
+    source_constants:
+        The (A, B) constants of the source summaries; defaults to the proved
+        constants for their class.
+    mode:
+        ``"all_counters"`` (default) or ``"top_k"``; see the module docstring
+        for the trade-off.
+
+    Examples
+    --------
+    >>> from repro.algorithms import SpaceSaving
+    >>> parts = []
+    >>> for start in (0, 1):
+    ...     summary = SpaceSaving(num_counters=8)
+    ...     summary.update_many([start, start, start + 10])
+    ...     parts.append(summary)
+    >>> merged = merge_summaries(parts, k=2, make_estimator=lambda: SpaceSaving(8))
+    >>> merged.estimator.estimate(0) >= 2.0
+    True
+    """
+    if not summaries:
+        raise ValueError("at least one summary is required")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if mode not in MERGE_MODES:
+        raise ValueError(f"unknown mode {mode!r}; expected one of {MERGE_MODES}")
+    if source_constants is None:
+        source_constants = TailGuarantee.for_algorithm(summaries[0])
+    merged = make_estimator()
+    for summary in summaries:
+        if mode == "top_k":
+            vector = k_sparse_recovery(summary, k=k).recovery
+        else:
+            vector = summary.counters()
+        _replay_sparse_vector(merged, vector)
+    a_merged, b_merged = merged_tail_constants(source_constants.a, source_constants.b)
+    return MergeResult(
+        estimator=merged,
+        k=k,
+        source_constants=source_constants,
+        merged_constants=TailGuarantee(a=a_merged, b=b_merged),
+        num_sources=len(summaries),
+    )
+
+
+def merge_all_counters(
+    summaries: Sequence[FrequencyEstimator],
+    make_estimator: EstimatorFactory,
+) -> FrequencyEstimator:
+    """A simpler (heuristic) merge that replays *all* counters of each summary.
+
+    This is the folklore merge used by practitioners; it has no guarantee in
+    the paper but serves as an ablation baseline for ``bench_merge.py``.
+    """
+    merged = make_estimator()
+    for summary in summaries:
+        _replay_sparse_vector(merged, summary.counters())
+    return merged

@@ -1,0 +1,204 @@
+"""Sparse recovery from counter summaries (Section 4).
+
+Three procedures are implemented, mirroring Theorems 5-7:
+
+* :func:`k_sparse_recovery` -- keep the ``k`` largest counters; Theorem 5
+  bounds the Lp distance to the true frequency vector by
+  ``eps*F1_res(k)/k^(1-1/p) + (Fp_res(k))^(1/p)`` when the algorithm is run
+  with ``m = k*(3A/eps + B)`` counters (``2A/eps`` for one-sided algorithms).
+* :func:`estimate_residual` -- Theorem 6: ``F1 - ||f'||_1`` is a
+  ``(1 ± eps)`` approximation of ``F1_res(k)`` when ``m = Bk + Ak/eps``.
+* :func:`m_sparse_recovery` -- Theorem 7: keep *all* counters of an
+  *underestimating* algorithm (FREQUENT natively; SPACESAVING after the
+  ``max(0, c_i - Delta)`` correction of Section 4.2); the Lp error is at
+  most ``(1+eps) * (eps/k)^(1-1/p) * F1_res(k)``.
+
+Each procedure returns a :class:`SparseRecoveryResult` carrying both the
+recovered vector and enough bookkeeping (m, k, epsilon) for verifiers and
+benchmarks to evaluate the corresponding bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.algorithms.base import FrequencyEstimator, Item
+from repro.core.bounds import (
+    counters_for_k_sparse,
+    counters_for_residual_estimation,
+    k_sparse_recovery_bound,
+    m_sparse_recovery_bound,
+)
+from repro.metrics.error import residual, residual_fp
+from repro.metrics.recovery import lp_error
+
+
+@dataclass(frozen=True)
+class SparseRecoveryResult:
+    """A sparse approximation of the frequency vector plus its provenance."""
+
+    recovery: Dict[Item, float]
+    k: int
+    epsilon: float
+    num_counters: int
+    kind: str  # "k-sparse" or "m-sparse"
+
+    def norm1(self) -> float:
+        """``||f'||_1`` -- used by the Theorem 6 residual estimator."""
+        return float(sum(self.recovery.values()))
+
+    def error(self, frequencies: Mapping[Item, float], p: float) -> float:
+        """The achieved Lp error against the true frequencies."""
+        return lp_error(frequencies, self.recovery, p)
+
+    def guaranteed_error(self, frequencies: Mapping[Item, float], p: float) -> float:
+        """The bound the relevant theorem promises for this recovery."""
+        residual_value = residual(frequencies, self.k)
+        if self.kind == "k-sparse":
+            residual_p = residual_fp(frequencies, self.k, p)
+            return k_sparse_recovery_bound(
+                residual_value, residual_p, self.k, self.epsilon, p
+            )
+        return m_sparse_recovery_bound(residual_value, self.k, self.epsilon, p)
+
+
+def counters_for_sparse_recovery(
+    k: int,
+    epsilon: float,
+    a: float = 1.0,
+    b: float = 1.0,
+    one_sided: bool = True,
+) -> int:
+    """Counter budget for Theorem 5 (see
+    :func:`repro.core.bounds.counters_for_k_sparse`)."""
+    return counters_for_k_sparse(k, epsilon, a=a, b=b, one_sided=one_sided)
+
+
+def _epsilon_from_budget(
+    num_counters: int, k: int, a: float, b: float, factor: float
+) -> float:
+    """Invert ``m = k*(factor*A/eps + B)`` to recover the effective epsilon."""
+    slack = num_counters / k - b
+    if slack <= 0:
+        raise ValueError(
+            f"num_counters={num_counters} is too small for k={k} (need m > B*k)"
+        )
+    return factor * a / slack
+
+
+def k_sparse_recovery(
+    estimator: FrequencyEstimator,
+    k: int,
+    epsilon: float | None = None,
+    a: float = 1.0,
+    b: float = 1.0,
+) -> SparseRecoveryResult:
+    """Theorem 5: recover a k-sparse vector from the ``k`` largest counters.
+
+    ``epsilon`` is only used for bookkeeping (evaluating the bound); when
+    omitted, it is derived from the estimator's actual counter budget by
+    inverting ``m = k*(factor*A/eps + B)`` with ``factor`` = 2 for one-sided
+    algorithms and 3 otherwise.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    one_sided = estimator.estimate_side in ("under", "over")
+    if epsilon is None:
+        factor = 2.0 if one_sided else 3.0
+        epsilon = _epsilon_from_budget(estimator.num_counters, k, a, b, factor)
+    recovery = dict(estimator.snapshot().top_k(k))
+    return SparseRecoveryResult(
+        recovery=recovery,
+        k=k,
+        epsilon=epsilon,
+        num_counters=estimator.num_counters,
+        kind="k-sparse",
+    )
+
+
+def estimate_residual(
+    estimator: FrequencyEstimator,
+    k: int,
+    epsilon: float | None = None,
+    a: float = 1.0,
+    b: float = 1.0,
+) -> Tuple[float, float]:
+    """Theorem 6: estimate ``F1_res(k)`` as ``F1 - ||f'||_1``.
+
+    Returns ``(estimate, epsilon)`` where ``epsilon`` is the accuracy implied
+    by the estimator's counter budget (``m = Bk + Ak/eps``).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if epsilon is None:
+        slack = estimator.num_counters - b * k
+        if slack <= 0:
+            raise ValueError(
+                f"num_counters={estimator.num_counters} too small for k={k}"
+            )
+        epsilon = a * k / slack
+    top = estimator.snapshot().top_k(k)
+    estimate = estimator.stream_length - sum(count for _, count in top)
+    return float(estimate), float(epsilon)
+
+
+def m_sparse_recovery(
+    estimator: FrequencyEstimator,
+    k: int,
+    epsilon: float | None = None,
+    a: float = 1.0,
+    b: float = 1.0,
+) -> SparseRecoveryResult:
+    """Theorem 7: recover an m-sparse vector from *all* counters.
+
+    The theorem requires an underestimating algorithm.  FREQUENT qualifies
+    directly; SPACESAVING (which overestimates) is automatically corrected to
+    ``max(0, c_i - Delta)`` per Section 4.2 when it exposes
+    ``corrected_counters``.  Other overestimating summaries are rejected.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if estimator.estimate_side == "under":
+        recovery = dict(estimator.counters())
+    elif hasattr(estimator, "corrected_counters"):
+        recovery = dict(estimator.corrected_counters())  # type: ignore[attr-defined]
+    else:
+        raise ValueError(
+            "m-sparse recovery (Theorem 7) requires an underestimating "
+            f"algorithm; {type(estimator).__name__} overestimates and offers "
+            "no correction"
+        )
+    if epsilon is None:
+        slack = estimator.num_counters / k - b
+        if slack <= 0:
+            raise ValueError(
+                f"num_counters={estimator.num_counters} too small for k={k}"
+            )
+        epsilon = a / slack
+    # Drop explicit zeros introduced by the correction -- they carry no
+    # information and would only bloat the recovered vector.
+    recovery = {item: value for item, value in recovery.items() if value > 0.0}
+    return SparseRecoveryResult(
+        recovery=recovery,
+        k=k,
+        epsilon=float(epsilon),
+        num_counters=estimator.num_counters,
+        kind="m-sparse",
+    )
+
+
+def counters_for_m_sparse(k: int, epsilon: float, a: float = 1.0, b: float = 1.0) -> int:
+    """Counter budget for Theorem 7: ``m = Bk + Ak/eps`` (same as Theorem 6)."""
+    return counters_for_residual_estimation(k, epsilon, a=a, b=b)
+
+
+def best_k_sparse(frequencies: Mapping[Item, float], k: int) -> Dict[Item, float]:
+    """The information-theoretically optimal k-sparse approximation.
+
+    Keeps the true top-``k`` entries exactly; its Lp error is
+    ``(Fp_res(k))^(1/p)``, the floor every recovery bound contains.
+    """
+    ordered = sorted(frequencies.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+    return dict(ordered[:k])

@@ -1,0 +1,252 @@
+"""The Heavy-Tolerant Counter framework and guarantee verification.
+
+Section 3 of the paper defines the class of *heavy-tolerant counter* (HTC)
+algorithms via two notions:
+
+* **x-prefix guaranteed** (Definition 3): after the first ``x`` stream
+  elements, item ``i`` stays in the frequent set no matter which elements of
+  the remaining stream are deleted.
+* **heavy tolerance** (Definition 4): removing one occurrence of a
+  prefix-guaranteed item never increases any estimation error.
+
+Theorem 1 shows FREQUENT and SPACESAVING are heavy-tolerant; Theorem 2 shows
+every heavy-tolerant algorithm with the classical F1 guarantee (Definition 1,
+constant ``A``) in fact satisfies the k-tail guarantee (Definition 2) with
+constants ``(A, 2A)``.  Appendices B and C sharpen the constants to
+``A = B = 1`` for the two concrete algorithms.
+
+This module provides:
+
+* :class:`TailGuarantee` -- a (A, B) pair with its bound evaluator;
+* :func:`check_heavy_hitter_guarantee` / :func:`check_tail_guarantee` --
+  empirical verification of Definitions 1 and 2 for a finished run;
+* :func:`is_prefix_guaranteed` / :func:`is_heavy_tolerant_on` -- direct
+  (exhaustive or sampled) checks of Definitions 3 and 4, used by the test
+  suite to validate Theorem 1 on small streams.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.algorithms.base import FrequencyEstimator, Item
+from repro.core.bounds import heavy_hitter_bound, k_tail_bound, tail_constants_for
+from repro.metrics.error import max_error, residual
+
+AlgorithmFactory = Callable[[], FrequencyEstimator]
+
+
+@dataclass(frozen=True)
+class TailGuarantee:
+    """A k-tail guarantee with constants ``(A, B)`` (Definition 2)."""
+
+    a: float = 1.0
+    b: float = 1.0
+
+    def bound(self, residual_value: float, num_counters: int, k: int) -> float:
+        """Evaluate ``A * F1_res(k) / (m - B*k)``."""
+        return k_tail_bound(residual_value, num_counters, k, a=self.a, b=self.b)
+
+    def max_k(self, num_counters: int) -> int:
+        """The largest ``k`` for which the bound is non-vacuous (``m > Bk``)."""
+        return int((num_counters - 1) // self.b)
+
+    @classmethod
+    def for_algorithm(cls, algorithm) -> "TailGuarantee":
+        """The proved constants for a known algorithm (see
+        :func:`repro.core.bounds.tail_constants_for`)."""
+        a, b = tail_constants_for(algorithm)
+        return cls(a=a, b=b)
+
+
+@dataclass(frozen=True)
+class GuaranteeCheck:
+    """Outcome of comparing observed errors against a theoretical bound."""
+
+    observed: float
+    bound: float
+    description: str = ""
+
+    @property
+    def holds(self) -> bool:
+        """True when the observed error does not exceed the bound.
+
+        A tiny absolute slack absorbs floating-point accumulation in
+        weighted streams; unit-weight streams are exact.
+        """
+        return self.observed <= self.bound + 1e-9
+
+    @property
+    def slack(self) -> float:
+        """How far below the bound the observation sits (bound - observed)."""
+        return self.bound - self.observed
+
+    @property
+    def utilisation(self) -> float:
+        """Observed error as a fraction of the bound (0 = exact, 1 = tight)."""
+        return self.observed / self.bound if self.bound > 0 else 0.0
+
+
+def check_heavy_hitter_guarantee(
+    estimator: FrequencyEstimator,
+    frequencies: Mapping[Item, float],
+    a: float = 1.0,
+) -> GuaranteeCheck:
+    """Verify Definition 1 (``delta_i <= A * F1 / m``) on a finished run."""
+    f1_value = float(sum(frequencies.values()))
+    bound = heavy_hitter_bound(f1_value, estimator.num_counters, a=a)
+    observed = max_error(frequencies, estimator)
+    return GuaranteeCheck(
+        observed=observed,
+        bound=bound,
+        description=f"heavy-hitter guarantee (A={a}, m={estimator.num_counters})",
+    )
+
+
+def check_tail_guarantee(
+    estimator: FrequencyEstimator,
+    frequencies: Mapping[Item, float],
+    k: int,
+    guarantee: TailGuarantee | None = None,
+) -> GuaranteeCheck:
+    """Verify Definition 2 on a finished run.
+
+    When ``guarantee`` is omitted the proved constants for the estimator's
+    class are used (``A = B = 1`` for FREQUENT / SPACESAVING).
+    """
+    if guarantee is None:
+        guarantee = TailGuarantee.for_algorithm(estimator)
+    residual_value = residual(frequencies, k)
+    bound = guarantee.bound(residual_value, estimator.num_counters, k)
+    observed = max_error(frequencies, estimator)
+    return GuaranteeCheck(
+        observed=observed,
+        bound=bound,
+        description=(
+            f"k-tail guarantee (A={guarantee.a}, B={guarantee.b}, "
+            f"k={k}, m={estimator.num_counters})"
+        ),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Direct checks of Definitions 3 and 4 (used to validate Theorem 1 in tests)
+# --------------------------------------------------------------------------- #
+
+
+def _counters_after(factory: AlgorithmFactory, stream: Sequence[Item]) -> Mapping[Item, float]:
+    estimator = factory()
+    estimator.update_many(stream)
+    return estimator.counters()
+
+
+def _subsequences(suffix: Sequence[Item], limit: int, seed: int):
+    """Yield subsequences of ``suffix`` -- all of them when feasible,
+    otherwise a deterministic random sample of ``limit`` of them."""
+    n = len(suffix)
+    if 2 ** n <= limit:
+        for mask in range(2 ** n):
+            yield [suffix[i] for i in range(n) if mask & (1 << i)]
+        return
+    rng = random.Random(seed)
+    yield list(suffix)
+    yield []
+    for _ in range(limit - 2):
+        yield [token for token in suffix if rng.random() < 0.5]
+
+
+def is_prefix_guaranteed(
+    factory: AlgorithmFactory,
+    stream: Sequence[Item],
+    x: int,
+    item: Item,
+    max_subsequences: int = 4096,
+    seed: int = 0,
+) -> bool:
+    """Check Definition 3: is ``item`` x-prefix guaranteed for ``stream``?
+
+    The check runs the algorithm on ``u_1..x`` followed by every subsequence
+    of the remaining stream (or a deterministic sample when there are too
+    many) and verifies the item's counter stays positive throughout.
+    Exhaustive only for short suffixes -- intended for correctness tests, not
+    production use.
+    """
+    if not 0 <= x < len(stream):
+        raise ValueError(f"x must satisfy 0 <= x < len(stream), got {x}")
+    prefix = list(stream[:x])
+    suffix = list(stream[x:])
+    for subsequence in _subsequences(suffix, max_subsequences, seed):
+        counters = _counters_after(factory, prefix + subsequence)
+        if counters.get(item, 0.0) <= 0.0:
+            return False
+    return True
+
+
+def is_heavy_tolerant_on(
+    factory: AlgorithmFactory,
+    stream: Sequence[Item],
+    position: int,
+    frequencies: Mapping[Item, float] | None = None,
+) -> bool:
+    """Check Definition 4 at one position of one stream.
+
+    ``position`` is the 1-based index ``x`` of the occurrence to remove; the
+    check requires ``u_x`` to be ``(x-1)``-prefix guaranteed (callers should
+    ensure this -- e.g. by picking an occurrence beyond the first of a heavy
+    item) and verifies that removing it does not increase any per-item error.
+    """
+    if not 1 <= position <= len(stream):
+        raise ValueError(f"position must satisfy 1 <= position <= len(stream)")
+    full = list(stream)
+    reduced = full[: position - 1] + full[position:]
+
+    def errors(tokens: Sequence[Item]) -> Mapping[Item, float]:
+        import collections
+
+        true = collections.Counter(tokens)
+        counters = _counters_after(factory, tokens)
+        universe = set(true) | set(counters)
+        return {
+            candidate: abs(true.get(candidate, 0) - counters.get(candidate, 0.0))
+            for candidate in universe
+        }
+
+    full_errors = errors(full)
+    reduced_errors = errors(reduced)
+    universe = set(full_errors) | set(reduced_errors)
+    return all(
+        full_errors.get(candidate, 0.0) <= reduced_errors.get(candidate, 0.0) + 1e-9
+        for candidate in universe
+    )
+
+
+def derive_tail_bound_iteratively(
+    f1_value: float,
+    residual_value: float,
+    num_counters: int,
+    k: int,
+    a: float = 1.0,
+    iterations: int = 64,
+) -> float:
+    """Numerically replay the Lemma 4 iteration used to prove Theorem 2.
+
+    Starting from the heavy-hitter bound ``Delta_0 = A*F1/m``, repeatedly
+    apply ``Delta' = A*(k*Delta + k + F1_res(k)) / m`` and return the best
+    (smallest) bound reached.  Theorem 2 shows the fixed point is
+    ``A*(k + F1_res(k)) / (m - A*k)``, which is itself at most
+    ``A*F1_res(k) / (m - 2A*k)``; tests compare this function against both
+    closed forms.
+    """
+    if num_counters <= a * k:
+        raise ValueError("the iteration requires m > A*k")
+    best = a * f1_value / num_counters
+    current = best
+    for _ in range(iterations):
+        current = a * (k * current + k + residual_value) / num_counters
+        if current >= best:
+            break
+        best = current
+    return best

@@ -1,0 +1,75 @@
+"""Top-k retrieval on Zipfian data (Section 5.1, Theorem 9).
+
+Theorem 9 shows that for Zipf(alpha) frequencies with ``alpha > 1``, a
+counter algorithm with a suitable k'-tail guarantee retrieves the top ``k``
+items *in the correct order* using ``O(k * (k/alpha)^(1/alpha))`` counters
+(``O(k^2 ln n)`` for ``alpha = 1``).  The requirement is that the summary's
+error is below half the gap between the k-th and (k+1)-th frequencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Mapping, Tuple
+
+from repro.algorithms.base import FrequencyEstimator, Item
+from repro.core.bounds import topk_counters_needed
+from repro.metrics.recovery import top_k_exact_order
+
+
+def counters_for_topk(
+    k: int, alpha: float, n: int, a: float = 1.0, b: float = 1.0
+) -> int:
+    """The Theorem 9 counter budget for exact-order top-k retrieval.
+
+    See :func:`repro.core.bounds.topk_counters_needed` for the derivation.
+    """
+    return topk_counters_needed(k, alpha, n, a=a, b=b)
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """Result of a guaranteed top-k query."""
+
+    items: List[Tuple[Item, float]]
+    num_counters: int
+    exact_order: bool | None = None
+
+    def item_names(self) -> List[Item]:
+        return [item for item, _ in self.items]
+
+
+def top_k_with_guarantee(
+    make_estimator: Callable[[int], FrequencyEstimator],
+    stream_items,
+    k: int,
+    alpha: float,
+    n: int,
+    frequencies: Mapping[Item, float] | None = None,
+    a: float = 1.0,
+    b: float = 1.0,
+) -> TopKResult:
+    """Run a counter algorithm sized per Theorem 9 and return its top-k.
+
+    Parameters
+    ----------
+    make_estimator:
+        Factory taking a counter budget ``m`` and returning a fresh summary
+        (e.g. ``SpaceSaving``).
+    stream_items:
+        The stream to process.
+    k, alpha, n:
+        Theorem 9 parameters (``n`` is the domain size used to evaluate the
+        harmonic number).
+    frequencies:
+        When supplied, the result records whether the returned order matches
+        the true top-k order (the property Theorem 9 guarantees).
+    """
+    budget = counters_for_topk(k, alpha, n, a=a, b=b)
+    estimator = make_estimator(budget)
+    estimator.update_many(stream_items)
+    top = estimator.top_k(k)
+    exact = None
+    if frequencies is not None:
+        exact = top_k_exact_order(frequencies, top, k)
+    return TopKResult(items=top, num_counters=budget, exact_order=exact)

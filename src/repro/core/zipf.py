@@ -1,0 +1,178 @@
+"""Guarantees for Zipfian data (Section 5, Theorem 8).
+
+For frequencies that follow (or are dominated by) a Zipf distribution with
+parameter ``alpha >= 1``, Theorem 8 shows that a counter algorithm with a
+k-tail guarantee of constants ``(A, B)`` achieves per-item error at most
+``eps * F1`` using only ``m = (A + B) * (1/eps)^(1/alpha)`` counters -- far
+fewer than the ``O(1/eps)`` needed for arbitrary data once ``alpha > 1``.
+
+The helpers here size the summary for a target error on Zipf data, verify
+the guarantee on a finished run, and -- as a practical extension the paper's
+sizing results invite -- estimate the skew parameter ``alpha`` from a
+summary's own top counters so that the sizing can be applied without knowing
+the skew in advance (:func:`estimate_zipf_parameter`,
+:func:`resize_for_zipf`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Tuple
+
+from repro.algorithms.base import FrequencyEstimator, Item
+from repro.core.bounds import zipf_counters_needed, zipf_error_bound
+from repro.core.tail_guarantee import GuaranteeCheck
+from repro.metrics.error import f1, max_error
+
+
+def counters_for_zipf(
+    epsilon: float, alpha: float, a: float = 1.0, b: float = 1.0
+) -> int:
+    """The Theorem 8 counter budget ``m = (A+B) * (1/eps)^(1/alpha)``.
+
+    Examples
+    --------
+    >>> counters_for_zipf(0.01, alpha=1.0)
+    200
+    >>> counters_for_zipf(0.01, alpha=2.0)
+    20
+    """
+    return zipf_counters_needed(epsilon, alpha, a=a, b=b)
+
+
+@dataclass(frozen=True)
+class ZipfGuaranteeCheck:
+    """Outcome of verifying Theorem 8 on a finished run."""
+
+    check: GuaranteeCheck
+    epsilon: float
+    alpha: float
+    k_used: int
+
+    @property
+    def holds(self) -> bool:
+        return self.check.holds
+
+
+def zipf_guarantee_check(
+    estimator: FrequencyEstimator,
+    frequencies: Mapping[Item, float],
+    epsilon: float,
+    alpha: float,
+    a: float = 1.0,
+    b: float = 1.0,
+) -> ZipfGuaranteeCheck:
+    """Verify that a run on Zipf(alpha) data achieved error <= eps * F1.
+
+    The estimator should have been built with at least
+    :func:`counters_for_zipf`\\ ``(epsilon, alpha)`` counters; the function
+    does not enforce this (so experiments can also probe under-provisioned
+    summaries) but records the ``k = (1/eps)^(1/alpha)`` the proof uses.
+    """
+    f1_value = f1(frequencies)
+    bound = zipf_error_bound(f1_value, epsilon)
+    observed = max_error(frequencies, estimator)
+    k_used = int(round((1.0 / epsilon) ** (1.0 / alpha)))
+    check = GuaranteeCheck(
+        observed=observed,
+        bound=bound,
+        description=f"Zipf guarantee (alpha={alpha}, eps={epsilon}, m={estimator.num_counters})",
+    )
+    return ZipfGuaranteeCheck(check=check, epsilon=epsilon, alpha=alpha, k_used=k_used)
+
+
+# --------------------------------------------------------------------------- #
+# Estimating the skew parameter from observed (or summarised) frequencies
+# --------------------------------------------------------------------------- #
+
+
+def _fit_loglog_slope(values: Sequence[float]) -> float:
+    """Least-squares slope of log(value) against log(rank).
+
+    For exactly Zipfian frequencies ``f_i = C / i^alpha`` the slope is
+    ``-alpha``; the caller negates it.
+    """
+    points = [
+        (math.log(rank), math.log(value))
+        for rank, value in enumerate(values, start=1)
+        if value > 0
+    ]
+    if len(points) < 2:
+        raise ValueError("need at least two positive frequencies to fit alpha")
+    n = len(points)
+    mean_x = sum(x for x, _ in points) / n
+    mean_y = sum(y for _, y in points) / n
+    covariance = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    variance = sum((x - mean_x) ** 2 for x, _ in points)
+    if variance == 0:
+        raise ValueError("all ranks identical; cannot fit alpha")
+    return covariance / variance
+
+
+def estimate_zipf_parameter(
+    source: FrequencyEstimator | Mapping[Item, float],
+    top: int = 50,
+    skip: int = 1,
+) -> float:
+    """Estimate the Zipf skew ``alpha`` from the largest observed frequencies.
+
+    Parameters
+    ----------
+    source:
+        Either a live summary (its counters are used -- the heavy items are
+        exactly the ones counter algorithms estimate well, which is what
+        makes this reliable) or an explicit frequency mapping.
+    top:
+        How many of the largest values to fit against their rank.
+    skip:
+        How many of the very largest ranks to ignore; rank 1 often deviates
+        from the power law in real data (the classic "king effect").
+
+    Returns
+    -------
+    The fitted ``alpha`` (clamped to be non-negative).
+
+    Examples
+    --------
+    >>> frequencies = {i: 1000 / i ** 1.5 for i in range(1, 200)}
+    >>> round(estimate_zipf_parameter(frequencies, top=100, skip=0), 2)
+    1.5
+    """
+    if isinstance(source, FrequencyEstimator):
+        counts = source.counters()
+    else:
+        counts = dict(source)
+    if top < 2:
+        raise ValueError(f"top must be >= 2, got {top}")
+    if skip < 0:
+        raise ValueError(f"skip must be >= 0, got {skip}")
+    ordered = sorted(counts.values(), reverse=True)
+    window = ordered[skip : skip + top]
+    slope = _fit_loglog_slope(window)
+    return max(0.0, -slope)
+
+
+def resize_for_zipf(
+    summary: FrequencyEstimator,
+    epsilon: float,
+    a: float = 1.0,
+    b: float = 1.0,
+    top: int = 50,
+    minimum_alpha: float = 1.0,
+) -> Tuple[int, float]:
+    """Recommend a counter budget for a target error, learning alpha on the fly.
+
+    Fits ``alpha`` from the summary's own counters and plugs it into the
+    Theorem 8 budget.  When the fitted skew falls below ``minimum_alpha``
+    (Theorem 8 requires ``alpha >= 1``) the generic ``1/eps`` sizing is
+    returned instead.
+
+    Returns
+    -------
+    ``(recommended_counters, fitted_alpha)``.
+    """
+    alpha = estimate_zipf_parameter(summary, top=top)
+    if alpha < minimum_alpha:
+        return int(math.ceil((a + b) / 2.0 / epsilon)), alpha
+    return zipf_counters_needed(epsilon, alpha, a=a, b=b), alpha

@@ -1,0 +1,21 @@
+"""Distributed summarisation substrate (Section 6.2).
+
+Models the setting where a logical stream is observed at several sites, each
+site summarises its share locally, and the summaries are later combined at a
+coordinator:
+
+* :mod:`repro.distributed.partition` -- ways of splitting a stream across
+  sites (contiguous shards, round-robin, hash partitioning by item).
+* :mod:`repro.distributed.mergers` -- the coordinator: summarise each part,
+  merge per Theorem 11, and report certified heavy hitters of the union.
+"""
+
+from repro.distributed.mergers import DistributedSummarizer, SiteSummary
+from repro.distributed.partition import hash_partition, partition_stream
+
+__all__ = [
+    "DistributedSummarizer",
+    "SiteSummary",
+    "hash_partition",
+    "partition_stream",
+]

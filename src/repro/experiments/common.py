@@ -1,0 +1,40 @@
+"""Shared helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, is_dataclass
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.algorithms.base import FrequencyEstimator
+from repro.algorithms.frequent import Frequent
+from repro.algorithms.space_saving import SpaceSaving
+
+#: Factories for the two counter algorithms the paper analyses, keyed by the
+#: names used in experiment reports.
+COUNTER_ALGORITHMS: Dict[str, Callable[[int], FrequencyEstimator]] = {
+    "FREQUENT": lambda m: Frequent(num_counters=m),
+    "SPACESAVING": lambda m: SpaceSaving(num_counters=m),
+}
+
+
+def format_table(rows: Sequence, columns: Iterable[str]) -> str:
+    """Render result rows (dataclasses or dicts) as an aligned text table."""
+    columns = list(columns)
+    table: List[List[str]] = [columns]
+    for row in rows:
+        data = asdict(row) if is_dataclass(row) else dict(row)
+        rendered = []
+        for column in columns:
+            value = data.get(column, "")
+            if isinstance(value, float):
+                rendered.append(f"{value:.4g}")
+            else:
+                rendered.append(str(value))
+        table.append(rendered)
+    widths = [max(len(line[i]) for line in table) for i in range(len(columns))]
+    lines = []
+    for index, line in enumerate(table):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+        if index == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""Figure-style sweeps: error curves as a function of space and skew.
+
+The paper itself contains no empirical figures, but its claims are naturally
+visualised as two curves, and follow-up empirical work (e.g. the survey the
+paper cites as [10]) plots exactly these:
+
+* **error vs. space** -- maximum per-item error as the counter budget ``m``
+  grows, for each algorithm, together with the old ``F1/m`` bound and the new
+  residual bound.  The new bound should track the measured error far more
+  closely on skewed data.
+* **error vs. skew** -- maximum per-item error at a fixed budget as the Zipf
+  parameter grows.  Counter-algorithm error should fall quickly with skew
+  (the residual shrinks) while sketch error falls more slowly.
+
+:func:`ascii_chart` renders any of these series as a log-scale ASCII chart so
+the "figures" can be regenerated in a terminal with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.algorithms.frequent import Frequent
+from repro.algorithms.space_saving import SpaceSaving
+from repro.core.bounds import heavy_hitter_bound, k_tail_bound
+from repro.metrics.error import error_vector, f1, max_error, residual
+from repro.metrics.recovery import top_k_items
+from repro.sketches.count_min import CountMinSketch
+from repro.streams.generators import zipf_stream
+from repro.streams.stream import Stream
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One (x, y) measurement of a named series."""
+
+    series: str
+    x: float
+    y: float
+
+
+def run_error_vs_counters(
+    stream: Stream | None = None,
+    counter_budgets: Sequence[int] = (25, 50, 100, 200, 400, 800),
+    k: int = 10,
+    seed: int = 91,
+) -> List[SeriesPoint]:
+    """Figure F1: max per-item error as a function of the counter budget."""
+    if stream is None:
+        stream = zipf_stream(num_items=10_000, alpha=1.2, total=100_000, seed=seed)
+    frequencies = stream.frequencies()
+    f1_value = f1(frequencies)
+    residual_value = residual(frequencies, k)
+    points: List[SeriesPoint] = []
+    for m in counter_budgets:
+        for name, factory in (
+            ("FREQUENT", lambda m=m: Frequent(num_counters=m)),
+            ("SPACESAVING", lambda m=m: SpaceSaving(num_counters=m)),
+        ):
+            estimator = factory()
+            stream.feed(estimator)
+            points.append(SeriesPoint(name, m, max_error(frequencies, estimator)))
+        points.append(SeriesPoint("bound F1/m", m, heavy_hitter_bound(f1_value, m)))
+        if m > k:
+            points.append(
+                SeriesPoint(
+                    "bound F1res(k)/(m-k)", m, k_tail_bound(residual_value, m, k)
+                )
+            )
+    return points
+
+
+def run_error_vs_skew(
+    alphas: Sequence[float] = (0.6, 0.8, 1.0, 1.2, 1.5, 2.0),
+    num_counters: int = 200,
+    total: int = 100_000,
+    num_items: int = 10_000,
+    k: int = 10,
+    seed: int = 92,
+) -> List[SeriesPoint]:
+    """Figure F2: error at a fixed budget as the Zipf skew grows.
+
+    Includes a Count-Min sketch configured at the same number of words so the
+    counter-vs-sketch gap as a function of skew is visible (the sketch's
+    error depends on the colliding mass, which also shrinks with skew but
+    much more slowly than the residual).
+    """
+    points: List[SeriesPoint] = []
+    words = 2 * num_counters
+    depth = 4
+    width = max(2, (words - 2 * depth) // depth)
+    for alpha in alphas:
+        stream = zipf_stream(num_items=num_items, alpha=alpha, total=total, seed=seed)
+        frequencies = stream.frequencies()
+        query_items = top_k_items(frequencies, 100)
+        for name, factory in (
+            ("FREQUENT", lambda: Frequent(num_counters=num_counters)),
+            ("SPACESAVING", lambda: SpaceSaving(num_counters=num_counters)),
+            ("Count-Min (equal words)", lambda: CountMinSketch(width=width, depth=depth, seed=seed)),
+        ):
+            estimator = factory()
+            stream.feed(estimator)
+            errors = error_vector(frequencies, estimator, items=query_items)
+            points.append(SeriesPoint(name, alpha, max(errors.values())))
+        points.append(
+            SeriesPoint(
+                "bound F1res(k)/(m-k)",
+                alpha,
+                k_tail_bound(residual(frequencies, k), num_counters, k),
+            )
+        )
+    return points
+
+
+def series_names(points: Sequence[SeriesPoint]) -> List[str]:
+    """The distinct series names, in first-appearance order."""
+    names: List[str] = []
+    for point in points:
+        if point.series not in names:
+            names.append(point.series)
+    return names
+
+
+def series_values(points: Sequence[SeriesPoint], name: str) -> List[SeriesPoint]:
+    """All points of one series, sorted by x."""
+    return sorted(
+        (point for point in points if point.series == name), key=lambda p: p.x
+    )
+
+
+def ascii_chart(
+    points: Sequence[SeriesPoint],
+    width: int = 60,
+    height: int = 18,
+    log_y: bool = True,
+    x_label: str = "x",
+    y_label: str = "error",
+) -> str:
+    """Render series as a fixed-size ASCII scatter chart.
+
+    Each series is drawn with its own marker character; a legend follows the
+    chart.  The y axis is logarithmic by default since errors span orders of
+    magnitude across a sweep.
+    """
+    if not points:
+        return "(no data)"
+    markers = "ox+*#@%&"
+    names = series_names(points)
+    xs = [point.x for point in points]
+    ys = [max(point.y, 1e-12) for point in points]
+    min_x, max_x = min(xs), max(xs)
+    transform = (lambda v: math.log10(max(v, 1e-12))) if log_y else (lambda v: v)
+    min_y, max_y = min(map(transform, ys)), max(map(transform, ys))
+    span_x = max(max_x - min_x, 1e-12)
+    span_y = max(max_y - min_y, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+    for point in points:
+        column = int((point.x - min_x) / span_x * (width - 1))
+        row = int((transform(max(point.y, 1e-12)) - min_y) / span_y * (height - 1))
+        marker = markers[names.index(point.series) % len(markers)]
+        grid[height - 1 - row][column] = marker
+
+    top_label = f"{10 ** max_y:.3g}" if log_y else f"{max_y:.3g}"
+    bottom_label = f"{10 ** min_y:.3g}" if log_y else f"{min_y:.3g}"
+    lines = [f"{y_label} (top={top_label}, bottom={bottom_label}, log={log_y})"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {min_x:g} .. {max_x:g}")
+    lines.append("legend: " + ", ".join(
+        f"{markers[index % len(markers)]}={name}" for index, name in enumerate(names)
+    ))
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Experiment E13: the space lower bound (Theorem 13, Appendix A).
+
+Runs the adversarial stream-pair construction against FREQUENT and
+SPACESAVING for several ``(m, k, X)`` settings and records the error actually
+forced versus the theoretical minimum ``X/2``.  The qualitative claim: the
+construction does force error of order ``F1_res(k)/(2m)`` on every
+deterministic counter algorithm, so the upper bounds of Appendices B/C are
+within a small constant factor of optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.lower_bound import run_lower_bound_experiment
+from repro.experiments.common import COUNTER_ALGORITHMS, format_table
+
+
+@dataclass(frozen=True)
+class LowerBoundRow:
+    """One (algorithm, m, k, X) lower-bound measurement."""
+
+    algorithm: str
+    num_counters: int
+    k: int
+    repetitions: int
+    forced_error: float
+    theoretical_minimum: float
+    reaches_lower_bound: bool
+    error_vs_residual_over_2m: float
+
+
+def run_lower_bound(
+    configurations: Sequence[Tuple[int, int, int]] = (
+        (20, 5, 10),
+        (20, 5, 50),
+        (50, 10, 20),
+        (100, 10, 20),
+        (100, 25, 40),
+    ),
+) -> List[LowerBoundRow]:
+    """Run the Theorem 13 construction for each (m, k, X) configuration."""
+    rows: List[LowerBoundRow] = []
+    for algorithm_name, factory in COUNTER_ALGORITHMS.items():
+        for num_counters, k, repetitions in configurations:
+            result = run_lower_bound_experiment(
+                make_estimator=lambda: factory(num_counters),
+                num_counters=num_counters,
+                k=k,
+                repetitions=repetitions,
+            )
+            rows.append(
+                LowerBoundRow(
+                    algorithm=algorithm_name,
+                    num_counters=num_counters,
+                    k=k,
+                    repetitions=repetitions,
+                    forced_error=result.forced_error,
+                    theoretical_minimum=result.theoretical_minimum,
+                    reaches_lower_bound=result.matches_lower_bound,
+                    error_vs_residual_over_2m=result.error_vs_residual_ratio,
+                )
+            )
+    return rows
+
+
+def format_lower_bound(rows: List[LowerBoundRow]) -> str:
+    return format_table(
+        rows,
+        [
+            "algorithm",
+            "num_counters",
+            "k",
+            "repetitions",
+            "forced_error",
+            "theoretical_minimum",
+            "reaches_lower_bound",
+            "error_vs_residual_over_2m",
+        ],
+    )

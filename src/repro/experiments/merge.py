@@ -1,0 +1,118 @@
+"""Experiment E11: merging multiple summaries (Section 6.2, Theorem 11).
+
+A stream is partitioned across ``l`` sites; each site runs the counter
+algorithm independently; the summaries are merged per Theorem 11.  For every
+configuration the experiment records
+
+* the observed maximum error of the *merged* summary against the union's
+  true frequencies,
+* the merged bound with constants (3A, A+B) = (3, 2),
+* for context, the single-summary bound (A, B) = (1, 1) a centralised
+  summary of the same size would enjoy,
+
+so the benchmark can assert that the merged guarantee holds and that the
+cost of distribution is at most the constant factor the theorem predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.algorithms.frequent import Frequent
+from repro.algorithms.space_saving import SpaceSaving
+from repro.core.bounds import k_tail_bound
+from repro.core.merging import merge_summaries
+from repro.distributed.partition import partition_stream
+from repro.experiments.common import format_table
+from repro.metrics.error import residual
+from repro.streams.generators import zipf_stream
+from repro.streams.stream import Stream
+
+
+@dataclass(frozen=True)
+class MergeRow:
+    """One (algorithm, sites, strategy, mode, m, k) merge measurement."""
+
+    algorithm: str
+    num_sites: int
+    strategy: str
+    merge_mode: str
+    num_counters: int
+    k: int
+    observed_error: float
+    merged_bound: float
+    single_summary_bound: float
+    within_merged_bound: bool
+
+
+_FACTORIES = {
+    "FREQUENT": lambda m: Frequent(num_counters=m),
+    "SPACESAVING": lambda m: SpaceSaving(num_counters=m),
+}
+
+
+def run_merge(
+    stream: Stream | None = None,
+    site_counts: Sequence[int] = (2, 4, 8, 16),
+    strategies: Sequence[str] = ("contiguous", "round_robin"),
+    num_counters: int = 200,
+    k: int = 10,
+    seed: int = 61,
+) -> List[MergeRow]:
+    """Run the Theorem 11 sweep."""
+    if stream is None:
+        stream = zipf_stream(num_items=5_000, alpha=1.2, total=80_000, seed=seed)
+    frequencies = stream.frequencies()
+    residual_value = residual(frequencies, k)
+    single_bound = k_tail_bound(residual_value, num_counters, k, a=1.0, b=1.0)
+    rows: List[MergeRow] = []
+    for algorithm_name, factory in _FACTORIES.items():
+        for num_sites in site_counts:
+            for strategy in strategies:
+                summaries = []
+                for part in partition_stream(stream, num_sites, strategy):
+                    estimator = factory(num_counters)
+                    part.feed(estimator)
+                    summaries.append(estimator)
+                for mode in ("all_counters", "top_k"):
+                    merged = merge_summaries(
+                        summaries,
+                        k=k,
+                        make_estimator=lambda: factory(num_counters),
+                        mode=mode,
+                    )
+                    check = merged.check(frequencies)
+                    rows.append(
+                        MergeRow(
+                            algorithm=algorithm_name,
+                            num_sites=num_sites,
+                            strategy=strategy,
+                            merge_mode=mode,
+                            num_counters=num_counters,
+                            k=k,
+                            observed_error=check.observed,
+                            merged_bound=check.bound,
+                            single_summary_bound=single_bound,
+                            within_merged_bound=check.holds,
+                        )
+                    )
+    return rows
+
+
+def format_merge(rows: List[MergeRow]) -> str:
+    return format_table(
+        rows,
+        [
+            "algorithm",
+            "num_sites",
+            "strategy",
+            "merge_mode",
+            "num_counters",
+            "k",
+            "observed_error",
+            "merged_bound",
+            "single_summary_bound",
+            "within_merged_bound",
+        ],
+    )

@@ -1,0 +1,247 @@
+"""Experiments E5-E7: sparse recovery and residual estimation (Section 4).
+
+Three sweeps, one per theorem:
+
+* :func:`run_k_sparse_recovery` (Theorem 5): size the summary as
+  ``m = k(2A/eps + B)`` (the one-sided budget), recover the top-k counters,
+  and compare the achieved Lp error against both the theorem's bound and the
+  optimal ``(Fp_res(k))^(1/p)`` floor.
+* :func:`run_residual_estimation` (Theorem 6): estimate ``F1_res(k)`` as
+  ``F1 - ||f'||_1`` and check the ``(1 ± eps)`` sandwich.
+* :func:`run_m_sparse_recovery` (Theorem 7): use all counters of an
+  underestimating summary and compare against the
+  ``(1+eps)(eps/k)^(1-1/p) F1_res(k)`` bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.algorithms.frequent import Frequent
+from repro.algorithms.space_saving import SpaceSaving
+from repro.core.sparse_recovery import (
+    counters_for_m_sparse,
+    counters_for_sparse_recovery,
+    estimate_residual,
+    k_sparse_recovery,
+    m_sparse_recovery,
+)
+from repro.experiments.common import format_table
+from repro.metrics.error import residual
+from repro.metrics.recovery import optimal_lp_error
+from repro.streams.generators import zipf_stream
+from repro.streams.stream import Stream
+
+
+@dataclass(frozen=True)
+class KSparseRow:
+    """One (algorithm, k, epsilon, p) k-sparse recovery measurement."""
+
+    algorithm: str
+    k: int
+    epsilon: float
+    p: float
+    num_counters: int
+    achieved_error: float
+    bound: float
+    optimal_error: float
+    within_bound: bool
+
+
+@dataclass(frozen=True)
+class ResidualRow:
+    """One Theorem 6 residual-estimation measurement."""
+
+    algorithm: str
+    k: int
+    epsilon: float
+    num_counters: int
+    true_residual: float
+    estimated_residual: float
+    lower_bound: float
+    upper_bound: float
+    within_bounds: bool
+
+
+@dataclass(frozen=True)
+class MSparseRow:
+    """One Theorem 7 m-sparse recovery measurement."""
+
+    algorithm: str
+    k: int
+    epsilon: float
+    p: float
+    num_counters: int
+    achieved_error: float
+    bound: float
+    within_bound: bool
+
+
+def _default_stream(seed: int = 23) -> Stream:
+    return zipf_stream(num_items=5_000, alpha=1.2, total=80_000, seed=seed)
+
+
+_ALGORITHMS = {
+    "FREQUENT": lambda m: Frequent(num_counters=m),
+    "SPACESAVING": lambda m: SpaceSaving(num_counters=m),
+}
+
+
+def run_k_sparse_recovery(
+    stream: Stream | None = None,
+    ks: Sequence[int] = (5, 10, 20),
+    epsilons: Sequence[float] = (0.5, 0.2, 0.1),
+    ps: Sequence[float] = (1.0, 2.0),
+) -> List[KSparseRow]:
+    """The Theorem 5 sweep."""
+    if stream is None:
+        stream = _default_stream()
+    frequencies = stream.frequencies()
+    rows: List[KSparseRow] = []
+    for algorithm_name, factory in _ALGORITHMS.items():
+        for k in ks:
+            for epsilon in epsilons:
+                m = counters_for_sparse_recovery(k, epsilon, one_sided=True)
+                estimator = factory(m)
+                stream.feed(estimator)
+                result = k_sparse_recovery(estimator, k=k, epsilon=epsilon)
+                for p in ps:
+                    achieved = result.error(frequencies, p)
+                    bound = result.guaranteed_error(frequencies, p)
+                    rows.append(
+                        KSparseRow(
+                            algorithm=algorithm_name,
+                            k=k,
+                            epsilon=epsilon,
+                            p=p,
+                            num_counters=m,
+                            achieved_error=achieved,
+                            bound=bound,
+                            optimal_error=optimal_lp_error(frequencies, k, p),
+                            within_bound=achieved <= bound + 1e-6,
+                        )
+                    )
+    return rows
+
+
+def run_residual_estimation(
+    stream: Stream | None = None,
+    ks: Sequence[int] = (5, 10, 20),
+    epsilons: Sequence[float] = (0.5, 0.2, 0.1),
+) -> List[ResidualRow]:
+    """The Theorem 6 sweep."""
+    if stream is None:
+        stream = _default_stream()
+    frequencies = stream.frequencies()
+    rows: List[ResidualRow] = []
+    for algorithm_name, factory in _ALGORITHMS.items():
+        for k in ks:
+            for epsilon in epsilons:
+                m = counters_for_m_sparse(k, epsilon)
+                estimator = factory(m)
+                stream.feed(estimator)
+                estimate, _ = estimate_residual(estimator, k=k, epsilon=epsilon)
+                true_residual = residual(frequencies, k)
+                lower = (1.0 - epsilon) * true_residual
+                upper = (1.0 + epsilon) * true_residual
+                rows.append(
+                    ResidualRow(
+                        algorithm=algorithm_name,
+                        k=k,
+                        epsilon=epsilon,
+                        num_counters=m,
+                        true_residual=true_residual,
+                        estimated_residual=estimate,
+                        lower_bound=lower,
+                        upper_bound=upper,
+                        within_bounds=lower - 1e-6 <= estimate <= upper + 1e-6,
+                    )
+                )
+    return rows
+
+
+def run_m_sparse_recovery(
+    stream: Stream | None = None,
+    ks: Sequence[int] = (5, 10, 20),
+    epsilons: Sequence[float] = (0.5, 0.2, 0.1),
+    ps: Sequence[float] = (1.0, 2.0),
+) -> List[MSparseRow]:
+    """The Theorem 7 sweep (underestimating algorithms only)."""
+    if stream is None:
+        stream = _default_stream()
+    frequencies = stream.frequencies()
+    rows: List[MSparseRow] = []
+    for algorithm_name, factory in _ALGORITHMS.items():
+        for k in ks:
+            for epsilon in epsilons:
+                m = counters_for_m_sparse(k, epsilon)
+                estimator = factory(m)
+                stream.feed(estimator)
+                result = m_sparse_recovery(estimator, k=k, epsilon=epsilon)
+                for p in ps:
+                    achieved = result.error(frequencies, p)
+                    bound = result.guaranteed_error(frequencies, p)
+                    rows.append(
+                        MSparseRow(
+                            algorithm=algorithm_name,
+                            k=k,
+                            epsilon=epsilon,
+                            p=p,
+                            num_counters=m,
+                            achieved_error=achieved,
+                            bound=bound,
+                            within_bound=achieved <= bound + 1e-6,
+                        )
+                    )
+    return rows
+
+
+def format_k_sparse(rows: List[KSparseRow]) -> str:
+    return format_table(
+        rows,
+        [
+            "algorithm",
+            "k",
+            "epsilon",
+            "p",
+            "num_counters",
+            "achieved_error",
+            "bound",
+            "optimal_error",
+            "within_bound",
+        ],
+    )
+
+
+def format_residual(rows: List[ResidualRow]) -> str:
+    return format_table(
+        rows,
+        [
+            "algorithm",
+            "k",
+            "epsilon",
+            "num_counters",
+            "true_residual",
+            "estimated_residual",
+            "lower_bound",
+            "upper_bound",
+            "within_bounds",
+        ],
+    )
+
+
+def format_m_sparse(rows: List[MSparseRow]) -> str:
+    return format_table(
+        rows,
+        [
+            "algorithm",
+            "k",
+            "epsilon",
+            "p",
+            "num_counters",
+            "achieved_error",
+            "bound",
+            "within_bound",
+        ],
+    )

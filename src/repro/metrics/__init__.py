@@ -1,0 +1,40 @@
+"""Error and recovery-quality metrics.
+
+* :mod:`repro.metrics.error` -- the norms from Section 2 (``F1``, ``Fp``,
+  ``F1_res(k)``, ``Fp_res(k)``) and per-item estimation errors ``delta_i``.
+* :mod:`repro.metrics.recovery` -- recovery-quality metrics: the Lp error of
+  a sparse approximation (Section 4) and top-k precision / order checks
+  (Section 5.1).
+"""
+
+from repro.metrics.error import (
+    error_vector,
+    f1,
+    fp,
+    max_error,
+    mean_error,
+    residual,
+    residual_fp,
+)
+from repro.metrics.recovery import (
+    lp_error,
+    optimal_lp_error,
+    recall_at_k,
+    top_k_exact_order,
+    top_k_items,
+)
+
+__all__ = [
+    "error_vector",
+    "f1",
+    "fp",
+    "max_error",
+    "mean_error",
+    "residual",
+    "residual_fp",
+    "lp_error",
+    "optimal_lp_error",
+    "recall_at_k",
+    "top_k_exact_order",
+    "top_k_items",
+]

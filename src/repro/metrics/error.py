@@ -1,0 +1,105 @@
+"""Frequency-moment norms and per-item estimation errors.
+
+Notation follows Section 2 of the paper.  Frequencies are represented as a
+dictionary ``item -> f_i`` (only non-zero entries need appear); estimates are
+either a dictionary of counters or a live
+:class:`~repro.algorithms.base.FrequencyEstimator`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Union
+
+from repro.algorithms.base import FrequencyEstimator, Item
+
+FrequencyVector = Mapping[Item, float]
+EstimatorLike = Union[FrequencyEstimator, Mapping[Item, float]]
+
+
+def _estimate(estimator: EstimatorLike, item: Item) -> float:
+    """Uniformly query a live estimator or a counter dictionary."""
+    if isinstance(estimator, FrequencyEstimator):
+        return estimator.estimate(item)
+    return float(estimator.get(item, 0.0))
+
+
+def f1(frequencies: FrequencyVector) -> float:
+    """The total weight ``F1 = sum_i f_i``."""
+    return float(sum(frequencies.values()))
+
+
+def fp(frequencies: FrequencyVector, p: float) -> float:
+    """The frequency moment ``Fp = sum_i f_i^p``."""
+    if p <= 0:
+        raise ValueError(f"p must be positive, got {p}")
+    return float(sum(value ** p for value in frequencies.values()))
+
+
+def residual(frequencies: FrequencyVector, k: int) -> float:
+    """The residual ``F1_res(k)``: total weight excluding the top ``k`` items.
+
+    ``residual(f, 0) == f1(f)``; when the stream has at most ``k`` distinct
+    items the residual is zero (the regime where the paper's bound collapses
+    to exact recovery).
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    values = sorted(frequencies.values(), reverse=True)
+    return float(sum(values[k:]))
+
+
+def residual_fp(frequencies: FrequencyVector, k: int, p: float) -> float:
+    """The residual moment ``Fp_res(k) = sum_{i > k} f_i^p`` (sorted order)."""
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    if p <= 0:
+        raise ValueError(f"p must be positive, got {p}")
+    values = sorted(frequencies.values(), reverse=True)
+    return float(sum(value ** p for value in values[k:]))
+
+
+def error_vector(
+    frequencies: FrequencyVector,
+    estimator: EstimatorLike,
+    items: Iterable[Item] | None = None,
+) -> Dict[Item, float]:
+    """Per-item absolute errors ``delta_i = |f_i - c_i|``.
+
+    By default the error is evaluated on the union of items appearing in the
+    true frequency vector and (when available) in the estimator's frequent
+    set -- items outside both have ``f_i = c_i = 0`` and contribute nothing.
+    """
+    if items is None:
+        universe = set(frequencies)
+        if isinstance(estimator, FrequencyEstimator):
+            universe.update(estimator.counters())
+        else:
+            universe.update(estimator)
+        items = universe
+    return {
+        item: abs(float(frequencies.get(item, 0.0)) - _estimate(estimator, item))
+        for item in items
+    }
+
+
+def max_error(
+    frequencies: FrequencyVector,
+    estimator: EstimatorLike,
+    items: Iterable[Item] | None = None,
+) -> float:
+    """The worst-case per-item error ``max_i delta_i``.
+
+    This is the quantity every guarantee in the paper bounds.
+    """
+    errors = error_vector(frequencies, estimator, items)
+    return max(errors.values()) if errors else 0.0
+
+
+def mean_error(
+    frequencies: FrequencyVector,
+    estimator: EstimatorLike,
+    items: Iterable[Item] | None = None,
+) -> float:
+    """The average per-item error over the evaluated items."""
+    errors = error_vector(frequencies, estimator, items)
+    return sum(errors.values()) / len(errors) if errors else 0.0

@@ -1,0 +1,76 @@
+"""Recovery-quality metrics for sparse approximations and top-k queries.
+
+Section 4 measures a recovery ``f'`` by its Lp distance to the true vector
+``f``; Section 5.1 asks whether the top-``k`` items are returned in the
+correct order.  The helpers here compute both, always against dictionary
+representations so that only non-zero entries need to be materialised.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Tuple
+
+from repro.algorithms.base import Item
+from repro.metrics.error import residual_fp
+
+FrequencyVector = Mapping[Item, float]
+
+
+def lp_error(frequencies: FrequencyVector, recovery: FrequencyVector, p: float) -> float:
+    """The Lp norm ``||f - f'||_p`` between the true and recovered vectors."""
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    universe = set(frequencies) | set(recovery)
+    total = 0.0
+    for item in universe:
+        diff = abs(float(frequencies.get(item, 0.0)) - float(recovery.get(item, 0.0)))
+        total += diff ** p
+    return total ** (1.0 / p)
+
+
+def optimal_lp_error(frequencies: FrequencyVector, k: int, p: float) -> float:
+    """The best possible Lp error of any k-sparse recovery: ``(Fp_res(k))^(1/p)``.
+
+    Keeping the true top-``k`` entries exactly and zeroing everything else is
+    optimal, and its error is exactly this quantity -- the floor that
+    Theorem 5's bound approaches as ``epsilon`` shrinks.
+    """
+    return residual_fp(frequencies, k, p) ** (1.0 / p)
+
+
+def top_k_items(frequencies: FrequencyVector, k: int) -> List[Item]:
+    """The true top-``k`` items by frequency (ties broken by repr for determinism)."""
+    ordered = sorted(frequencies.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+    return [item for item, _ in ordered[:k]]
+
+
+def recall_at_k(
+    frequencies: FrequencyVector, reported: Sequence[Item], k: int
+) -> float:
+    """Fraction of the true top-``k`` items present among the reported items."""
+    if k <= 0:
+        raise ValueError(f"k must be >= 1, got {k}")
+    truth = set(top_k_items(frequencies, k))
+    return len(truth & set(reported)) / float(k)
+
+
+def top_k_exact_order(
+    frequencies: FrequencyVector, reported: Sequence[Tuple[Item, float]], k: int
+) -> bool:
+    """Whether the reported (item, estimate) list has the true top-``k`` in order.
+
+    Items with exactly equal true frequencies are interchangeable: any
+    ordering among them counts as correct, since no algorithm can
+    distinguish them from the stream alone.
+    """
+    if len(reported) < k:
+        return False
+    truth = sorted(frequencies.items(), key=lambda kv: (-kv[1], repr(kv[0])))[:k]
+    for position, (reported_item, _) in enumerate(reported[:k]):
+        true_item, true_freq = truth[position]
+        if reported_item == true_item:
+            continue
+        if float(frequencies.get(reported_item, 0.0)) == float(true_freq):
+            continue
+        return False
+    return True

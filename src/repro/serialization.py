@@ -1,0 +1,246 @@
+"""Serialisation of summaries for storage and network transfer.
+
+The merging results of Section 6.2 only matter in practice if a site can ship
+its summary to a coordinator.  This module defines a compact, versioned,
+JSON-compatible wire format for every counter summary in
+:mod:`repro.algorithms` plus the sketches, along with size accounting that
+matches the paper's word-cost model (used by the distributed substrate to
+report communication cost).
+
+The format is intentionally simple::
+
+    {
+      "format": "repro-summary",
+      "version": 1,
+      "algorithm": "SpaceSaving",
+      "num_counters": 200,
+      "stream_length": 30000.0,
+      "items_processed": 30000,
+      "counts": {"item": 123.0, ...},
+      "errors": {"item": 7.0, ...},          # only when tracked
+      "extra": {...}                          # algorithm-specific state
+    }
+
+Round-tripping a summary through :func:`dump` / :func:`load` preserves every
+estimate and every per-item error bound, so a deserialised summary answers
+queries (and merges) exactly like the original.  It does *not* preserve
+internal acceleration structures byte-for-byte (e.g. the Stream-Summary
+bucket list is rebuilt), which is irrelevant to correctness.
+
+Items must be JSON-representable as strings or numbers; other hashable items
+are rejected with a clear error rather than silently repr'd.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Type
+
+from repro.algorithms.base import FrequencyEstimator, Item
+from repro.algorithms.frequent import Frequent
+from repro.algorithms.frequent_real import FrequentR
+from repro.algorithms.lossy_counting import LossyCounting
+from repro.algorithms.space_saving import SpaceSaving, SpaceSavingHeap
+from repro.algorithms.space_saving_real import SpaceSavingR
+from repro.streams.exact import ExactCounter
+
+FORMAT_NAME = "repro-summary"
+FORMAT_VERSION = 1
+
+#: Registry of serialisable summary classes, keyed by their wire name.
+_REGISTRY: Dict[str, Type[FrequencyEstimator]] = {
+    "Frequent": Frequent,
+    "FrequentR": FrequentR,
+    "LossyCounting": LossyCounting,
+    "SpaceSaving": SpaceSaving,
+    "SpaceSavingHeap": SpaceSavingHeap,
+    "SpaceSavingR": SpaceSavingR,
+    "ExactCounter": ExactCounter,
+}
+
+
+class SerializationError(ValueError):
+    """Raised when a summary cannot be serialised or a payload is invalid."""
+
+
+def _check_item(item: Item) -> Any:
+    """Validate that an item survives a JSON round trip unchanged."""
+    if isinstance(item, bool) or item is None:
+        raise SerializationError(
+            f"item {item!r} of type {type(item).__name__} cannot be used as a "
+            "JSON object key without changing type; use strings or numbers"
+        )
+    if isinstance(item, (str, int, float)):
+        return item
+    raise SerializationError(
+        f"items must be strings or numbers to serialise, got {type(item).__name__}"
+    )
+
+
+def _encode_counts(counts: Dict[Item, float]) -> Dict[str, float]:
+    """JSON object keys are strings; encode items with a type prefix."""
+    encoded = {}
+    for item, value in counts.items():
+        _check_item(item)
+        if isinstance(item, str):
+            encoded["s:" + item] = float(value)
+        elif isinstance(item, int):
+            encoded[f"i:{item}"] = float(value)
+        else:
+            encoded[f"f:{item!r}"] = float(value)
+    return encoded
+
+
+def _decode_item(key: str) -> Item:
+    prefix, _, payload = key.partition(":")
+    if prefix == "s":
+        return payload
+    if prefix == "i":
+        return int(payload)
+    if prefix == "f":
+        return float(payload)
+    raise SerializationError(f"unrecognised item key {key!r}")
+
+
+def _decode_counts(encoded: Dict[str, float]) -> Dict[Item, float]:
+    return {_decode_item(key): float(value) for key, value in encoded.items()}
+
+
+# --------------------------------------------------------------------------- #
+# Public API
+# --------------------------------------------------------------------------- #
+
+
+def dump(summary: FrequencyEstimator) -> Dict[str, Any]:
+    """Serialise a summary to a JSON-compatible dictionary.
+
+    Examples
+    --------
+    >>> from repro.algorithms import SpaceSaving
+    >>> summary = SpaceSaving(num_counters=4)
+    >>> summary.update_many(["a", "a", "b"])
+    >>> payload = dump(summary)
+    >>> payload["algorithm"], payload["num_counters"]
+    ('SpaceSaving', 4)
+    """
+    name = type(summary).__name__
+    if name not in _REGISTRY:
+        raise SerializationError(f"no serialiser registered for {name}")
+    payload: Dict[str, Any] = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "algorithm": name,
+        "num_counters": summary.num_counters,
+        "stream_length": summary.stream_length,
+        "items_processed": summary.items_processed,
+        "counts": _encode_counts(summary.counters()),
+        "errors": _encode_counts(summary.per_item_errors()),
+        "extra": {},
+    }
+    if isinstance(summary, LossyCounting):
+        payload["extra"] = {
+            "epsilon": summary.epsilon,
+            "current_bucket": summary._current_bucket,
+            "seen": summary._seen,
+            "max_entries": summary.max_entries,
+            "deltas": _encode_counts(
+                {item: delta for item, (_, delta) in summary._entries.items()}
+            ),
+        }
+    return payload
+
+
+def dumps(summary: FrequencyEstimator) -> str:
+    """Serialise a summary to a JSON string."""
+    return json.dumps(dump(summary), sort_keys=True)
+
+
+def serialized_size_words(payload: Dict[str, Any]) -> int:
+    """Communication cost of a payload in the paper's word model.
+
+    One word for the item identifier and one for the counter value, plus one
+    per recorded per-item error -- the quantity Section 6.2's motivation
+    (shipping summaries to a coordinator) cares about.
+    """
+    return 2 * len(payload.get("counts", {})) + len(payload.get("errors", {}))
+
+
+def _validate(payload: Dict[str, Any]) -> None:
+    if not isinstance(payload, dict):
+        raise SerializationError("payload must be a dictionary")
+    if payload.get("format") != FORMAT_NAME:
+        raise SerializationError(
+            f"not a {FORMAT_NAME} payload: format={payload.get('format')!r}"
+        )
+    if payload.get("version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported version {payload.get('version')!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+    if payload.get("algorithm") not in _REGISTRY:
+        raise SerializationError(f"unknown algorithm {payload.get('algorithm')!r}")
+
+
+def load(payload: Dict[str, Any]) -> FrequencyEstimator:
+    """Reconstruct a summary from a dictionary produced by :func:`dump`.
+
+    The reconstructed summary reports the same estimates, per-item errors,
+    stream length and counter budget as the original, and can keep processing
+    further updates or participate in merges.
+
+    Examples
+    --------
+    >>> from repro.algorithms import Frequent
+    >>> original = Frequent(num_counters=8)
+    >>> original.update_many(["x", "y", "x"])
+    >>> clone = load(dump(original))
+    >>> clone.estimate("x") == original.estimate("x")
+    True
+    """
+    _validate(payload)
+    cls = _REGISTRY[payload["algorithm"]]
+    counts = _decode_counts(payload.get("counts", {}))
+    errors = _decode_counts(payload.get("errors", {}))
+    extra = payload.get("extra", {}) or {}
+
+    if cls is LossyCounting:
+        summary = LossyCounting(epsilon=float(extra.get("epsilon", 0.01)))
+        deltas = _decode_counts(extra.get("deltas", {}))
+        summary._entries = {
+            item: (value, float(deltas.get(item, 0.0))) for item, value in counts.items()
+        }
+        summary._current_bucket = int(extra.get("current_bucket", 1))
+        summary._seen = int(extra.get("seen", payload.get("items_processed", 0)))
+        summary.max_entries = int(extra.get("max_entries", len(counts)))
+    elif cls is ExactCounter:
+        summary = ExactCounter()
+        for item, value in counts.items():
+            summary._counts[item] = value
+    elif cls in (Frequent, FrequentR):
+        summary = cls(num_counters=int(payload["num_counters"]))
+        summary._counts = dict(counts)
+        summary._offset = 0.0
+    elif cls in (SpaceSavingHeap, SpaceSavingR):
+        summary = cls(num_counters=int(payload["num_counters"]))
+        summary._counts = dict(counts)
+        summary._errors = {item: errors.get(item, 0.0) for item in counts}
+        for item, value in counts.items():
+            summary._push(item, value)
+    else:  # SpaceSaving (Stream-Summary): rebuild the bucket list.
+        summary = SpaceSaving(num_counters=int(payload["num_counters"]))
+        for item, value in sorted(counts.items(), key=lambda kv: kv[1]):
+            summary._place_item(item, value, summary._anchor_for(value))
+        summary._errors = {item: errors.get(item, 0.0) for item in counts}
+
+    summary._stream_length = float(payload.get("stream_length", sum(counts.values())))
+    summary._items_processed = int(payload.get("items_processed", 0))
+    return summary
+
+
+def loads(text: str) -> FrequencyEstimator:
+    """Reconstruct a summary from a JSON string produced by :func:`dumps`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"invalid JSON: {error}") from error
+    return load(payload)

@@ -1,0 +1,19 @@
+"""Sketch-based frequency estimation baselines.
+
+The paper's Table 1 compares counter algorithms against the two classical
+randomised sketches:
+
+* :class:`~repro.sketches.count_min.CountMinSketch` -- additive-error
+  overestimates, ``F1_res(k)``-style bound with ``O((k/eps) log n)`` space.
+* :class:`~repro.sketches.count_sketch.CountSketch` -- unbiased estimates,
+  squared-error bound in terms of ``F2_res(k)``.
+
+Both are built on the pairwise-independent hash family implemented in
+:mod:`repro.sketches.hashing` (no external hashing dependency).
+"""
+
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.count_sketch import CountSketch
+from repro.sketches.hashing import PairwiseHash, SignHash
+
+__all__ = ["CountMinSketch", "CountSketch", "PairwiseHash", "SignHash"]

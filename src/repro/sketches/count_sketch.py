@@ -1,0 +1,106 @@
+"""The Count-Sketch of Charikar, Chen and Farach-Colton.
+
+Count-Sketch is the second sketch baseline in Table 1: with ``d`` rows of
+``w`` counters it returns unbiased estimates whose squared error is bounded
+(with high probability) by ``F2_res(k) / w`` once ``w = O(k/eps)``.  Each row
+hashes an item to a cell and adds ``+weight`` or ``-weight`` according to a
+pairwise-independent sign hash; the estimate is the median across rows of the
+sign-corrected cell values.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+from typing import Dict, List
+
+import numpy as np
+
+from repro.algorithms.base import FrequencyEstimator, Item
+from repro.sketches.hashing import PairwiseHash, SignHash
+
+
+class CountSketch(FrequencyEstimator):
+    """Count-Sketch with ``depth`` rows and ``width`` counters per row.
+
+    Parameters
+    ----------
+    width:
+        Counters per row; variance of each row estimate is ``F2 / width``.
+    depth:
+        Number of rows; the median over rows drives the failure probability
+        down exponentially in ``depth``.
+    seed:
+        Seed for the hash functions.
+    """
+
+    estimate_side = "none"
+
+    def __init__(self, width: int, depth: int = 5, seed: int = 0) -> None:
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        super().__init__(width * depth)
+        self.width = int(width)
+        self.depth = int(depth)
+        rng = random.Random(seed)
+        self._hashes: List[PairwiseHash] = [
+            PairwiseHash(self.width, rng) for _ in range(self.depth)
+        ]
+        self._signs: List[SignHash] = [SignHash(rng) for _ in range(self.depth)]
+        self._table = np.zeros((self.depth, self.width), dtype=np.float64)
+        self._candidates: Dict[Item, None] = {}
+
+    @classmethod
+    def from_error_rate(
+        cls, epsilon: float, delta: float = 0.01, seed: int = 0
+    ) -> "CountSketch":
+        """Build a sketch with per-row variance about ``epsilon^2 * F2``."""
+        width = max(1, int(math.ceil(3.0 / (epsilon ** 2))))
+        depth = max(1, int(math.ceil(math.log(1.0 / delta))))
+        return cls(width=width, depth=depth, seed=seed)
+
+    # ------------------------------------------------------------------ #
+    # FrequencyEstimator interface
+    # ------------------------------------------------------------------ #
+
+    def update(self, item: Item, weight: float = 1.0) -> None:
+        if weight < 0:
+            raise ValueError(f"negative weights are not supported, got {weight}")
+        self._record_update(weight)
+        for row in range(self.depth):
+            cell = self._hashes[row](item)
+            self._table[row, cell] += self._signs[row](item) * weight
+
+    def estimate(self, item: Item) -> float:
+        values = [
+            self._signs[row](item) * self._table[row, self._hashes[row](item)]
+            for row in range(self.depth)
+        ]
+        return float(statistics.median(values))
+
+    def counters(self) -> Dict[Item, float]:
+        """Estimates for the tracked candidate items (sketches are oblivious)."""
+        return {item: self.estimate(item) for item in self._candidates}
+
+    def track_candidates(self, items) -> None:
+        """Register items whose estimates :meth:`counters` should report."""
+        for item in items:
+            self._candidates[item] = None
+
+    def size_in_words(self) -> int:
+        """Total cells plus four words per row (two hash functions each)."""
+        return self.width * self.depth + 4 * self.depth
+
+    def merge(self, other: "CountSketch") -> "CountSketch":
+        """Merge two sketches built with identical dimensions and seed."""
+        if (self.width, self.depth) != (other.width, other.depth):
+            raise ValueError("cannot merge Count-Sketches of different shapes")
+        merged = CountSketch(self.width, self.depth)
+        merged._hashes = self._hashes
+        merged._signs = self._signs
+        merged._table = self._table + other._table
+        merged._stream_length = self._stream_length + other._stream_length
+        merged._items_processed = self._items_processed + other._items_processed
+        merged._candidates = {**self._candidates, **other._candidates}
+        return merged

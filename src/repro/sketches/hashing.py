@@ -1,0 +1,81 @@
+"""Pairwise-independent hash families used by the sketch baselines.
+
+Sketches need hash functions with provable independence guarantees; Python's
+builtin ``hash`` is neither seeded reproducibly across processes nor pairwise
+independent in any formal sense.  We implement the classical
+Carter--Wegman construction ``h(x) = ((a*x + b) mod p) mod w`` over the
+Mersenne prime ``p = 2^61 - 1``, which is pairwise independent over integer
+keys.  Arbitrary hashable items are first mapped to integers with a stable
+FNV-1a fingerprint so that results are reproducible across runs and
+processes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+#: Mersenne prime 2^61 - 1, large enough for 64-bit style fingerprints.
+MERSENNE_PRIME = (1 << 61) - 1
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def stable_fingerprint(item: Hashable) -> int:
+    """Map an arbitrary hashable item to a stable 64-bit integer.
+
+    Integers map to themselves (mod 2^64) so that numeric experiments are
+    easy to reason about; all other items are fingerprinted by FNV-1a over
+    their ``repr``.  The mapping is deterministic across processes, unlike
+    Python's randomised string hashing.
+    """
+    if isinstance(item, bool):
+        return int(item)
+    if isinstance(item, int):
+        return item & 0xFFFFFFFFFFFFFFFF
+    data = repr(item).encode("utf-8")
+    value = _FNV_OFFSET
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+class PairwiseHash:
+    """A pairwise-independent hash function onto ``{0, ..., width-1}``.
+
+    Parameters
+    ----------
+    width:
+        Size of the output range.
+    rng:
+        Source of randomness for drawing the coefficients ``a`` and ``b``.
+    """
+
+    def __init__(self, width: int, rng: random.Random) -> None:
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        self.width = width
+        self._a = rng.randrange(1, MERSENNE_PRIME)
+        self._b = rng.randrange(0, MERSENNE_PRIME)
+
+    def __call__(self, item: Hashable) -> int:
+        x = stable_fingerprint(item)
+        return ((self._a * x + self._b) % MERSENNE_PRIME) % self.width
+
+
+class SignHash:
+    """A pairwise-independent hash function onto ``{-1, +1}``.
+
+    Used by Count-Sketch to assign each item a random sign.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._a = rng.randrange(1, MERSENNE_PRIME)
+        self._b = rng.randrange(0, MERSENNE_PRIME)
+
+    def __call__(self, item: Hashable) -> int:
+        x = stable_fingerprint(item)
+        bit = ((self._a * x + self._b) % MERSENNE_PRIME) & 1
+        return 1 if bit else -1

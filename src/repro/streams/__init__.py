@@ -1,0 +1,41 @@
+"""Stream substrate: datatypes, generators, adversarial orders, traces.
+
+The paper's model (Section 2) is a stream ``u_1, ..., u_N`` of elements from
+``{1, ..., n}``, optionally weighted (Section 6.1).  This subpackage provides
+
+* :mod:`repro.streams.stream` -- the :class:`Stream` / :class:`WeightedStream`
+  containers used throughout the experiments,
+* :mod:`repro.streams.exact` -- the exact frequency counter that provides the
+  ground-truth vector ``f`` against which errors ``delta_i`` are measured,
+* :mod:`repro.streams.generators` -- Zipfian, uniform and "k heavy items plus
+  noise" generators with controllable orderings,
+* :mod:`repro.streams.adversarial` -- the lower-bound stream pair of
+  Theorem 13 and orderings hostile to LOSSYCOUNTING,
+* :mod:`repro.streams.trace` -- synthetic network-trace and query-log
+  workloads standing in for the proprietary traces motivating the paper.
+"""
+
+from repro.streams.exact import ExactCounter
+from repro.streams.generators import (
+    heavy_plus_noise_stream,
+    uniform_stream,
+    zipf_frequencies,
+    zipf_stream,
+)
+from repro.streams.stream import Stream, WeightedStream
+from repro.streams.adversarial import lossy_hostile_stream, lower_bound_streams
+from repro.streams.trace import QueryLogGenerator, SyntheticTraceGenerator
+
+__all__ = [
+    "ExactCounter",
+    "Stream",
+    "WeightedStream",
+    "heavy_plus_noise_stream",
+    "uniform_stream",
+    "zipf_frequencies",
+    "zipf_stream",
+    "lossy_hostile_stream",
+    "lower_bound_streams",
+    "QueryLogGenerator",
+    "SyntheticTraceGenerator",
+]

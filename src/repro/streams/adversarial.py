@@ -1,0 +1,90 @@
+"""Adversarially ordered streams.
+
+Two constructions are provided:
+
+* :func:`lower_bound_streams` builds the stream pair from the proof of
+  Theorem 13 (Appendix A): a shared prefix in which ``m + k`` items occur
+  ``X`` times each, followed by either ``k`` repeats of prefix items
+  (stream A) or ``k`` brand-new items (stream B).  Any deterministic
+  ``m``-counter algorithm must err by at least ``~X/2 ~ F1_res(k)/(2m)`` on
+  one of the two streams; the benchmark ``bench_lower_bound.py`` verifies
+  this empirically for FREQUENT and SPACESAVING.
+* :func:`lossy_hostile_stream` produces an adversarial ordering that keeps
+  LOSSYCOUNTING's entry table at its full ``1/eps`` width for the entire
+  stream (each pruning epoch introduces a fresh batch of items, part of
+  which barely survives into the next epoch), so its footprint -- 3 words
+  per entry versus FREQUENT's 2 words per counter, and up to
+  ``O(1/eps log(eps*N))`` entries in the worst case of its published
+  analysis -- never enjoys the shrinkage it shows on benign orderings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.algorithms.base import Item
+from repro.streams.stream import Stream
+
+
+def lower_bound_streams(
+    num_counters: int, k: int, repetitions: int
+) -> Tuple[Stream, Stream]:
+    """The Theorem 13 stream pair ``(A, B)``.
+
+    Parameters
+    ----------
+    num_counters:
+        The algorithm's counter budget ``m``.
+    k:
+        The tail parameter ``k`` (``1 <= k <= m``).
+    repetitions:
+        The parameter ``X``: every prefix item occurs ``X`` times.
+
+    Returns
+    -------
+    A pair of :class:`Stream` objects sharing the same prefix of length
+    ``X * (m + k)``; stream A ends with ``k`` further occurrences of prefix
+    items ``a_1 ... a_k`` while stream B ends with ``k`` brand-new items.
+    """
+    if not 1 <= k <= num_counters:
+        raise ValueError(f"k must satisfy 1 <= k <= m, got k={k}, m={num_counters}")
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    prefix_items: List[Item] = [f"a{i}" for i in range(1, num_counters + k + 1)]
+    prefix: List[Item] = []
+    # Interleave the X repetitions round-robin so that no algorithm can keep
+    # all m + k items distinguished; this mirrors the proof, which only needs
+    # every prefix item to occur X times.
+    for _ in range(repetitions):
+        prefix.extend(prefix_items)
+    suffix_a: List[Item] = [f"a{i}" for i in range(1, k + 1)]
+    suffix_b: List[Item] = [f"z{i}" for i in range(1, k + 1)]
+    stream_a = Stream(prefix + suffix_a, name=f"lower-bound-A(m={num_counters}, k={k}, X={repetitions})")
+    stream_b = Stream(prefix + suffix_b, name=f"lower-bound-B(m={num_counters}, k={k}, X={repetitions})")
+    return stream_a, stream_b
+
+
+def lossy_hostile_stream(epsilon: float, epochs: int) -> Stream:
+    """An ordering that forces LOSSYCOUNTING to retain many entries.
+
+    Every epoch (one bucket of width ``w = ceil(1/epsilon)``) introduces a
+    fresh set of ``w`` items, each occurring once, immediately followed by a
+    second occurrence early in the next epoch so that pruning never removes
+    them promptly.  The construction makes the number of simultaneously
+    stored entries grow with the number of epochs, unlike FREQUENT /
+    SPACESAVING whose footprint is fixed.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    if epochs < 1:
+        raise ValueError(f"epochs must be >= 1, got {epochs}")
+    width = int(1.0 / epsilon)
+    tokens: List[Item] = []
+    for epoch in range(epochs):
+        fresh = [f"e{epoch}-{i}" for i in range(width)]
+        # First occurrence of each fresh item fills the epoch...
+        tokens.extend(fresh)
+        # ...and each re-occurs at the start of the next epoch, keeping its
+        # count + delta above the pruning threshold for one more epoch.
+        tokens.extend(fresh[: max(1, width // 2)])
+    return Stream(tokens, name=f"lossy-hostile(eps={epsilon}, epochs={epochs})")

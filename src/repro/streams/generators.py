@@ -1,0 +1,227 @@
+"""Synthetic stream generators.
+
+The paper's bounds are functions of the frequency vector (notably the
+residual ``F1_res(k)``) and, for some results, of the arrival order.  The
+generators here therefore control both:
+
+* the *frequency profile* -- exact Zipf(alpha) frequencies (Section 5),
+  uniform frequencies, or "k heavy items plus a long uniform tail";
+* the *arrival order* -- shuffled (the default), sorted with heavy items
+  first ("front-loaded"), heavy items last ("back-loaded"), or round-robin
+  interleaved, since counter algorithms' worst cases are order-dependent.
+
+All generators take an explicit ``seed`` and return :class:`Stream` /
+:class:`WeightedStream` objects, so every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.algorithms.base import Item
+from repro.streams.stream import Stream, WeightedStream
+
+#: Supported arrival orders for the generators in this module.
+ORDERINGS = ("shuffled", "heavy_first", "heavy_last", "round_robin", "sorted")
+
+
+def zipf_frequencies(num_items: int, alpha: float, total: int) -> List[int]:
+    """Exact Zipf(alpha) frequency profile summing to (approximately) ``total``.
+
+    Following Section 5, item ``i`` (1-indexed) receives frequency
+    ``total / (i^alpha * zeta(alpha))`` where ``zeta(alpha)`` is the
+    generalised harmonic number over ``num_items`` items.  Frequencies are
+    rounded down (items whose ideal frequency falls below 1 simply do not
+    appear), so the realised stream length is somewhat below ``total`` and
+    the realised tail never exceeds the ideal Zipf tail -- which is exactly
+    the "tail dominated by a Zipf distribution" premise of Theorem 8.
+    Callers should use the realised length.
+
+    Parameters
+    ----------
+    num_items:
+        Number of distinct items ``n``.
+    alpha:
+        Skew parameter; larger is more skewed.  ``alpha = 0`` is uniform.
+    total:
+        Target stream length ``N``.
+    """
+    if num_items < 1:
+        raise ValueError(f"num_items must be >= 1, got {num_items}")
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    ranks = np.arange(1, num_items + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    zeta = weights.sum()
+    raw = total * weights / zeta
+    frequencies = np.floor(raw).astype(np.int64)
+    return [int(f) for f in frequencies]
+
+
+def _materialise(
+    frequencies: Sequence[int],
+    items: Sequence[Item],
+    ordering: str,
+    rng: random.Random,
+) -> List[Item]:
+    """Expand a frequency profile into a concrete arrival order."""
+    if ordering not in ORDERINGS:
+        raise ValueError(f"unknown ordering {ordering!r}; expected one of {ORDERINGS}")
+    if ordering == "round_robin":
+        remaining = list(frequencies)
+        stream: List[Item] = []
+        while True:
+            emitted = False
+            for index, left in enumerate(remaining):
+                if left > 0:
+                    stream.append(items[index])
+                    remaining[index] -= 1
+                    emitted = True
+            if not emitted:
+                return stream
+    expanded: List[Item] = []
+    order = range(len(items))
+    if ordering == "heavy_last":
+        order = range(len(items) - 1, -1, -1)
+    for index in order:
+        expanded.extend([items[index]] * frequencies[index])
+    if ordering == "shuffled":
+        rng.shuffle(expanded)
+    # "heavy_first" and "sorted" both mean: leave the expansion order as is
+    # (items are indexed in decreasing frequency).
+    return expanded
+
+
+def zipf_stream(
+    num_items: int,
+    alpha: float,
+    total: int,
+    ordering: str = "shuffled",
+    seed: int = 0,
+    name: str | None = None,
+) -> Stream:
+    """Stream whose frequency vector is exactly Zipf(alpha).
+
+    This matches the model of Section 5: frequencies follow the Zipf law
+    exactly while the order of arrivals is arbitrary (chosen by ``ordering``).
+
+    Examples
+    --------
+    >>> stream = zipf_stream(num_items=100, alpha=1.2, total=1000, seed=1)
+    >>> stream.frequencies()[1] >= stream.frequencies()[2]
+    True
+    """
+    rng = random.Random(seed)
+    frequencies = zipf_frequencies(num_items, alpha, total)
+    items: List[Item] = list(range(1, num_items + 1))
+    tokens = _materialise(frequencies, items, ordering, rng)
+    label = name or f"zipf(alpha={alpha}, n={num_items}, N={len(tokens)}, {ordering})"
+    return Stream(tokens, name=label)
+
+
+def uniform_stream(
+    num_items: int,
+    total: int,
+    seed: int = 0,
+    name: str | None = None,
+) -> Stream:
+    """Stream of ``total`` items drawn uniformly at random from ``num_items``.
+
+    Uniform data is the hardest regime for counter algorithms (no heavy
+    hitters exist, the residual tail is essentially the whole stream), which
+    is why Table 1 experiments include it alongside the skewed workloads.
+    """
+    rng = random.Random(seed)
+    tokens = [rng.randrange(1, num_items + 1) for _ in range(total)]
+    label = name or f"uniform(n={num_items}, N={total})"
+    return Stream(tokens, name=label)
+
+
+def heavy_plus_noise_stream(
+    num_heavy: int,
+    heavy_fraction: float,
+    num_noise_items: int,
+    total: int,
+    ordering: str = "shuffled",
+    seed: int = 0,
+    name: str | None = None,
+) -> Stream:
+    """Stream with ``num_heavy`` genuinely heavy items plus a uniform tail.
+
+    ``heavy_fraction`` of the total weight is split equally among the heavy
+    items; the remainder is spread uniformly at random over the noise items.
+    This is the regime where the residual bound ``F1_res(k)`` is dramatically
+    smaller than ``F1`` (in the extreme, with no noise, it is zero), so it is
+    the workload that best separates the paper's new bound from the old one.
+    """
+    if not 0.0 <= heavy_fraction <= 1.0:
+        raise ValueError(f"heavy_fraction must lie in [0, 1], got {heavy_fraction}")
+    if num_heavy < 0 or num_noise_items < 0:
+        raise ValueError("item counts must be non-negative")
+    rng = random.Random(seed)
+    heavy_total = int(round(total * heavy_fraction))
+    noise_total = total - heavy_total
+    heavy_each = heavy_total // num_heavy if num_heavy else 0
+    tokens: List[Item] = []
+    for index in range(num_heavy):
+        tokens.extend([f"heavy-{index}"] * heavy_each)
+    for _ in range(noise_total):
+        tokens.append(f"noise-{rng.randrange(num_noise_items)}" if num_noise_items else "noise-0")
+    if ordering == "shuffled":
+        rng.shuffle(tokens)
+    elif ordering == "heavy_last":
+        tokens.sort(key=lambda token: 0 if str(token).startswith("noise") else 1)
+    elif ordering == "heavy_first":
+        tokens.sort(key=lambda token: 0 if str(token).startswith("heavy") else 1)
+    label = name or (
+        f"heavy+noise(h={num_heavy}, frac={heavy_fraction}, N={len(tokens)}, {ordering})"
+    )
+    return Stream(tokens, name=label)
+
+
+def weighted_zipf_stream(
+    num_items: int,
+    alpha: float,
+    num_updates: int,
+    weight_scale: float = 10.0,
+    seed: int = 0,
+    name: str | None = None,
+) -> WeightedStream:
+    """Weighted stream (Section 6.1) with Zipf-distributed item popularity.
+
+    Each update picks an item according to a Zipf(alpha) popularity
+    distribution and attaches an exponentially distributed positive real
+    weight with mean ``weight_scale`` -- a reasonable stand-in for byte
+    counts of packets or dollar amounts of transactions.
+    """
+    rng = random.Random(seed)
+    np_rng = np.random.default_rng(seed)
+    ranks = np.arange(1, num_items + 1, dtype=np.float64)
+    probabilities = ranks ** (-alpha)
+    probabilities /= probabilities.sum()
+    choices = np_rng.choice(num_items, size=num_updates, p=probabilities)
+    weights = np_rng.exponential(scale=weight_scale, size=num_updates)
+    pairs = [
+        (int(choice) + 1, float(max(weight, 1e-9)))
+        for choice, weight in zip(choices, weights)
+    ]
+    rng.shuffle(pairs)
+    label = name or f"weighted-zipf(alpha={alpha}, n={num_items}, updates={num_updates})"
+    return WeightedStream(pairs, name=label)
+
+
+def frequencies_to_stream(
+    frequencies: Dict[Item, int],
+    ordering: str = "shuffled",
+    seed: int = 0,
+    name: str = "custom",
+) -> Stream:
+    """Materialise an explicit frequency dictionary into a stream."""
+    rng = random.Random(seed)
+    items = sorted(frequencies, key=lambda item: (-frequencies[item], repr(item)))
+    counts = [int(frequencies[item]) for item in items]
+    tokens = _materialise(counts, items, ordering, rng)
+    return Stream(tokens, name=name)

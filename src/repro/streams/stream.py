@@ -1,0 +1,146 @@
+"""Stream containers used by experiments, benchmarks and examples.
+
+A :class:`Stream` is a finite sequence of unit-weight items together with a
+lazily computed frequency vector; a :class:`WeightedStream` is the weighted
+analogue from Section 6.1.  Both are thin, immutable-by-convention wrappers
+around lists so that generators can build them cheaply and experiments can
+feed them to any :class:`~repro.algorithms.base.FrequencyEstimator`.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.algorithms.base import FrequencyEstimator, Item
+
+
+@dataclass
+class Stream:
+    """A finite stream of unit-weight items.
+
+    Attributes
+    ----------
+    items:
+        The stream tokens in arrival order.
+    name:
+        Optional label used by experiment reports.
+    """
+
+    items: List[Item]
+    name: str = "stream"
+    _frequencies: Dict[Item, float] = field(default_factory=dict, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self.items)
+
+    def __getitem__(self, index):
+        return self.items[index]
+
+    @property
+    def total_weight(self) -> float:
+        """The stream length ``N`` (equivalently ``F1``)."""
+        return float(len(self.items))
+
+    def frequencies(self) -> Dict[Item, float]:
+        """Exact frequency of every distinct item (computed once, cached)."""
+        if not self._frequencies and self.items:
+            self._frequencies = dict(collections.Counter(self.items))
+        return self._frequencies
+
+    def distinct_items(self) -> int:
+        """Number of distinct items appearing in the stream."""
+        return len(self.frequencies())
+
+    def feed(self, estimator: FrequencyEstimator) -> FrequencyEstimator:
+        """Run ``estimator`` over the whole stream and return it."""
+        estimator.update_many(self.items)
+        return estimator
+
+    def split(self, parts: int) -> List["Stream"]:
+        """Split into ``parts`` contiguous sub-streams (for merging tests)."""
+        if parts < 1:
+            raise ValueError(f"parts must be >= 1, got {parts}")
+        size = (len(self.items) + parts - 1) // parts
+        return [
+            Stream(self.items[i * size : (i + 1) * size], name=f"{self.name}[{i}]")
+            for i in range(parts)
+        ]
+
+    def interleave_split(self, parts: int) -> List["Stream"]:
+        """Split round-robin, giving each part a similar frequency profile."""
+        if parts < 1:
+            raise ValueError(f"parts must be >= 1, got {parts}")
+        return [
+            Stream(self.items[i::parts], name=f"{self.name}(rr {i})")
+            for i in range(parts)
+        ]
+
+    def to_weighted(self) -> "WeightedStream":
+        """View the stream as a weighted stream of unit weights."""
+        return WeightedStream([(item, 1.0) for item in self.items], name=self.name)
+
+
+@dataclass
+class WeightedStream:
+    """A finite stream of ``(item, weight)`` tokens with positive weights."""
+
+    pairs: List[Tuple[Item, float]]
+    name: str = "weighted-stream"
+    _frequencies: Dict[Item, float] = field(default_factory=dict, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[Tuple[Item, float]]:
+        return iter(self.pairs)
+
+    def __getitem__(self, index):
+        return self.pairs[index]
+
+    @property
+    def total_weight(self) -> float:
+        """The total weight ``F1`` of the stream."""
+        return float(sum(weight for _, weight in self.pairs))
+
+    def frequencies(self) -> Dict[Item, float]:
+        """Exact total weight of every distinct item."""
+        if not self._frequencies and self.pairs:
+            totals: Dict[Item, float] = collections.defaultdict(float)
+            for item, weight in self.pairs:
+                totals[item] += weight
+            self._frequencies = dict(totals)
+        return self._frequencies
+
+    def distinct_items(self) -> int:
+        """Number of distinct items appearing in the stream."""
+        return len(self.frequencies())
+
+    def feed(self, estimator: FrequencyEstimator) -> FrequencyEstimator:
+        """Run ``estimator`` over the whole stream and return it."""
+        estimator.update_weighted(self.pairs)
+        return estimator
+
+    def split(self, parts: int) -> List["WeightedStream"]:
+        """Split into ``parts`` contiguous sub-streams."""
+        if parts < 1:
+            raise ValueError(f"parts must be >= 1, got {parts}")
+        size = (len(self.pairs) + parts - 1) // parts
+        return [
+            WeightedStream(
+                self.pairs[i * size : (i + 1) * size], name=f"{self.name}[{i}]"
+            )
+            for i in range(parts)
+        ]
+
+
+def concatenate(streams: Sequence[Stream], name: str = "concat") -> Stream:
+    """Concatenate several streams into one (union of multisets, in order)."""
+    items: List[Item] = []
+    for stream in streams:
+        items.extend(stream.items)
+    return Stream(items, name=name)

@@ -1,0 +1,128 @@
+"""Synthetic workload generators standing in for real traces.
+
+The paper motivates heavy hitters with two applications: network measurement
+(which source sends the most bytes?) and query-log analysis (which search
+terms are most frequent?).  Published evaluations of these algorithms
+typically use proprietary traces (CAIDA packet captures, commercial search
+logs).  We cannot ship those, so this module provides synthetic generators
+that reproduce the statistical properties the algorithms care about --
+heavy-tailed popularity, temporal locality / bursts, and (for packets)
+realistic weight distributions -- as documented in DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.streams.stream import Stream, WeightedStream
+
+
+@dataclass
+class SyntheticTraceGenerator:
+    """Synthetic "packet trace": flows with Zipfian popularity and bursts.
+
+    Each packet belongs to a flow (the item) and carries a byte size (the
+    weight).  Flow popularity follows Zipf(``alpha``); packet sizes follow
+    the classic bimodal mix of small (ACK-sized) and large (MTU-sized)
+    packets; flows emit packets in bursts to create temporal locality.
+
+    Parameters
+    ----------
+    num_flows:
+        Number of distinct flows ``n``.
+    alpha:
+        Skew of flow popularity.
+    burst_length:
+        Mean number of consecutive packets per flow activation.
+    seed:
+        Reproducibility seed.
+    """
+
+    num_flows: int = 10_000
+    alpha: float = 1.1
+    burst_length: int = 4
+    seed: int = 0
+
+    def packet_stream(self, num_packets: int) -> Stream:
+        """Unit-weight stream of flow identifiers ("count packets per flow")."""
+        pairs = self._generate(num_packets)
+        return Stream(
+            [flow for flow, _ in pairs],
+            name=f"trace-packets(n={self.num_flows}, alpha={self.alpha}, N={num_packets})",
+        )
+
+    def byte_stream(self, num_packets: int) -> WeightedStream:
+        """Weighted stream of (flow, bytes) pairs ("count bytes per flow")."""
+        pairs = self._generate(num_packets)
+        return WeightedStream(
+            pairs,
+            name=f"trace-bytes(n={self.num_flows}, alpha={self.alpha}, N={num_packets})",
+        )
+
+    def _generate(self, num_packets: int) -> List[Tuple[int, float]]:
+        rng = np.random.default_rng(self.seed)
+        ranks = np.arange(1, self.num_flows + 1, dtype=np.float64)
+        popularity = ranks ** (-self.alpha)
+        popularity /= popularity.sum()
+        pairs: List[Tuple[int, float]] = []
+        while len(pairs) < num_packets:
+            flow = int(rng.choice(self.num_flows, p=popularity)) + 1
+            burst = 1 + int(rng.poisson(max(self.burst_length - 1, 0)))
+            for _ in range(min(burst, num_packets - len(pairs))):
+                # Bimodal packet sizes: 60% small (~64B), 40% large (~1500B).
+                if rng.random() < 0.6:
+                    size = float(rng.integers(40, 100))
+                else:
+                    size = float(rng.integers(1000, 1500))
+                pairs.append((flow, size))
+        return pairs
+
+
+@dataclass
+class QueryLogGenerator:
+    """Synthetic search-query log with a heavy-tailed term distribution.
+
+    Queries are drawn from a vocabulary whose popularity follows Zipf with a
+    daily "trending" component: a small rotating set of terms temporarily
+    gets a popularity boost, which creates the kind of shifting heavy-hitter
+    set that makes summary merging (Section 6.2) interesting.
+    """
+
+    vocabulary_size: int = 50_000
+    alpha: float = 1.05
+    trending_terms: int = 20
+    trend_boost: float = 50.0
+    seed: int = 0
+
+    def query_stream(self, num_queries: int, num_periods: int = 4) -> Stream:
+        """A unit-weight stream of query terms spanning ``num_periods`` periods."""
+        rng = np.random.default_rng(self.seed)
+        py_rng = random.Random(self.seed)
+        ranks = np.arange(1, self.vocabulary_size + 1, dtype=np.float64)
+        base = ranks ** (-self.alpha)
+        queries: List[str] = []
+        per_period = num_queries // max(num_periods, 1)
+        for period in range(num_periods):
+            popularity = base.copy()
+            trending = py_rng.sample(range(self.vocabulary_size), self.trending_terms)
+            for term in trending:
+                popularity[term] *= self.trend_boost
+            popularity /= popularity.sum()
+            draws = rng.choice(self.vocabulary_size, size=per_period, p=popularity)
+            queries.extend(f"term-{int(draw)}" for draw in draws)
+        return Stream(
+            queries,
+            name=(
+                f"query-log(V={self.vocabulary_size}, alpha={self.alpha}, "
+                f"periods={num_periods}, N={len(queries)})"
+            ),
+        )
+
+    def period_streams(self, num_queries: int, num_periods: int = 4) -> List[Stream]:
+        """The same workload, returned as one stream per period (for merging)."""
+        combined = self.query_stream(num_queries, num_periods)
+        return combined.split(num_periods)

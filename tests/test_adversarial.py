@@ -1,0 +1,55 @@
+"""Tests for adversarial stream constructions."""
+
+import pytest
+
+from repro.streams.adversarial import lossy_hostile_stream, lower_bound_streams
+
+
+class TestLowerBoundStreams:
+    def test_shared_prefix(self):
+        a, b = lower_bound_streams(num_counters=10, k=3, repetitions=4)
+        prefix_length = 4 * (10 + 3)
+        assert a.items[:prefix_length] == b.items[:prefix_length]
+
+    def test_prefix_items_occur_x_times(self):
+        a, _ = lower_bound_streams(num_counters=10, k=3, repetitions=4)
+        frequencies = a.frequencies()
+        # Prefix items that do not reappear in the suffix occur exactly X times.
+        assert frequencies["a10"] == 4
+        # Suffix items of stream A occur X + 1 times.
+        assert frequencies["a1"] == 5
+
+    def test_stream_b_suffix_items_are_new(self):
+        _, b = lower_bound_streams(num_counters=10, k=3, repetitions=4)
+        frequencies = b.frequencies()
+        for i in range(1, 4):
+            assert frequencies[f"z{i}"] == 1
+
+    def test_total_lengths_match(self):
+        a, b = lower_bound_streams(num_counters=10, k=3, repetitions=4)
+        assert len(a) == len(b) == 4 * 13 + 3
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            lower_bound_streams(num_counters=5, k=6, repetitions=2)
+        with pytest.raises(ValueError):
+            lower_bound_streams(num_counters=5, k=2, repetitions=0)
+
+
+class TestLossyHostileStream:
+    def test_epoch_structure(self):
+        stream = lossy_hostile_stream(epsilon=0.1, epochs=3)
+        width = 10
+        assert len(stream) == 3 * (width + width // 2)
+
+    def test_items_repeat_within_epoch_pair(self):
+        stream = lossy_hostile_stream(epsilon=0.2, epochs=2)
+        frequencies = stream.frequencies()
+        assert frequencies["e0-0"] == 2  # first half of each epoch repeats
+        assert frequencies["e0-4"] == 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            lossy_hostile_stream(epsilon=0.0, epochs=2)
+        with pytest.raises(ValueError):
+            lossy_hostile_stream(epsilon=0.1, epochs=0)

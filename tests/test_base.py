@@ -1,0 +1,94 @@
+"""Tests for the FrequencyEstimator interface and CounterSnapshot."""
+
+import pytest
+
+from repro.algorithms.base import CounterSnapshot
+from repro.algorithms.frequent import Frequent
+from repro.algorithms.space_saving import SpaceSaving
+from repro.streams.exact import ExactCounter
+
+
+class TestCounterSnapshot:
+    def test_top_k_orders_by_count(self):
+        snapshot = CounterSnapshot(counts={"a": 5.0, "b": 9.0, "c": 1.0})
+        assert snapshot.top_k(2) == [("b", 9.0), ("a", 5.0)]
+
+    def test_top_k_breaks_ties_deterministically(self):
+        snapshot = CounterSnapshot(counts={"b": 3.0, "a": 3.0, "c": 3.0})
+        assert [item for item, _ in snapshot.top_k(3)] == ["a", "b", "c"]
+
+    def test_top_k_larger_than_size(self):
+        snapshot = CounterSnapshot(counts={"a": 1.0})
+        assert snapshot.top_k(10) == [("a", 1.0)]
+
+    def test_to_sparse_vector_full(self):
+        snapshot = CounterSnapshot(counts={"a": 2.0, "b": 4.0})
+        assert snapshot.to_sparse_vector() == {"a": 2.0, "b": 4.0}
+
+    def test_to_sparse_vector_top_k(self):
+        snapshot = CounterSnapshot(counts={"a": 2.0, "b": 4.0, "c": 3.0})
+        assert snapshot.to_sparse_vector(1) == {"b": 4.0}
+
+
+class TestEstimatorInterface:
+    def test_rejects_non_positive_counter_budget(self):
+        with pytest.raises(ValueError):
+            Frequent(num_counters=0)
+        with pytest.raises(ValueError):
+            SpaceSaving(num_counters=-3)
+
+    def test_len_and_contains(self):
+        summary = SpaceSaving(num_counters=4)
+        summary.update_many(["a", "b", "a"])
+        assert len(summary) == 2
+        assert "a" in summary
+        assert "z" not in summary
+        assert set(iter(summary)) == {"a", "b"}
+
+    def test_stream_length_and_items_processed(self):
+        summary = Frequent(num_counters=4)
+        summary.update_many(["a", "b", "a"])
+        assert summary.stream_length == 3.0
+        assert summary.items_processed == 3
+
+    def test_update_weighted_pairs(self):
+        summary = SpaceSaving(num_counters=4)
+        summary.update_weighted([("a", 2.0), ("b", 3.0)])
+        assert summary.stream_length == 5.0
+        assert summary.estimate("b") == 3.0
+
+    def test_negative_weight_rejected(self):
+        summary = SpaceSaving(num_counters=4)
+        with pytest.raises(ValueError):
+            summary.update("a", -1.0)
+
+    def test_snapshot_reflects_state(self):
+        summary = SpaceSaving(num_counters=4)
+        summary.update_many(["a", "a", "b"])
+        snapshot = summary.snapshot()
+        assert snapshot.counts == {"a": 2.0, "b": 1.0}
+        assert snapshot.stream_length == 3.0
+        assert snapshot.num_counters == 4
+
+    def test_heavy_hitters_query_threshold(self):
+        summary = ExactCounter()
+        summary.update_many(["a"] * 60 + ["b"] * 30 + ["c"] * 10)
+        hits = dict(summary.heavy_hitters(0.25))
+        assert set(hits) == {"a", "b"}
+
+    def test_heavy_hitters_rejects_bad_phi(self):
+        summary = ExactCounter()
+        summary.update("a")
+        with pytest.raises(ValueError):
+            summary.heavy_hitters(0.0)
+        with pytest.raises(ValueError):
+            summary.heavy_hitters(1.5)
+
+    def test_size_in_words_counter_model(self):
+        assert Frequent(num_counters=10).size_in_words() == 20
+        assert SpaceSaving(num_counters=7).size_in_words() == 14
+
+    def test_top_k_on_estimator(self):
+        summary = Frequent(num_counters=5)
+        summary.update_many(["a"] * 4 + ["b"] * 2 + ["c"])
+        assert summary.top_k(1)[0][0] == "a"

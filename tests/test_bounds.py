@@ -1,0 +1,150 @@
+"""Tests for the closed-form bounds in repro.core.bounds."""
+
+import math
+
+import pytest
+
+from repro.algorithms.frequent import Frequent
+from repro.algorithms.space_saving import SpaceSaving, SpaceSavingHeap
+from repro.core import bounds
+
+
+class TestTailConstants:
+    def test_known_algorithm_names(self):
+        assert bounds.tail_constants_for("frequent") == (1.0, 1.0)
+        assert bounds.tail_constants_for("spacesaving") == (1.0, 1.0)
+        assert bounds.tail_constants_for("space_saving") == (1.0, 1.0)
+        assert bounds.tail_constants_for("htc") == (1.0, 2.0)
+
+    def test_classes_and_instances(self):
+        assert bounds.tail_constants_for(Frequent) == (1.0, 1.0)
+        assert bounds.tail_constants_for(SpaceSaving(4)) == (1.0, 1.0)
+        assert bounds.tail_constants_for(SpaceSavingHeap(4)) == (1.0, 1.0)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            bounds.tail_constants_for("bogus")
+        with pytest.raises(ValueError):
+            bounds.tail_constants_for(dict)
+
+
+class TestBasicBounds:
+    def test_heavy_hitter_bound(self):
+        assert bounds.heavy_hitter_bound(1_000, 100) == 10.0
+        assert bounds.heavy_hitter_bound(1_000, 100, a=2.0) == 20.0
+
+    def test_heavy_hitter_bound_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            bounds.heavy_hitter_bound(1_000, 0)
+
+    def test_k_tail_bound(self):
+        assert bounds.k_tail_bound(900, 100, 10) == 10.0
+        assert bounds.k_tail_bound(900, 100, 10, b=2.0) == pytest.approx(11.25)
+
+    def test_k_tail_bound_reduces_to_heavy_hitter_at_k_zero(self):
+        assert bounds.k_tail_bound(1_000, 50, 0) == bounds.heavy_hitter_bound(1_000, 50)
+
+    def test_k_tail_bound_rejects_vacuous_parameters(self):
+        with pytest.raises(ValueError):
+            bounds.k_tail_bound(900, 10, 10)
+        with pytest.raises(ValueError):
+            bounds.k_tail_bound(900, 100, -1)
+
+
+class TestRecoveryBounds:
+    def test_k_sparse_recovery_bound_l1(self):
+        # For p=1: eps*Fres + Fres = (1+eps) * Fres when residual_p == residual.
+        assert bounds.k_sparse_recovery_bound(100, 100, 10, 0.1, 1) == pytest.approx(110)
+
+    def test_k_sparse_recovery_bound_l2(self):
+        value = bounds.k_sparse_recovery_bound(100, 50, 4, 0.2, 2)
+        assert value == pytest.approx(0.2 * 100 / 2 + math.sqrt(50))
+
+    def test_k_sparse_recovery_bound_validation(self):
+        with pytest.raises(ValueError):
+            bounds.k_sparse_recovery_bound(100, 100, 0, 0.1, 1)
+        with pytest.raises(ValueError):
+            bounds.k_sparse_recovery_bound(100, 100, 5, 0.1, 0.5)
+
+    def test_counters_for_k_sparse(self):
+        assert bounds.counters_for_k_sparse(10, 0.1, one_sided=True) == 10 * (20 + 1)
+        assert bounds.counters_for_k_sparse(10, 0.1, one_sided=False) == 10 * (30 + 1)
+
+    def test_counters_for_k_sparse_validation(self):
+        with pytest.raises(ValueError):
+            bounds.counters_for_k_sparse(0, 0.1)
+        with pytest.raises(ValueError):
+            bounds.counters_for_k_sparse(5, 0.0)
+
+    def test_residual_estimation_bounds(self):
+        low, high = bounds.residual_estimation_bounds(200, 0.1)
+        assert low == pytest.approx(180)
+        assert high == pytest.approx(220)
+
+    def test_counters_for_residual_estimation(self):
+        assert bounds.counters_for_residual_estimation(10, 0.1) == 10 + 100
+
+    def test_m_sparse_recovery_bound_l1(self):
+        assert bounds.m_sparse_recovery_bound(100, 10, 0.1, 1) == pytest.approx(110)
+
+    def test_m_sparse_recovery_bound_l2(self):
+        value = bounds.m_sparse_recovery_bound(100, 10, 0.1, 2)
+        assert value == pytest.approx(1.1 * math.sqrt(0.01) * 100)
+
+
+class TestZipfAndTopK:
+    def test_zipf_error_bound(self):
+        assert bounds.zipf_error_bound(10_000, 0.01) == 100.0
+
+    def test_zipf_counters_needed(self):
+        assert bounds.zipf_counters_needed(0.01, 1.0) == 200
+        assert bounds.zipf_counters_needed(0.01, 2.0) == 20
+
+    def test_zipf_counters_grow_as_epsilon_shrinks(self):
+        assert bounds.zipf_counters_needed(0.001, 1.5) > bounds.zipf_counters_needed(
+            0.01, 1.5
+        )
+
+    def test_zipf_counters_validation(self):
+        with pytest.raises(ValueError):
+            bounds.zipf_counters_needed(0.0, 1.5)
+        with pytest.raises(ValueError):
+            bounds.zipf_counters_needed(0.01, 0.5)
+
+    def test_topk_counters_monotone_in_k(self):
+        small = bounds.topk_counters_needed(5, 1.5, 10_000)
+        large = bounds.topk_counters_needed(20, 1.5, 10_000)
+        assert large > small
+
+    def test_topk_counters_shrink_with_skew(self):
+        flat = bounds.topk_counters_needed(10, 1.1, 10_000)
+        skewed = bounds.topk_counters_needed(10, 2.0, 10_000)
+        assert skewed < flat
+
+    def test_topk_counters_validation(self):
+        with pytest.raises(ValueError):
+            bounds.topk_counters_needed(0, 1.5, 100)
+        with pytest.raises(ValueError):
+            bounds.topk_counters_needed(5, 0.9, 100)
+        with pytest.raises(ValueError):
+            bounds.topk_counters_needed(5, 1.5, 5)
+
+
+class TestMergeAndLowerBound:
+    def test_merged_tail_constants(self):
+        assert bounds.merged_tail_constants(1.0, 1.0) == (3.0, 2.0)
+        assert bounds.merged_tail_constants(2.0, 1.0) == (6.0, 3.0)
+
+    def test_lower_bound_error(self):
+        assert bounds.lower_bound_error(100, 10, 40) == 20.0
+
+    def test_lower_bound_error_validation(self):
+        with pytest.raises(ValueError):
+            bounds.lower_bound_error(100, 10, 0)
+
+    def test_minimum_counters_for_lower_bound(self):
+        assert bounds.minimum_counters_for_lower_bound(100, 10) == 45.0
+
+    def test_minimum_counters_validation(self):
+        with pytest.raises(ValueError):
+            bounds.minimum_counters_for_lower_bound(10, 11)

@@ -1,0 +1,201 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro import serialization
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def workload_file(tmp_path):
+    path = tmp_path / "workload.txt"
+    lines = ["alpha"] * 60 + ["beta"] * 25 + [f"noise-{i}" for i in range(15)]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture()
+def weighted_file(tmp_path):
+    path = tmp_path / "weighted.csv"
+    lines = ["flow-1,100.0"] * 5 + ["flow-2,10.0"] * 3 + ["flow-3,1.0"]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "out.txt"])
+        assert args.workload == "zipf"
+        assert args.length == 100_000
+
+    def test_unknown_algorithm_rejected(self, workload_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["top-k", str(workload_file), "--algorithm", "bogus"]
+            )
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("workload", ["zipf", "uniform", "query-log"])
+    def test_writes_requested_number_of_tokens(self, tmp_path, workload, capsys):
+        output = tmp_path / "stream.txt"
+        code = main(
+            [
+                "generate",
+                str(output),
+                "--workload",
+                workload,
+                "--items",
+                "100",
+                "--length",
+                "500",
+            ]
+        )
+        assert code == 0
+        lines = output.read_text().strip().splitlines()
+        # Zipf drops items whose ideal frequency rounds below one, so the
+        # realised length may be slightly below the requested length.
+        assert 300 <= len(lines) <= 500
+        assert "wrote" in capsys.readouterr().out
+
+    def test_trace_workload_writes_weighted_pairs(self, tmp_path):
+        output = tmp_path / "trace.csv"
+        main(
+            [
+                "generate",
+                str(output),
+                "--workload",
+                "trace",
+                "--items",
+                "50",
+                "--length",
+                "200",
+            ]
+        )
+        first = output.read_text().splitlines()[0]
+        item, weight = first.rsplit(",", 1)
+        assert float(weight) > 0
+
+
+class TestHeavyHitters:
+    def test_reports_heavy_items(self, workload_file, capsys):
+        code = main(["heavy-hitters", str(workload_file), "--phi", "0.2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out
+        assert "beta" in out
+        assert "noise-0" not in out
+
+    def test_weighted_input(self, weighted_file, capsys):
+        code = main(
+            ["heavy-hitters", str(weighted_file), "--phi", "0.5", "--weighted"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flow-1" in out
+        assert "flow-3" not in out
+
+
+class TestTopK:
+    def test_prints_ranked_items(self, workload_file, capsys):
+        code = main(["top-k", str(workload_file), "--k", "2", "--counters", "50"])
+        assert code == 0
+        lines = [line for line in capsys.readouterr().out.splitlines() if line]
+        assert "alpha" in lines[1]
+        assert "beta" in lines[2]
+
+    def test_frequent_backend(self, workload_file, capsys):
+        code = main(
+            ["top-k", str(workload_file), "--k", "1", "--algorithm", "frequent"]
+        )
+        assert code == 0
+        assert "alpha" in capsys.readouterr().out
+
+
+class TestSummarizeAndMerge:
+    def test_summarize_writes_loadable_json(self, workload_file, tmp_path, capsys):
+        output = tmp_path / "summary.json"
+        code = main(
+            [
+                "summarize",
+                str(workload_file),
+                "--output",
+                str(output),
+                "--counters",
+                "32",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(output.read_text())
+        summary = serialization.load(payload)
+        assert summary.estimate("alpha") >= 60
+
+    def test_merge_combines_site_summaries(self, tmp_path, capsys):
+        site_files = []
+        for site in range(3):
+            workload = tmp_path / f"site{site}.txt"
+            workload.write_text(
+                "\n".join(["popular"] * 40 + [f"only-{site}"] * 5) + "\n",
+                encoding="utf-8",
+            )
+            summary_path = tmp_path / f"site{site}.json"
+            main(
+                [
+                    "summarize",
+                    str(workload),
+                    "--output",
+                    str(summary_path),
+                    "--counters",
+                    "16",
+                ]
+            )
+            site_files.append(str(summary_path))
+        merged_path = tmp_path / "merged.json"
+        code = main(
+            ["merge", *site_files, "--k", "4", "--output", str(merged_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "popular" in out
+        merged = serialization.loads(merged_path.read_text())
+        assert merged.estimate("popular") == pytest.approx(120.0)
+
+    def test_merge_rejects_mixed_algorithms(self, workload_file, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        main(["summarize", str(workload_file), "--output", str(first)])
+        main(
+            [
+                "summarize",
+                str(workload_file),
+                "--output",
+                str(second),
+                "--algorithm",
+                "frequent",
+            ]
+        )
+        with pytest.raises(SystemExit):
+            main(["merge", str(first), str(second)])
+
+    def test_merge_rejects_mixed_budgets(self, workload_file, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        main(["summarize", str(workload_file), "--output", str(first), "--counters", "16"])
+        main(["summarize", str(workload_file), "--output", str(second), "--counters", "32"])
+        with pytest.raises(SystemExit):
+            main(["merge", str(first), str(second)])
+
+
+class TestExperimentsCommand:
+    def test_quick_run_prints_every_experiment(self, capsys):
+        code = main(["experiments", "--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "lower bound" in out

@@ -1,0 +1,59 @@
+"""Run the doctest examples embedded in the library's docstrings.
+
+Every public module whose docstrings contain ``>>>`` examples is exercised
+here so that the documentation cannot drift from the implementation.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.algorithms.base
+import repro.algorithms.frequent
+import repro.algorithms.frequent_real
+import repro.algorithms.lossy_counting
+import repro.algorithms.space_saving
+import repro.algorithms.space_saving_real
+import repro.core.bounds
+import repro.core.heavy_hitters
+import repro.core.merging
+import repro.core.zipf
+import repro.distributed.mergers
+import repro.serialization
+import repro.streams.exact
+import repro.streams.generators
+
+MODULES = [
+    repro,
+    repro.algorithms.base,
+    repro.algorithms.frequent,
+    repro.algorithms.frequent_real,
+    repro.algorithms.lossy_counting,
+    repro.algorithms.space_saving,
+    repro.algorithms.space_saving_real,
+    repro.core.bounds,
+    repro.core.heavy_hitters,
+    repro.core.merging,
+    repro.core.zipf,
+    repro.distributed.mergers,
+    repro.serialization,
+    repro.streams.exact,
+    repro.streams.generators,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+
+
+def test_docstring_examples_exist_somewhere():
+    """Guard against silently losing all examples during refactors."""
+    total = sum(
+        doctest.DocTestFinder().find(module) is not None
+        and sum(len(t.examples) for t in doctest.DocTestFinder().find(module))
+        for module in MODULES
+    )
+    assert total >= 10

@@ -1,0 +1,171 @@
+"""Tests for the experiment harness (reduced parameter grids for speed)."""
+
+from repro.experiments.common import format_table
+from repro.experiments.comparison import format_comparison, run_comparison
+from repro.experiments.lower_bound import format_lower_bound, run_lower_bound
+from repro.experiments.merge import format_merge, run_merge
+from repro.experiments.sparse_recovery import (
+    format_k_sparse,
+    format_m_sparse,
+    format_residual,
+    run_k_sparse_recovery,
+    run_m_sparse_recovery,
+    run_residual_estimation,
+)
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.tail_guarantee import (
+    default_workloads,
+    format_tail_guarantee,
+    run_tail_guarantee,
+)
+from repro.experiments.topk import format_topk, run_topk
+from repro.experiments.weighted import format_weighted, run_weighted
+from repro.experiments.zipf import format_zipf, run_zipf
+from repro.streams.generators import zipf_stream
+
+
+SMALL_STREAM = zipf_stream(num_items=800, alpha=1.2, total=12_000, seed=5)
+
+
+class TestTable1:
+    def test_rows_cover_all_algorithms(self):
+        rows = run_table1(num_items=1_000, total=10_000, stream=SMALL_STREAM)
+        names = {row.algorithm for row in rows}
+        assert any("FREQUENT" in name for name in names)
+        assert any("SPACESAVING" in name for name in names)
+        assert "LOSSYCOUNTING" in names
+        assert "Count-Min" in names and "Count-Sketch" in names
+
+    def test_counter_algorithms_respect_their_bounds(self):
+        rows = run_table1(stream=SMALL_STREAM, epsilon=0.01, k=10)
+        for row in rows:
+            if row.kind == "Counter":
+                assert row.within_bound
+
+    def test_residual_bound_tighter_than_f1_bound(self):
+        rows = run_table1(stream=SMALL_STREAM, epsilon=0.01, k=10)
+        f1_bound = next(r for r in rows if r.algorithm == "SPACESAVING (F1 bound)")
+        residual_bound = next(r for r in rows if r.algorithm == "SPACESAVING (this paper)")
+        assert residual_bound.error_bound < f1_bound.error_bound
+
+    def test_formatting(self):
+        rows = run_table1(stream=SMALL_STREAM)
+        text = format_table1(rows)
+        assert "algorithm" in text and "SPACESAVING" in text
+
+
+class TestTailGuaranteeExperiment:
+    def test_all_rows_within_sharp_bound(self):
+        workloads = {"zipf": SMALL_STREAM}
+        rows = run_tail_guarantee(workloads, counter_budgets=(80,), tail_ks=(5, 10))
+        assert rows
+        assert all(row.within_sharp for row in rows)
+        assert all(row.within_generic for row in rows)
+
+    def test_tightening_factor_above_one_on_skewed_data(self):
+        workloads = {"zipf": SMALL_STREAM}
+        rows = run_tail_guarantee(workloads, counter_budgets=(80,), tail_ks=(10,))
+        assert all(row.tightening_factor > 1.0 for row in rows)
+
+    def test_default_workloads_cover_expected_names(self):
+        workloads = default_workloads()
+        assert set(workloads) == {"zipf-0.8", "zipf-1.1", "zipf-1.5", "heavy+noise"}
+
+    def test_formatting(self):
+        rows = run_tail_guarantee({"zipf": SMALL_STREAM}, (80,), (10,))
+        assert "tail_bound_sharp" in format_tail_guarantee(rows)
+
+
+class TestSparseRecoveryExperiments:
+    def test_k_sparse_rows_within_bound(self):
+        rows = run_k_sparse_recovery(stream=SMALL_STREAM, ks=(5,), epsilons=(0.2,), ps=(1.0, 2.0))
+        assert rows and all(row.within_bound for row in rows)
+
+    def test_residual_rows_within_bounds(self):
+        rows = run_residual_estimation(stream=SMALL_STREAM, ks=(5,), epsilons=(0.2,))
+        assert rows and all(row.within_bounds for row in rows)
+
+    def test_m_sparse_rows_within_bound(self):
+        rows = run_m_sparse_recovery(stream=SMALL_STREAM, ks=(5,), epsilons=(0.2,), ps=(1.0,))
+        assert rows and all(row.within_bound for row in rows)
+
+    def test_formatting(self):
+        assert "achieved_error" in format_k_sparse(
+            run_k_sparse_recovery(stream=SMALL_STREAM, ks=(5,), epsilons=(0.5,), ps=(1.0,))
+        )
+        assert "estimated_residual" in format_residual(
+            run_residual_estimation(stream=SMALL_STREAM, ks=(5,), epsilons=(0.5,))
+        )
+        assert "bound" in format_m_sparse(
+            run_m_sparse_recovery(stream=SMALL_STREAM, ks=(5,), epsilons=(0.5,), ps=(1.0,))
+        )
+
+
+class TestZipfAndTopKExperiments:
+    def test_zipf_rows_within_bound(self):
+        rows = run_zipf(alphas=(1.3,), epsilons=(0.02,), num_items=2_000, total=20_000)
+        assert rows and all(row.within_bound for row in rows)
+
+    def test_space_saving_factor_grows_with_alpha(self):
+        rows_flat = run_zipf(alphas=(1.0,), epsilons=(0.01,), num_items=2_000, total=20_000)
+        rows_skewed = run_zipf(alphas=(2.0,), epsilons=(0.01,), num_items=2_000, total=20_000)
+        assert rows_skewed[0].space_saving_factor > rows_flat[0].space_saving_factor
+
+    def test_topk_theorem9_rows_exact(self):
+        rows = run_topk(alphas=(1.5,), ks=(5,), num_items=2_000, total=40_000)
+        theorem_rows = [row for row in rows if row.provisioned == "theorem9"]
+        assert theorem_rows and all(row.exact_order for row in theorem_rows)
+        assert all(row.recall == 1.0 for row in theorem_rows)
+
+    def test_formatting(self):
+        assert "space_saving_factor" in format_zipf(
+            run_zipf(alphas=(1.5,), epsilons=(0.02,), num_items=1_000, total=10_000)
+        )
+        assert "exact_order" in format_topk(
+            run_topk(alphas=(1.5,), ks=(5,), num_items=1_000, total=10_000)
+        )
+
+
+class TestWeightedMergeLowerBoundComparison:
+    def test_weighted_rows_within_bound(self):
+        rows = run_weighted(counter_budgets=(150,), tail_ks=(10,))
+        assert rows and all(row.within_bound for row in rows)
+
+    def test_merge_rows_within_bound(self):
+        rows = run_merge(stream=SMALL_STREAM, site_counts=(4,), strategies=("contiguous",), num_counters=120)
+        default_mode = [row for row in rows if row.merge_mode == "all_counters"]
+        assert default_mode and all(row.within_merged_bound for row in default_mode)
+
+    def test_lower_bound_rows_reach_minimum(self):
+        rows = run_lower_bound(configurations=((20, 5, 10),))
+        assert rows and all(row.reaches_lower_bound for row in rows)
+
+    def test_comparison_counters_beat_sketches_on_skewed_data(self):
+        rows = run_comparison(word_budget=1_000, total=30_000, num_items=5_000, seed=13)
+        skewed = [row for row in rows if row.workload == "zipf-1.3"]
+        counter_error = min(r.max_error_top100 for r in skewed if r.kind == "Counter")
+        sketch_error = min(r.max_error_top100 for r in skewed if r.kind == "Sketch")
+        assert counter_error <= sketch_error
+
+    def test_formatting(self):
+        assert "within_bound" in format_weighted(
+            run_weighted(counter_budgets=(150,), tail_ks=(10,))
+        )
+        assert "merged_bound" in format_merge(
+            run_merge(stream=SMALL_STREAM, site_counts=(2,), strategies=("contiguous",), num_counters=100)
+        )
+        assert "forced_error" in format_lower_bound(run_lower_bound(((20, 5, 10),)))
+        assert "updates_per_second" in format_comparison(
+            run_comparison(word_budget=500, total=5_000, num_items=1_000)
+        )
+
+
+class TestFormatTable:
+    def test_formats_dicts_and_dataclasses(self):
+        rows = [{"name": "x", "value": 1.23456}, {"name": "y", "value": 2}]
+        text = format_table(rows, ["name", "value"])
+        assert "name" in text and "1.235" in text
+
+    def test_missing_column_rendered_empty(self):
+        text = format_table([{"a": 1}], ["a", "b"])
+        assert "b" in text

@@ -1,0 +1,90 @@
+"""Tests for the figure-style sweeps and the ASCII chart renderer."""
+
+from repro.experiments.figures import (
+    SeriesPoint,
+    ascii_chart,
+    run_error_vs_counters,
+    run_error_vs_skew,
+    series_names,
+    series_values,
+)
+from repro.streams.generators import zipf_stream
+
+
+SMALL_STREAM = zipf_stream(num_items=1_000, alpha=1.2, total=15_000, seed=13)
+
+
+class TestErrorVsCounters:
+    def test_series_present_and_bounded(self):
+        points = run_error_vs_counters(
+            stream=SMALL_STREAM, counter_budgets=(25, 50, 100), k=5
+        )
+        names = series_names(points)
+        assert "FREQUENT" in names and "SPACESAVING" in names
+        assert "bound F1/m" in names
+        f1_bound = {p.x: p.y for p in series_values(points, "bound F1/m")}
+        for algorithm in ("FREQUENT", "SPACESAVING"):
+            for point in series_values(points, algorithm):
+                assert point.y <= f1_bound[point.x] + 1e-9
+
+    def test_error_decreases_with_budget(self):
+        points = run_error_vs_counters(
+            stream=SMALL_STREAM, counter_budgets=(25, 100, 400), k=5
+        )
+        for algorithm in ("FREQUENT", "SPACESAVING"):
+            series = series_values(points, algorithm)
+            assert series[-1].y <= series[0].y
+
+
+class TestErrorVsSkew:
+    def test_counter_error_falls_with_skew(self):
+        points = run_error_vs_skew(
+            alphas=(0.8, 1.5), num_counters=100, total=20_000, num_items=2_000
+        )
+        for algorithm in ("FREQUENT", "SPACESAVING"):
+            series = series_values(points, algorithm)
+            assert series[-1].y < series[0].y
+
+    def test_sketch_series_present(self):
+        points = run_error_vs_skew(
+            alphas=(1.0,), num_counters=100, total=10_000, num_items=1_000
+        )
+        assert any("Count-Min" in name for name in series_names(points))
+
+
+class TestAsciiChart:
+    POINTS = [
+        SeriesPoint("a", 1.0, 10.0),
+        SeriesPoint("a", 2.0, 5.0),
+        SeriesPoint("b", 1.0, 100.0),
+        SeriesPoint("b", 2.0, 50.0),
+    ]
+
+    def test_contains_legend_and_markers(self):
+        chart = ascii_chart(self.POINTS, width=30, height=8)
+        assert "legend:" in chart
+        assert "o=a" in chart and "x=b" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_empty_input(self):
+        assert ascii_chart([]) == "(no data)"
+
+    def test_linear_scale(self):
+        chart = ascii_chart(self.POINTS, log_y=False)
+        assert "log=False" in chart
+
+    def test_dimensions(self):
+        chart = ascii_chart(self.POINTS, width=40, height=10)
+        body_lines = [line for line in chart.splitlines() if line.startswith("|")]
+        assert len(body_lines) == 10
+        assert all(len(line) == 41 for line in body_lines)
+
+
+class TestSeriesHelpers:
+    def test_series_values_sorted_by_x(self):
+        points = [SeriesPoint("a", 3.0, 1.0), SeriesPoint("a", 1.0, 2.0)]
+        assert [p.x for p in series_values(points, "a")] == [1.0, 3.0]
+
+    def test_series_names_first_appearance_order(self):
+        points = [SeriesPoint("b", 1, 1), SeriesPoint("a", 1, 1), SeriesPoint("b", 2, 1)]
+        assert series_names(points) == ["b", "a"]

@@ -1,0 +1,140 @@
+"""Tests for the FREQUENT (Misra--Gries) algorithm."""
+
+import collections
+
+import pytest
+
+from repro.algorithms.frequent import Frequent
+from repro.metrics.error import max_error, residual
+
+
+class TestBasicBehaviour:
+    def test_exact_when_under_capacity(self):
+        summary = Frequent(num_counters=10)
+        summary.update_many(["a", "b", "a", "c", "a"])
+        assert summary.estimate("a") == 3.0
+        assert summary.estimate("b") == 1.0
+        assert summary.estimate("c") == 1.0
+
+    def test_unseen_item_estimates_zero(self):
+        summary = Frequent(num_counters=4)
+        summary.update_many(["a", "b"])
+        assert summary.estimate("zzz") == 0.0
+
+    def test_decrement_evicts_all_singletons(self):
+        # m = 2: after a, b the table is full; c triggers a global decrement
+        # that wipes both singletons out.
+        summary = Frequent(num_counters=2)
+        summary.update_many(["a", "b", "c"])
+        assert summary.counters() == {}
+
+    def test_classic_majority_example(self):
+        # With m = 1, FREQUENT is the Boyer-Moore majority algorithm.
+        summary = Frequent(num_counters=1)
+        summary.update_many(["a", "b", "a", "c", "a", "a"])
+        assert summary.estimate("a") >= 1.0
+        assert summary.estimate("b") == 0.0
+
+    def test_rejects_fractional_weight(self):
+        summary = Frequent(num_counters=4)
+        with pytest.raises(ValueError):
+            summary.update("a", 0.5)
+
+    def test_rejects_negative_weight(self):
+        summary = Frequent(num_counters=4)
+        with pytest.raises(ValueError):
+            summary.update("a", -2)
+
+    def test_integer_weight_unrolled(self):
+        summary = Frequent(num_counters=4)
+        summary.update("a", 5)
+        assert summary.estimate("a") == 5.0
+        assert summary.stream_length == 5.0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Frequent(num_counters=4, mode="bogus")
+
+    def test_never_stores_more_than_m_items(self):
+        summary = Frequent(num_counters=5)
+        summary.update_many([i % 37 for i in range(2_000)])
+        assert len(summary) <= 5
+
+
+class TestUnderestimation:
+    def test_always_underestimates(self, zipf_medium):
+        summary = Frequent(num_counters=50)
+        zipf_medium.feed(summary)
+        frequencies = zipf_medium.frequencies()
+        for item, count in summary.counters().items():
+            assert count <= frequencies[item] + 1e-9
+
+    def test_error_bounded_by_decrements(self, zipf_medium):
+        summary = Frequent(num_counters=50)
+        zipf_medium.feed(summary)
+        frequencies = zipf_medium.frequencies()
+        d = summary.decrements
+        for item, true in frequencies.items():
+            assert true - summary.estimate(item) <= d + 1e-9
+
+    def test_decrements_bounded_by_appendix_b(self, zipf_medium):
+        # Appendix B: d <= F1_res(k) / (m + 1 - k).
+        summary = Frequent(num_counters=50)
+        zipf_medium.feed(summary)
+        frequencies = zipf_medium.frequencies()
+        for k in (1, 5, 10, 25):
+            assert summary.decrements <= residual(frequencies, k) / (50 + 1 - k) + 1e-9
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("m", [20, 50, 150])
+    def test_f1_guarantee(self, zipf_medium, m):
+        summary = Frequent(num_counters=m)
+        zipf_medium.feed(summary)
+        frequencies = zipf_medium.frequencies()
+        f1 = sum(frequencies.values())
+        assert max_error(frequencies, summary) <= f1 / m
+
+    @pytest.mark.parametrize("m,k", [(50, 5), (50, 25), (100, 10), (200, 50)])
+    def test_k_tail_guarantee_constants_one(self, zipf_medium, m, k):
+        summary = Frequent(num_counters=m)
+        zipf_medium.feed(summary)
+        frequencies = zipf_medium.frequencies()
+        bound = residual(frequencies, k) / (m - k)
+        assert max_error(frequencies, summary) <= bound + 1e-9
+
+    def test_exact_on_streams_with_few_distinct_items(self):
+        # With at most k < m distinct items the residual bound is zero, so
+        # estimation must be exact.
+        summary = Frequent(num_counters=10)
+        stream = ["a"] * 40 + ["b"] * 25 + ["c"] * 35
+        summary.update_many(stream)
+        truth = collections.Counter(stream)
+        for item, true in truth.items():
+            assert summary.estimate(item) == float(true)
+
+
+class TestLazyEagerEquivalence:
+    @pytest.mark.parametrize("m", [1, 3, 8])
+    def test_modes_agree_on_adversarial_small_streams(self, m):
+        stream = [i % (m + 2) for i in range(300)] + [0] * 25 + [1, 2, 3] * 10
+        lazy = Frequent(num_counters=m, mode="lazy")
+        eager = Frequent(num_counters=m, mode="eager")
+        lazy.update_many(stream)
+        eager.update_many(stream)
+        assert lazy.counters() == eager.counters()
+
+    def test_modes_agree_on_zipf(self, zipf_medium):
+        lazy = Frequent(num_counters=30, mode="lazy")
+        eager = Frequent(num_counters=30, mode="eager")
+        zipf_medium.feed(lazy)
+        zipf_medium.feed(eager)
+        assert lazy.counters() == eager.counters()
+
+    def test_decrements_agree_between_modes(self):
+        stream = [i % 7 for i in range(500)]
+        lazy = Frequent(num_counters=4, mode="lazy")
+        eager = Frequent(num_counters=4, mode="eager")
+        lazy.update_many(stream)
+        eager.update_many(stream)
+        assert lazy.decrements == pytest.approx(eager.decrements)

@@ -1,0 +1,170 @@
+"""Tests for the synthetic stream generators."""
+
+import pytest
+
+from repro.streams.generators import (
+    frequencies_to_stream,
+    heavy_plus_noise_stream,
+    uniform_stream,
+    weighted_zipf_stream,
+    zipf_frequencies,
+    zipf_stream,
+)
+
+
+class TestZipfFrequencies:
+    def test_monotone_non_increasing(self):
+        frequencies = zipf_frequencies(num_items=100, alpha=1.2, total=10_000)
+        assert all(a >= b for a, b in zip(frequencies, frequencies[1:]))
+
+    def test_total_not_exceeded(self):
+        frequencies = zipf_frequencies(num_items=100, alpha=1.2, total=10_000)
+        assert sum(frequencies) <= 10_000
+
+    def test_alpha_zero_is_uniform(self):
+        frequencies = zipf_frequencies(num_items=10, alpha=0.0, total=1_000)
+        assert len(set(frequencies)) == 1
+
+    def test_higher_alpha_concentrates_mass(self):
+        flat = zipf_frequencies(num_items=1_000, alpha=1.0, total=100_000)
+        skewed = zipf_frequencies(num_items=1_000, alpha=2.0, total=100_000)
+        assert skewed[0] / sum(skewed) > flat[0] / sum(flat)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            zipf_frequencies(num_items=0, alpha=1.0, total=10)
+        with pytest.raises(ValueError):
+            zipf_frequencies(num_items=10, alpha=-1.0, total=10)
+
+
+class TestZipfStream:
+    def test_frequency_profile_matches_zipf(self):
+        stream = zipf_stream(num_items=50, alpha=1.5, total=5_000, seed=1)
+        expected = zipf_frequencies(num_items=50, alpha=1.5, total=5_000)
+        frequencies = stream.frequencies()
+        for index, value in enumerate(expected, start=1):
+            if value > 0:
+                assert frequencies[index] == value
+
+    @pytest.mark.parametrize(
+        "ordering", ["shuffled", "heavy_first", "heavy_last", "round_robin", "sorted"]
+    )
+    def test_orderings_preserve_frequencies(self, ordering):
+        reference = zipf_stream(num_items=30, alpha=1.1, total=2_000, seed=2)
+        stream = zipf_stream(
+            num_items=30, alpha=1.1, total=2_000, ordering=ordering, seed=2
+        )
+        assert stream.frequencies() == reference.frequencies()
+
+    def test_heavy_first_puts_heaviest_item_first(self):
+        stream = zipf_stream(
+            num_items=30, alpha=1.5, total=2_000, ordering="heavy_first", seed=3
+        )
+        assert stream.items[0] == 1
+
+    def test_heavy_last_ends_with_heaviest_item(self):
+        stream = zipf_stream(
+            num_items=30, alpha=1.5, total=2_000, ordering="heavy_last", seed=3
+        )
+        assert stream.items[-1] == 1
+
+    def test_same_seed_is_reproducible(self):
+        a = zipf_stream(num_items=30, alpha=1.1, total=1_000, seed=5)
+        b = zipf_stream(num_items=30, alpha=1.1, total=1_000, seed=5)
+        assert a.items == b.items
+
+    def test_unknown_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_stream(num_items=10, alpha=1.0, total=100, ordering="bogus")
+
+
+class TestUniformStream:
+    def test_length_and_domain(self):
+        stream = uniform_stream(num_items=50, total=2_000, seed=4)
+        assert len(stream) == 2_000
+        assert all(1 <= item <= 50 for item in stream.items)
+
+    def test_roughly_uniform(self):
+        stream = uniform_stream(num_items=10, total=10_000, seed=4)
+        counts = stream.frequencies()
+        assert min(counts.values()) > 700
+        assert max(counts.values()) < 1_300
+
+
+class TestHeavyPlusNoise:
+    def test_heavy_items_receive_expected_mass(self):
+        stream = heavy_plus_noise_stream(
+            num_heavy=5,
+            heavy_fraction=0.5,
+            num_noise_items=100,
+            total=10_000,
+            seed=5,
+        )
+        frequencies = stream.frequencies()
+        for index in range(5):
+            assert frequencies[f"heavy-{index}"] == 1_000
+
+    def test_total_length(self):
+        stream = heavy_plus_noise_stream(
+            num_heavy=5, heavy_fraction=0.5, num_noise_items=100, total=10_000, seed=5
+        )
+        assert len(stream) == 10_000
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            heavy_plus_noise_stream(
+                num_heavy=1, heavy_fraction=1.5, num_noise_items=10, total=100
+            )
+
+    def test_orderings(self):
+        first = heavy_plus_noise_stream(
+            num_heavy=2,
+            heavy_fraction=0.5,
+            num_noise_items=10,
+            total=100,
+            ordering="heavy_first",
+            seed=6,
+        )
+        assert str(first.items[0]).startswith("heavy")
+        last = heavy_plus_noise_stream(
+            num_heavy=2,
+            heavy_fraction=0.5,
+            num_noise_items=10,
+            total=100,
+            ordering="heavy_last",
+            seed=6,
+        )
+        assert str(last.items[-1]).startswith("heavy")
+
+
+class TestWeightedZipf:
+    def test_weights_positive_and_total_updates(self):
+        stream = weighted_zipf_stream(
+            num_items=100, alpha=1.2, num_updates=1_000, weight_scale=5.0, seed=7
+        )
+        assert len(stream) == 1_000
+        assert all(weight > 0 for _, weight in stream.pairs)
+
+    def test_popular_items_accumulate_more_weight(self):
+        stream = weighted_zipf_stream(
+            num_items=100, alpha=1.5, num_updates=5_000, weight_scale=5.0, seed=7
+        )
+        frequencies = stream.frequencies()
+        tail_weight = sum(frequencies.get(i, 0.0) for i in range(50, 101))
+        assert frequencies[1] > tail_weight / 10
+
+    def test_reproducible(self):
+        a = weighted_zipf_stream(num_items=50, alpha=1.2, num_updates=200, seed=9)
+        b = weighted_zipf_stream(num_items=50, alpha=1.2, num_updates=200, seed=9)
+        assert a.pairs == b.pairs
+
+
+class TestFrequenciesToStream:
+    def test_round_trip(self):
+        frequencies = {"a": 5, "b": 3, "c": 1}
+        stream = frequencies_to_stream(frequencies, seed=11)
+        assert stream.frequencies() == frequencies
+
+    def test_round_robin_interleaves(self):
+        stream = frequencies_to_stream({"a": 3, "b": 3}, ordering="round_robin")
+        assert stream.items[:2] in (["a", "b"], ["b", "a"])

@@ -1,0 +1,119 @@
+"""Tests for the high-level HeavyHitters API."""
+
+import pytest
+
+from repro.core.heavy_hitters import HeavyHitters, find_heavy_hitters
+from repro.streams.generators import zipf_stream
+
+
+class TestValidation:
+    def test_rejects_bad_phi(self):
+        with pytest.raises(ValueError):
+            HeavyHitters(phi=0.0, epsilon=0.01)
+        with pytest.raises(ValueError):
+            HeavyHitters(phi=1.2, epsilon=0.01)
+
+    def test_rejects_epsilon_above_phi(self):
+        with pytest.raises(ValueError):
+            HeavyHitters(phi=0.05, epsilon=0.1)
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            HeavyHitters(phi=0.1, epsilon=0.05, algorithm="bogus")
+
+    def test_accepts_algorithm_aliases(self):
+        assert HeavyHitters(phi=0.1, epsilon=0.05, algorithm="space_saving")
+        assert HeavyHitters(phi=0.1, epsilon=0.05, algorithm="FREQUENT")
+
+
+class TestReporting:
+    def _workload(self):
+        return ["a"] * 400 + ["b"] * 250 + ["c"] * 150 + list(range(200))
+
+    def test_no_false_negatives(self):
+        hh = HeavyHitters(phi=0.1, epsilon=0.05)
+        hh.update_many(self._workload())
+        reported = {report.item for report in hh.report()}
+        assert {"a", "b", "c"} <= reported
+
+    def test_guaranteed_items_are_true_positives(self):
+        hh = HeavyHitters(phi=0.1, epsilon=0.05)
+        workload = self._workload()
+        hh.update_many(workload)
+        threshold = 0.1 * len(workload)
+        truth = {"a", "b", "c"}
+        for item in hh.guaranteed_items():
+            assert item in truth
+            assert workload.count(item) > threshold
+
+    def test_intervals_contain_true_frequencies(self):
+        hh = HeavyHitters(phi=0.1, epsilon=0.02)
+        workload = self._workload()
+        hh.update_many(workload)
+        import collections
+
+        truth = collections.Counter(workload)
+        for item, (lower, upper) in hh.intervals().items():
+            assert lower - 1e-9 <= truth[item] <= upper + 1e-9
+
+    def test_report_sorted_by_estimate(self):
+        hh = HeavyHitters(phi=0.1, epsilon=0.05)
+        hh.update_many(self._workload())
+        estimates = [report.estimate for report in hh.report()]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_custom_threshold_in_report(self):
+        hh = HeavyHitters(phi=0.1, epsilon=0.05)
+        hh.update_many(self._workload())
+        # With a higher threshold only "a" (40%) qualifies.
+        items = {report.item for report in hh.report(phi=0.3) if report.guaranteed}
+        assert items == {"a"}
+
+    def test_frequent_backend(self):
+        hh = HeavyHitters(phi=0.1, epsilon=0.02, algorithm="frequent")
+        hh.update_many(self._workload())
+        assert {"a", "b", "c"} <= {report.item for report in hh.report()}
+
+    def test_weighted_updates(self):
+        hh = HeavyHitters(phi=0.2, epsilon=0.1)
+        hh.update("x", 70.0)
+        hh.update("y", 20.0)
+        hh.update("z", 10.0)
+        assert "x" in {report.item for report in hh.report()}
+
+    def test_stream_length_and_estimator_exposed(self):
+        hh = HeavyHitters(phi=0.1, epsilon=0.05)
+        hh.update_many(["a", "b", "a"])
+        assert hh.stream_length == 3.0
+        assert hh.estimator.estimate("a") == 2.0
+
+    def test_tail_guarantee_constants(self):
+        hh = HeavyHitters(phi=0.1, epsilon=0.05)
+        assert (hh.tail_guarantee().a, hh.tail_guarantee().b) == (1.0, 1.0)
+
+
+class TestOnSkewedStreams:
+    @pytest.mark.parametrize("algorithm", ["spacesaving", "frequent"])
+    def test_all_true_heavy_hitters_reported_on_zipf(self, algorithm):
+        stream = zipf_stream(num_items=2_000, alpha=1.3, total=40_000, seed=43)
+        frequencies = stream.frequencies()
+        phi = 0.02
+        hh = HeavyHitters(phi=phi, epsilon=phi / 2, algorithm=algorithm)
+        hh.update_many(stream.items)
+        reported = {report.item for report in hh.report()}
+        for item, count in frequencies.items():
+            if count > phi * stream.total_weight:
+                assert item in reported
+
+
+class TestFindHeavyHitters:
+    def test_one_shot_wrapper(self):
+        reports = find_heavy_hitters(["x"] * 60 + ["y"] * 30 + ["z"] * 10, phi=0.25)
+        guaranteed = [report.item for report in reports if report.guaranteed]
+        assert guaranteed == ["x", "y"]
+
+    def test_explicit_epsilon(self):
+        reports = find_heavy_hitters(
+            ["x"] * 10 + list(range(90)), phi=0.05, epsilon=0.01, algorithm="frequent"
+        )
+        assert "x" in {report.item for report in reports}

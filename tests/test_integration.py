@@ -1,0 +1,159 @@
+"""End-to-end integration tests exercising the public API on realistic workloads."""
+
+import pytest
+
+from repro import (
+    Frequent,
+    HeavyHitters,
+    SpaceSaving,
+    check_tail_guarantee,
+    find_heavy_hitters,
+    k_sparse_recovery,
+    merge_summaries,
+)
+from repro.core.sparse_recovery import counters_for_sparse_recovery, estimate_residual
+from repro.distributed.mergers import DistributedSummarizer
+from repro.metrics.error import max_error, residual
+from repro.metrics.recovery import recall_at_k
+from repro.streams.trace import QueryLogGenerator, SyntheticTraceGenerator
+
+
+class TestNetworkMonitoringScenario:
+    """Find the top flows of a synthetic packet trace with a tiny summary."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return SyntheticTraceGenerator(num_flows=5_000, alpha=1.2, seed=11).packet_stream(
+            40_000
+        )
+
+    def test_heavy_flows_found_with_small_summary(self, trace):
+        frequencies = trace.frequencies()
+        hh = HeavyHitters(phi=0.01, epsilon=0.002)
+        hh.update_many(trace.items)
+        reported = {report.item for report in hh.report()}
+        for flow, packets in frequencies.items():
+            if packets > 0.01 * len(trace):
+                assert flow in reported
+
+    def test_summary_uses_far_less_space_than_exact(self, trace):
+        summary = SpaceSaving(num_counters=100)
+        trace.feed(summary)
+        from repro.streams.exact import ExactCounter
+
+        exact = ExactCounter()
+        trace.feed(exact)
+        assert summary.size_in_words() < exact.size_in_words() / 4
+
+    def test_byte_counting_with_weighted_summary(self):
+        generator = SyntheticTraceGenerator(num_flows=2_000, alpha=1.3, seed=13)
+        byte_stream = generator.byte_stream(20_000)
+        from repro.algorithms import SpaceSavingR
+
+        summary = SpaceSavingR(num_counters=300)
+        byte_stream.feed(summary)
+        frequencies = byte_stream.frequencies()
+        bound = residual(frequencies, 20) / (300 - 20)
+        assert max_error(frequencies, summary) <= bound + 1e-6 * byte_stream.total_weight
+
+
+class TestQueryLogScenario:
+    """Distributed top-k over a query log with shifting trends."""
+
+    @pytest.fixture(scope="class")
+    def periods(self):
+        generator = QueryLogGenerator(
+            vocabulary_size=20_000, alpha=1.1, trending_terms=15, trend_boost=100.0, seed=17
+        )
+        return generator.period_streams(60_000, num_periods=4)
+
+    def test_merged_summary_covers_global_top_terms(self, periods):
+        summaries = []
+        for period in periods:
+            summary = SpaceSaving(num_counters=400)
+            period.feed(summary)
+            summaries.append(summary)
+        merged = merge_summaries(
+            summaries, k=20, make_estimator=lambda: SpaceSaving(num_counters=400)
+        )
+        combined = {}
+        for period in periods:
+            for term, count in period.frequencies().items():
+                combined[term] = combined.get(term, 0) + count
+        assert merged.check(combined).holds
+        reported = [term for term, _ in merged.estimator.top_k(20)]
+        assert recall_at_k(combined, reported, 10) >= 0.8
+
+    def test_single_pass_equivalent_quality(self, periods):
+        # A centralised summary of the concatenated log should be at least as
+        # accurate as the merged summary (Theorem 11's constant-factor cost).
+        from repro.streams.stream import concatenate
+
+        full = concatenate(periods)
+        frequencies = full.frequencies()
+        central = SpaceSaving(num_counters=400)
+        full.feed(central)
+        summaries = []
+        for period in periods:
+            summary = SpaceSaving(num_counters=400)
+            period.feed(summary)
+            summaries.append(summary)
+        merged = merge_summaries(
+            summaries, k=20, make_estimator=lambda: SpaceSaving(num_counters=400)
+        )
+        central_error = max_error(frequencies, central)
+        merged_error = max_error(frequencies, merged.estimator)
+        merged_bound = merged.bound(frequencies)
+        assert central_error <= merged_bound
+        assert merged_error <= merged_bound
+
+
+class TestSparseRecoveryPipeline:
+    """Compress a stream to a k-sparse vector and quantify the loss."""
+
+    def test_recovery_and_residual_estimation(self, zipf_medium):
+        k, epsilon = 15, 0.1
+        m = counters_for_sparse_recovery(k, epsilon)
+        summary = SpaceSaving(num_counters=m)
+        zipf_medium.feed(summary)
+        frequencies = zipf_medium.frequencies()
+
+        recovery = k_sparse_recovery(summary, k=k, epsilon=epsilon)
+        assert recovery.error(frequencies, 1) <= recovery.guaranteed_error(frequencies, 1)
+
+        estimate, eps_used = estimate_residual(summary, k=k)
+        true_residual = residual(frequencies, k)
+        assert abs(estimate - true_residual) <= eps_used * true_residual + 1e-6
+
+    def test_guarantee_check_integrates_with_public_api(self, zipf_medium):
+        summary = Frequent(num_counters=120)
+        zipf_medium.feed(summary)
+        check = check_tail_guarantee(summary, zipf_medium.frequencies(), k=12)
+        assert check.holds
+        assert 0.0 <= check.utilisation <= 1.0
+
+
+class TestDistributedScenario:
+    def test_four_site_deployment(self, zipf_medium):
+        coordinator = DistributedSummarizer(
+            make_estimator=lambda: SpaceSaving(num_counters=200),
+            k=10,
+            num_sites=4,
+            strategy="round_robin",
+        )
+        coordinator.run(zipf_medium)
+        frequencies = zipf_medium.frequencies()
+        assert coordinator.check_guarantee(frequencies).holds
+        reported = [item for item, _ in coordinator.top_k(10)]
+        assert recall_at_k(frequencies, reported, 10) >= 0.9
+
+
+class TestOneShotHelpers:
+    def test_find_heavy_hitters_on_query_log(self):
+        stream = QueryLogGenerator(vocabulary_size=5_000, seed=23).query_stream(20_000)
+        reports = find_heavy_hitters(stream.items, phi=0.01)
+        frequencies = stream.frequencies()
+        reported = {report.item for report in reports}
+        for term, count in frequencies.items():
+            if count > 0.01 * len(stream):
+                assert term in reported

@@ -1,0 +1,90 @@
+"""Tests for the LOSSYCOUNTING baseline."""
+
+import pytest
+
+from repro.algorithms.lossy_counting import LossyCounting
+from repro.streams.adversarial import lossy_hostile_stream
+
+
+class TestValidation:
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            LossyCounting(epsilon=0.0)
+        with pytest.raises(ValueError):
+            LossyCounting(epsilon=1.5)
+
+    def test_rejects_fractional_weight(self):
+        summary = LossyCounting(epsilon=0.1)
+        with pytest.raises(ValueError):
+            summary.update("a", 2.5)
+
+
+class TestBehaviour:
+    def test_bucket_width_is_inverse_epsilon(self):
+        assert LossyCounting(epsilon=0.1).bucket_width == 10
+        assert LossyCounting(epsilon=0.03).bucket_width == 34
+
+    def test_exact_before_first_prune(self):
+        summary = LossyCounting(epsilon=0.2)  # width 5
+        summary.update_many(["a", "b", "a", "c"])
+        assert summary.estimate("a") == 2.0
+        assert summary.estimate("b") == 1.0
+
+    def test_prunes_infrequent_items(self):
+        summary = LossyCounting(epsilon=0.25)  # width 4
+        # Each bucket introduces fresh singletons which must be pruned away.
+        summary.update_many([f"x{i}" for i in range(40)])
+        assert summary.current_entries <= summary.bucket_width
+
+    def test_underestimates(self, zipf_medium):
+        summary = LossyCounting(epsilon=0.01)
+        zipf_medium.feed(summary)
+        frequencies = zipf_medium.frequencies()
+        for item, count in summary.counters().items():
+            assert count <= frequencies[item] + 1e-9
+
+    def test_epsilon_f1_guarantee(self, zipf_medium):
+        epsilon = 0.01
+        summary = LossyCounting(epsilon=epsilon)
+        zipf_medium.feed(summary)
+        frequencies = zipf_medium.frequencies()
+        n = zipf_medium.total_weight
+        for item, true in frequencies.items():
+            assert true - summary.estimate(item) <= epsilon * n + 1e-9
+
+    def test_heavy_items_survive(self):
+        summary = LossyCounting(epsilon=0.05)
+        stream = (["heavy"] * 5 + [f"noise{i}" for i in range(15)]) * 50
+        summary.update_many(stream)
+        assert summary.estimate("heavy") > 0
+        assert summary.estimate("heavy") >= 250 - 0.05 * len(stream)
+
+    def test_size_in_words_tracks_entries(self):
+        summary = LossyCounting(epsilon=0.1)
+        summary.update_many(["a", "b", "c"])
+        assert summary.size_in_words() == 3 * summary.current_entries
+
+
+class TestSpaceBlowUp:
+    def test_hostile_stream_keeps_table_full(self):
+        """The adversarial ordering keeps LOSSYCOUNTING's table at full width."""
+        epsilon = 0.05
+        stream = lossy_hostile_stream(epsilon=epsilon, epochs=30)
+        summary = LossyCounting(epsilon=epsilon)
+        summary.update_many(stream.items)
+        assert summary.max_entries >= int(1.0 / epsilon)
+
+    def test_uses_more_words_than_frequent_at_equal_epsilon(self):
+        """Each LOSSYCOUNTING entry is (item, count, delta): 3 words vs 2.
+
+        This is the Table 1 space comparison at equal error parameter: with
+        its table at full width LOSSYCOUNTING needs 1.5x FREQUENT's words.
+        """
+        from repro.algorithms.frequent import Frequent
+
+        epsilon = 0.05
+        stream = lossy_hostile_stream(epsilon=epsilon, epochs=30)
+        lossy = LossyCounting(epsilon=epsilon)
+        lossy.update_many(stream.items)
+        frequent_words = Frequent(num_counters=int(1.0 / epsilon)).size_in_words()
+        assert 3 * lossy.max_entries > frequent_words

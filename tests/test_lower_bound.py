@@ -1,0 +1,54 @@
+"""Tests for the Theorem 13 lower-bound construction."""
+
+import pytest
+
+from repro.algorithms.frequent import Frequent
+from repro.algorithms.space_saving import SpaceSaving
+from repro.core.lower_bound import run_lower_bound_experiment
+
+
+FACTORIES = {
+    "frequent": lambda m: Frequent(num_counters=m),
+    "spacesaving": lambda m: SpaceSaving(num_counters=m),
+}
+
+
+class TestLowerBoundExperiment:
+    @pytest.mark.parametrize("name", sorted(FACTORIES))
+    @pytest.mark.parametrize("m,k,x", [(10, 3, 5), (20, 5, 10), (50, 10, 8)])
+    def test_construction_forces_at_least_x_over_2(self, name, m, k, x):
+        factory = FACTORIES[name]
+        result = run_lower_bound_experiment(
+            make_estimator=lambda: factory(m), num_counters=m, k=k, repetitions=x
+        )
+        assert result.forced_error >= x / 2
+        assert result.matches_lower_bound
+
+    @pytest.mark.parametrize("name", sorted(FACTORIES))
+    def test_forced_error_close_to_residual_over_2m(self, name):
+        factory = FACTORIES[name]
+        result = run_lower_bound_experiment(
+            make_estimator=lambda: factory(30), num_counters=30, k=5, repetitions=20
+        )
+        # F1_res(k) on the prefix streams is about X*m, so the forced error is
+        # at least about F1_res(k) / (2m); allow a small constant factor.
+        assert result.error_vs_residual_ratio >= 0.8
+
+    def test_theoretical_minimum_is_half_x(self):
+        result = run_lower_bound_experiment(
+            make_estimator=lambda: SpaceSaving(num_counters=10),
+            num_counters=10,
+            k=2,
+            repetitions=12,
+        )
+        assert result.theoretical_minimum == 6.0
+
+    def test_non_adaptive_variant_runs(self):
+        result = run_lower_bound_experiment(
+            make_estimator=lambda: SpaceSaving(num_counters=10),
+            num_counters=10,
+            k=2,
+            repetitions=12,
+            adaptive=False,
+        )
+        assert result.forced_error > 0

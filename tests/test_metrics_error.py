@@ -1,0 +1,79 @@
+"""Tests for frequency-moment norms and per-item error metrics."""
+
+import pytest
+
+from repro.algorithms.space_saving import SpaceSaving
+from repro.metrics.error import (
+    error_vector,
+    f1,
+    fp,
+    max_error,
+    mean_error,
+    residual,
+    residual_fp,
+)
+
+
+FREQS = {"a": 10.0, "b": 6.0, "c": 3.0, "d": 1.0}
+
+
+class TestNorms:
+    def test_f1(self):
+        assert f1(FREQS) == 20.0
+
+    def test_fp_second_moment(self):
+        assert fp(FREQS, 2) == 100 + 36 + 9 + 1
+
+    def test_fp_rejects_non_positive_p(self):
+        with pytest.raises(ValueError):
+            fp(FREQS, 0)
+
+    def test_residual_zero_equals_f1(self):
+        assert residual(FREQS, 0) == f1(FREQS)
+
+    def test_residual_drops_top_k(self):
+        assert residual(FREQS, 1) == 10.0
+        assert residual(FREQS, 2) == 4.0
+        assert residual(FREQS, 4) == 0.0
+        assert residual(FREQS, 10) == 0.0
+
+    def test_residual_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            residual(FREQS, -1)
+
+    def test_residual_fp(self):
+        assert residual_fp(FREQS, 1, 2) == 36 + 9 + 1
+        assert residual_fp(FREQS, 0, 2) == fp(FREQS, 2)
+
+    def test_residual_monotone_in_k(self):
+        values = [residual(FREQS, k) for k in range(5)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestErrorVector:
+    def test_against_dict_estimator(self):
+        estimates = {"a": 9.0, "b": 6.0, "e": 2.0}
+        errors = error_vector(FREQS, estimates)
+        assert errors["a"] == 1.0
+        assert errors["b"] == 0.0
+        assert errors["c"] == 3.0  # unstored -> estimate 0
+        assert errors["e"] == 2.0  # phantom item -> true 0
+
+    def test_against_live_estimator(self):
+        summary = SpaceSaving(num_counters=8)
+        summary.update_many(["a", "a", "b"])
+        errors = error_vector({"a": 2.0, "b": 1.0}, summary)
+        assert errors == {"a": 0.0, "b": 0.0}
+
+    def test_restricted_item_set(self):
+        errors = error_vector(FREQS, {}, items=["a", "b"])
+        assert set(errors) == {"a", "b"}
+
+    def test_max_and_mean(self):
+        estimates = {"a": 9.0, "b": 6.0, "c": 3.0, "d": 1.0}
+        assert max_error(FREQS, estimates) == 1.0
+        assert mean_error(FREQS, estimates) == pytest.approx(0.25)
+
+    def test_empty_inputs(self):
+        assert max_error({}, {}) == 0.0
+        assert mean_error({}, {}) == 0.0

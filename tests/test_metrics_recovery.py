@@ -1,0 +1,86 @@
+"""Tests for recovery-quality metrics."""
+
+import math
+
+import pytest
+
+from repro.metrics.recovery import (
+    lp_error,
+    optimal_lp_error,
+    recall_at_k,
+    top_k_exact_order,
+    top_k_items,
+)
+
+FREQS = {"a": 10.0, "b": 6.0, "c": 3.0, "d": 1.0}
+
+
+class TestLpError:
+    def test_l1_error(self):
+        recovery = {"a": 9.0, "b": 6.0}
+        # |10-9| + |6-6| + 3 + 1 = 5
+        assert lp_error(FREQS, recovery, 1) == 5.0
+
+    def test_l2_error(self):
+        recovery = {"a": 10.0, "b": 6.0, "c": 3.0}
+        assert lp_error(FREQS, recovery, 2) == 1.0
+
+    def test_identical_vectors_have_zero_error(self):
+        assert lp_error(FREQS, dict(FREQS), 1) == 0.0
+        assert lp_error(FREQS, dict(FREQS), 2) == 0.0
+
+    def test_extra_items_in_recovery_count(self):
+        assert lp_error({}, {"x": 4.0}, 1) == 4.0
+
+    def test_rejects_p_below_one(self):
+        with pytest.raises(ValueError):
+            lp_error(FREQS, {}, 0.5)
+
+
+class TestOptimalError:
+    def test_matches_residual_for_l1(self):
+        assert optimal_lp_error(FREQS, 2, 1) == 4.0
+
+    def test_l2_floor(self):
+        assert optimal_lp_error(FREQS, 2, 2) == pytest.approx(math.sqrt(9 + 1))
+
+    def test_zero_when_k_covers_support(self):
+        assert optimal_lp_error(FREQS, 4, 1) == 0.0
+
+    def test_best_k_sparse_achieves_the_floor(self):
+        from repro.core.sparse_recovery import best_k_sparse
+
+        for k in range(5):
+            recovery = best_k_sparse(FREQS, k)
+            assert lp_error(FREQS, recovery, 1) == pytest.approx(
+                optimal_lp_error(FREQS, k, 1)
+            )
+
+
+class TestTopK:
+    def test_top_k_items_ordering(self):
+        assert top_k_items(FREQS, 2) == ["a", "b"]
+
+    def test_recall(self):
+        assert recall_at_k(FREQS, ["a", "b"], 2) == 1.0
+        assert recall_at_k(FREQS, ["a", "z"], 2) == 0.5
+        assert recall_at_k(FREQS, [], 2) == 0.0
+
+    def test_recall_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            recall_at_k(FREQS, ["a"], 0)
+
+    def test_exact_order_true(self):
+        reported = [("a", 10.0), ("b", 6.5), ("c", 3.0)]
+        assert top_k_exact_order(FREQS, reported, 3)
+
+    def test_exact_order_false_when_swapped(self):
+        reported = [("b", 11.0), ("a", 10.0)]
+        assert not top_k_exact_order(FREQS, reported, 2)
+
+    def test_exact_order_false_when_too_short(self):
+        assert not top_k_exact_order(FREQS, [("a", 10.0)], 2)
+
+    def test_ties_are_interchangeable(self):
+        frequencies = {"a": 5.0, "b": 5.0, "c": 1.0}
+        assert top_k_exact_order(frequencies, [("b", 5.0), ("a", 5.0)], 2)

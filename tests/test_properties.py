@@ -1,0 +1,237 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These tests exercise the algorithms on arbitrary small streams drawn by
+hypothesis and check the invariants the paper's proofs rely on:
+
+* SPACESAVING: counters sum to the stream length, estimates never
+  underestimate, errors are bounded by the minimum counter, and the k-tail
+  bound holds for every k.
+* FREQUENT: estimates never overestimate, errors are bounded by the number
+  of decrement steps, and the k-tail bound holds for every k.
+* The two SPACESAVING implementations agree; FREQUENT's two modes agree.
+* Sparse recovery never beats the information-theoretic optimum but stays
+  within the Theorem 5 bound.
+* Residual norms are monotone and 1-Lipschitz (Lemma 12).
+"""
+
+import collections
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.frequent import Frequent
+from repro.algorithms.frequent_real import FrequentR
+from repro.algorithms.space_saving import SpaceSaving, SpaceSavingHeap
+from repro.core.sparse_recovery import k_sparse_recovery
+from repro.metrics.error import max_error, residual
+from repro.metrics.recovery import lp_error, optimal_lp_error
+
+# Small alphabets force plenty of evictions / decrements even on short streams.
+items = st.integers(min_value=0, max_value=20)
+streams = st.lists(items, min_size=0, max_size=300)
+budgets = st.integers(min_value=1, max_value=12)
+
+
+def true_frequencies(stream):
+    return {item: float(count) for item, count in collections.Counter(stream).items()}
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=streams, m=budgets)
+def test_space_saving_counters_sum_to_stream_length(stream, m):
+    summary = SpaceSaving(num_counters=m)
+    summary.update_many(stream)
+    assert sum(summary.counters().values()) == len(stream)
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=streams, m=budgets)
+def test_space_saving_never_underestimates(stream, m):
+    summary = SpaceSaving(num_counters=m)
+    summary.update_many(stream)
+    frequencies = true_frequencies(stream)
+    for item, count in summary.counters().items():
+        assert count >= frequencies.get(item, 0.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=streams, m=budgets)
+def test_space_saving_error_at_most_min_counter(stream, m):
+    summary = SpaceSaving(num_counters=m)
+    summary.update_many(stream)
+    assert max_error(true_frequencies(stream), summary) <= summary.min_count + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=streams, m=budgets)
+def test_frequent_never_overestimates(stream, m):
+    summary = Frequent(num_counters=m)
+    summary.update_many(stream)
+    frequencies = true_frequencies(stream)
+    for item, count in summary.counters().items():
+        assert count <= frequencies.get(item, 0.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=streams, m=budgets)
+def test_frequent_error_at_most_decrements(stream, m):
+    summary = Frequent(num_counters=m)
+    summary.update_many(stream)
+    frequencies = true_frequencies(stream)
+    assert max_error(frequencies, summary) <= summary.decrements + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=streams, m=budgets)
+def test_k_tail_guarantee_for_every_k(stream, m):
+    """Appendices B and C: delta_i <= F1_res(k) / (m - k) for every k < m."""
+    frequencies = true_frequencies(stream)
+    for cls in (Frequent, SpaceSaving):
+        summary = cls(num_counters=m)
+        summary.update_many(stream)
+        observed = max_error(frequencies, summary)
+        for k in range(m):
+            bound = residual(frequencies, k) / (m - k)
+            assert observed <= bound + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=streams, m=budgets)
+def test_space_saving_variants_agree_on_counter_values(stream, m):
+    stream_summary = SpaceSaving(num_counters=m)
+    heap = SpaceSavingHeap(num_counters=m)
+    stream_summary.update_many(stream)
+    heap.update_many(stream)
+    assert sorted(stream_summary.counters().values()) == sorted(heap.counters().values())
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=streams, m=budgets)
+def test_frequent_modes_agree(stream, m):
+    lazy = Frequent(num_counters=m, mode="lazy")
+    eager = Frequent(num_counters=m, mode="eager")
+    lazy.update_many(stream)
+    eager.update_many(stream)
+    assert lazy.counters() == eager.counters()
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=streams, m=budgets)
+def test_frequent_r_matches_frequent_on_unit_streams(stream, m):
+    unit = Frequent(num_counters=m)
+    weighted = FrequentR(num_counters=m)
+    unit.update_many(stream)
+    for item in stream:
+        weighted.update(item, 1.0)
+    unit_counters = unit.counters()
+    weighted_counters = weighted.counters()
+    assert set(unit_counters) == set(weighted_counters)
+    for item, value in unit_counters.items():
+        assert abs(weighted_counters[item] - value) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream=st.lists(items, min_size=1, max_size=300), k=st.integers(1, 5))
+def test_k_sparse_recovery_between_optimal_and_bound(stream, k):
+    frequencies = true_frequencies(stream)
+    m = k * 21  # k * (2/eps + 1) with eps = 0.1
+    summary = SpaceSaving(num_counters=m)
+    summary.update_many(stream)
+    result = k_sparse_recovery(summary, k=k, epsilon=0.1)
+    achieved = result.error(frequencies, 1)
+    assert achieved >= optimal_lp_error(frequencies, k, 1) - 1e-9
+    assert achieved <= result.guaranteed_error(frequencies, 1) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    frequencies=st.dictionaries(
+        st.integers(0, 50), st.integers(0, 100).map(float), max_size=30
+    ),
+    k=st.integers(0, 10),
+)
+def test_residual_monotone_and_bounded(frequencies, k):
+    assert 0.0 <= residual(frequencies, k + 1) <= residual(frequencies, k)
+    assert residual(frequencies, 0) == sum(frequencies.values())
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    x=st.dictionaries(st.integers(0, 20), st.integers(0, 50).map(float), max_size=15),
+    y=st.dictionaries(st.integers(0, 20), st.integers(0, 50).map(float), max_size=15),
+    k=st.integers(0, 5),
+)
+def test_residual_is_lipschitz_in_l1(x, y, k):
+    """Lemma 12: |F1_res(k)(x) - F1_res(k)(y)| <= ||x - y||_1."""
+    distance = lp_error(x, y, 1)
+    assert abs(residual(x, k) - residual(y, k)) <= distance + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream=streams, weights=st.lists(st.floats(0.01, 50.0), min_size=0, max_size=300))
+def test_weighted_space_saving_sum_invariant(stream, weights):
+    from repro.algorithms.space_saving_real import SpaceSavingR
+
+    pairs = list(zip(stream, weights))
+    summary = SpaceSavingR(num_counters=8)
+    total = 0.0
+    for item, weight in pairs:
+        summary.update(item, weight)
+        total += weight
+    assert abs(sum(summary.counters().values()) - total) < 1e-6 * max(total, 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream=st.lists(st.integers(0, 40), min_size=0, max_size=200), m=budgets)
+def test_serialization_round_trip_preserves_estimates(stream, m):
+    from repro import serialization
+
+    for cls in (Frequent, SpaceSaving, SpaceSavingHeap):
+        original = cls(num_counters=m)
+        original.update_many(stream)
+        clone = serialization.loads(serialization.dumps(original))
+        assert clone.counters() == original.counters()
+        assert clone.stream_length == original.stream_length
+        for item in set(stream):
+            assert clone.estimate(item) == original.estimate(item)
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream=st.lists(st.integers(0, 30), min_size=1, max_size=250))
+def test_heavy_hitters_query_has_no_false_negatives(stream):
+    """Any item above phi*N must appear in the report (guaranteed by eps < phi)."""
+    from repro.core.heavy_hitters import HeavyHitters
+
+    phi = 0.2
+    hh = HeavyHitters(phi=phi, epsilon=0.1)
+    hh.update_many(stream)
+    frequencies = collections.Counter(stream)
+    reported = {report.item for report in hh.report()}
+    for item, count in frequencies.items():
+        if count > phi * len(stream):
+            assert item in reported
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    stream=st.lists(st.integers(0, 25), min_size=4, max_size=240),
+    parts=st.integers(2, 4),
+    k=st.integers(1, 4),
+)
+def test_merged_summaries_keep_theorem11_guarantee(stream, parts, k):
+    """The default merge satisfies the (3A, A+B) = (3, 2) k-tail bound."""
+    from repro.core.merging import merge_summaries
+    from repro.streams.stream import Stream
+
+    m = 10
+    if m <= 2 * k:
+        return
+    wrapped = Stream(list(stream))
+    summaries = []
+    for part in wrapped.split(parts):
+        summary = SpaceSaving(num_counters=m)
+        part.feed(summary)
+        summaries.append(summary)
+    merged = merge_summaries(summaries, k=k, make_estimator=lambda: SpaceSaving(m))
+    frequencies = true_frequencies(stream)
+    bound = 3.0 * residual(frequencies, k) / (m - 2 * k)
+    assert max_error(frequencies, merged.estimator) <= bound + 1e-9

@@ -1,0 +1,163 @@
+"""Tests for summary serialisation (wire format for merging / storage)."""
+
+import json
+
+import pytest
+
+from repro import serialization
+from repro.algorithms.frequent import Frequent
+from repro.algorithms.frequent_real import FrequentR
+from repro.algorithms.lossy_counting import LossyCounting
+from repro.algorithms.space_saving import SpaceSaving, SpaceSavingHeap
+from repro.algorithms.space_saving_real import SpaceSavingR
+from repro.core.merging import merge_summaries
+from repro.sketches.count_min import CountMinSketch
+from repro.streams.exact import ExactCounter
+from repro.streams.generators import zipf_stream
+
+
+ALL_CLASSES = [
+    lambda: Frequent(num_counters=32),
+    lambda: FrequentR(num_counters=32),
+    lambda: SpaceSaving(num_counters=32),
+    lambda: SpaceSavingHeap(num_counters=32),
+    lambda: SpaceSavingR(num_counters=32),
+    lambda: ExactCounter(),
+]
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return zipf_stream(num_items=300, alpha=1.2, total=4_000, seed=55)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("factory", ALL_CLASSES)
+    def test_estimates_preserved(self, factory, stream):
+        original = factory()
+        stream.feed(original)
+        clone = serialization.load(serialization.dump(original))
+        assert type(clone) is type(original)
+        assert clone.num_counters == original.num_counters
+        assert clone.stream_length == original.stream_length
+        assert clone.counters() == original.counters()
+        for item in list(stream.frequencies())[:50]:
+            assert clone.estimate(item) == original.estimate(item)
+
+    @pytest.mark.parametrize("factory", ALL_CLASSES)
+    def test_json_round_trip(self, factory, stream):
+        original = factory()
+        stream.feed(original)
+        text = serialization.dumps(original)
+        json.loads(text)  # valid JSON
+        clone = serialization.loads(text)
+        assert clone.counters() == original.counters()
+
+    def test_per_item_errors_preserved(self, stream):
+        original = SpaceSaving(num_counters=32)
+        stream.feed(original)
+        clone = serialization.load(serialization.dump(original))
+        assert clone.per_item_errors() == original.per_item_errors()
+        assert clone.min_count == original.min_count
+
+    def test_lossy_counting_round_trip(self, stream):
+        original = LossyCounting(epsilon=0.05)
+        stream.feed(original)
+        clone = serialization.load(serialization.dump(original))
+        assert clone.counters() == original.counters()
+        assert clone.epsilon == original.epsilon
+        # The clone keeps pruning on the original schedule.
+        clone.update_many(list(stream.items[:40]))
+        assert clone.stream_length == original.stream_length + 40
+
+    def test_clone_keeps_processing(self, stream):
+        original = SpaceSaving(num_counters=16)
+        stream.feed(original)
+        clone = serialization.load(serialization.dump(original))
+        clone.update_many(["brand-new-item"] * 100)
+        assert clone.estimate("brand-new-item") >= 100
+        assert sum(clone.counters().values()) == pytest.approx(
+            original.stream_length + 100
+        )
+
+    def test_string_and_int_items_coexist(self):
+        original = SpaceSavingHeap(num_counters=8)
+        original.update_many(["a", 1, "a", 2, 1])
+        clone = serialization.load(serialization.dump(original))
+        assert clone.estimate("a") == 2.0
+        assert clone.estimate(1) == 2.0
+        assert clone.estimate(2) == 1.0
+
+    def test_merging_deserialized_site_summaries(self, stream):
+        """The Section 6.2 deployment: sites ship payloads, coordinator merges."""
+        payloads = []
+        for part in stream.split(4):
+            summary = SpaceSaving(num_counters=64)
+            part.feed(summary)
+            payloads.append(serialization.dumps(summary))
+        summaries = [serialization.loads(text) for text in payloads]
+        merged = merge_summaries(
+            summaries, k=10, make_estimator=lambda: SpaceSaving(num_counters=64)
+        )
+        assert merged.check(stream.frequencies()).holds
+
+
+class TestValidation:
+    def test_unregistered_class_rejected(self):
+        sketch = CountMinSketch(width=8, depth=2)
+        with pytest.raises(serialization.SerializationError):
+            serialization.dump(sketch)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(serialization.SerializationError):
+            serialization.load({"format": "something-else", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        payload = serialization.dump(Frequent(num_counters=4))
+        payload["version"] = 99
+        with pytest.raises(serialization.SerializationError):
+            serialization.load(payload)
+
+    def test_unknown_algorithm_rejected(self):
+        payload = serialization.dump(Frequent(num_counters=4))
+        payload["algorithm"] = "Mystery"
+        with pytest.raises(serialization.SerializationError):
+            serialization.load(payload)
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(serialization.SerializationError):
+            serialization.load(["not", "a", "dict"])
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(serialization.SerializationError):
+            serialization.loads("{not json")
+
+    def test_unsupported_item_type_rejected(self):
+        summary = SpaceSaving(num_counters=4)
+        summary.update(("tuple", "item"))
+        with pytest.raises(serialization.SerializationError):
+            serialization.dump(summary)
+
+    def test_bool_items_rejected(self):
+        summary = SpaceSaving(num_counters=4)
+        summary.update(True)
+        with pytest.raises(serialization.SerializationError):
+            serialization.dump(summary)
+
+
+class TestSizeAccounting:
+    def test_size_matches_word_model(self, stream):
+        summary = SpaceSaving(num_counters=32)
+        stream.feed(summary)
+        payload = serialization.dump(summary)
+        expected = 2 * len(summary.counters()) + len(summary.per_item_errors())
+        assert serialization.serialized_size_words(payload) == expected
+
+    def test_size_grows_with_counters(self, stream):
+        small = SpaceSaving(num_counters=8)
+        large = SpaceSaving(num_counters=64)
+        stream.feed(small)
+        stream.feed(large)
+        assert serialization.serialized_size_words(
+            serialization.dump(small)
+        ) < serialization.serialized_size_words(serialization.dump(large))

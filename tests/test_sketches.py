@@ -1,0 +1,156 @@
+"""Tests for the sketch baselines (hashing, Count-Min, Count-Sketch)."""
+
+import random
+
+import pytest
+
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.count_sketch import CountSketch
+from repro.sketches.hashing import MERSENNE_PRIME, PairwiseHash, SignHash, stable_fingerprint
+
+
+class TestHashing:
+    def test_fingerprint_is_stable_for_strings(self):
+        assert stable_fingerprint("hello") == stable_fingerprint("hello")
+        assert stable_fingerprint("hello") != stable_fingerprint("world")
+
+    def test_fingerprint_maps_ints_to_themselves(self):
+        assert stable_fingerprint(42) == 42
+        assert stable_fingerprint(0) == 0
+
+    def test_fingerprint_handles_bools_and_tuples(self):
+        assert stable_fingerprint(True) == 1
+        assert isinstance(stable_fingerprint(("a", 1)), int)
+
+    def test_pairwise_hash_stays_in_range(self):
+        h = PairwiseHash(width=17, rng=random.Random(1))
+        for x in range(1_000):
+            assert 0 <= h(x) < 17
+
+    def test_pairwise_hash_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            PairwiseHash(width=0, rng=random.Random(1))
+
+    def test_pairwise_hash_spreads_values(self):
+        h = PairwiseHash(width=64, rng=random.Random(2))
+        buckets = {h(x) for x in range(2_000)}
+        assert len(buckets) > 48  # nearly all cells hit
+
+    def test_different_seeds_give_different_functions(self):
+        h1 = PairwiseHash(width=1_000, rng=random.Random(1))
+        h2 = PairwiseHash(width=1_000, rng=random.Random(2))
+        collisions = sum(1 for x in range(500) if h1(x) == h2(x))
+        assert collisions < 50
+
+    def test_sign_hash_is_plus_minus_one_and_balanced(self):
+        s = SignHash(random.Random(3))
+        values = [s(x) for x in range(4_000)]
+        assert set(values) <= {-1, 1}
+        assert abs(sum(values)) < 400
+
+    def test_mersenne_prime_value(self):
+        assert MERSENNE_PRIME == 2**61 - 1
+
+
+class TestCountMin:
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=8, depth=0)
+
+    def test_never_underestimates(self, zipf_medium):
+        sketch = CountMinSketch(width=256, depth=4, seed=5)
+        zipf_medium.feed(sketch)
+        frequencies = zipf_medium.frequencies()
+        for item, true in frequencies.items():
+            assert sketch.estimate(item) >= true - 1e-9
+
+    def test_exact_for_unseen_items_is_nonnegative(self):
+        sketch = CountMinSketch(width=64, depth=4)
+        sketch.update("a")
+        assert sketch.estimate("never-seen") >= 0.0
+
+    def test_error_within_f1_bound_whp(self, zipf_medium):
+        # Classical bound: error <= e * F1 / width with prob >= 1 - e^-depth.
+        sketch = CountMinSketch(width=512, depth=6, seed=11)
+        zipf_medium.feed(sketch)
+        frequencies = zipf_medium.frequencies()
+        f1 = sum(frequencies.values())
+        bound = 2.718281828 * f1 / 512
+        violations = sum(
+            1 for item, true in frequencies.items() if sketch.estimate(item) - true > bound
+        )
+        # The guarantee is per-item with failure probability e^-depth, so a
+        # small number of violations across ~2000 items is expected noise.
+        assert violations <= 0.01 * len(frequencies)
+
+    def test_from_error_rate_dimensions(self):
+        sketch = CountMinSketch.from_error_rate(epsilon=0.01, delta=0.01)
+        assert sketch.width >= 271
+        assert sketch.depth >= 5
+
+    def test_merge_adds_counts(self):
+        left = CountMinSketch(width=64, depth=4, seed=9)
+        right = CountMinSketch(width=64, depth=4, seed=9)
+        left.update_many(["a", "a", "b"])
+        right.update_many(["a", "c"])
+        merged = left.merge(right)
+        assert merged.estimate("a") >= 3.0
+        assert merged.stream_length == 5.0
+
+    def test_merge_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=64, depth=4).merge(CountMinSketch(width=32, depth=4))
+
+    def test_track_candidates_populates_counters(self):
+        sketch = CountMinSketch(width=64, depth=4)
+        sketch.update_many(["a", "b", "a"])
+        sketch.track_candidates(["a", "b"])
+        counters = sketch.counters()
+        assert counters["a"] >= 2.0
+        assert set(counters) == {"a", "b"}
+
+    def test_size_in_words(self):
+        sketch = CountMinSketch(width=100, depth=5)
+        assert sketch.size_in_words() == 100 * 5 + 2 * 5
+
+
+class TestCountSketch:
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            CountSketch(width=8, depth=0)
+
+    def test_reasonably_accurate_on_heavy_items(self, zipf_medium):
+        sketch = CountSketch(width=512, depth=5, seed=13)
+        zipf_medium.feed(sketch)
+        frequencies = zipf_medium.frequencies()
+        top = sorted(frequencies.items(), key=lambda kv: -kv[1])[:10]
+        f1 = sum(frequencies.values())
+        for item, true in top:
+            assert abs(sketch.estimate(item) - true) <= 0.05 * f1
+
+    def test_estimate_of_unseen_item_is_small(self, zipf_medium):
+        sketch = CountSketch(width=512, depth=5, seed=13)
+        zipf_medium.feed(sketch)
+        f1 = zipf_medium.total_weight
+        assert abs(sketch.estimate("never-seen")) <= 0.05 * f1
+
+    def test_merge_adds_counts(self):
+        left = CountSketch(width=64, depth=5, seed=17)
+        right = CountSketch(width=64, depth=5, seed=17)
+        left.update_many(["a"] * 10)
+        right.update_many(["a"] * 5)
+        merged = left.merge(right)
+        assert merged.estimate("a") == pytest.approx(15.0)
+
+    def test_merge_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            CountSketch(width=64, depth=5).merge(CountSketch(width=64, depth=3))
+
+    def test_from_error_rate_dimensions(self):
+        sketch = CountSketch.from_error_rate(epsilon=0.1, delta=0.05)
+        assert sketch.width >= 300
+        assert sketch.depth >= 3
+
+    def test_size_in_words(self):
+        sketch = CountSketch(width=100, depth=5)
+        assert sketch.size_in_words() == 100 * 5 + 4 * 5

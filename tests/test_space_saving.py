@@ -1,0 +1,202 @@
+"""Tests for the SPACESAVING algorithm (Stream-Summary and heap variants)."""
+
+import pytest
+
+from repro.algorithms.space_saving import SpaceSaving, SpaceSavingHeap
+from repro.metrics.error import max_error, residual
+
+VARIANTS = [SpaceSaving, SpaceSavingHeap]
+
+
+@pytest.mark.parametrize("cls", VARIANTS)
+class TestBasicBehaviour:
+    def test_exact_when_under_capacity(self, cls):
+        summary = cls(num_counters=10)
+        summary.update_many(["a", "b", "a", "c", "a"])
+        assert summary.estimate("a") == 3.0
+        assert summary.estimate("b") == 1.0
+
+    def test_replacement_inherits_min_count(self, cls):
+        summary = cls(num_counters=2)
+        summary.update_many(["a", "a", "b", "c"])
+        # c replaces b (the minimum, count 1) and inherits 1 + 1 = 2.
+        assert summary.estimate("c") == 2.0
+        assert summary.estimate("b") == 0.0
+        assert summary.estimate("a") == 2.0
+
+    def test_counters_sum_equals_stream_length(self, cls, zipf_medium):
+        summary = cls(num_counters=64)
+        zipf_medium.feed(summary)
+        assert sum(summary.counters().values()) == pytest.approx(
+            zipf_medium.total_weight
+        )
+
+    def test_never_underestimates(self, cls, zipf_medium):
+        summary = cls(num_counters=64)
+        zipf_medium.feed(summary)
+        frequencies = zipf_medium.frequencies()
+        for item, true in frequencies.items():
+            assert summary.estimate(item) >= true or summary.estimate(item) == 0.0
+        # Stored items specifically must overestimate.
+        for item, count in summary.counters().items():
+            assert count >= frequencies.get(item, 0.0)
+
+    def test_error_bounded_by_min_count(self, cls, zipf_medium):
+        summary = cls(num_counters=64)
+        zipf_medium.feed(summary)
+        frequencies = zipf_medium.frequencies()
+        assert max_error(frequencies, summary) <= summary.min_count + 1e-9
+
+    def test_per_item_errors_bound_overestimate(self, cls, zipf_medium):
+        summary = cls(num_counters=64)
+        zipf_medium.feed(summary)
+        frequencies = zipf_medium.frequencies()
+        errors = summary.per_item_errors()
+        for item, count in summary.counters().items():
+            assert count - frequencies.get(item, 0.0) <= errors[item] + 1e-9
+
+    def test_exactly_m_items_stored_once_full(self, cls):
+        summary = cls(num_counters=5)
+        summary.update_many([i % 50 for i in range(1_000)])
+        assert len(summary) == 5
+
+    def test_min_count_zero_while_not_full(self, cls):
+        summary = cls(num_counters=10)
+        summary.update_many(["a", "b"])
+        assert summary.min_count == 0.0
+
+    def test_zero_weight_update_is_noop(self, cls):
+        summary = cls(num_counters=3)
+        summary.update("a", 0.0)
+        assert summary.stream_length == 0.0
+        assert summary.counters() == {}
+
+    def test_negative_weight_rejected(self, cls):
+        summary = cls(num_counters=3)
+        with pytest.raises(ValueError):
+            summary.update("a", -1.0)
+
+    def test_weighted_updates_single_step(self, cls):
+        summary = cls(num_counters=2)
+        summary.update("a", 3.5)
+        summary.update("b", 1.0)
+        summary.update("c", 0.25)
+        assert summary.estimate("c") == pytest.approx(1.25)
+        assert sum(summary.counters().values()) == pytest.approx(4.75)
+
+
+@pytest.mark.parametrize("cls", VARIANTS)
+class TestGuarantees:
+    @pytest.mark.parametrize("m", [20, 50, 150])
+    def test_f1_guarantee(self, cls, zipf_medium, m):
+        summary = cls(num_counters=m)
+        zipf_medium.feed(summary)
+        frequencies = zipf_medium.frequencies()
+        f1 = sum(frequencies.values())
+        assert max_error(frequencies, summary) <= f1 / m
+
+    @pytest.mark.parametrize("m,k", [(50, 5), (50, 25), (100, 10), (200, 50)])
+    def test_k_tail_guarantee_constants_one(self, cls, zipf_medium, m, k):
+        summary = cls(num_counters=m)
+        zipf_medium.feed(summary)
+        frequencies = zipf_medium.frequencies()
+        bound = residual(frequencies, k) / (m - k)
+        assert max_error(frequencies, summary) <= bound + 1e-9
+
+    def test_top_counter_at_least_top_frequency(self, cls, zipf_medium):
+        # Theorem 2 of [25]: the i-th largest counter is at least f_i.
+        summary = cls(num_counters=64)
+        zipf_medium.feed(summary)
+        frequencies = zipf_medium.frequencies()
+        true_sorted = sorted(frequencies.values(), reverse=True)
+        counter_sorted = sorted(summary.counters().values(), reverse=True)
+        for i in range(10):
+            assert counter_sorted[i] >= true_sorted[i] - 1e-9
+
+    def test_exact_on_streams_with_few_distinct_items(self, cls):
+        summary = cls(num_counters=10)
+        summary.update_many(["a"] * 40 + ["b"] * 25 + ["c"] * 35)
+        assert summary.estimate("a") == 40.0
+        assert summary.estimate("b") == 25.0
+        assert summary.estimate("c") == 35.0
+
+
+@pytest.mark.parametrize("cls", VARIANTS)
+class TestUnderestimatingCorrections:
+    def test_corrected_counters_underestimate(self, cls, zipf_medium):
+        summary = cls(num_counters=64)
+        zipf_medium.feed(summary)
+        frequencies = zipf_medium.frequencies()
+        for item, value in summary.corrected_counters().items():
+            assert value <= frequencies.get(item, 0.0) + 1e-9
+
+    def test_guaranteed_counters_underestimate(self, cls, zipf_medium):
+        summary = cls(num_counters=64)
+        zipf_medium.feed(summary)
+        frequencies = zipf_medium.frequencies()
+        for item, value in summary.guaranteed_counters().items():
+            assert value <= frequencies.get(item, 0.0) + 1e-9
+
+    def test_guaranteed_at_least_corrected(self, cls, zipf_medium):
+        # The per-item correction epsilon_i <= Delta, so c_i - epsilon_i is a
+        # tighter (larger) underestimate than c_i - Delta.
+        summary = cls(num_counters=64)
+        zipf_medium.feed(summary)
+        corrected = summary.corrected_counters()
+        guaranteed = summary.guaranteed_counters()
+        for item in corrected:
+            assert guaranteed[item] >= corrected[item] - 1e-9
+
+
+class TestVariantEquivalence:
+    @pytest.mark.parametrize("m", [2, 5, 16])
+    def test_counter_values_match_between_variants(self, m, zipf_medium):
+        stream_summary = SpaceSaving(num_counters=m)
+        heap = SpaceSavingHeap(num_counters=m)
+        zipf_medium.feed(stream_summary)
+        zipf_medium.feed(heap)
+        # Counter *values* (as a multiset) always coincide; item identity may
+        # legitimately differ only among items sharing a counter value.
+        assert sorted(stream_summary.counters().values()) == pytest.approx(
+            sorted(heap.counters().values())
+        )
+        assert stream_summary.min_count == pytest.approx(heap.min_count)
+
+    def test_identical_assignments_on_simple_stream(self):
+        stream = ["a", "a", "b", "c", "c", "c", "d", "a", "e"]
+        stream_summary = SpaceSaving(num_counters=3)
+        heap = SpaceSavingHeap(num_counters=3)
+        stream_summary.update_many(stream)
+        heap.update_many(stream)
+        assert stream_summary.counters() == heap.counters()
+
+
+class TestStreamSummaryStructure:
+    def test_bucket_list_sorted_ascending(self, zipf_medium):
+        summary = SpaceSaving(num_counters=32)
+        zipf_medium.feed(summary)
+        counts = []
+        bucket = summary._head
+        while bucket is not None:
+            counts.append(bucket.count)
+            assert bucket.items, "no empty buckets may remain linked"
+            bucket = bucket.next
+        assert counts == sorted(counts)
+        assert len(set(counts)) == len(counts), "bucket counts must be distinct"
+
+    def test_bucket_membership_consistent(self, zipf_medium):
+        summary = SpaceSaving(num_counters=32)
+        zipf_medium.feed(summary)
+        for item, bucket in summary._bucket_of.items():
+            assert item in bucket.items
+            assert summary.estimate(item) == bucket.count
+
+    def test_backward_links_consistent(self, zipf_medium):
+        summary = SpaceSaving(num_counters=32)
+        zipf_medium.feed(summary)
+        bucket = summary._head
+        previous = None
+        while bucket is not None:
+            assert bucket.prev is previous
+            previous = bucket
+            bucket = bucket.next

@@ -1,0 +1,148 @@
+"""Tests for k-sparse / m-sparse recovery and residual estimation (Section 4)."""
+
+import pytest
+
+from repro.algorithms.frequent import Frequent
+from repro.algorithms.space_saving import SpaceSaving
+from repro.core.sparse_recovery import (
+    best_k_sparse,
+    counters_for_m_sparse,
+    counters_for_sparse_recovery,
+    estimate_residual,
+    k_sparse_recovery,
+    m_sparse_recovery,
+)
+from repro.metrics.error import residual
+from repro.metrics.recovery import lp_error, optimal_lp_error
+from repro.sketches.count_min import CountMinSketch
+
+
+FACTORIES = {
+    "frequent": lambda m: Frequent(num_counters=m),
+    "spacesaving": lambda m: SpaceSaving(num_counters=m),
+}
+
+
+@pytest.fixture(params=sorted(FACTORIES))
+def factory(request):
+    return FACTORIES[request.param]
+
+
+class TestKSparseRecovery:
+    @pytest.mark.parametrize("k,epsilon", [(5, 0.5), (10, 0.2), (20, 0.1)])
+    @pytest.mark.parametrize("p", [1.0, 2.0])
+    def test_theorem5_bound_holds(self, factory, zipf_medium, k, epsilon, p):
+        m = counters_for_sparse_recovery(k, epsilon, one_sided=True)
+        estimator = factory(m)
+        zipf_medium.feed(estimator)
+        result = k_sparse_recovery(estimator, k=k, epsilon=epsilon)
+        frequencies = zipf_medium.frequencies()
+        assert result.error(frequencies, p) <= result.guaranteed_error(frequencies, p) + 1e-6
+
+    def test_recovery_is_k_sparse(self, factory, zipf_medium):
+        estimator = factory(100)
+        zipf_medium.feed(estimator)
+        result = k_sparse_recovery(estimator, k=7)
+        assert len(result.recovery) <= 7
+        assert result.kind == "k-sparse"
+
+    def test_error_approaches_optimal_as_epsilon_shrinks(self, zipf_medium):
+        frequencies = zipf_medium.frequencies()
+        k = 10
+        errors = []
+        for epsilon in (0.5, 0.1, 0.02):
+            m = counters_for_sparse_recovery(k, epsilon)
+            estimator = SpaceSaving(num_counters=m)
+            zipf_medium.feed(estimator)
+            errors.append(k_sparse_recovery(estimator, k=k).error(frequencies, 1))
+        optimal = optimal_lp_error(frequencies, k, 1)
+        assert errors[-1] <= errors[0]
+        assert errors[-1] <= 1.1 * optimal + 1e-9
+
+    def test_epsilon_derived_from_budget(self, zipf_medium):
+        estimator = SpaceSaving(num_counters=210)  # k(2/eps + 1) with k=10,eps=0.1
+        zipf_medium.feed(estimator)
+        result = k_sparse_recovery(estimator, k=10)
+        assert result.epsilon == pytest.approx(0.1)
+
+    def test_rejects_bad_k(self, zipf_medium):
+        estimator = SpaceSaving(num_counters=20)
+        zipf_medium.feed(estimator)
+        with pytest.raises(ValueError):
+            k_sparse_recovery(estimator, k=0)
+
+    def test_rejects_budget_below_bk(self, zipf_medium):
+        estimator = SpaceSaving(num_counters=5)
+        zipf_medium.feed(estimator)
+        with pytest.raises(ValueError):
+            k_sparse_recovery(estimator, k=10)
+
+
+class TestResidualEstimation:
+    @pytest.mark.parametrize("k,epsilon", [(5, 0.5), (10, 0.2), (20, 0.1)])
+    def test_theorem6_sandwich(self, factory, zipf_medium, k, epsilon):
+        m = counters_for_m_sparse(k, epsilon)
+        estimator = factory(m)
+        zipf_medium.feed(estimator)
+        estimate, _ = estimate_residual(estimator, k=k, epsilon=epsilon)
+        true_residual = residual(zipf_medium.frequencies(), k)
+        assert (1 - epsilon) * true_residual - 1e-6 <= estimate
+        assert estimate <= (1 + epsilon) * true_residual + 1e-6
+
+    def test_epsilon_derived_from_budget(self, zipf_medium):
+        estimator = SpaceSaving(num_counters=110)  # k + k/eps with k=10, eps=0.1
+        zipf_medium.feed(estimator)
+        _, epsilon = estimate_residual(estimator, k=10)
+        assert epsilon == pytest.approx(0.1)
+
+    def test_rejects_too_small_budget(self, zipf_medium):
+        estimator = SpaceSaving(num_counters=5)
+        zipf_medium.feed(estimator)
+        with pytest.raises(ValueError):
+            estimate_residual(estimator, k=10)
+
+
+class TestMSparseRecovery:
+    @pytest.mark.parametrize("k,epsilon", [(5, 0.5), (10, 0.2)])
+    @pytest.mark.parametrize("p", [1.0, 2.0])
+    def test_theorem7_bound_holds(self, factory, zipf_medium, k, epsilon, p):
+        m = counters_for_m_sparse(k, epsilon)
+        estimator = factory(m)
+        zipf_medium.feed(estimator)
+        result = m_sparse_recovery(estimator, k=k, epsilon=epsilon)
+        frequencies = zipf_medium.frequencies()
+        assert result.error(frequencies, p) <= result.guaranteed_error(frequencies, p) + 1e-6
+
+    def test_recovery_values_never_exceed_truth(self, factory, zipf_medium):
+        estimator = factory(150)
+        zipf_medium.feed(estimator)
+        result = m_sparse_recovery(estimator, k=10)
+        frequencies = zipf_medium.frequencies()
+        for item, value in result.recovery.items():
+            assert value <= frequencies.get(item, 0.0) + 1e-9
+
+    def test_rejects_overestimating_algorithm_without_correction(self, zipf_medium):
+        sketch = CountMinSketch(width=64, depth=4)
+        zipf_medium.feed(sketch)
+        with pytest.raises(ValueError):
+            m_sparse_recovery(sketch, k=5)
+
+    def test_kind_and_no_zero_entries(self, zipf_medium):
+        estimator = Frequent(num_counters=120)
+        zipf_medium.feed(estimator)
+        result = m_sparse_recovery(estimator, k=10)
+        assert result.kind == "m-sparse"
+        assert all(value > 0 for value in result.recovery.values())
+
+
+class TestBestKSparse:
+    def test_keeps_largest_entries(self):
+        frequencies = {"a": 5.0, "b": 3.0, "c": 1.0}
+        assert best_k_sparse(frequencies, 2) == {"a": 5.0, "b": 3.0}
+
+    def test_is_optimal(self, zipf_medium):
+        frequencies = zipf_medium.frequencies()
+        recovery = best_k_sparse(frequencies, 15)
+        assert lp_error(frequencies, recovery, 1) == pytest.approx(
+            optimal_lp_error(frequencies, 15, 1)
+        )

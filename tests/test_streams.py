@@ -1,0 +1,122 @@
+"""Tests for Stream / WeightedStream containers and the exact counter."""
+
+import pytest
+
+from repro.algorithms.space_saving import SpaceSaving
+from repro.streams.exact import ExactCounter
+from repro.streams.stream import Stream, WeightedStream, concatenate
+
+
+class TestStream:
+    def test_len_iter_getitem(self):
+        stream = Stream(["a", "b", "a"])
+        assert len(stream) == 3
+        assert list(stream) == ["a", "b", "a"]
+        assert stream[1] == "b"
+        assert stream[-1] == "a"
+
+    def test_total_weight_equals_length(self):
+        assert Stream(["a"] * 7).total_weight == 7.0
+
+    def test_frequencies(self):
+        stream = Stream(["a", "b", "a", "c", "a"])
+        assert stream.frequencies() == {"a": 3, "b": 1, "c": 1}
+        assert stream.distinct_items() == 3
+
+    def test_frequencies_cached_not_recomputed(self):
+        stream = Stream(["a", "b"])
+        first = stream.frequencies()
+        assert stream.frequencies() is first
+
+    def test_feed_runs_estimator(self):
+        stream = Stream(["a", "a", "b"])
+        summary = stream.feed(SpaceSaving(num_counters=4))
+        assert summary.estimate("a") == 2.0
+
+    def test_split_contiguous(self):
+        stream = Stream(list(range(10)))
+        parts = stream.split(3)
+        assert [len(p) for p in parts] == [4, 4, 2]
+        assert sum((p.items for p in parts), []) == list(range(10))
+
+    def test_split_rejects_bad_parts(self):
+        with pytest.raises(ValueError):
+            Stream(["a"]).split(0)
+
+    def test_interleave_split_round_robin(self):
+        stream = Stream(list(range(6)))
+        parts = stream.interleave_split(2)
+        assert parts[0].items == [0, 2, 4]
+        assert parts[1].items == [1, 3, 5]
+
+    def test_split_preserves_multiset(self):
+        stream = Stream(["a", "b", "a", "c"] * 5)
+        for splitter in (stream.split, stream.interleave_split):
+            parts = splitter(3)
+            combined = {}
+            for part in parts:
+                for item, count in part.frequencies().items():
+                    combined[item] = combined.get(item, 0) + count
+            assert combined == stream.frequencies()
+
+    def test_to_weighted_has_unit_weights(self):
+        weighted = Stream(["a", "b"]).to_weighted()
+        assert weighted.pairs == [("a", 1.0), ("b", 1.0)]
+
+    def test_concatenate(self):
+        combined = concatenate([Stream(["a"]), Stream(["b", "c"])])
+        assert combined.items == ["a", "b", "c"]
+
+
+class TestWeightedStream:
+    def test_total_weight(self):
+        stream = WeightedStream([("a", 2.5), ("b", 1.5)])
+        assert stream.total_weight == pytest.approx(4.0)
+
+    def test_frequencies_aggregate_weights(self):
+        stream = WeightedStream([("a", 2.0), ("b", 1.0), ("a", 3.0)])
+        assert stream.frequencies() == {"a": 5.0, "b": 1.0}
+        assert stream.distinct_items() == 2
+
+    def test_feed(self):
+        stream = WeightedStream([("a", 2.0), ("b", 1.0)])
+        summary = stream.feed(SpaceSaving(num_counters=4))
+        assert summary.estimate("a") == 2.0
+
+    def test_split(self):
+        stream = WeightedStream([("a", 1.0)] * 6)
+        parts = stream.split(4)
+        assert sum(len(p) for p in parts) == 6
+
+    def test_split_rejects_bad_parts(self):
+        with pytest.raises(ValueError):
+            WeightedStream([("a", 1.0)]).split(0)
+
+    def test_len_iter_getitem(self):
+        stream = WeightedStream([("a", 1.0), ("b", 2.0)])
+        assert len(stream) == 2
+        assert stream[0] == ("a", 1.0)
+        assert list(stream) == [("a", 1.0), ("b", 2.0)]
+
+
+class TestExactCounter:
+    def test_counts_exactly(self):
+        exact = ExactCounter()
+        exact.update_many(["a", "b", "a"])
+        assert exact.estimate("a") == 2.0
+        assert exact.estimate("missing") == 0.0
+
+    def test_weighted_updates(self):
+        exact = ExactCounter()
+        exact.update("a", 2.5)
+        exact.update("a", 0.5)
+        assert exact.estimate("a") == pytest.approx(3.0)
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            ExactCounter().update("a", -1.0)
+
+    def test_size_grows_with_distinct_items(self):
+        exact = ExactCounter()
+        exact.update_many(range(100))
+        assert exact.size_in_words() == 200

@@ -1,0 +1,169 @@
+"""Tests for the HTC framework: guarantees, prefix-guarantee, heavy tolerance."""
+
+import pytest
+
+from repro.algorithms.frequent import Frequent
+from repro.algorithms.space_saving import SpaceSaving
+from repro.core.tail_guarantee import (
+    GuaranteeCheck,
+    TailGuarantee,
+    check_heavy_hitter_guarantee,
+    check_tail_guarantee,
+    derive_tail_bound_iteratively,
+    is_heavy_tolerant_on,
+    is_prefix_guaranteed,
+)
+from repro.metrics.error import residual
+
+
+class TestTailGuaranteeDataclass:
+    def test_bound_evaluation(self):
+        guarantee = TailGuarantee(a=1.0, b=1.0)
+        assert guarantee.bound(90, 100, 10) == 1.0
+
+    def test_max_k(self):
+        assert TailGuarantee(a=1.0, b=1.0).max_k(100) == 99
+        assert TailGuarantee(a=1.0, b=2.0).max_k(100) == 49
+
+    def test_for_algorithm(self):
+        guarantee = TailGuarantee.for_algorithm(SpaceSaving(8))
+        assert (guarantee.a, guarantee.b) == (1.0, 1.0)
+
+
+class TestGuaranteeCheck:
+    def test_holds_and_slack(self):
+        check = GuaranteeCheck(observed=4.0, bound=10.0)
+        assert check.holds
+        assert check.slack == 6.0
+        assert check.utilisation == pytest.approx(0.4)
+
+    def test_violation_detected(self):
+        assert not GuaranteeCheck(observed=11.0, bound=10.0).holds
+
+    def test_zero_bound_utilisation(self):
+        assert GuaranteeCheck(observed=0.0, bound=0.0).utilisation == 0.0
+
+
+class TestEmpiricalGuarantees:
+    def test_heavy_hitter_guarantee_holds(self, counter_factory, zipf_medium):
+        estimator = counter_factory(60)
+        zipf_medium.feed(estimator)
+        assert check_heavy_hitter_guarantee(estimator, zipf_medium.frequencies()).holds
+
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_tail_guarantee_holds(self, counter_factory, zipf_medium, k):
+        estimator = counter_factory(60)
+        zipf_medium.feed(estimator)
+        assert check_tail_guarantee(estimator, zipf_medium.frequencies(), k).holds
+
+    def test_tail_guarantee_holds_on_hard_workloads(
+        self, counter_factory, zipf_flat, uniform_small, heavy_noise
+    ):
+        for stream in (zipf_flat, uniform_small, heavy_noise):
+            estimator = counter_factory(80)
+            stream.feed(estimator)
+            assert check_tail_guarantee(estimator, stream.frequencies(), 10).holds
+
+    def test_tail_bound_tighter_than_f1_bound_on_skewed_data(self, heavy_noise):
+        estimator = SpaceSaving(num_counters=100)
+        heavy_noise.feed(estimator)
+        frequencies = heavy_noise.frequencies()
+        tail = check_tail_guarantee(estimator, frequencies, 10)
+        hh = check_heavy_hitter_guarantee(estimator, frequencies)
+        # 10 heavy items carry 70% of the mass, so dropping them shrinks the
+        # bound by more than 2x.
+        assert tail.bound < hh.bound / 2
+        assert tail.holds and hh.holds
+
+    def test_explicit_constants_override(self, zipf_medium):
+        estimator = Frequent(num_counters=60)
+        zipf_medium.feed(estimator)
+        generic = check_tail_guarantee(
+            estimator, zipf_medium.frequencies(), 10, TailGuarantee(a=1.0, b=2.0)
+        )
+        assert generic.holds
+
+
+class TestPrefixGuarantee:
+    def test_heavy_item_is_prefix_guaranteed(self):
+        # "h" occurs 6 times in the prefix; with m = 2 counters and only 4
+        # other occurrences remaining, no subsequence can evict it.
+        stream = ["h"] * 6 + ["a", "b", "a", "h"]
+        assert is_prefix_guaranteed(
+            lambda: SpaceSaving(num_counters=2), stream, x=6, item="h"
+        )
+        assert is_prefix_guaranteed(
+            lambda: Frequent(num_counters=2), stream, x=6, item="h"
+        )
+
+    def test_light_item_is_not_prefix_guaranteed(self):
+        # "b" occurs once in the prefix; the remaining stream can evict it.
+        stream = ["b", "h", "h", "x", "y", "z", "w"]
+        assert not is_prefix_guaranteed(
+            lambda: Frequent(num_counters=2), stream, x=1, item="b"
+        )
+
+    def test_monotone_in_x(self):
+        # If an item is x-prefix guaranteed it stays guaranteed for larger x.
+        stream = ["h"] * 6 + ["a", "b", "c", "d"]
+        factory = lambda: SpaceSaving(num_counters=3)
+        assert is_prefix_guaranteed(factory, stream, x=6, item="h")
+        assert is_prefix_guaranteed(factory, stream, x=8, item="h")
+
+    def test_rejects_bad_x(self):
+        with pytest.raises(ValueError):
+            is_prefix_guaranteed(lambda: Frequent(2), ["a", "b"], x=5, item="a")
+
+
+class TestHeavyTolerance:
+    """Direct checks of Definition 4 (Theorem 1) on small streams."""
+
+    STREAMS = [
+        ["h"] * 5 + ["a", "h", "b", "c", "h", "d", "e"],
+        ["h", "h", "h", "x", "h", "y", "z", "h", "x", "w"],
+        ["h"] * 4 + ["a", "b", "a", "h", "c", "a"],
+    ]
+
+    @pytest.mark.parametrize("stream", STREAMS)
+    @pytest.mark.parametrize(
+        "factory",
+        [lambda: Frequent(num_counters=3), lambda: SpaceSaving(num_counters=3)],
+        ids=["frequent", "spacesaving"],
+    )
+    def test_removing_guaranteed_occurrence_never_hurts(self, stream, factory):
+        # Remove a late occurrence of the heavy item "h" (which is prefix
+        # guaranteed by then) and verify no per-item error increases.
+        late_positions = [
+            index + 1 for index, token in enumerate(stream) if token == "h"
+        ][3:]
+        for position in late_positions:
+            assert is_heavy_tolerant_on(factory, stream, position)
+
+    def test_position_validation(self):
+        with pytest.raises(ValueError):
+            is_heavy_tolerant_on(lambda: Frequent(2), ["a"], 5)
+
+
+class TestIterativeBoundDerivation:
+    """Numerical replay of the Lemma 4 / Theorem 2 iteration."""
+
+    def test_converges_below_closed_form(self):
+        f1_value, residual_value, m, k = 10_000.0, 500.0, 100, 10
+        iterated = derive_tail_bound_iteratively(f1_value, residual_value, m, k)
+        fixed_point = (k + residual_value) / (m - k)
+        assert iterated <= fixed_point + 1e-6
+
+    def test_fixed_point_below_theorem2_bound(self):
+        f1_value, residual_value, m, k = 10_000.0, 500.0, 100, 10
+        fixed_point = (k + residual_value) / (m - k)
+        theorem2 = residual_value / (m - 2 * k)
+        assert fixed_point <= theorem2 + 1e-9
+
+    def test_never_worse_than_starting_bound(self):
+        f1_value, residual_value, m, k = 1_000.0, 900.0, 20, 4
+        iterated = derive_tail_bound_iteratively(f1_value, residual_value, m, k)
+        assert iterated <= f1_value / m + 1e-9
+
+    def test_requires_m_above_ak(self):
+        with pytest.raises(ValueError):
+            derive_tail_bound_iteratively(100.0, 10.0, 5, 10)

@@ -1,0 +1,82 @@
+"""Tests for the synthetic trace / query-log workload generators."""
+
+from repro.streams.trace import QueryLogGenerator, SyntheticTraceGenerator
+
+
+class TestSyntheticTrace:
+    def test_packet_stream_length_and_domain(self):
+        generator = SyntheticTraceGenerator(num_flows=100, alpha=1.1, seed=1)
+        stream = generator.packet_stream(2_000)
+        assert len(stream) == 2_000
+        assert all(1 <= flow <= 100 for flow in stream.items)
+
+    def test_byte_stream_weights_look_like_packets(self):
+        generator = SyntheticTraceGenerator(num_flows=100, alpha=1.1, seed=1)
+        stream = generator.byte_stream(2_000)
+        sizes = [weight for _, weight in stream.pairs]
+        assert all(40 <= size <= 1_500 for size in sizes)
+        # Bimodal: both small and large packets present.
+        assert any(size < 200 for size in sizes)
+        assert any(size > 900 for size in sizes)
+
+    def test_popularity_is_skewed(self):
+        generator = SyntheticTraceGenerator(num_flows=500, alpha=1.3, seed=2)
+        stream = generator.packet_stream(10_000)
+        frequencies = stream.frequencies()
+        top_10_share = sum(sorted(frequencies.values(), reverse=True)[:10]) / len(stream)
+        assert top_10_share > 0.25
+
+    def test_reproducible(self):
+        a = SyntheticTraceGenerator(num_flows=50, seed=3).packet_stream(500)
+        b = SyntheticTraceGenerator(num_flows=50, seed=3).packet_stream(500)
+        assert a.items == b.items
+
+    def test_bursts_create_temporal_locality(self):
+        generator = SyntheticTraceGenerator(num_flows=1_000, alpha=1.0, burst_length=8, seed=4)
+        stream = generator.packet_stream(5_000)
+        repeats = sum(1 for a, b in zip(stream.items, stream.items[1:]) if a == b)
+        # With bursts of mean length 8, adjacent repeats are frequent.
+        assert repeats > 2_000
+
+
+class TestQueryLog:
+    def test_query_stream_length(self):
+        generator = QueryLogGenerator(vocabulary_size=1_000, seed=5)
+        stream = generator.query_stream(4_000, num_periods=4)
+        assert len(stream) == 4_000
+
+    def test_period_streams_partition_the_log(self):
+        generator = QueryLogGenerator(vocabulary_size=1_000, seed=5)
+        periods = generator.period_streams(4_000, num_periods=4)
+        assert len(periods) == 4
+        assert sum(len(p) for p in periods) == 4_000
+
+    def test_vocabulary_respected(self):
+        generator = QueryLogGenerator(vocabulary_size=200, seed=6)
+        stream = generator.query_stream(1_000, num_periods=2)
+        assert all(term.startswith("term-") for term in stream.items)
+        assert all(0 <= int(term.split("-")[1]) < 200 for term in stream.items)
+
+    def test_trending_terms_shift_between_periods(self):
+        generator = QueryLogGenerator(
+            vocabulary_size=5_000, trending_terms=10, trend_boost=10_000.0, seed=7
+        )
+        periods = generator.period_streams(20_000, num_periods=2)
+        top_first = {
+            item
+            for item, _ in sorted(
+                periods[0].frequencies().items(), key=lambda kv: -kv[1]
+            )[:10]
+        }
+        top_second = {
+            item
+            for item, _ in sorted(
+                periods[1].frequencies().items(), key=lambda kv: -kv[1]
+            )[:10]
+        }
+        assert top_first != top_second
+
+    def test_reproducible(self):
+        a = QueryLogGenerator(vocabulary_size=300, seed=8).query_stream(1_000)
+        b = QueryLogGenerator(vocabulary_size=300, seed=8).query_stream(1_000)
+        assert a.items == b.items

@@ -1,0 +1,126 @@
+"""Tests for FREQUENT_R and SPACESAVING_R (Section 6.1, Theorem 10)."""
+
+import pytest
+
+from repro.algorithms.frequent import Frequent
+from repro.algorithms.frequent_real import FrequentR
+from repro.algorithms.space_saving import SpaceSaving
+from repro.algorithms.space_saving_real import SpaceSavingR
+from repro.metrics.error import max_error, residual
+from repro.streams.generators import weighted_zipf_stream
+
+
+@pytest.fixture(scope="module")
+def weighted_stream():
+    return weighted_zipf_stream(
+        num_items=1_000, alpha=1.2, num_updates=10_000, weight_scale=20.0, seed=7
+    )
+
+
+class TestFrequentR:
+    def test_exact_under_capacity(self):
+        summary = FrequentR(num_counters=4)
+        summary.update("a", 2.5)
+        summary.update("b", 1.0)
+        summary.update("a", 0.5)
+        assert summary.estimate("a") == pytest.approx(3.0)
+        assert summary.estimate("b") == pytest.approx(1.0)
+
+    def test_small_weight_decrements_everyone(self):
+        summary = FrequentR(num_counters=2)
+        summary.update("a", 5.0)
+        summary.update("b", 1.5)
+        summary.update("c", 0.5)  # b_i <= c_min: subtract 0.5 everywhere
+        assert summary.estimate("a") == pytest.approx(4.5)
+        assert summary.estimate("b") == pytest.approx(1.0)
+        assert summary.estimate("c") == 0.0
+
+    def test_large_weight_replaces_minimum(self):
+        summary = FrequentR(num_counters=2)
+        summary.update("a", 5.0)
+        summary.update("b", 1.0)
+        summary.update("c", 3.0)  # subtract c_min=1, evict b, store c at 2
+        assert summary.estimate("b") == 0.0
+        assert summary.estimate("c") == pytest.approx(2.0)
+        assert summary.estimate("a") == pytest.approx(4.0)
+
+    def test_exact_equality_weight_evicts(self):
+        summary = FrequentR(num_counters=2)
+        summary.update("a", 5.0)
+        summary.update("b", 2.0)
+        summary.update("c", 2.0)  # subtract 2: b hits zero and is evicted
+        assert summary.estimate("b") == 0.0
+        assert summary.estimate("a") == pytest.approx(3.0)
+        assert summary.estimate("c") == 0.0
+
+    def test_matches_frequent_on_unit_stream(self, zipf_medium):
+        unit = Frequent(num_counters=40)
+        weighted = FrequentR(num_counters=40)
+        zipf_medium.feed(unit)
+        for item in zipf_medium:
+            weighted.update(item, 1.0)
+        unit_counters = unit.counters()
+        weighted_counters = weighted.counters()
+        assert set(unit_counters) == set(weighted_counters)
+        for item, value in unit_counters.items():
+            assert weighted_counters[item] == pytest.approx(value)
+
+    def test_never_overestimates(self, weighted_stream):
+        summary = FrequentR(num_counters=100)
+        weighted_stream.feed(summary)
+        frequencies = weighted_stream.frequencies()
+        for item, count in summary.counters().items():
+            assert count <= frequencies[item] + 1e-6
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            FrequentR(num_counters=2).update("a", -0.5)
+
+
+class TestSpaceSavingR:
+    def test_matches_space_saving_on_unit_stream(self, zipf_medium):
+        unit = SpaceSaving(num_counters=40)
+        weighted = SpaceSavingR(num_counters=40)
+        zipf_medium.feed(unit)
+        for item in zipf_medium:
+            weighted.update(item, 1.0)
+        assert sorted(unit.counters().values()) == pytest.approx(
+            sorted(weighted.counters().values())
+        )
+
+    def test_counters_sum_to_total_weight(self, weighted_stream):
+        summary = SpaceSavingR(num_counters=100)
+        weighted_stream.feed(summary)
+        assert sum(summary.counters().values()) == pytest.approx(
+            weighted_stream.total_weight
+        )
+
+    def test_never_underestimates_stored_items(self, weighted_stream):
+        summary = SpaceSavingR(num_counters=100)
+        weighted_stream.feed(summary)
+        frequencies = weighted_stream.frequencies()
+        for item, count in summary.counters().items():
+            assert count >= frequencies.get(item, 0.0) - 1e-6
+
+
+class TestTheorem10:
+    """Both weighted algorithms keep the k-tail guarantee with A = B = 1."""
+
+    @pytest.mark.parametrize("cls", [FrequentR, SpaceSavingR])
+    @pytest.mark.parametrize("m,k", [(100, 10), (200, 20)])
+    def test_k_tail_guarantee_on_weighted_stream(self, weighted_stream, cls, m, k):
+        summary = cls(num_counters=m)
+        weighted_stream.feed(summary)
+        frequencies = weighted_stream.frequencies()
+        bound = residual(frequencies, k) / (m - k)
+        tolerance = 1e-9 * weighted_stream.total_weight
+        assert max_error(frequencies, summary) <= bound + tolerance
+
+    @pytest.mark.parametrize("cls", [FrequentR, SpaceSavingR])
+    def test_f1_guarantee_on_weighted_stream(self, weighted_stream, cls):
+        m = 150
+        summary = cls(num_counters=m)
+        weighted_stream.feed(summary)
+        frequencies = weighted_stream.frequencies()
+        f1 = sum(frequencies.values())
+        assert max_error(frequencies, summary) <= f1 / m + 1e-9 * f1

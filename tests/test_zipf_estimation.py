@@ -1,0 +1,75 @@
+"""Tests for Zipf-parameter estimation and skew-aware auto-sizing."""
+
+import pytest
+
+from repro.algorithms.space_saving import SpaceSaving
+from repro.core.bounds import zipf_counters_needed
+from repro.core.zipf import estimate_zipf_parameter, resize_for_zipf
+from repro.streams.generators import uniform_stream, zipf_stream
+
+
+class TestEstimateZipfParameter:
+    def test_exact_power_law_recovered(self):
+        frequencies = {i: 1_000_000 / i ** 1.4 for i in range(1, 500)}
+        assert estimate_zipf_parameter(frequencies, top=200, skip=0) == pytest.approx(
+            1.4, abs=0.01
+        )
+
+    @pytest.mark.parametrize("alpha", [1.1, 1.5, 2.0])
+    def test_recovers_skew_from_generated_stream(self, alpha):
+        stream = zipf_stream(num_items=20_000, alpha=alpha, total=300_000, seed=3)
+        fitted = estimate_zipf_parameter(stream.frequencies(), top=100)
+        assert fitted == pytest.approx(alpha, rel=0.15)
+
+    def test_estimation_from_summary_matches_truth(self):
+        stream = zipf_stream(num_items=20_000, alpha=1.5, total=300_000, seed=4)
+        summary = SpaceSaving(num_counters=500)
+        stream.feed(summary)
+        from_truth = estimate_zipf_parameter(stream.frequencies(), top=100)
+        from_summary = estimate_zipf_parameter(summary, top=100)
+        assert from_summary == pytest.approx(from_truth, rel=0.1)
+
+    def test_uniform_data_fits_near_zero(self):
+        stream = uniform_stream(num_items=200, total=100_000, seed=5)
+        fitted = estimate_zipf_parameter(stream.frequencies(), top=100)
+        assert fitted < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_zipf_parameter({"a": 5.0, "b": 3.0}, top=1)
+        with pytest.raises(ValueError):
+            estimate_zipf_parameter({"a": 5.0, "b": 3.0}, skip=-1)
+        with pytest.raises(ValueError):
+            estimate_zipf_parameter({"a": 5.0}, top=5, skip=0)
+
+
+class TestResizeForZipf:
+    def test_skewed_data_gets_small_budget(self):
+        stream = zipf_stream(num_items=20_000, alpha=1.8, total=300_000, seed=6)
+        summary = SpaceSaving(num_counters=500)
+        stream.feed(summary)
+        budget, fitted = resize_for_zipf(summary, epsilon=0.001, top=100)
+        assert fitted > 1.5
+        assert budget < 1_000  # far below the generic 1/eps sizing
+        assert budget >= zipf_counters_needed(0.001, 2.5)
+
+    def test_flat_data_falls_back_to_generic_sizing(self):
+        stream = uniform_stream(num_items=2_000, total=100_000, seed=7)
+        summary = SpaceSaving(num_counters=500)
+        stream.feed(summary)
+        budget, fitted = resize_for_zipf(summary, epsilon=0.01, top=100)
+        assert fitted < 1.0
+        assert budget == 100  # ceil(1 / eps)
+
+    def test_recommended_budget_actually_meets_the_error_target(self):
+        epsilon = 0.002
+        stream = zipf_stream(num_items=20_000, alpha=1.6, total=300_000, seed=8)
+        pilot = SpaceSaving(num_counters=500)
+        stream.feed(pilot)
+        budget, _ = resize_for_zipf(pilot, epsilon=epsilon, top=100)
+        resized = SpaceSaving(num_counters=budget)
+        stream.feed(resized)
+        from repro.metrics.error import f1, max_error
+
+        frequencies = stream.frequencies()
+        assert max_error(frequencies, resized) <= epsilon * f1(frequencies)

@@ -1,0 +1,104 @@
+"""Tests for the Zipfian guarantees (Theorem 8) and top-k retrieval (Theorem 9)."""
+
+import pytest
+
+from repro.algorithms.frequent import Frequent
+from repro.algorithms.space_saving import SpaceSaving
+from repro.core.topk import counters_for_topk, top_k_with_guarantee
+from repro.core.zipf import counters_for_zipf, zipf_guarantee_check
+from repro.metrics.recovery import top_k_items
+from repro.streams.generators import zipf_stream
+
+
+class TestCountersForZipf:
+    def test_matches_formula(self):
+        assert counters_for_zipf(0.01, alpha=1.0) == 200
+        assert counters_for_zipf(0.01, alpha=2.0) == 20
+
+    def test_far_fewer_counters_for_skewed_data(self):
+        assert counters_for_zipf(0.001, alpha=2.0) < counters_for_zipf(0.001, alpha=1.0) / 10
+
+
+class TestTheorem8:
+    @pytest.mark.parametrize("alpha", [1.0, 1.3, 1.7])
+    @pytest.mark.parametrize("epsilon", [0.02, 0.01])
+    @pytest.mark.parametrize(
+        "factory", [lambda m: Frequent(m), lambda m: SpaceSaving(m)], ids=["frequent", "spacesaving"]
+    )
+    def test_error_below_eps_f1_with_prescribed_budget(self, alpha, epsilon, factory):
+        stream = zipf_stream(num_items=5_000, alpha=alpha, total=60_000, seed=17)
+        budget = counters_for_zipf(epsilon, alpha)
+        estimator = factory(budget)
+        stream.feed(estimator)
+        check = zipf_guarantee_check(estimator, stream.frequencies(), epsilon, alpha)
+        assert check.holds
+
+    def test_check_records_parameters(self):
+        stream = zipf_stream(num_items=500, alpha=1.5, total=5_000, seed=18)
+        estimator = SpaceSaving(num_counters=counters_for_zipf(0.05, 1.5))
+        stream.feed(estimator)
+        check = zipf_guarantee_check(estimator, stream.frequencies(), 0.05, 1.5)
+        assert check.epsilon == 0.05
+        assert check.alpha == 1.5
+        assert check.k_used == round((1 / 0.05) ** (1 / 1.5))
+
+    def test_under_provisioned_summary_can_violate(self):
+        # Sanity check that the guarantee is not vacuous: with far fewer
+        # counters than prescribed, the error exceeds eps*F1 on weakly skewed
+        # data.
+        stream = zipf_stream(num_items=5_000, alpha=1.0, total=60_000, seed=19)
+        estimator = SpaceSaving(num_counters=5)
+        stream.feed(estimator)
+        check = zipf_guarantee_check(estimator, stream.frequencies(), 0.001, 1.0)
+        assert not check.holds
+
+
+class TestCountersForTopK:
+    def test_monotone_in_k(self):
+        assert counters_for_topk(20, 1.5, 10_000) > counters_for_topk(5, 1.5, 10_000)
+
+    def test_smaller_for_more_skewed_data(self):
+        assert counters_for_topk(10, 2.0, 10_000) < counters_for_topk(10, 1.2, 10_000)
+
+
+class TestTheorem9:
+    @pytest.mark.parametrize("alpha,k", [(1.3, 5), (1.5, 10), (2.0, 10)])
+    @pytest.mark.parametrize(
+        "factory", [lambda m: Frequent(m), lambda m: SpaceSaving(m)], ids=["frequent", "spacesaving"]
+    )
+    def test_exact_order_with_prescribed_budget(self, alpha, k, factory):
+        num_items = 5_000
+        stream = zipf_stream(num_items=num_items, alpha=alpha, total=120_000, seed=29)
+        result = top_k_with_guarantee(
+            make_estimator=factory,
+            stream_items=stream.items,
+            k=k,
+            alpha=alpha,
+            n=num_items,
+            frequencies=stream.frequencies(),
+        )
+        assert result.exact_order is True
+        assert len(result.items) == k
+
+    def test_item_names_match_truth(self):
+        stream = zipf_stream(num_items=2_000, alpha=1.6, total=60_000, seed=31)
+        result = top_k_with_guarantee(
+            make_estimator=lambda m: SpaceSaving(m),
+            stream_items=stream.items,
+            k=5,
+            alpha=1.6,
+            n=2_000,
+            frequencies=stream.frequencies(),
+        )
+        assert result.item_names() == top_k_items(stream.frequencies(), 5)
+
+    def test_exact_order_none_without_frequencies(self):
+        stream = zipf_stream(num_items=500, alpha=1.5, total=5_000, seed=37)
+        result = top_k_with_guarantee(
+            make_estimator=lambda m: SpaceSaving(m),
+            stream_items=stream.items,
+            k=3,
+            alpha=1.5,
+            n=500,
+        )
+        assert result.exact_order is None
