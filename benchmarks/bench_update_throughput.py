@@ -1,40 +1,170 @@
-"""Micro-benchmark: per-update cost of every summary type.
+"""Micro-benchmark: per-update cost of every summary, sequential vs batched.
 
 Not a table from the paper, but part of its practical argument: counter
 algorithms have small constants compared to sketches, whose every update
 touches ``depth`` cells and evaluates ``depth`` (or ``2*depth``) hash
-functions.  The benchmark times a fixed batch of updates through each
-summary at a comparable memory budget.
+functions.  The benchmark times a fixed Zipf workload through each summary
+at a comparable memory budget, once token-by-token (``update``) and once
+through the chunked batched-ingestion pipeline (``update_batch``), so the
+JSON it emits tracks both the sketch-vs-counter gap and the batch speedup
+per PR.
+
+Two entry points:
+
+* under pytest (with pytest-benchmark installed) every (summary, mode) pair
+  is a benchmark case;
+* standalone, ``python benchmarks/bench_update_throughput.py --quick
+  --output bench.json`` runs a plain ``time.perf_counter`` comparison with
+  no dependencies beyond the library itself -- this is what the CI smoke job
+  executes and uploads.
 """
 
-import pytest
+from __future__ import annotations
 
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+try:
+    import pytest
+except ImportError:  # standalone quick mode in a minimal environment
+    pytest = None
+
+from repro.algorithms.base import FrequencyEstimator
 from repro.algorithms.frequent import Frequent
 from repro.algorithms.lossy_counting import LossyCounting
-from repro.algorithms.space_saving import SpaceSaving
+from repro.algorithms.space_saving import SpaceSaving, SpaceSavingHeap
 from repro.sketches.count_min import CountMinSketch
 from repro.sketches.count_sketch import CountSketch
+from repro.streams.batched import ingest
 from repro.streams.generators import zipf_stream
+
+#: Tokens aggregated per ``update_batch`` call.  Larger chunks aggregate
+#: more duplicate tokens per call; 32k keeps a chunk's dict comfortably in
+#: cache while leaving the per-chunk overhead negligible.
+CHUNK_SIZE = 32_768
 
 STREAM = zipf_stream(num_items=10_000, alpha=1.1, total=50_000, seed=79)
 
-SUMMARIES = {
+SUMMARIES: Dict[str, Callable[[], FrequencyEstimator]] = {
     "frequent": lambda: Frequent(num_counters=1_000),
     "spacesaving": lambda: SpaceSaving(num_counters=1_000),
+    "spacesaving-heap": lambda: SpaceSavingHeap(num_counters=1_000),
     "lossycounting": lambda: LossyCounting(epsilon=0.001),
     "count-min": lambda: CountMinSketch(width=500, depth=4),
     "count-sketch": lambda: CountSketch(width=500, depth=4),
 }
 
+MODES = ("sequential", "batched")
 
-@pytest.mark.parametrize("name", sorted(SUMMARIES))
-def test_update_throughput(benchmark, name):
-    factory = SUMMARIES[name]
 
-    def run():
-        summary = factory()
-        STREAM.feed(summary)
-        return summary
+def _run(factory: Callable[[], FrequencyEstimator], mode: str, items) -> FrequencyEstimator:
+    summary = factory()
+    if mode == "sequential":
+        summary.update_many(items)
+    else:
+        ingest(summary, items, CHUNK_SIZE)
+    return summary
 
-    summary = benchmark.pedantic(run, iterations=1, rounds=3)
-    assert summary.stream_length == STREAM.total_weight
+
+if pytest is not None:
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("name", sorted(SUMMARIES))
+    def test_update_throughput(benchmark, name, mode):
+        factory = SUMMARIES[name]
+        summary = benchmark.pedantic(
+            _run, args=(factory, mode, STREAM.items), iterations=1, rounds=3
+        )
+        assert summary.stream_length == STREAM.total_weight
+
+
+# --------------------------------------------------------------------------- #
+# Standalone quick mode (used by the CI benchmark-smoke job)
+# --------------------------------------------------------------------------- #
+
+
+def run_comparison(rounds: int = 3, total: int = 50_000) -> List[dict]:
+    """Time every (summary, mode) pair; return one row per summary.
+
+    Each row carries best-of-``rounds`` wall time and tokens/second for both
+    modes plus the resulting batch speedup.
+    """
+    stream = (
+        STREAM if total == 50_000 else zipf_stream(10_000, alpha=1.1, total=total, seed=79)
+    )
+    items = stream.items
+    rows = []
+    for name in sorted(SUMMARIES):
+        factory = SUMMARIES[name]
+        timings = {}
+        for mode in MODES:
+            best = min(
+                _time_once(factory, mode, items) for _ in range(max(1, rounds))
+            )
+            timings[mode] = best
+        rows.append(
+            {
+                "summary": name,
+                "tokens": len(items),
+                "chunk_size": CHUNK_SIZE,
+                "sequential_seconds": timings["sequential"],
+                "batched_seconds": timings["batched"],
+                "sequential_tokens_per_second": len(items) / timings["sequential"],
+                "batched_tokens_per_second": len(items) / timings["batched"],
+                "batch_speedup": timings["sequential"] / timings["batched"],
+            }
+        )
+    return rows
+
+
+def _time_once(factory, mode, items) -> float:
+    start = time.perf_counter()
+    _run(factory, mode, items)
+    return time.perf_counter() - start
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Batch-vs-sequential ingestion throughput comparison."
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="timing rounds per case (best is kept)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="single round (CI smoke mode)"
+    )
+    parser.add_argument(
+        "--length", type=int, default=50_000, help="Zipf stream length to time against"
+    )
+    parser.add_argument("--output", default=None, help="write results as JSON here")
+    args = parser.parse_args(argv)
+
+    rounds = 1 if args.quick else args.rounds
+    rows = run_comparison(rounds=rounds, total=args.length)
+
+    header = f"{'summary':<18} {'seq tok/s':>12} {'batch tok/s':>12} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['summary']:<18} {row['sequential_tokens_per_second']:>12,.0f} "
+            f"{row['batched_tokens_per_second']:>12,.0f} {row['batch_speedup']:>7.1f}x"
+        )
+
+    if args.output:
+        payload = {
+            "benchmark": "update_throughput",
+            "rounds": rounds,
+            "results": rows,
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,11 +13,107 @@ is ``O(m)`` words as in the paper.
 
 from __future__ import annotations
 
+import collections
+import operator
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, Iterator, List, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 Item = Hashable
+
+#: Sort key used by the batched fast paths: order aggregated (item, weight)
+#: pairs by weight.  ``sorted(..., key=_WEIGHT_KEY, reverse=True)`` is stable,
+#: so ties keep their aggregation order.
+_WEIGHT_KEY = operator.itemgetter(1)
+
+
+def _effective_tokens(items: Sequence[Item], weights: Optional[Sequence[float]]) -> int:
+    """Number of chunk tokens a sequential ``update`` loop would record.
+
+    ``update`` ignores zero-weight tokens (for summaries that early-return on
+    them), so the batch paths must not count those either if their
+    bookkeeping is to match sequential ingestion.
+    """
+    if weights is None:
+        return len(items)
+    if isinstance(weights, np.ndarray):
+        return int(np.count_nonzero(weights))
+    return sum(1 for weight in weights if weight != 0)
+
+
+def _require_integral_weights(weights: Optional[Sequence[float]], algorithm: str) -> None:
+    """Reject fractional weights before any state is mutated.
+
+    The integer-only summaries validate up front so that a bad token cannot
+    leave the summary half-updated (counters mutated, bookkeeping not).
+    """
+    if weights is None:
+        return
+    if isinstance(weights, np.ndarray):
+        if not np.array_equal(weights, np.floor(weights)):
+            raise ValueError(
+                f"{algorithm} only accepts non-negative integer weights"
+            )
+        return
+    for weight in weights:
+        if weight != int(weight):
+            raise ValueError(
+                f"{algorithm} only accepts non-negative integer weights; "
+                f"got {weight!r}"
+            )
+
+
+def aggregate_batch(
+    items: Sequence[Item], weights: Optional[Sequence[float]] = None
+) -> Dict[Item, float]:
+    """Collapse a batch of stream tokens into ``item -> total weight``.
+
+    This is the pre-aggregation step shared by every batched ingestion fast
+    path: a chunk of ``T`` tokens over ``D`` distinct items becomes ``D``
+    weighted updates, so the per-token interpreter overhead is paid once per
+    *distinct* item instead of once per token.
+
+    ``items`` may be any sequence; integer-id streams may be passed as a
+    NumPy integer array (with ``weights`` either ``None`` or a NumPy array of
+    the same length), in which case the aggregation itself is vectorised.
+    Keys of the returned dict are always plain Python objects (NumPy scalars
+    are unboxed) so they interoperate with items ingested via ``update``.
+
+    Zero-weight tokens are dropped; negative weights raise ``ValueError``
+    exactly as the sequential path does.
+    """
+    if weights is None:
+        if isinstance(items, np.ndarray):
+            values, counts = np.unique(items, return_counts=True)
+            return {value.item(): float(count) for value, count in zip(values, counts)}
+        return {item: float(count) for item, count in collections.Counter(items).items()}
+    if isinstance(items, np.ndarray) and isinstance(weights, np.ndarray):
+        if len(items) != len(weights):
+            raise ValueError("items and weights must have the same length")
+        if np.any(weights < 0):
+            raise ValueError("negative weights are not supported")
+        values, inverse = np.unique(items, return_inverse=True)
+        sums = np.zeros(len(values), dtype=np.float64)
+        np.add.at(sums, inverse, np.asarray(weights, dtype=np.float64))
+        return {
+            value.item(): float(total)
+            for value, total in zip(values, sums)
+            if total > 0.0
+        }
+    totals: Dict[Item, float] = {}
+    count = 0
+    for item, weight in zip(items, weights):
+        count += 1
+        if weight < 0:
+            raise ValueError(f"negative weights are not supported, got {weight}")
+        if weight == 0:
+            continue
+        totals[item] = totals.get(item, 0.0) + float(weight)
+    if count != len(items) or count != len(weights):
+        raise ValueError("items and weights must have the same length")
+    return totals
 
 
 @dataclass(frozen=True)
@@ -113,6 +209,61 @@ class FrequencyEstimator(ABC):
         """Process a sequence of ``(item, weight)`` tuples."""
         for item, weight in pairs:
             self.update(item, weight)
+
+    def update_batch(
+        self, items: Sequence[Item], weights: Optional[Sequence[float]] = None
+    ) -> None:
+        """Process a chunk of stream tokens in one call.
+
+        ``items`` is a sequence of tokens; ``weights`` is an optional
+        parallel sequence of non-negative weights (``None`` means every token
+        has unit weight).  Semantically this is equivalent to calling
+        :meth:`update` once per token, and the base implementation does
+        exactly that, so any subclass is batch-safe by default.
+
+        Every concrete summary overrides this with a *fast path* that
+        pre-aggregates the chunk into ``item -> total weight`` totals
+        (:func:`aggregate_batch`) and applies one weighted update per
+        distinct item.  For linear sketches the result is bit-for-bit
+        identical to sequential ingestion (for integer-valued weights); for
+        counter algorithms the aggregation is a merge-style reordering that
+        preserves the k-tail guarantee (Theorem 10) but may assign different
+        individual counters than sequential replay.  See each subclass for
+        its exact contract.
+        """
+        if weights is None:
+            self.update_many(items)
+            return
+        if len(items) != len(weights):
+            raise ValueError("items and weights must have the same length")
+        for item, weight in zip(items, weights):
+            self.update(item, weight)
+
+    def _update_batch_aggregated(
+        self, items: Sequence[Item], weights: Optional[Sequence[float]] = None
+    ) -> None:
+        """Shared batched fast path for weight-native summaries.
+
+        Pre-aggregates the chunk and applies one :meth:`update` per distinct
+        item, heaviest first (ties processed in aggregation order, which is
+        deterministic for a given input representation).  Suitable for any
+        summary whose single weighted update has the same semantics as
+        repeated unit updates of the same total weight (SPACESAVING and the
+        Section 6.1 weighted variants).
+
+        ``stream_length`` advances by the chunk's total weight exactly as in
+        sequential ingestion; ``items_processed`` counts the original tokens
+        rather than the aggregated updates.
+        """
+        totals = aggregate_batch(items, weights)
+        if not totals:
+            return
+        tokens = _effective_tokens(items, weights)
+        before = self._items_processed
+        for item, weight in sorted(totals.items(), key=_WEIGHT_KEY, reverse=True):
+            self.update(item, weight)
+        applied = self._items_processed - before
+        self._items_processed += tokens - applied
 
     # ------------------------------------------------------------------ #
     # Derived queries

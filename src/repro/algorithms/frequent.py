@@ -27,9 +27,15 @@ Two implementations are provided behind the same class:
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional, Sequence
 
-from repro.algorithms.base import FrequencyEstimator, Item
+from repro.algorithms.base import (
+    _WEIGHT_KEY,
+    FrequencyEstimator,
+    Item,
+    _require_integral_weights,
+    aggregate_batch,
+)
 
 
 class Frequent(FrequencyEstimator):
@@ -97,13 +103,68 @@ class Frequent(FrequencyEstimator):
         # Decrement step: the new item is not stored and the table is full.
         if self._mode == "lazy":
             self._offset += 1.0
-            dead = [stored for stored, value in counts.items() if value <= self._offset]
-        else:
-            for stored in counts:
-                counts[stored] -= 1.0
-            dead = [stored for stored, value in counts.items() if value <= 0.0]
+            self._evict_dead()
+            return
+        for stored in counts:
+            counts[stored] -= 1.0
+        dead = [stored for stored, value in counts.items() if value <= 0.0]
         for stored in dead:
             del counts[stored]
+
+    def update_batch(
+        self, items: Sequence[Item], weights: Optional[Sequence[float]] = None
+    ) -> None:
+        """Batched fast path: weighted Misra--Gries steps per distinct item.
+
+        The chunk is pre-aggregated into ``item -> total weight`` and applied
+        with one weighted decrement step per distinct item (the FREQUENT_R
+        rule of Section 6.1 restricted to integer weights), heaviest first.
+        This is a merge-style reordering of the chunk: the underestimation
+        invariant ``c_i <= f_i`` and the k-tail guarantee with ``A = B = 1``
+        (Theorem 10) are preserved, but individual counters may differ from
+        unit-by-unit sequential replay.
+
+        Only the lazy implementation supports the fast path; eager mode
+        falls back to bit-identical sequential replay so that its
+        reconstruction of ``decrements`` from conservation of mass stays
+        exact.
+        """
+        if self._mode != "lazy":
+            super().update_batch(items, weights)
+            return
+        _require_integral_weights(weights, "Frequent")
+        totals = aggregate_batch(items, weights)
+        if not totals:
+            return
+        counts = self._counts
+        budget = self._num_counters
+        total_weight = 0.0
+        for item, weight in sorted(totals.items(), key=_WEIGHT_KEY, reverse=True):
+            total_weight += weight
+            if item in counts:
+                counts[item] += weight
+                continue
+            if len(counts) < budget:
+                counts[item] = weight + self._offset
+                continue
+            c_min = min(counts.values()) - self._offset
+            if weight <= c_min:
+                self._offset += weight
+                if weight == c_min:
+                    self._evict_dead()
+                continue
+            self._offset += c_min
+            self._evict_dead()
+            counts[item] = (weight - c_min) + self._offset
+        self._stream_length += total_weight
+        self._items_processed += int(total_weight)
+
+    def _evict_dead(self) -> None:
+        """Drop counters consumed entirely by the accumulated offset."""
+        offset = self._offset
+        dead = [stored for stored, value in self._counts.items() if value <= offset]
+        for stored in dead:
+            del self._counts[stored]
 
     def estimate(self, item: Item) -> float:
         value = self._counts.get(item)

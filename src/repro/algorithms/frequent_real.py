@@ -22,7 +22,7 @@ counter" step is O(#evicted) rather than O(m).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional, Sequence
 
 from repro.algorithms.base import FrequencyEstimator, Item
 
@@ -74,6 +74,18 @@ class FrequentR(FrequencyEstimator):
         self._offset += c_min
         self._evict_zeros()
         counts[item] = (weight - c_min) + self._offset
+
+    def update_batch(
+        self, items: Sequence[Item], weights: Optional[Sequence[float]] = None
+    ) -> None:
+        """Batched fast path: one weighted FREQUENT_R update per distinct item.
+
+        FREQUENT_R is weight-native, so pre-aggregating a chunk is simply a
+        merged reordering of its tokens; the k-tail guarantee with
+        ``A = B = 1`` (Theorem 10) is preserved, while individual counters
+        may differ from token-by-token replay.
+        """
+        self._update_batch_aggregated(items, weights)
 
     def _evict_zeros(self) -> None:
         offset = self._offset

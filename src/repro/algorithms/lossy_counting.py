@@ -20,9 +20,14 @@ time; :meth:`LossyCounting.size_in_words` reports the *current* footprint and
 from __future__ import annotations
 
 import math
-from typing import Dict, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.algorithms.base import FrequencyEstimator, Item
+from repro.algorithms.base import (
+    FrequencyEstimator,
+    Item,
+    _require_integral_weights,
+    aggregate_batch,
+)
 
 
 class LossyCounting(FrequencyEstimator):
@@ -87,9 +92,10 @@ class LossyCounting(FrequencyEstimator):
             self._prune()
             self._current_bucket += 1
 
-    def _prune(self) -> None:
+    def _prune(self, bucket: Optional[int] = None) -> None:
         """Drop entries whose count plus slack falls below the bucket id."""
-        bucket = self._current_bucket
+        if bucket is None:
+            bucket = self._current_bucket
         dead = [
             item
             for item, (count, delta) in self._entries.items()
@@ -97,6 +103,47 @@ class LossyCounting(FrequencyEstimator):
         ]
         for item in dead:
             del self._entries[item]
+
+    def update_batch(
+        self, items: Sequence[Item], weights: Optional[Sequence[float]] = None
+    ) -> None:
+        """Batched fast path: aggregate the chunk, prune once per chunk.
+
+        The chunk is collapsed into ``item -> total count`` and applied as
+        single increments; pruning runs once at the end of the chunk (with
+        the bucket id the stream position has then reached) instead of at
+        every bucket boundary crossed inside the chunk.  New entries record
+        the *chunk-start* bucket as their delta — a smaller (tighter)
+        undercount bound than sequential replay would assign them, so the
+        end-of-chunk prune can drop entries sequential replay would have
+        kept (and vice versa for entries that straddle boundaries).  The
+        underestimation invariant ``c_i <= f_i`` and the guarantee
+        ``f_i - c_i <= epsilon * N`` are preserved either way; only the
+        stored-entry *set* (and ``max_entries``) differs from sequential
+        replay.
+        """
+        _require_integral_weights(weights, "LossyCounting")
+        totals = aggregate_batch(items, weights)
+        if not totals:
+            return
+        entries = self._entries
+        start_delta = float(self._current_bucket - 1)
+        batch_weight = 0
+        for item, weight in totals.items():
+            batch_weight += int(weight)
+            entry = entries.get(item)
+            if entry is not None:
+                entries[item] = (entry[0] + weight, entry[1])
+            else:
+                entries[item] = (float(weight), start_delta)
+        self.max_entries = max(self.max_entries, len(entries))
+        self._seen += batch_weight
+        self._stream_length += float(batch_weight)
+        self._items_processed += batch_weight
+        completed = self._seen // self._bucket_width
+        if completed >= self._current_bucket:
+            self._prune(completed)
+            self._current_bucket = completed + 1
 
     def estimate(self, item: Item) -> float:
         entry = self._entries.get(item)

@@ -32,9 +32,15 @@ Two implementations are provided:
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.algorithms.base import FrequencyEstimator, Item
+from repro.algorithms.base import (
+    _WEIGHT_KEY,
+    FrequencyEstimator,
+    Item,
+    _effective_tokens,
+    aggregate_batch,
+)
 
 
 class _Bucket:
@@ -182,8 +188,11 @@ class SpaceSaving(FrequencyEstimator):
             self._errors[item] = 0.0
             self._place_item(item, weight, self._anchor_for(weight))
             return
-        # Summary full: evict the oldest item of the minimum bucket and let
-        # the new item inherit its count.
+        self._evict_min_and_insert(item, weight)
+
+    def _evict_min_and_insert(self, item: Item, weight: float) -> None:
+        """Summary full: evict the oldest item of the minimum bucket and let
+        the new item inherit its count."""
         assert self._head is not None
         min_bucket = self._head
         victim = next(iter(min_bucket.items))
@@ -196,6 +205,49 @@ class SpaceSaving(FrequencyEstimator):
         self._errors[item] = min_count
         new_count = min_count + weight
         self._place_item(item, new_count, self._anchor_for(new_count))
+
+    def update_batch(
+        self, items: Sequence[Item], weights: Optional[Sequence[float]] = None
+    ) -> None:
+        """Batched fast path: one weighted update per distinct item.
+
+        A chunk is pre-aggregated into ``item -> total weight`` and applied
+        with single weighted updates, which is exactly SPACESAVING_R over a
+        merged reordering of the chunk.  Theorem 10 therefore guarantees the
+        k-tail bound ``|f_i - c_i| <= F1_res(k) / (m - k)`` and the
+        overestimation invariant ``c_i >= f_i`` continue to hold; individual
+        counters may differ from sequential replay only when evictions
+        interleave with arrivals of the same items inside a chunk.
+
+        Already-stored items are incremented first (their bucket walks start
+        from the item's current position), then new items enter heaviest
+        first; both phases inline the per-item work of :meth:`update` so the
+        batch path's cost is one dictionary/bucket operation per *distinct*
+        item rather than one interpreted call per token.
+        """
+        tokens = _effective_tokens(items, weights)
+        totals = aggregate_batch(items, weights)
+        if not totals:
+            return
+        bucket_of = self._bucket_of
+        total_weight = 0.0
+        fresh: List[Tuple[Item, float]] = []
+        for item, weight in totals.items():
+            total_weight += weight
+            if item in bucket_of:
+                self._increment(item, weight)
+            else:
+                fresh.append((item, weight))
+        fresh.sort(key=_WEIGHT_KEY, reverse=True)
+        budget = self._num_counters
+        for item, weight in fresh:
+            if len(bucket_of) < budget:
+                self._errors[item] = 0.0
+                self._place_item(item, weight, self._anchor_for(weight))
+            else:
+                self._evict_min_and_insert(item, weight)
+        self._stream_length += total_weight
+        self._items_processed += tokens
 
     def estimate(self, item: Item) -> float:
         bucket = self._bucket_of.get(item)
@@ -290,12 +342,46 @@ class SpaceSavingHeap(FrequencyEstimator):
             self._errors[item] = 0.0
             self._push(item, weight)
             return
+        self._evict_min_and_insert(item, weight)
+
+    def _evict_min_and_insert(self, item: Item, weight: float) -> None:
+        """Summary full: evict the minimum item; the newcomer inherits its count."""
         victim, min_count = self._pop_min()
-        del counts[victim]
+        del self._counts[victim]
         del self._errors[victim]
-        counts[item] = min_count + weight
+        self._counts[item] = min_count + weight
         self._errors[item] = min_count
-        self._push(item, counts[item])
+        self._push(item, self._counts[item])
+
+    def update_batch(
+        self, items: Sequence[Item], weights: Optional[Sequence[float]] = None
+    ) -> None:
+        """Batched fast path; same contract as :meth:`SpaceSaving.update_batch`."""
+        tokens = _effective_tokens(items, weights)
+        totals = aggregate_batch(items, weights)
+        if not totals:
+            return
+        counts = self._counts
+        total_weight = 0.0
+        fresh: List[Tuple[Item, float]] = []
+        for item, weight in totals.items():
+            total_weight += weight
+            if item in counts:
+                counts[item] += weight
+                self._push(item, counts[item])
+            else:
+                fresh.append((item, weight))
+        fresh.sort(key=_WEIGHT_KEY, reverse=True)
+        budget = self._num_counters
+        for item, weight in fresh:
+            if len(counts) < budget:
+                counts[item] = weight
+                self._errors[item] = 0.0
+                self._push(item, weight)
+            else:
+                self._evict_min_and_insert(item, weight)
+        self._stream_length += total_weight
+        self._items_processed += tokens
 
     def estimate(self, item: Item) -> float:
         return self._counts.get(item, 0.0)

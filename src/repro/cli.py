@@ -39,6 +39,7 @@ from repro.algorithms.space_saving import SpaceSaving
 from repro.algorithms.space_saving_real import SpaceSavingR
 from repro.core.heavy_hitters import HeavyHitters
 from repro.core.merging import merge_summaries
+from repro.streams import batched
 from repro.streams.generators import uniform_stream, zipf_stream
 from repro.streams.trace import QueryLogGenerator, SyntheticTraceGenerator
 
@@ -64,27 +65,25 @@ def _read_tokens(path: Path, weighted: bool) -> Iterable[Tuple[str, float]]:
     Lines are either a bare item (weight 1) or ``item,weight``.  Blank lines
     and lines starting with ``#`` are skipped.
     """
-    with path.open("r", encoding="utf-8") as handle:
-        for line_number, raw in enumerate(handle, start=1):
-            line = raw.strip()
-            if not line or line.startswith("#"):
-                continue
-            if "," in line and weighted:
-                item, _, weight_text = line.rpartition(",")
-                try:
-                    weight = float(weight_text)
-                except ValueError as error:
-                    raise SystemExit(
-                        f"{path}:{line_number}: invalid weight {weight_text!r}"
-                    ) from error
-                yield item, weight
-            else:
-                yield line, 1.0
+    try:
+        yield from batched.read_workload(path, weighted)
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
 
 
 def _feed_file(
-    summary: FrequencyEstimator, path: Path, weighted: bool
+    summary: FrequencyEstimator, path: Path, weighted: bool, batch_size: int = 0
 ) -> FrequencyEstimator:
+    """Stream a workload file into ``summary``.
+
+    ``batch_size > 0`` selects the batched fast path (``batch_size`` tokens
+    aggregated per ``update_batch`` call); 0 keeps one update per token.
+    """
+    if batch_size > 0:
+        try:
+            return batched.ingest_file(summary, path, weighted, batch_size)
+        except ValueError as error:
+            raise SystemExit(str(error)) from error
     for item, weight in _read_tokens(path, weighted):
         summary.update(item, weight)
     return summary
@@ -125,13 +124,27 @@ def _build_summary(args: argparse.Namespace) -> FrequencyEstimator:
     registry = _WEIGHTED_ALGORITHMS if args.weighted else _UNIT_ALGORITHMS
     factory = registry[args.algorithm]
     summary = factory(args.counters)
-    return _feed_file(summary, Path(args.input), args.weighted)
+    return _feed_file(summary, Path(args.input), args.weighted, args.batch_size)
 
 
 def _cmd_heavy_hitters(args: argparse.Namespace) -> int:
     hh = HeavyHitters(phi=args.phi, epsilon=args.epsilon or args.phi / 2, algorithm=args.algorithm)
-    for item, weight in _read_tokens(Path(args.input), args.weighted):
-        hh.update(item, weight)
+    if args.batch_size > 0:
+        tokens = _read_tokens(Path(args.input), args.weighted)
+        if args.weighted:
+            for chunk in batched.iter_chunks(tokens, args.batch_size):
+                hh.update_batch(
+                    [item for item, _ in chunk], [weight for _, weight in chunk]
+                )
+        else:
+            # Unit weights: drop them so update_batch takes the fast
+            # Counter-based aggregation path.
+            items = (item for item, _ in tokens)
+            for chunk in batched.iter_chunks(items, args.batch_size):
+                hh.update_batch(chunk)
+    else:
+        for item, weight in _read_tokens(Path(args.input), args.weighted):
+            hh.update(item, weight)
     reports = hh.report()
     print(f"stream weight: {hh.stream_length:,.0f}")
     print(f"threshold    : {args.phi * hh.stream_length:,.1f} ({args.phi:.2%})")
@@ -245,6 +258,13 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="treat lines as item,weight pairs (Section 6.1 algorithms)",
         )
+        sub.add_argument(
+            "--batch-size",
+            type=int,
+            default=0,
+            help="ingest in aggregated chunks of this many tokens "
+            "(0 = one update per token)",
+        )
 
     hh = subparsers.add_parser(
         "heavy-hitters", help="report items above a frequency threshold"
@@ -258,6 +278,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", choices=sorted(_UNIT_ALGORITHMS), default="spacesaving"
     )
     hh.add_argument("--weighted", action="store_true")
+    hh.add_argument(
+        "--batch-size",
+        type=int,
+        default=0,
+        help="ingest in aggregated chunks of this many tokens (0 = one update per token)",
+    )
     hh.set_defaults(func=_cmd_heavy_hitters)
 
     top_k = subparsers.add_parser("top-k", help="print the k most frequent items")

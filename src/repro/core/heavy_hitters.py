@@ -10,7 +10,7 @@ classify the answer set into guaranteed hits and possible hits.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.algorithms.base import FrequencyEstimator, Item
 from repro.algorithms.frequent import Frequent
@@ -90,6 +90,12 @@ class HeavyHitters:
     def update_many(self, items: Iterable[Item]) -> None:
         """Process a sequence of unit-weight items."""
         self._estimator.update_many(items)
+
+    def update_batch(
+        self, items: Sequence[Item], weights: Optional[Sequence[float]] = None
+    ) -> None:
+        """Process a chunk of tokens via the underlying summary's fast path."""
+        self._estimator.update_batch(items, weights)
 
     @property
     def estimator(self) -> FrequencyEstimator:

@@ -30,7 +30,7 @@ bound evaluator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.algorithms.base import FrequencyEstimator, Item
 from repro.core.bounds import k_tail_bound, merged_tail_constants

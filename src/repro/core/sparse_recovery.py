@@ -20,7 +20,6 @@ benchmarks to evaluate the corresponding bound.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Mapping, Tuple
 

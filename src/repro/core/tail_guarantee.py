@@ -27,7 +27,6 @@ This module provides:
 
 from __future__ import annotations
 
-import itertools
 import random
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence

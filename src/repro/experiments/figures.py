@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.algorithms.frequent import Frequent
 from repro.algorithms.space_saving import SpaceSaving

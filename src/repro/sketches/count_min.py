@@ -16,11 +16,11 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.algorithms.base import FrequencyEstimator, Item
+from repro.algorithms.base import FrequencyEstimator, Item, aggregate_batch
 from repro.sketches.hashing import PairwiseHash
 
 
@@ -78,6 +78,32 @@ class CountMinSketch(FrequencyEstimator):
         self._record_update(weight)
         for row, hash_fn in enumerate(self._hashes):
             self._table[row, hash_fn(item)] += weight
+
+    def update_batch(
+        self, items: Sequence[Item], weights: Optional[Sequence[float]] = None
+    ) -> None:
+        """Batched fast path: hash each distinct item once per row.
+
+        The sketch is a linear transform of the frequency vector, so
+        pre-aggregating a chunk and adding each distinct item's total weight
+        to its cells yields *bit-for-bit* the same table as sequential
+        ingestion whenever the weights are integer-valued (floating-point
+        weights can differ in the last ulp because addition order changes).
+        """
+        totals = aggregate_batch(items, weights)
+        # Sequential updates record every token (even zero-weight ones), so
+        # bookkeeping advances before the empty-totals early return.
+        self._items_processed += len(items)
+        if not totals:
+            return
+        distinct = list(totals)
+        batch_weights = np.fromiter(totals.values(), dtype=np.float64, count=len(distinct))
+        for row, hash_fn in enumerate(self._hashes):
+            cells = np.fromiter(
+                (hash_fn(item) for item in distinct), dtype=np.intp, count=len(distinct)
+            )
+            np.add.at(self._table[row], cells, batch_weights)
+        self._stream_length += float(batch_weights.sum())
 
     def estimate(self, item: Item) -> float:
         return float(

@@ -13,11 +13,11 @@ from __future__ import annotations
 import math
 import random
 import statistics
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.algorithms.base import FrequencyEstimator, Item
+from repro.algorithms.base import FrequencyEstimator, Item, aggregate_batch
 from repro.sketches.hashing import PairwiseHash, SignHash
 
 
@@ -71,6 +71,35 @@ class CountSketch(FrequencyEstimator):
         for row in range(self.depth):
             cell = self._hashes[row](item)
             self._table[row, cell] += self._signs[row](item) * weight
+
+    def update_batch(
+        self, items: Sequence[Item], weights: Optional[Sequence[float]] = None
+    ) -> None:
+        """Batched fast path: hash each distinct item once per row.
+
+        Like Count-Min, the sketch is linear, so the batched table is
+        bit-for-bit identical to sequential ingestion for integer-valued
+        weights (sign-weighted sums of integers are exact in float64).
+        """
+        totals = aggregate_batch(items, weights)
+        # Sequential updates record every token (even zero-weight ones), so
+        # bookkeeping advances before the empty-totals early return.
+        self._items_processed += len(items)
+        if not totals:
+            return
+        distinct = list(totals)
+        batch_weights = np.fromiter(totals.values(), dtype=np.float64, count=len(distinct))
+        for row in range(self.depth):
+            hash_fn = self._hashes[row]
+            sign_fn = self._signs[row]
+            cells = np.fromiter(
+                (hash_fn(item) for item in distinct), dtype=np.intp, count=len(distinct)
+            )
+            signs = np.fromiter(
+                (sign_fn(item) for item in distinct), dtype=np.float64, count=len(distinct)
+            )
+            np.add.at(self._table[row], cells, signs * batch_weights)
+        self._stream_length += float(batch_weights.sum())
 
     def estimate(self, item: Item) -> float:
         values = [

@@ -12,9 +12,20 @@ The paper's model (Section 2) is a stream ``u_1, ..., u_N`` of elements from
 * :mod:`repro.streams.adversarial` -- the lower-bound stream pair of
   Theorem 13 and orderings hostile to LOSSYCOUNTING,
 * :mod:`repro.streams.trace` -- synthetic network-trace and query-log
-  workloads standing in for the proprietary traces motivating the paper.
+  workloads standing in for the proprietary traces motivating the paper,
+* :mod:`repro.streams.batched` -- the chunked batched-ingestion pipeline
+  feeding summaries one aggregated ``update_batch`` call per chunk.
 """
 
+from repro.streams.batched import (
+    DEFAULT_CHUNK_SIZE,
+    BatchedIngestor,
+    ingest,
+    ingest_file,
+    ingest_weighted,
+    iter_chunks,
+    read_workload,
+)
 from repro.streams.exact import ExactCounter
 from repro.streams.generators import (
     heavy_plus_noise_stream,
@@ -27,7 +38,14 @@ from repro.streams.adversarial import lossy_hostile_stream, lower_bound_streams
 from repro.streams.trace import QueryLogGenerator, SyntheticTraceGenerator
 
 __all__ = [
+    "BatchedIngestor",
+    "DEFAULT_CHUNK_SIZE",
     "ExactCounter",
+    "ingest",
+    "ingest_file",
+    "ingest_weighted",
+    "iter_chunks",
+    "read_workload",
     "Stream",
     "WeightedStream",
     "heavy_plus_noise_stream",

@@ -56,10 +56,22 @@ class Stream:
         """Number of distinct items appearing in the stream."""
         return len(self.frequencies())
 
-    def feed(self, estimator: FrequencyEstimator) -> FrequencyEstimator:
-        """Run ``estimator`` over the whole stream and return it."""
-        estimator.update_many(self.items)
-        return estimator
+    def feed(
+        self, estimator: FrequencyEstimator, chunk_size: int | None = None
+    ) -> FrequencyEstimator:
+        """Run ``estimator`` over the whole stream and return it.
+
+        With ``chunk_size=None`` (the default) every token is applied with
+        one sequential ``update`` call; passing an integer routes the stream
+        through the batched fast path of :mod:`repro.streams.batched`,
+        aggregating ``chunk_size`` tokens per ``update_batch`` call.
+        """
+        if chunk_size is None:
+            estimator.update_many(self.items)
+            return estimator
+        from repro.streams.batched import ingest
+
+        return ingest(estimator, self.items, chunk_size)
 
     def split(self, parts: int) -> List["Stream"]:
         """Split into ``parts`` contiguous sub-streams (for merging tests)."""
@@ -120,10 +132,20 @@ class WeightedStream:
         """Number of distinct items appearing in the stream."""
         return len(self.frequencies())
 
-    def feed(self, estimator: FrequencyEstimator) -> FrequencyEstimator:
-        """Run ``estimator`` over the whole stream and return it."""
-        estimator.update_weighted(self.pairs)
-        return estimator
+    def feed(
+        self, estimator: FrequencyEstimator, chunk_size: int | None = None
+    ) -> FrequencyEstimator:
+        """Run ``estimator`` over the whole stream and return it.
+
+        ``chunk_size`` selects the batched fast path exactly as in
+        :meth:`Stream.feed`.
+        """
+        if chunk_size is None:
+            estimator.update_weighted(self.pairs)
+            return estimator
+        from repro.streams.batched import ingest_weighted
+
+        return ingest_weighted(estimator, self.pairs, chunk_size)
 
     def split(self, parts: int) -> List["WeightedStream"]:
         """Split into ``parts`` contiguous sub-streams."""

@@ -1,0 +1,443 @@
+"""Tests for the batched ingestion subsystem.
+
+Covers the contracts promised by the per-algorithm ``update_batch``
+docstrings:
+
+* linear sketches (Count-Min, Count-Sketch) produce *bit-for-bit* the same
+  state under batched and sequential ingestion (property-tested over random
+  streams, weights and chunkings);
+* counter algorithms (FREQUENT, SPACESAVING, LOSSYCOUNTING and the weighted
+  variants) keep their one-sidedness invariants and error guarantees under
+  batching even though individual counters may differ from sequential
+  replay;
+* the chunked pipeline (``iter_chunks`` / ``ingest*`` / ``BatchedIngestor``
+  / ``Stream.feed(chunk_size=...)`` / CLI ``--batch-size``) is plumbing-only:
+  it never changes totals or bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import FrequencyEstimator, aggregate_batch
+from repro.algorithms.frequent import Frequent
+from repro.algorithms.frequent_real import FrequentR
+from repro.algorithms.lossy_counting import LossyCounting
+from repro.algorithms.space_saving import SpaceSaving, SpaceSavingHeap
+from repro.algorithms.space_saving_real import SpaceSavingR
+from repro.cli import main as cli_main
+from repro.core.bounds import k_tail_bound
+from repro.core.heavy_hitters import HeavyHitters
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.count_sketch import CountSketch
+from repro.streams.batched import (
+    BatchedIngestor,
+    ingest,
+    ingest_file,
+    ingest_weighted,
+    iter_chunks,
+    read_workload,
+)
+from repro.streams.generators import zipf_stream
+from repro.streams.stream import WeightedStream
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+
+items_strategy = st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=400)
+chunk_sizes = st.integers(min_value=1, max_value=64)
+weights_strategy = st.integers(min_value=1, max_value=9)
+
+SKETCH_FACTORIES = {
+    "count-min": lambda: CountMinSketch(width=64, depth=3, seed=11),
+    "count-sketch": lambda: CountSketch(width=64, depth=3, seed=11),
+}
+
+COUNTER_FACTORIES = {
+    "frequent": lambda: Frequent(num_counters=16),
+    "frequent-r": lambda: FrequentR(num_counters=16),
+    "spacesaving": lambda: SpaceSaving(num_counters=16),
+    "spacesaving-heap": lambda: SpaceSavingHeap(num_counters=16),
+    "spacesaving-r": lambda: SpaceSavingR(num_counters=16),
+}
+
+
+def exact_frequencies(items, weights=None):
+    totals = {}
+    for index, item in enumerate(items):
+        weight = 1.0 if weights is None else float(weights[index])
+        totals[item] = totals.get(item, 0.0) + weight
+    return totals
+
+
+def feed_in_chunks(summary, items, weights, chunk_size):
+    for start in range(0, len(items), chunk_size):
+        chunk = items[start : start + chunk_size]
+        chunk_weights = None if weights is None else weights[start : start + chunk_size]
+        summary.update_batch(chunk, chunk_weights)
+    return summary
+
+
+# --------------------------------------------------------------------------- #
+# Aggregation helper
+# --------------------------------------------------------------------------- #
+
+
+class TestAggregateBatch:
+    def test_unit_weights_count_occurrences(self):
+        assert aggregate_batch(["a", "b", "a"]) == {"a": 2.0, "b": 1.0}
+
+    def test_explicit_weights_are_summed(self):
+        assert aggregate_batch(["a", "b", "a"], [1.0, 2.0, 3.0]) == {"a": 4.0, "b": 2.0}
+
+    def test_zero_weight_tokens_are_dropped(self):
+        assert aggregate_batch(["a", "b"], [0.0, 1.0]) == {"b": 1.0}
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_batch(["a"], [-1.0])
+        with pytest.raises(ValueError):
+            aggregate_batch(np.array([1]), np.array([-1.0]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_batch(["a", "b"], [1.0])
+        with pytest.raises(ValueError):
+            aggregate_batch(np.array([1, 2]), np.array([1.0]))
+
+    @given(items=items_strategy)
+    def test_numpy_path_matches_list_path(self, items):
+        assert aggregate_batch(np.array(items)) == aggregate_batch(items)
+
+    @given(items=items_strategy, data=st.data())
+    def test_numpy_weighted_path_matches_list_path(self, items, data):
+        weights = data.draw(
+            st.lists(weights_strategy, min_size=len(items), max_size=len(items))
+        )
+        expected = aggregate_batch(items, [float(w) for w in weights])
+        result = aggregate_batch(np.array(items), np.array(weights, dtype=np.float64))
+        assert result == expected
+
+    def test_numpy_keys_are_unboxed(self):
+        keys = list(aggregate_batch(np.array([3, 3, 7])).keys())
+        assert all(type(key) is int for key in keys)
+
+
+# --------------------------------------------------------------------------- #
+# Linear sketches: batched ingestion is bit-for-bit identical
+# --------------------------------------------------------------------------- #
+
+
+class TestSketchBatchIdentity:
+    @pytest.mark.parametrize("name", sorted(SKETCH_FACTORIES))
+    @settings(max_examples=40, deadline=None)
+    @given(items=items_strategy, chunk_size=chunk_sizes)
+    def test_unit_weight_identity(self, name, items, chunk_size):
+        factory = SKETCH_FACTORIES[name]
+        sequential = factory()
+        sequential.update_many(items)
+        batched = feed_in_chunks(factory(), items, None, chunk_size)
+        assert np.array_equal(sequential._table, batched._table)
+        assert sequential.stream_length == batched.stream_length
+        assert sequential.items_processed == batched.items_processed
+        for item in set(items):
+            assert sequential.estimate(item) == batched.estimate(item)
+
+    @pytest.mark.parametrize("name", sorted(SKETCH_FACTORIES))
+    @settings(max_examples=40, deadline=None)
+    @given(items=items_strategy, chunk_size=chunk_sizes, data=st.data())
+    def test_integer_weighted_identity(self, name, items, chunk_size, data):
+        weights = data.draw(
+            st.lists(weights_strategy, min_size=len(items), max_size=len(items))
+        )
+        factory = SKETCH_FACTORIES[name]
+        sequential = factory()
+        for item, weight in zip(items, weights):
+            sequential.update(item, float(weight))
+        batched = feed_in_chunks(factory(), items, [float(w) for w in weights], chunk_size)
+        assert np.array_equal(sequential._table, batched._table)
+        assert sequential.stream_length == batched.stream_length
+
+
+# --------------------------------------------------------------------------- #
+# Counter algorithms: batching preserves invariants and error bounds
+# --------------------------------------------------------------------------- #
+
+
+class TestCounterBatchGuarantees:
+    @pytest.mark.parametrize("name", sorted(COUNTER_FACTORIES))
+    @settings(max_examples=30, deadline=None)
+    @given(items=items_strategy, chunk_size=chunk_sizes)
+    def test_k_tail_bound_holds_under_batching(self, name, items, chunk_size):
+        summary = feed_in_chunks(COUNTER_FACTORIES[name](), items, None, chunk_size)
+        true = exact_frequencies(items)
+        n = float(len(items))
+        assert summary.stream_length == n
+        heavy = sorted(true.values(), reverse=True)
+        for k in (0, 4, 8):
+            if summary.num_counters - k <= 0:
+                continue
+            residual = n - sum(heavy[:k])
+            bound = k_tail_bound(residual, summary.num_counters, k)
+            for item, frequency in true.items():
+                assert abs(frequency - summary.estimate(item)) <= bound + 1e-9
+
+    @pytest.mark.parametrize("name", ["spacesaving", "spacesaving-heap", "spacesaving-r"])
+    @settings(max_examples=30, deadline=None)
+    @given(items=items_strategy, chunk_size=chunk_sizes)
+    def test_spacesaving_batch_invariants(self, name, items, chunk_size):
+        summary = feed_in_chunks(COUNTER_FACTORIES[name](), items, None, chunk_size)
+        true = exact_frequencies(items)
+        # Counters sum to the stream length, and estimates never underestimate.
+        assert sum(summary.counters().values()) == pytest.approx(float(len(items)))
+        for item in summary.counters():
+            assert summary.estimate(item) >= true.get(item, 0.0) - 1e-9
+
+    @pytest.mark.parametrize("name", ["frequent", "frequent-r"])
+    @settings(max_examples=30, deadline=None)
+    @given(items=items_strategy, chunk_size=chunk_sizes)
+    def test_frequent_batch_never_overestimates(self, name, items, chunk_size):
+        summary = feed_in_chunks(COUNTER_FACTORIES[name](), items, None, chunk_size)
+        true = exact_frequencies(items)
+        for item, frequency in true.items():
+            assert summary.estimate(item) <= frequency + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(items=items_strategy, chunk_size=chunk_sizes)
+    def test_lossy_counting_batch_guarantee(self, items, chunk_size):
+        epsilon = 0.1
+        summary = feed_in_chunks(LossyCounting(epsilon=epsilon), items, None, chunk_size)
+        true = exact_frequencies(items)
+        n = float(len(items))
+        assert summary.stream_length == n
+        for item, frequency in true.items():
+            estimate = summary.estimate(item)
+            assert estimate <= frequency + 1e-9
+            assert frequency - estimate <= epsilon * n + 1e-9
+
+    def test_eager_frequent_batch_is_bit_identical_to_sequential(self):
+        stream = zipf_stream(num_items=300, alpha=1.1, total=5_000, seed=21)
+        sequential = Frequent(num_counters=32, mode="eager")
+        sequential.update_many(stream.items)
+        batched = ingest(Frequent(num_counters=32, mode="eager"), stream.items, 256)
+        assert sequential.counters() == batched.counters()
+
+    def test_frequent_batch_rejects_fractional_weights(self):
+        with pytest.raises(ValueError):
+            Frequent(num_counters=4).update_batch(["a"], [1.5])
+        with pytest.raises(ValueError):
+            LossyCounting(epsilon=0.5).update_batch(["a"], [1.5])
+
+    @pytest.mark.parametrize(
+        "factory", [lambda: Frequent(num_counters=4), lambda: LossyCounting(epsilon=0.5)]
+    )
+    def test_rejected_batch_leaves_summary_untouched(self, factory):
+        # Validation must happen before any state is mutated: a bad weight
+        # late in the chunk must not leave counters half-updated.
+        summary = factory()
+        with pytest.raises(ValueError):
+            summary.update_batch(["a", "b"], [2.0, 1.5])
+        assert summary.counters() == {}
+        assert summary.stream_length == 0.0
+        assert summary.items_processed == 0
+
+    def test_zero_weight_tokens_keep_sequential_bookkeeping(self):
+        # update() skips recording zero-weight tokens for counter summaries
+        # but records them for sketches; the batch paths must match each.
+        sequential = SpaceSaving(num_counters=4)
+        sequential.update("a", 0.0)
+        sequential.update("b", 1.0)
+        batched = SpaceSaving(num_counters=4)
+        batched.update_batch(["a", "b"], [0.0, 1.0])
+        assert batched.items_processed == sequential.items_processed == 1
+
+        sketch_seq = CountMinSketch(width=8, depth=2, seed=1)
+        sketch_seq.update("a", 0.0)
+        sketch_bat = CountMinSketch(width=8, depth=2, seed=1)
+        sketch_bat.update_batch(["a"], [0.0])
+        assert sketch_bat.items_processed == sketch_seq.items_processed == 1
+
+    def test_weighted_batch_matches_weighted_guarantee(self):
+        stream = zipf_stream(num_items=500, alpha=1.2, total=8_000, seed=33)
+        weights = [(i % 7) + 1 for i in range(len(stream.items))]
+        summary = feed_in_chunks(SpaceSavingR(num_counters=64), stream.items, weights, 512)
+        true = exact_frequencies(stream.items, weights)
+        n = sum(weights)
+        assert summary.stream_length == pytest.approx(float(n))
+        bound = n / 64
+        for item, frequency in true.items():
+            assert abs(frequency - summary.estimate(item)) <= bound + 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# Default base-class fallback
+# --------------------------------------------------------------------------- #
+
+
+class _PlainCounter(FrequencyEstimator):
+    """Minimal subclass without an ``update_batch`` override."""
+
+    def __init__(self):
+        super().__init__(num_counters=1_000)
+        self._counts = {}
+
+    def update(self, item, weight=1.0):
+        self._record_update(weight)
+        self._counts[item] = self._counts.get(item, 0.0) + weight
+
+    def estimate(self, item):
+        return self._counts.get(item, 0.0)
+
+    def counters(self):
+        return dict(self._counts)
+
+
+class TestBaseFallback:
+    @given(items=items_strategy, chunk_size=chunk_sizes)
+    def test_default_update_batch_is_sequential_replay(self, items, chunk_size):
+        sequential = _PlainCounter()
+        sequential.update_many(items)
+        batched = feed_in_chunks(_PlainCounter(), items, None, chunk_size)
+        assert sequential.counters() == batched.counters()
+        assert sequential.items_processed == batched.items_processed
+
+    def test_default_update_batch_with_weights(self):
+        summary = _PlainCounter()
+        summary.update_batch(["a", "b", "a"], [1.0, 2.0, 3.0])
+        assert summary.counters() == {"a": 4.0, "b": 2.0}
+
+    def test_default_update_batch_rejects_length_mismatch(self):
+        summary = _PlainCounter()
+        with pytest.raises(ValueError, match="same length"):
+            summary.update_batch(["a", "b", "c"], [1.0])
+        assert summary.counters() == {}
+
+
+# --------------------------------------------------------------------------- #
+# Chunked pipeline plumbing
+# --------------------------------------------------------------------------- #
+
+
+class TestPipeline:
+    def test_iter_chunks_partitions_without_loss(self):
+        chunks = list(iter_chunks(range(10), 3))
+        assert chunks == [[0, 1, 2], [3, 4, 5], [6, 7, 8], [9]]
+
+    def test_iter_chunks_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks([1, 2], 0))
+
+    def test_ingest_matches_manual_chunking(self):
+        stream = zipf_stream(num_items=200, alpha=1.1, total=3_000, seed=9)
+        manual = feed_in_chunks(SpaceSaving(num_counters=32), stream.items, None, 128)
+        piped = ingest(SpaceSaving(num_counters=32), stream.items, 128)
+        assert manual.counters() == piped.counters()
+
+    def test_ingest_weighted_accepts_pairs(self):
+        pairs = [("a", 2.0), ("b", 1.0), ("a", 3.0)]
+        summary = ingest_weighted(SpaceSavingR(num_counters=8), pairs, 2)
+        assert summary.estimate("a") == 5.0
+        assert summary.stream_length == 6.0
+
+    def test_stream_feed_with_chunk_size(self):
+        stream = zipf_stream(num_items=200, alpha=1.1, total=3_000, seed=9)
+        sequential = stream.feed(CountMinSketch(width=64, depth=3, seed=2))
+        batched = stream.feed(CountMinSketch(width=64, depth=3, seed=2), chunk_size=256)
+        assert np.array_equal(sequential._table, batched._table)
+
+    def test_weighted_stream_feed_with_chunk_size(self):
+        weighted = WeightedStream([("x", 2.0), ("y", 1.0), ("x", 1.0)])
+        summary = weighted.feed(SpaceSavingR(num_counters=4), chunk_size=2)
+        assert summary.estimate("x") == 3.0
+
+    def test_batched_ingestor_bookkeeping(self):
+        ingestor = BatchedIngestor(chunk_size=4)
+        summary = ingestor.feed(SpaceSaving(num_counters=8), "abcdefghij")
+        assert ingestor.chunks_processed == 3
+        assert ingestor.tokens_processed == 10
+        assert summary.stream_length == 10.0
+
+    def test_batched_ingestor_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            BatchedIngestor(chunk_size=0)
+
+    def test_read_workload_and_ingest_file(self, tmp_path):
+        path = tmp_path / "workload.txt"
+        path.write_text("# comment\na\nb\na\n\n", encoding="utf-8")
+        assert list(read_workload(path)) == [("a", 1.0), ("b", 1.0), ("a", 1.0)]
+        summary = ingest_file(Frequent(num_counters=8), path, chunk_size=2)
+        assert summary.estimate("a") == 2.0
+
+    def test_read_workload_weighted_and_errors(self, tmp_path):
+        path = tmp_path / "weighted.csv"
+        path.write_text("a,2.5\nb,1.0\n", encoding="utf-8")
+        assert list(read_workload(path, weighted=True)) == [("a", 2.5), ("b", 1.0)]
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,notanumber\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="invalid weight"):
+            list(read_workload(bad, weighted=True))
+
+    def test_ingestor_feed_file_weighted(self, tmp_path):
+        path = tmp_path / "weighted.csv"
+        path.write_text("a,2.0\nb,1.0\na,1.0\n", encoding="utf-8")
+        ingestor = BatchedIngestor(chunk_size=2)
+        summary = ingestor.feed_file(SpaceSavingR(num_counters=4), path, weighted=True)
+        assert summary.estimate("a") == 3.0
+        assert ingestor.tokens_processed == 3
+
+
+# --------------------------------------------------------------------------- #
+# HeavyHitters and CLI integration
+# --------------------------------------------------------------------------- #
+
+
+class TestIntegration:
+    def test_heavy_hitters_update_batch(self):
+        hh = HeavyHitters(phi=0.2, epsilon=0.05)
+        hh.update_batch(["a"] * 40 + ["b"] * 35 + list(range(25)))
+        assert {report.item for report in hh.report() if report.guaranteed} >= {"a", "b"}
+
+    def test_cli_top_k_batch_size_matches_expected_heavy_item(self, tmp_path, capsys):
+        workload = tmp_path / "workload.txt"
+        lines = ["hot"] * 50 + ["warm"] * 20 + [f"cold-{i}" for i in range(30)]
+        workload.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        code = cli_main(
+            ["top-k", str(workload), "--counters", "16", "--k", "2", "--batch-size", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hot" in out.splitlines()[1]
+
+    def test_cli_heavy_hitters_batch_size(self, tmp_path, capsys):
+        workload = tmp_path / "workload.txt"
+        lines = ["hot"] * 60 + [f"cold-{i}" for i in range(40)]
+        workload.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        code = cli_main(
+            ["heavy-hitters", str(workload), "--phi", "0.3", "--batch-size", "16"]
+        )
+        assert code == 0
+        assert "hot" in capsys.readouterr().out
+
+    def test_cli_summarize_batched_roundtrip(self, tmp_path, capsys):
+        workload = tmp_path / "workload.txt"
+        workload.write_text("\n".join(["a"] * 5 + ["b"] * 3) + "\n", encoding="utf-8")
+        output = tmp_path / "summary.json"
+        code = cli_main(
+            [
+                "summarize",
+                str(workload),
+                "--output",
+                str(output),
+                "--batch-size",
+                "4",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(output.read_text(encoding="utf-8"))
+        assert payload["stream_length"] == 8.0

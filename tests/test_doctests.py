@@ -21,6 +21,7 @@ import repro.core.merging
 import repro.core.zipf
 import repro.distributed.mergers
 import repro.serialization
+import repro.streams.batched
 import repro.streams.exact
 import repro.streams.generators
 
@@ -38,6 +39,7 @@ MODULES = [
     repro.core.zipf,
     repro.distributed.mergers,
     repro.serialization,
+    repro.streams.batched,
     repro.streams.exact,
     repro.streams.generators,
 ]

@@ -13,7 +13,6 @@ from repro.core.tail_guarantee import (
     is_heavy_tolerant_on,
     is_prefix_guaranteed,
 )
-from repro.metrics.error import residual
 
 
 class TestTailGuaranteeDataclass:
