@@ -1,0 +1,188 @@
+"""Service-layer benchmark: sharded concurrent ingest vs direct ingestion.
+
+Measures what the service subsystem adds on top of the PR-1 batched fast
+path: a ``ShardedSummarizer`` partitions each chunk by item hash and hands
+the per-shard batches to worker threads over bounded queues, while the
+baseline feeds the same chunks into a single summary on the calling
+thread.  Summary work in pure Python holds the GIL, so sharding buys
+pipeline overlap (partitioning in the producer while shards apply batches)
+rather than linear CPU scaling -- the benchmark exists to keep that
+overhead/overlap trade-off visible per PR, alongside the snapshot
+(Theorem 11 merge) latency that queries pay.
+
+Two entry points, mirroring ``bench_update_throughput``:
+
+* under pytest (with pytest-benchmark) every shard count is a benchmark
+  case;
+* standalone, ``python benchmarks/bench_service_throughput.py --quick
+  --output bench-service.json`` emits a JSON artifact with no dependencies
+  beyond the library -- the CI smoke job uploads this next to the update
+  throughput artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+try:
+    import pytest
+except ImportError:  # standalone quick mode in a minimal environment
+    pytest = None
+
+from repro.algorithms.space_saving import SpaceSaving
+from repro.service.sharding import ShardedSummarizer
+from repro.service.snapshots import SnapshotManager
+from repro.streams.batched import iter_chunks
+from repro.streams.generators import zipf_stream
+
+#: Tokens per ingest chunk (the unit a producer hands to the service).
+CHUNK_SIZE = 8_192
+
+NUM_COUNTERS = 1_000
+SHARD_COUNTS = (1, 2, 4)
+
+STREAM = zipf_stream(num_items=10_000, alpha=1.1, total=50_000, seed=79)
+
+
+def _make_estimator():
+    return SpaceSaving(num_counters=NUM_COUNTERS)
+
+
+def _run_direct(items) -> float:
+    """Baseline: batched ingestion into one summary on the calling thread."""
+    summary = _make_estimator()
+    start = time.perf_counter()
+    for chunk in iter_chunks(items, CHUNK_SIZE):
+        summary.update_batch(chunk)
+    return time.perf_counter() - start
+
+
+def _run_sharded(items, num_shards: int, snapshot: bool = False) -> dict:
+    """Sharded ingest of the same chunks; optionally time a snapshot too."""
+    with ShardedSummarizer(_make_estimator, num_shards=num_shards) as sharded:
+        start = time.perf_counter()
+        for chunk in iter_chunks(items, CHUNK_SIZE):
+            sharded.ingest(chunk)
+        sharded.flush()
+        ingest_seconds = time.perf_counter() - start
+        snapshot_seconds = None
+        if snapshot:
+            manager = SnapshotManager(sharded, k=10)
+            start = time.perf_counter()
+            manager.refresh()
+            snapshot_seconds = time.perf_counter() - start
+    return {"ingest_seconds": ingest_seconds, "snapshot_seconds": snapshot_seconds}
+
+
+if pytest is not None:
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_sharded_ingest_throughput(benchmark, num_shards):
+        result = benchmark.pedantic(
+            _run_sharded, args=(STREAM.items, num_shards), iterations=1, rounds=3
+        )
+        assert result["ingest_seconds"] > 0
+
+    def test_direct_ingest_throughput(benchmark):
+        seconds = benchmark.pedantic(
+            _run_direct, args=(STREAM.items,), iterations=1, rounds=3
+        )
+        assert seconds > 0
+
+
+# --------------------------------------------------------------------------- #
+# Standalone quick mode (used by the CI benchmark-smoke job)
+# --------------------------------------------------------------------------- #
+
+
+def run_comparison(rounds: int = 3, total: int = 50_000) -> List[dict]:
+    """One row per configuration (direct + each shard count), best of rounds."""
+    stream = (
+        STREAM
+        if total == 50_000
+        else zipf_stream(10_000, alpha=1.1, total=total, seed=79)
+    )
+    items = stream.items
+    rows = []
+
+    direct_best = min(_run_direct(items) for _ in range(max(1, rounds)))
+    rows.append(
+        {
+            "config": "direct",
+            "shards": 0,
+            "tokens": len(items),
+            "chunk_size": CHUNK_SIZE,
+            "ingest_seconds": direct_best,
+            "tokens_per_second": len(items) / direct_best,
+            "snapshot_seconds": None,
+        }
+    )
+
+    for num_shards in SHARD_COUNTS:
+        best = None
+        for _ in range(max(1, rounds)):
+            result = _run_sharded(items, num_shards, snapshot=True)
+            if best is None or result["ingest_seconds"] < best["ingest_seconds"]:
+                best = result
+        rows.append(
+            {
+                "config": f"sharded-{num_shards}",
+                "shards": num_shards,
+                "tokens": len(items),
+                "chunk_size": CHUNK_SIZE,
+                "ingest_seconds": best["ingest_seconds"],
+                "tokens_per_second": len(items) / best["ingest_seconds"],
+                "snapshot_seconds": best["snapshot_seconds"],
+            }
+        )
+    return rows
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Sharded-service ingest throughput benchmark."
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="timing rounds per case (best is kept)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="single round (CI smoke mode)"
+    )
+    parser.add_argument(
+        "--length", type=int, default=50_000, help="Zipf stream length to time against"
+    )
+    parser.add_argument("--output", default=None, help="write results as JSON here")
+    args = parser.parse_args(argv)
+
+    rounds = 1 if args.quick else args.rounds
+    rows = run_comparison(rounds=rounds, total=args.length)
+
+    header = f"{'config':<12} {'tok/s':>12} {'snapshot ms':>12}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        snapshot = (
+            "-"
+            if row["snapshot_seconds"] is None
+            else f"{row['snapshot_seconds'] * 1e3:,.1f}"
+        )
+        print(f"{row['config']:<12} {row['tokens_per_second']:>12,.0f} {snapshot:>12}")
+
+    if args.output:
+        payload = {
+            "benchmark": "service_throughput",
+            "rounds": rounds,
+            "results": rows,
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

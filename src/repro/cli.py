@@ -18,6 +18,13 @@ Installed as the ``repro`` console script.  Subcommands:
     the coordinator half of Section 6.2.
 ``experiments``
     Run the reproduction experiment suite and print every table.
+``serve``
+    Run the long-running heavy-hitters service: sharded concurrent ingest,
+    merged snapshots, optional sliding windows (:mod:`repro.service`).
+``query``
+    Talk to a running service over its newline-delimited JSON socket
+    protocol: push tokens, force snapshots, ask point / top-k /
+    heavy-hitter / windowed queries.
 
 Every subcommand works on plain text files so the tool composes with standard
 UNIX tooling (``cut``, ``zcat``, ...).
@@ -222,6 +229,105 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return runner.main(["--quick"] if args.quick else [])
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        algorithm=args.algorithm,
+        num_counters=args.counters,
+        num_shards=args.shards,
+        k=args.k,
+        weighted=args.weighted,
+        window_buckets=args.window_buckets,
+        snapshot_interval=args.snapshot_interval,
+        snapshot_dir=args.snapshot_dir,
+        compress=args.compress,
+    )
+    server = serve(config, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"serving {args.algorithm} (m={args.counters}, shards={args.shards}, "
+        f"k={args.k}) on {host}:{port}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        server.service.close()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    def require(value, flag: str):
+        if value is None:
+            raise SystemExit(f"action {args.action!r} requires {flag}")
+        return value
+
+    try:
+        with ServiceClient(host=args.host, port=args.port) as client:
+            if args.action == "ingest":
+                path = Path(require(args.input, "--input"))
+                pushed = 0
+                tokens = _read_tokens(path, args.weighted)
+                for chunk in batched.iter_chunks(tokens, args.batch_size):
+                    items = [item for item, _ in chunk]
+                    weights = (
+                        [weight for _, weight in chunk] if args.weighted else None
+                    )
+                    pushed += client.ingest(items, weights)
+                response = {"ok": True, "ingested": pushed}
+            elif args.action == "ping":
+                response = client.call({"op": "ping"})
+            elif args.action == "stats":
+                response = client.stats()
+            elif args.action == "snapshot":
+                response = client.snapshot()
+            elif args.action == "advance-window":
+                response = {"ok": True, "bucket": client.advance_window(args.steps)}
+            elif args.action == "shutdown":
+                client.shutdown()
+                response = {"ok": True, "stopping": True}
+            elif args.action == "point":
+                response = client.point(require(args.item, "--item"))
+            elif args.action == "top-k":
+                response = client.call({"op": "query", "type": "top-k", "k": args.k})
+            elif args.action == "heavy-hitters":
+                response = client.call(
+                    {"op": "query", "type": "heavy-hitters", "phi": args.phi}
+                )
+            elif args.action == "window-point":
+                response = client.window_point(
+                    require(args.item, "--item"), window=args.window
+                )
+            elif args.action == "window-top-k":
+                request = {"op": "query", "type": "window-top-k", "k": args.k}
+                if args.window is not None:
+                    request["window"] = args.window
+                response = client.call(request)
+            else:  # window-heavy-hitters
+                request = {
+                    "op": "query",
+                    "type": "window-heavy-hitters",
+                    "phi": args.phi,
+                }
+                if args.window is not None:
+                    request["window"] = args.window
+                response = client.call(request)
+    except ServiceError as error:
+        raise SystemExit(f"service error: {error}") from error
+    except OSError as error:
+        raise SystemExit(
+            f"cannot reach service at {args.host}:{args.port}: {error}"
+        ) from error
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 # Argument parsing
 # --------------------------------------------------------------------------- #
@@ -312,6 +418,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument("--quick", action="store_true", help="reduced grid")
     experiments.set_defaults(func=_cmd_experiments)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the sharded heavy-hitters service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7071, help="0 picks a free port")
+    serve.add_argument(
+        "--algorithm", choices=sorted(_UNIT_ALGORITHMS), default="spacesaving"
+    )
+    serve.add_argument("--counters", type=int, default=1_000, help="counter budget m per shard")
+    serve.add_argument("--shards", type=int, default=4, help="concurrent shard workers")
+    serve.add_argument("--k", type=int, default=10, help="tail parameter of snapshot guarantees")
+    serve.add_argument(
+        "--weighted", action="store_true", help="use the Section 6.1 weighted variants"
+    )
+    serve.add_argument(
+        "--window-buckets",
+        type=int,
+        default=0,
+        help="enable sliding windows with this many ring buckets (0 = off)",
+    )
+    serve.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=0.0,
+        help="seconds between automatic snapshots (0 = snapshot on demand only)",
+    )
+    serve.add_argument(
+        "--snapshot-dir", default=None, help="persist every snapshot version here"
+    )
+    serve.add_argument(
+        "--compress", action="store_true", help="gzip persisted snapshots"
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    query = subparsers.add_parser(
+        "query", help="talk to a running heavy-hitters service"
+    )
+    query.add_argument(
+        "action",
+        choices=(
+            "ping",
+            "ingest",
+            "snapshot",
+            "stats",
+            "advance-window",
+            "shutdown",
+            "point",
+            "top-k",
+            "heavy-hitters",
+            "window-point",
+            "window-top-k",
+            "window-heavy-hitters",
+        ),
+    )
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, default=7071)
+    query.add_argument("--item", default=None, help="item for point queries")
+    query.add_argument("--k", type=int, default=10, help="k for top-k queries")
+    query.add_argument(
+        "--phi", type=float, default=0.01, help="threshold for heavy-hitter queries"
+    )
+    query.add_argument(
+        "--window", type=int, default=None, help="buckets covered by window queries"
+    )
+    query.add_argument("--steps", type=int, default=1, help="buckets to advance")
+    query.add_argument("--input", default=None, help="workload file for ingest")
+    query.add_argument("--weighted", action="store_true")
+    query.add_argument(
+        "--batch-size",
+        type=int,
+        default=batched.DEFAULT_CHUNK_SIZE,
+        help="tokens per ingest request",
+    )
+    query.set_defaults(func=_cmd_query)
 
     return parser
 

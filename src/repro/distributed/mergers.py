@@ -15,7 +15,7 @@ from typing import Callable, Dict, List, Mapping, Sequence
 from repro.algorithms.base import FrequencyEstimator, Item
 from repro.core.merging import MergeResult, merge_summaries
 from repro.core.tail_guarantee import GuaranteeCheck, TailGuarantee
-from repro.distributed.partition import partition_stream
+from repro.distributed.partition import PARTITION_STRATEGIES, partition_stream
 from repro.streams.stream import Stream
 
 EstimatorFactory = Callable[[], FrequencyEstimator]
@@ -73,6 +73,12 @@ class DistributedSummarizer:
     ) -> None:
         if num_sites < 1:
             raise ValueError(f"num_sites must be >= 1, got {num_sites}")
+        if strategy not in PARTITION_STRATEGIES:
+            # Validated up front so the single-site fast path in run() does
+            # not silently accept a typo that only errors at num_sites > 1.
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected one of {PARTITION_STRATEGIES}"
+            )
         self._make_estimator = make_estimator
         self._k = k
         self._num_sites = num_sites
@@ -112,8 +118,17 @@ class DistributedSummarizer:
         return self.merged
 
     def run(self, stream: Stream) -> MergeResult:
-        """Partition, summarise and merge in one call."""
-        parts = partition_stream(stream, self._num_sites, self._strategy)
+        """Partition, summarise and merge in one call.
+
+        A single site is the degenerate deployment (no partitioning to do),
+        so the partitioner is skipped entirely and the whole stream becomes
+        that site's sub-stream; the merge step still runs, keeping the
+        reported guarantee constants uniform across site counts.
+        """
+        if self._num_sites == 1:
+            parts: Sequence[Stream] = [stream]
+        else:
+            parts = partition_stream(stream, self._num_sites, self._strategy)
         self.summarize_sites(parts)
         return self.merge()
 

@@ -17,19 +17,25 @@ from __future__ import annotations
 from typing import Callable, List
 
 from repro.algorithms.base import Item
-from repro.sketches.hashing import stable_fingerprint
+from repro.sketches.hashing import shard_for
 from repro.streams.stream import Stream
 
 PARTITION_STRATEGIES = ("contiguous", "round_robin", "hash")
 
 
 def hash_partition(stream: Stream, num_sites: int) -> List[Stream]:
-    """Partition by item identity: every occurrence of an item goes to one site."""
+    """Partition by item identity: every occurrence of an item goes to one site.
+
+    Placement is :func:`repro.sketches.hashing.shard_for` -- the same rule
+    the in-process :class:`~repro.service.sharding.ShardedSummarizer` uses,
+    so an item lands on the same owner whether sharding happens inside one
+    service or across remote sites.
+    """
     if num_sites < 1:
         raise ValueError(f"num_sites must be >= 1, got {num_sites}")
     buckets: List[List[Item]] = [[] for _ in range(num_sites)]
     for item in stream.items:
-        buckets[stable_fingerprint(item) % num_sites].append(item)
+        buckets[shard_for(item, num_sites)].append(item)
     return [
         Stream(bucket, name=f"{stream.name}(hash site {index})")
         for index, bucket in enumerate(buckets)

@@ -33,7 +33,10 @@ are rejected with a clear error rather than silently repr'd.
 
 from __future__ import annotations
 
+import gzip
 import json
+import zlib
+from dataclasses import dataclass
 from typing import Any, Dict, Type
 
 from repro.algorithms.base import FrequencyEstimator, Item
@@ -63,8 +66,14 @@ class SerializationError(ValueError):
     """Raised when a summary cannot be serialised or a payload is invalid."""
 
 
-def _check_item(item: Item) -> Any:
-    """Validate that an item survives a JSON round trip unchanged."""
+def check_item(item: Item) -> Any:
+    """Validate that an item survives a JSON round trip unchanged.
+
+    Raises :class:`SerializationError` for items the wire format cannot
+    carry (anything but strings and non-bool numbers).  The service layer
+    calls this at its ingest boundary so an unserialisable token is
+    rejected synchronously instead of poisoning later snapshots.
+    """
     if isinstance(item, bool) or item is None:
         raise SerializationError(
             f"item {item!r} of type {type(item).__name__} cannot be used as a "
@@ -81,7 +90,7 @@ def _encode_counts(counts: Dict[Item, float]) -> Dict[str, float]:
     """JSON object keys are strings; encode items with a type prefix."""
     encoded = {}
     for item, value in counts.items():
-        _check_item(item)
+        check_item(item)
         if isinstance(item, str):
             encoded["s:" + item] = float(value)
         elif isinstance(item, int):
@@ -153,6 +162,94 @@ def dump(summary: FrequencyEstimator) -> Dict[str, Any]:
 def dumps(summary: FrequencyEstimator) -> str:
     """Serialise a summary to a JSON string."""
     return json.dumps(dump(summary), sort_keys=True)
+
+
+#: First two bytes of every gzip member (RFC 1952); used to auto-detect
+#: compressed payloads on the read path.
+GZIP_MAGIC = b"\x1f\x8b"
+
+
+def dump_bytes(summary: FrequencyEstimator, compress: bool = False) -> bytes:
+    """Serialise a summary to bytes, optionally gzip-compressed.
+
+    With ``compress=True`` the JSON text is gzipped with a zeroed mtime so
+    the output is deterministic: the same summary always produces the same
+    bytes, which keeps snapshot files diffable and cacheable.
+    :func:`load_bytes` auto-detects either form.
+    """
+    return dump_bytes_with_cost(summary, compress=compress)[0]
+
+
+def load_bytes(data: bytes) -> FrequencyEstimator:
+    """Reconstruct a summary from :func:`dump_bytes` output (gzip or plain)."""
+    if data[:2] == GZIP_MAGIC:
+        # gzip.decompress raises BadGzipFile (an OSError) for bad headers,
+        # EOFError for truncation and zlib.error for corrupt deflate data.
+        try:
+            data = gzip.decompress(data)
+        except (OSError, EOFError, zlib.error) as error:
+            raise SerializationError(f"invalid gzip payload: {error}") from error
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise SerializationError(f"payload is not UTF-8: {error}") from error
+    return loads(text)
+
+
+@dataclass(frozen=True)
+class WireCost:
+    """Communication cost of shipping one summary, in both cost models.
+
+    ``words`` is the paper's word-model cost (what the analysis of Section
+    6.2 counts); ``json_bytes`` and ``wire_bytes`` are the concrete encoded
+    sizes before and after optional compression (what a deployment's
+    network bill counts).
+    """
+
+    words: int
+    json_bytes: int
+    wire_bytes: int
+    compressed: bool
+
+    @property
+    def compression_ratio(self) -> float:
+        """Uncompressed-to-wire size ratio (1.0 when not compressed)."""
+        return self.json_bytes / self.wire_bytes if self.wire_bytes else 1.0
+
+
+def dump_bytes_with_cost(
+    summary: FrequencyEstimator, compress: bool = False
+) -> "tuple[bytes, WireCost]":
+    """Encode a summary once, returning both the bytes and their cost.
+
+    The single-pass path for callers that persist a payload *and* account
+    for its size (the snapshot layer does both for every version).
+    """
+    payload = dump(summary)
+    raw = json.dumps(payload, sort_keys=True).encode("utf-8")
+    wire = gzip.compress(raw, mtime=0) if compress else raw
+    cost = WireCost(
+        words=serialized_size_words(payload),
+        json_bytes=len(raw),
+        wire_bytes=len(wire),
+        compressed=compress,
+    )
+    return wire, cost
+
+
+def wire_cost(summary: FrequencyEstimator, compress: bool = False) -> WireCost:
+    """Word-model and byte-level cost of shipping ``summary``.
+
+    Examples
+    --------
+    >>> from repro.algorithms import SpaceSaving
+    >>> summary = SpaceSaving(num_counters=4)
+    >>> summary.update_many(["a", "a", "b"])
+    >>> cost = wire_cost(summary)
+    >>> cost.words
+    6
+    """
+    return dump_bytes_with_cost(summary, compress=compress)[1]
 
 
 def serialized_size_words(payload: Dict[str, Any]) -> int:

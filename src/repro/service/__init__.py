@@ -1,0 +1,51 @@
+"""Long-running heavy-hitters service built on mergeable summaries.
+
+The architectural leap from algorithm library to system: because the
+paper's counter summaries merge with a ``(3A, A+B)`` k-tail guarantee
+(Theorem 11), ingest can be sharded across concurrent workers and queries
+can be answered from merged snapshots without losing certified error
+bounds.  The pipeline is::
+
+    tokens --> ShardedSummarizer (hash-partitioned shard threads,
+           |                      bounded queues, batched updates)
+           +-> WindowedSummarizer (ring-buffered per-bucket summaries)
+
+    SnapshotManager: shard copies --merge (Thm 11)--> versioned Snapshot
+    Snapshot / WindowAnswer: point, top-k, heavy-hitters queries
+    server/client: newline-delimited JSON over a local TCP socket
+
+* :mod:`repro.service.sharding` -- concurrent hash-sharded ingestion;
+* :mod:`repro.service.snapshots` -- versioned, persisted, queryable
+  snapshots carrying the merged guarantee;
+* :mod:`repro.service.windows` -- sliding-window heavy hitters over
+  bucketed summaries;
+* :mod:`repro.service.server` / :mod:`repro.service.client` -- the NDJSON
+  socket protocol behind ``repro serve`` and ``repro query``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import (
+    HeavyHittersService,
+    ServiceConfig,
+    ServiceServer,
+    serve,
+)
+from repro.service.sharding import ShardedSummarizer, partition_batch, shard_for
+from repro.service.snapshots import Snapshot, SnapshotManager
+from repro.service.windows import WindowAnswer, WindowedSummarizer
+
+__all__ = [
+    "HeavyHittersService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceServer",
+    "ShardedSummarizer",
+    "Snapshot",
+    "SnapshotManager",
+    "WindowAnswer",
+    "WindowedSummarizer",
+    "partition_batch",
+    "serve",
+    "shard_for",
+]

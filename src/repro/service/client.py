@@ -1,0 +1,146 @@
+"""Client for the heavy-hitters service's NDJSON socket protocol.
+
+A thin, dependency-free wrapper used by ``repro query``, the end-to-end
+tests and the throughput benchmark: one TCP connection, one JSON object per
+line each way.  Responses with ``"ok": false`` raise
+:class:`ServiceError` so callers never have to inspect error payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.base import Item
+
+
+class ServiceError(RuntimeError):
+    """The service answered a request with ``"ok": false``."""
+
+
+class ServiceClient:
+    """Talk to a running heavy-hitters service.
+
+    Examples
+    --------
+    ::
+
+        with ServiceClient(port=7071) as client:
+            client.ingest(["a", "b", "a"])
+            client.snapshot()
+            print(client.top_k(2))
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7071, timeout: float = 30.0
+    ) -> None:
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._socket.makefile("rb")
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+
+    def call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object; return the response, raising on errors."""
+        self._socket.sendall((json.dumps(request) + "\n").encode("utf-8"))
+        line = self._reader.readline()
+        if not line:
+            raise ServiceError("connection closed by the service")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown service error"))
+        return response
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+
+    def ping(self) -> bool:
+        return bool(self.call({"op": "ping"}).get("pong"))
+
+    def ingest(
+        self, items: Sequence[Item], weights: Optional[Sequence[float]] = None
+    ) -> int:
+        """Push one chunk of tokens; returns how many the service accepted."""
+        request: Dict[str, Any] = {"op": "ingest", "items": list(items)}
+        if weights is not None:
+            request["weights"] = [float(weight) for weight in weights]
+        return int(self.call(request)["ingested"])
+
+    def snapshot(self, drain: bool = True) -> Dict[str, Any]:
+        """Force a new merged snapshot; returns its metadata."""
+        return self.call({"op": "snapshot", "drain": drain})
+
+    def advance_window(self, steps: int = 1) -> int:
+        """Rotate the window ring; returns the new current bucket id."""
+        return int(self.call({"op": "advance-window", "steps": steps})["bucket"])
+
+    def stats(self) -> Dict[str, Any]:
+        return self.call({"op": "stats"})
+
+    def shutdown(self) -> None:
+        """Ask the service to stop serving (the call itself still succeeds)."""
+        self.call({"op": "shutdown"})
+
+    # -- queries -------------------------------------------------------- #
+
+    def point(self, item: Item) -> Dict[str, Any]:
+        """Point query against the latest snapshot (estimate + guarantee)."""
+        return self.call({"op": "query", "type": "point", "item": item})
+
+    def estimate(self, item: Item) -> float:
+        return float(self.point(item)["estimate"])
+
+    def top_k(self, k: int) -> List[Tuple[Item, float]]:
+        response = self.call({"op": "query", "type": "top-k", "k": k})
+        return [(entry["item"], entry["estimate"]) for entry in response["top_k"]]
+
+    def heavy_hitters(self, phi: float) -> List[Tuple[Item, float]]:
+        response = self.call({"op": "query", "type": "heavy-hitters", "phi": phi})
+        return [
+            (entry["item"], entry["estimate"]) for entry in response["heavy_hitters"]
+        ]
+
+    def window_point(self, item: Item, window: Optional[int] = None) -> Dict[str, Any]:
+        request: Dict[str, Any] = {"op": "query", "type": "window-point", "item": item}
+        if window is not None:
+            request["window"] = window
+        return self.call(request)
+
+    def window_top_k(
+        self, k: int, window: Optional[int] = None
+    ) -> List[Tuple[Item, float]]:
+        request: Dict[str, Any] = {"op": "query", "type": "window-top-k", "k": k}
+        if window is not None:
+            request["window"] = window
+        response = self.call(request)
+        return [(entry["item"], entry["estimate"]) for entry in response["top_k"]]
+
+    def window_heavy_hitters(
+        self, phi: float, window: Optional[int] = None
+    ) -> List[Tuple[Item, float]]:
+        request: Dict[str, Any] = {
+            "op": "query",
+            "type": "window-heavy-hitters",
+            "phi": phi,
+        }
+        if window is not None:
+            request["window"] = window
+        response = self.call(request)
+        return [
+            (entry["item"], entry["estimate"]) for entry in response["heavy_hitters"]
+        ]

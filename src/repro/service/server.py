@@ -1,0 +1,390 @@
+"""The heavy-hitters service: request handling and the NDJSON socket server.
+
+:class:`HeavyHittersService` wires the three service pieces together --
+sharded concurrent ingest (:mod:`repro.service.sharding`), versioned
+queryable snapshots (:mod:`repro.service.snapshots`) and optional sliding
+windows (:mod:`repro.service.windows`) -- behind a single
+``handle(request) -> response`` dict interface, so the core logic is
+testable without sockets.
+
+The wire protocol is newline-delimited JSON over a local TCP socket: one
+request object per line in, one response object per line out, ``"ok"``
+signalling success.  The ``repro serve`` / ``repro query`` CLI pair and
+:class:`repro.service.client.ServiceClient` speak it.  Requests::
+
+    {"op": "ping"}
+    {"op": "ingest", "items": [...], "weights": [...]?}
+    {"op": "snapshot", "drain": true?}
+    {"op": "advance-window", "steps": 1?}
+    {"op": "query", "type": "point", "item": ...}
+    {"op": "query", "type": "top-k", "k": 10}
+    {"op": "query", "type": "heavy-hitters", "phi": 0.01}
+    {"op": "query", "type": "window-point", "item": ..., "window": W?}
+    {"op": "query", "type": "window-top-k", "k": 10, "window": W?}
+    {"op": "query", "type": "window-heavy-hitters", "phi": 0.01, "window": W?}
+    {"op": "stats"}
+    {"op": "shutdown"}
+
+Snapshot-backed answers carry the merged ``(3A, A+B)`` guarantee constants
+of Theorem 11; window answers carry the constants of however many buckets
+were actually merged (see :mod:`repro.service.windows`).
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro import serialization
+from repro.algorithms.base import FrequencyEstimator
+from repro.algorithms.frequent import Frequent
+from repro.algorithms.frequent_real import FrequentR
+from repro.algorithms.space_saving import SpaceSaving
+from repro.algorithms.space_saving_real import SpaceSavingR
+from repro.core.tail_guarantee import TailGuarantee
+from repro.service.sharding import DEFAULT_QUEUE_DEPTH, ShardedSummarizer
+from repro.service.snapshots import Snapshot, SnapshotManager
+from repro.service.windows import WindowAnswer, WindowedSummarizer
+
+#: (algorithm name, weighted?) -> summary class, mirroring the CLI registry.
+SERVICE_ALGORITHMS: Dict[Tuple[str, bool], Callable[[int], FrequencyEstimator]] = {
+    ("spacesaving", False): lambda m: SpaceSaving(num_counters=m),
+    ("spacesaving", True): lambda m: SpaceSavingR(num_counters=m),
+    ("frequent", False): lambda m: Frequent(num_counters=m),
+    ("frequent", True): lambda m: FrequentR(num_counters=m),
+}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Static configuration of one service instance."""
+
+    algorithm: str = "spacesaving"
+    num_counters: int = 1_000
+    num_shards: int = 4
+    k: int = 10
+    weighted: bool = False
+    queue_depth: int = DEFAULT_QUEUE_DEPTH
+    window_buckets: int = 0
+    snapshot_interval: float = 0.0
+    snapshot_dir: Optional[str] = None
+    compress: bool = False
+    merge_mode: str = "all_counters"
+
+    def make_estimator(self) -> FrequencyEstimator:
+        key = (self.algorithm, self.weighted)
+        if key not in SERVICE_ALGORITHMS:
+            names = sorted({name for name, _ in SERVICE_ALGORITHMS})
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; expected one of {names}"
+            )
+        return SERVICE_ALGORITHMS[key](self.num_counters)
+
+
+def _guarantee_payload(constants: TailGuarantee, k: int, m: int) -> Dict[str, float]:
+    """The guarantee constants attached to every certified answer."""
+    return {"a": constants.a, "b": constants.b, "k": k, "num_counters": m}
+
+
+class HeavyHittersService:
+    """Sharded ingest + snapshot queries + sliding windows, as one object."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.sharded = ShardedSummarizer(
+            config.make_estimator,
+            num_shards=config.num_shards,
+            queue_depth=config.queue_depth,
+        )
+        self.snapshots = SnapshotManager(
+            self.sharded,
+            k=config.k,
+            directory=config.snapshot_dir,
+            compress=config.compress,
+            mode=config.merge_mode,
+        )
+        self.windowed: Optional[WindowedSummarizer] = None
+        if config.window_buckets > 0:
+            self.windowed = WindowedSummarizer(
+                config.make_estimator,
+                num_buckets=config.window_buckets,
+                k=config.k,
+            )
+        self.shutdown_requested = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "HeavyHittersService":
+        self.sharded.start()
+        if self.config.snapshot_interval > 0:
+            self.snapshots.start(self.config.snapshot_interval)
+        return self
+
+    def close(self) -> None:
+        self.snapshots.stop()
+        self.sharded.close()
+
+    def __enter__(self) -> "HeavyHittersService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Request handling
+    # ------------------------------------------------------------------ #
+
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Dispatch one request dict; never raises, errors become payloads."""
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "request must be a JSON object"}
+        op = request.get("op")
+        handler = self._OPS.get(op)
+        if handler is None:
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        try:
+            return handler(self, request)
+        except (ValueError, RuntimeError, KeyError, TypeError, OSError) as error:
+            return {"ok": False, "error": str(error)}
+
+    def _op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"ok": True, "pong": True}
+
+    def _op_ingest(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        items = request.get("items")
+        if not isinstance(items, list):
+            return {"ok": False, "error": "ingest requires an 'items' list"}
+        weights = request.get("weights")
+        if weights is not None and (
+            not isinstance(weights, list) or len(weights) != len(items)
+        ):
+            return {"ok": False, "error": "'weights' must parallel 'items'"}
+        # Snapshots copy shards through the wire format, so an item the
+        # format cannot carry must be rejected here, before any shard
+        # stores it (SerializationError is a ValueError; handle() turns it
+        # into an error payload).
+        for item in items:
+            serialization.check_item(item)
+        ingested = self.sharded.ingest(items, weights)
+        if self.windowed is not None:
+            self.windowed.update_batch(items, weights)
+        return {
+            "ok": True,
+            "ingested": ingested,
+            "tokens_enqueued": self.sharded.tokens_enqueued,
+        }
+
+    def _op_snapshot(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        snapshot = self.snapshots.refresh(drain=bool(request.get("drain", True)))
+        return {"ok": True, **self._snapshot_payload(snapshot)}
+
+    def _op_advance_window(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        if self.windowed is None:
+            return {"ok": False, "error": "service started without windows"}
+        bucket = self.windowed.advance(int(request.get("steps", 1)))
+        return {"ok": True, "bucket": bucket}
+
+    def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        latest = self.snapshots.latest
+        stats: Dict[str, Any] = {
+            "ok": True,
+            "algorithm": self.config.algorithm,
+            "num_counters": self.config.num_counters,
+            "num_shards": self.config.num_shards,
+            "k": self.config.k,
+            "tokens_enqueued": self.sharded.tokens_enqueued,
+            "shards": self.sharded.shard_stats(),
+            "snapshot_version": None if latest is None else latest.version,
+            "last_refresh_error": (
+                None
+                if self.snapshots.last_refresh_error is None
+                else str(self.snapshots.last_refresh_error)
+            ),
+        }
+        if self.windowed is not None:
+            stats["window"] = {
+                "num_buckets": self.windowed.num_buckets,
+                "current_bucket": self.windowed.current_bucket,
+                "live_buckets": [
+                    {"bucket": bucket_id, "weight": weight}
+                    for bucket_id, weight in self.windowed.live_buckets()
+                ],
+            }
+        return stats
+
+    def _op_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self.shutdown_requested.set()
+        return {"ok": True, "stopping": True}
+
+    def _op_query(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        query_type = request.get("type")
+        if query_type in ("point", "top-k", "heavy-hitters"):
+            return self._snapshot_query(query_type, request)
+        if query_type in ("window-point", "window-top-k", "window-heavy-hitters"):
+            return self._window_query(query_type, request)
+        return {"ok": False, "error": f"unknown query type {query_type!r}"}
+
+    # -- snapshot-backed queries --------------------------------------- #
+
+    def _snapshot_payload(self, snapshot: Snapshot) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "version": snapshot.version,
+            "stream_length": snapshot.stream_length,
+            "shard_lengths": list(snapshot.shard_lengths),
+            "guarantee": _guarantee_payload(
+                snapshot.constants, snapshot.k, snapshot.estimator.num_counters
+            ),
+        }
+        if snapshot.path is not None:
+            payload["path"] = str(snapshot.path)
+        if snapshot.wire is not None:
+            payload["wire"] = {
+                "words": snapshot.wire.words,
+                "json_bytes": snapshot.wire.json_bytes,
+                "wire_bytes": snapshot.wire.wire_bytes,
+                "compressed": snapshot.wire.compressed,
+            }
+        return payload
+
+    def _snapshot_query(self, query_type: str, request: Dict[str, Any]) -> Dict[str, Any]:
+        snapshot = self.snapshots.latest_or_refresh()
+        response = {"ok": True, **self._snapshot_payload(snapshot)}
+        if query_type == "point":
+            if "item" not in request:
+                return {"ok": False, "error": "point query requires 'item'"}
+            response["item"] = request["item"]
+            response["estimate"] = snapshot.estimate(request["item"])
+        elif query_type == "top-k":
+            k = int(request.get("k", self.config.k))
+            response["top_k"] = [
+                {"item": item, "estimate": estimate}
+                for item, estimate in snapshot.top_k(k)
+            ]
+        else:  # heavy-hitters
+            phi = float(request["phi"])
+            response["phi"] = phi
+            response["heavy_hitters"] = [
+                {"item": item, "estimate": estimate}
+                for item, estimate in snapshot.heavy_hitters(phi)
+            ]
+        return response
+
+    # -- window-backed queries ----------------------------------------- #
+
+    def _window_query(self, query_type: str, request: Dict[str, Any]) -> Dict[str, Any]:
+        if self.windowed is None:
+            return {"ok": False, "error": "service started without windows"}
+        window = request.get("window")
+        answer: WindowAnswer = self.windowed.query(
+            window=None if window is None else int(window)
+        )
+        num_counters = (
+            0 if answer.estimator is None else answer.estimator.num_counters
+        )
+        response: Dict[str, Any] = {
+            "ok": True,
+            "window": answer.window,
+            "buckets_merged": answer.buckets_merged,
+            "stream_length": answer.stream_length,
+            "empty": answer.empty,
+            "guarantee": _guarantee_payload(answer.constants, answer.k, num_counters),
+        }
+        if query_type == "window-point":
+            if "item" not in request:
+                return {"ok": False, "error": "point query requires 'item'"}
+            response["item"] = request["item"]
+            response["estimate"] = answer.estimate(request["item"])
+        elif query_type == "window-top-k":
+            k = int(request.get("k", self.config.k))
+            response["top_k"] = [
+                {"item": item, "estimate": estimate}
+                for item, estimate in answer.top_k(k)
+            ]
+        else:  # window-heavy-hitters
+            phi = float(request["phi"])
+            response["phi"] = phi
+            response["heavy_hitters"] = [
+                {"item": item, "estimate": estimate}
+                for item, estimate in answer.heavy_hitters(phi)
+            ]
+        return response
+
+    _OPS: Dict[str, Callable[["HeavyHittersService", Dict[str, Any]], Dict[str, Any]]] = {
+        "ping": _op_ping,
+        "ingest": _op_ingest,
+        "snapshot": _op_snapshot,
+        "advance-window": _op_advance_window,
+        "stats": _op_stats,
+        "query": _op_query,
+        "shutdown": _op_shutdown,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# NDJSON-over-TCP transport
+# --------------------------------------------------------------------------- #
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        service: HeavyHittersService = self.server.service  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as error:
+                request = {}
+                response = {"ok": False, "error": f"invalid JSON: {error}"}
+            else:
+                response = service.handle(request)
+            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+            self.wfile.flush()
+            op = request.get("op") if isinstance(request, dict) else None
+            if op == "shutdown" and response.get("ok"):
+                # shutdown() blocks until serve_forever exits, so it must
+                # run off the serving thread.
+                threading.Thread(
+                    target=self.server.shutdown, daemon=True  # type: ignore[attr-defined]
+                ).start()
+                return
+
+
+class ServiceServer(socketserver.ThreadingTCPServer):
+    """A threading TCP server bound to one :class:`HeavyHittersService`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, service: HeavyHittersService, host: str, port: int) -> None:
+        self.service = service
+        super().__init__((host, port), _RequestHandler)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def serve(
+    config: ServiceConfig, host: str = "127.0.0.1", port: int = 0
+) -> ServiceServer:
+    """Start a service and a server for it; returns the (running) server.
+
+    ``port=0`` binds an ephemeral port (``server.port`` reveals it).  The
+    caller drives ``serve_forever()`` -- typically on a background thread in
+    tests and on the main thread in ``repro serve``.
+    """
+    service = HeavyHittersService(config).start()
+    try:
+        return ServiceServer(service, host, port)
+    except BaseException:
+        # Bind failures (port in use) must not leak the started shard
+        # workers and snapshot ticker.
+        service.close()
+        raise

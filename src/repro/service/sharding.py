@@ -1,0 +1,346 @@
+"""Concurrent sharded ingestion: hash-partitioned shard workers.
+
+The service half of the paper's mergeability story (Section 6.2): because
+counter summaries merge with a ``(3A, A+B)`` guarantee (Theorem 11), a
+heavy-hitters service can *shard* its ingest path -- hash-partition the
+token stream across ``N`` workers, let each worker maintain its own
+summary, and merge on demand -- without giving up certified answers.
+
+:class:`ShardedSummarizer` implements the ingest side:
+
+* tokens are routed with :func:`shard_for` (a stable fingerprint modulo the
+  shard count, the same placement rule :mod:`repro.distributed.partition`
+  uses for cross-site hash partitioning, so in-process shards and remote
+  sites agree on who owns an item);
+* each shard is a daemon thread draining a *bounded* queue -- producers
+  block when a shard falls behind, which is the service's backpressure;
+* a shard applies each dequeued chunk through the batched fast path
+  (:meth:`~repro.algorithms.base.FrequencyEstimator.update_batch`), so the
+  per-token cost is the PR-1 aggregated one, not a Python-level loop.
+
+Shard summaries are read either live (:meth:`shard_summaries`, after a
+:meth:`flush` barrier) or as consistent copies taken under the per-shard
+locks (:meth:`snapshot_summaries`) while ingestion keeps running -- the
+latter is what :class:`repro.service.snapshots.SnapshotManager` builds
+queryable snapshots from.
+"""
+
+from __future__ import annotations
+
+import math
+import queue
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.base import FrequencyEstimator, Item
+from repro.sketches.hashing import shard_for
+
+EstimatorFactory = Callable[[], FrequencyEstimator]
+
+#: Default bound on the number of pending chunks per shard queue.  Small
+#: enough that a stalled shard exerts backpressure on producers quickly,
+#: large enough to keep workers busy across producer hiccups.
+DEFAULT_QUEUE_DEPTH = 64
+
+_STOP = object()
+
+
+def partition_batch(
+    items: Sequence[Item],
+    num_shards: int,
+    weights: Optional[Sequence[float]] = None,
+) -> Dict[int, Tuple[List[Item], Optional[List[float]]]]:
+    """Split a chunk of tokens into per-shard ``(items, weights)`` batches.
+
+    Only shards that actually receive tokens appear in the result.  Negative
+    and non-finite weights are rejected *here*, before anything reaches a
+    shard queue, so a bad token surfaces synchronously to the producer that
+    sent it instead of failing asynchronously inside a worker (or, for NaN,
+    silently corrupting a shard's counters).
+    """
+    if weights is not None:
+        if len(items) != len(weights):
+            raise ValueError("items and weights must have the same length")
+        for weight in weights:
+            if weight < 0 or not math.isfinite(weight):
+                raise ValueError(
+                    f"weights must be finite and non-negative, got {weight}"
+                )
+    if num_shards == 1:
+        batch_weights = list(weights) if weights is not None else None
+        return {0: (list(items), batch_weights)} if len(items) else {}
+    parts: Dict[int, Tuple[List[Item], Optional[List[float]]]] = {}
+    if weights is None:
+        for item in items:
+            shard = shard_for(item, num_shards)
+            entry = parts.get(shard)
+            if entry is None:
+                entry = ([], None)
+                parts[shard] = entry
+            entry[0].append(item)
+        return parts
+    for item, weight in zip(items, weights):
+        shard = shard_for(item, num_shards)
+        entry = parts.get(shard)
+        if entry is None:
+            entry = ([], [])
+            parts[shard] = entry
+        entry[0].append(item)
+        entry[1].append(weight)
+    return parts
+
+
+class _ShardWorker(threading.Thread):
+    """One shard: a thread owning a summary and draining a bounded queue."""
+
+    def __init__(
+        self, shard_id: int, estimator: FrequencyEstimator, queue_depth: int
+    ) -> None:
+        super().__init__(name=f"shard-{shard_id}", daemon=True)
+        self.shard_id = shard_id
+        self.estimator = estimator
+        self.queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
+        self.lock = threading.Lock()
+        self.error: BaseException | None = None
+        self.tokens_applied = 0
+
+    def run(self) -> None:
+        while True:
+            batch = self.queue.get()
+            if batch is _STOP:
+                self.queue.task_done()
+                return
+            items, weights = batch
+            try:
+                with self.lock:
+                    self.estimator.update_batch(items, weights)
+                self.tokens_applied += len(items)
+            except BaseException as exc:  # surfaced to producers on flush()
+                # Only the failing batch is dropped; batches queued behind
+                # it still apply.  The first error wins until surfaced.
+                if self.error is None:
+                    self.error = exc
+            finally:
+                self.queue.task_done()
+
+
+class ShardedSummarizer:
+    """Hash-partitioned concurrent ingestion into per-shard summaries.
+
+    Parameters
+    ----------
+    make_estimator:
+        Factory for the per-shard summary (e.g.
+        ``lambda: SpaceSaving(num_counters=1000)``).  Every shard gets its
+        own instance; the same factory is reused by the snapshot layer for
+        the Theorem 11 merge.
+    num_shards:
+        Number of shard workers.
+    queue_depth:
+        Bound on pending chunks per shard; producers block (backpressure)
+        when a shard's queue is full.
+
+    Examples
+    --------
+    >>> from repro.algorithms import SpaceSaving
+    >>> with ShardedSummarizer(lambda: SpaceSaving(64), num_shards=2) as sharded:
+    ...     _ = sharded.ingest(["a", "b", "a", "c"])
+    ...     sharded.flush()
+    ...     total = sharded.stream_length
+    >>> total
+    4.0
+    """
+
+    def __init__(
+        self,
+        make_estimator: EstimatorFactory,
+        num_shards: int,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.make_estimator = make_estimator
+        self.num_shards = num_shards
+        self._workers = [
+            _ShardWorker(shard_id, make_estimator(), queue_depth)
+            for shard_id in range(num_shards)
+        ]
+        self._started = False
+        self._closed = False
+        # Guards the lifecycle flags, the stats counters, and the count of
+        # producers currently inside ingest(); close() waits on it so the
+        # _STOP sentinels always land *behind* every in-flight batch.
+        self._state = threading.Condition(threading.Lock())
+        self._active_producers = 0
+        self.tokens_enqueued = 0
+        self.batches_enqueued = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "ShardedSummarizer":
+        """Start the shard worker threads (idempotent)."""
+        with self._state:
+            if self._closed:
+                raise RuntimeError("summarizer is closed")
+            if self._started:
+                return self
+            self._started = True
+        for worker in self._workers:
+            worker.start()
+        return self
+
+    def close(self) -> None:
+        """Drain every queue, stop the workers and join them.
+
+        Waits for in-flight ingest() calls to finish enqueueing before the
+        stop sentinels go out, so no batch can land behind a sentinel (which
+        would drop its tokens and leave flush() waiting forever).
+        """
+        with self._state:
+            if self._closed:
+                return
+            self._closed = True
+            while self._active_producers:
+                self._state.wait()
+            started = self._started
+        if started:
+            for worker in self._workers:
+                worker.queue.put(_STOP)
+            for worker in self._workers:
+                worker.join()
+
+    def __enter__(self) -> "ShardedSummarizer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Ingest
+    # ------------------------------------------------------------------ #
+
+    def shard_of(self, item: Item) -> int:
+        """The shard that owns ``item``."""
+        return shard_for(item, self.num_shards)
+
+    def ingest(
+        self, items: Sequence[Item], weights: Optional[Sequence[float]] = None
+    ) -> int:
+        """Route a chunk of tokens to their shards; returns tokens enqueued.
+
+        Blocks when a destination shard's queue is full (backpressure).
+        """
+        with self._state:
+            if not self._started or self._closed:
+                raise RuntimeError(
+                    "summarizer must be started (and not closed) to ingest"
+                )
+            self._active_producers += 1
+        try:
+            self._raise_pending_errors()
+            parts = partition_batch(items, self.num_shards, weights)
+            for shard_id, batch in parts.items():
+                self._workers[shard_id].queue.put(batch)
+            with self._state:
+                self.batches_enqueued += len(parts)
+                self.tokens_enqueued += len(items)
+            return len(items)
+        finally:
+            with self._state:
+                self._active_producers -= 1
+                self._state.notify_all()
+
+    def ingest_weighted(self, pairs: Sequence[Tuple[Item, float]]) -> int:
+        """Route ``(item, weight)`` pairs to their shards."""
+        items = [item for item, _ in pairs]
+        weights = [weight for _, weight in pairs]
+        return self.ingest(items, weights)
+
+    def flush(self) -> None:
+        """Block until every enqueued chunk has been applied to its shard."""
+        for worker in self._workers:
+            worker.queue.join()
+        self._raise_pending_errors()
+
+    def _raise_pending_errors(self) -> None:
+        """Surface a worker failure once, then let the service recover.
+
+        The error is cleared after being raised: the batch that triggered
+        it is dropped (its tokens are lost from the shard's summary), but
+        subsequent ingests proceed instead of the whole service staying
+        poisoned by one bad batch.
+        """
+        for worker in self._workers:
+            error = worker.error
+            if error is not None:
+                worker.error = None
+                raise RuntimeError(
+                    f"shard {worker.shard_id} failed while applying a batch "
+                    "(the failed batch was dropped)"
+                ) from error
+
+    # ------------------------------------------------------------------ #
+    # Reading the shards
+    # ------------------------------------------------------------------ #
+
+    def shard_summaries(self) -> List[FrequencyEstimator]:
+        """The live per-shard summaries, after a full flush barrier.
+
+        The returned estimators are the workers' own instances; only read
+        them while no further ingest is in flight (use
+        :meth:`snapshot_summaries` otherwise).
+        """
+        self.flush()
+        return [worker.estimator for worker in self._workers]
+
+    def snapshot_summaries(self) -> List[FrequencyEstimator]:
+        """Consistent, independent copies of every shard summary.
+
+        Each copy is taken under that shard's lock (so it sits on a batch
+        boundary) via a serialisation round trip; ingestion on the other
+        shards continues undisturbed.  This is the read path the snapshot
+        layer uses while the service keeps ingesting.
+        """
+        from repro import serialization
+
+        copies = []
+        for worker in self._workers:
+            with worker.lock:
+                payload = serialization.dump(worker.estimator)
+            copies.append(serialization.load(payload))
+        return copies
+
+    @property
+    def stream_length(self) -> float:
+        """Total weight applied across all shards so far."""
+        total = 0.0
+        for worker in self._workers:
+            with worker.lock:
+                total += worker.estimator.stream_length
+        return total
+
+    def shard_stats(self) -> List[Dict[str, float]]:
+        """Per-shard bookkeeping (applied tokens, stream length, counters)."""
+        stats = []
+        for worker in self._workers:
+            with worker.lock:
+                stats.append(
+                    {
+                        "shard": worker.shard_id,
+                        "tokens_applied": worker.tokens_applied,
+                        "stream_length": worker.estimator.stream_length,
+                        "counters_in_use": len(worker.estimator),
+                        "pending_batches": worker.queue.qsize(),
+                    }
+                )
+        return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedSummarizer(shards={self.num_shards}, "
+            f"enqueued={self.tokens_enqueued})"
+        )

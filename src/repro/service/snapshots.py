@@ -1,0 +1,268 @@
+"""Versioned, queryable snapshots of a sharded summarizer.
+
+The query side of the service: shard summaries are write-hot and mutate
+concurrently, so queries are answered from immutable *snapshots* instead.
+A snapshot is the Theorem 11 merge of consistent per-shard copies -- it
+carries the merged ``(3A, A+B)`` k-tail guarantee -- plus the bookkeeping a
+query engine needs (true total stream weight at snapshot time, per-shard
+weights, version number, and the wire cost of persisting it).
+
+:class:`SnapshotManager` builds snapshots on demand (:meth:`refresh`) or on
+a fixed cadence (:meth:`start`), keeps the latest one for queries, and can
+persist every version through :func:`repro.serialization.dump_bytes`
+(optionally gzipped) so a restarted service -- or an offline analyst -- can
+reload any version with :meth:`SnapshotManager.load`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Mapping, Optional, Tuple, Union
+
+from repro import serialization
+from repro.algorithms.base import FrequencyEstimator, Item
+from repro.core.merging import MergeResult, merge_summaries
+from repro.core.tail_guarantee import GuaranteeCheck, TailGuarantee
+from repro.service.sharding import ShardedSummarizer
+
+EstimatorFactory = Callable[[], FrequencyEstimator]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """An immutable, queryable view of the service at one instant.
+
+    Queries served from a snapshot inherit the merged k-tail guarantee of
+    Theorem 11: if every shard summary satisfies the ``(A, B)`` guarantee,
+    every estimate here is within ``3A * F1_res(k) / (m - (A+B)k)`` of the
+    true total frequency.
+    """
+
+    version: int
+    merge: MergeResult
+    stream_length: float
+    shard_lengths: Tuple[float, ...]
+    path: Optional[Path] = None
+    wire: Optional[serialization.WireCost] = None
+
+    @property
+    def estimator(self) -> FrequencyEstimator:
+        """The merged summary answering this snapshot's queries."""
+        return self.merge.estimator
+
+    @property
+    def constants(self) -> TailGuarantee:
+        """The merged ``(3A, A+B)`` guarantee constants."""
+        return self.merge.merged_constants
+
+    @property
+    def k(self) -> int:
+        return self.merge.k
+
+    @property
+    def num_shards(self) -> int:
+        return self.merge.num_sources
+
+    # ------------------------------------------------------------------ #
+    # Query engine
+    # ------------------------------------------------------------------ #
+
+    def estimate(self, item: Item) -> float:
+        """Point query: estimated total frequency of ``item``."""
+        return self.merge.estimator.estimate(item)
+
+    def top_k(self, k: int) -> List[Tuple[Item, float]]:
+        """The ``k`` largest estimated frequencies."""
+        return self.merge.estimator.top_k(k)
+
+    def heavy_hitters(self, phi: float) -> List[Tuple[Item, float]]:
+        """Items estimated above ``phi`` of the *true* total stream weight.
+
+        Thresholds against the recorded total ingest weight rather than the
+        merged estimator's internal counter mass (the latter undercounts by
+        whatever the shards had already discarded).
+        """
+        if not 0.0 < phi < 1.0:
+            raise ValueError(f"phi must lie in (0, 1), got {phi}")
+        threshold = phi * self.stream_length
+        ranked = self.merge.estimator.top_k(len(self.merge.estimator))
+        return [(item, count) for item, count in ranked if count > threshold]
+
+    def bound(self, frequencies: Mapping[Item, float]) -> float:
+        """The Theorem 11 error bound evaluated on true frequencies."""
+        return self.merge.bound(frequencies)
+
+    def check(self, frequencies: Mapping[Item, float]) -> GuaranteeCheck:
+        """Verify the merged guarantee against true combined frequencies."""
+        return self.merge.check(frequencies)
+
+
+@dataclass
+class SnapshotManager:
+    """Builds, serves and persists versioned snapshots of a sharded ingest.
+
+    Parameters
+    ----------
+    sharded:
+        The live :class:`~repro.service.sharding.ShardedSummarizer`.
+    k:
+        Tail parameter of the merged guarantee attached to every snapshot.
+    make_estimator:
+        Factory for the merge target; defaults to the sharded summarizer's
+        own factory (same algorithm and budget as the shards).
+    directory:
+        When set, every snapshot version is persisted here as
+        ``snapshot-<version>.json`` (``.json.gz`` with ``compress=True``).
+    compress:
+        Gzip persisted snapshots (and report the compressed wire cost).
+    mode:
+        Merge mode, ``"all_counters"`` or ``"top_k"`` (see
+        :mod:`repro.core.merging`).
+    """
+
+    sharded: ShardedSummarizer
+    k: int
+    make_estimator: Optional[EstimatorFactory] = None
+    directory: Optional[Union[str, Path]] = None
+    compress: bool = False
+    mode: str = "all_counters"
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _refresh_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _latest: Optional[Snapshot] = field(default=None, repr=False)
+    _version: int = field(default=0, repr=False)
+    _ticker: Optional[threading.Thread] = field(default=None, repr=False)
+    _stop: threading.Event = field(default_factory=threading.Event, repr=False)
+    #: The exception of the most recent failed periodic refresh (None when
+    #: the last tick succeeded); the stats op surfaces it to operators.
+    last_refresh_error: Optional[BaseException] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.make_estimator is None:
+            self.make_estimator = self.sharded.make_estimator
+        if self.directory is not None:
+            self.directory = Path(self.directory)
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # Building snapshots
+    # ------------------------------------------------------------------ #
+
+    def refresh(self, drain: bool = False) -> Snapshot:
+        """Merge consistent shard copies into a new versioned snapshot.
+
+        With ``drain=True`` the shard queues are flushed first, so the
+        snapshot reflects everything ingested before the call -- the
+        barrier end-to-end tests (and graceful shutdown) want.  Without it
+        the snapshot is simply a consistent cut at batch boundaries while
+        ingestion keeps running.
+        """
+        if drain:
+            self.sharded.flush()
+        # _refresh_lock serialises whole rebuilds (periodic ticker vs manual
+        # refreshes); _lock is only held for the version bump and the final
+        # swap, so readers of `latest` never wait on a merge or a disk write.
+        with self._refresh_lock:
+            copies = self.sharded.snapshot_summaries()
+            merge = merge_summaries(
+                copies,
+                k=self.k,
+                make_estimator=self.make_estimator,
+                mode=self.mode,
+            )
+            with self._lock:
+                self._version += 1
+                version = self._version
+            shard_lengths = tuple(copy.stream_length for copy in copies)
+            snapshot = Snapshot(
+                version=version,
+                merge=merge,
+                stream_length=float(sum(shard_lengths)),
+                shard_lengths=shard_lengths,
+            )
+            if self.directory is not None:
+                snapshot = self._persist(snapshot)
+            with self._lock:
+                self._latest = snapshot
+            return snapshot
+
+    def _persist(self, snapshot: Snapshot) -> Snapshot:
+        suffix = ".json.gz" if self.compress else ".json"
+        path = Path(self.directory) / f"snapshot-{snapshot.version:06d}{suffix}"
+        data, cost = serialization.dump_bytes_with_cost(
+            snapshot.estimator, compress=self.compress
+        )
+        # Write-then-rename so a crash mid-persist never leaves a truncated
+        # file at the canonical name: every version is complete or absent.
+        scratch = path.with_suffix(path.suffix + ".tmp")
+        scratch.write_bytes(data)
+        os.replace(scratch, path)
+        return Snapshot(
+            version=snapshot.version,
+            merge=snapshot.merge,
+            stream_length=snapshot.stream_length,
+            shard_lengths=snapshot.shard_lengths,
+            path=path,
+            wire=cost,
+        )
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> FrequencyEstimator:
+        """Reload a persisted snapshot's merged summary from disk."""
+        return serialization.load_bytes(Path(path).read_bytes())
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+
+    @property
+    def latest(self) -> Optional[Snapshot]:
+        """The most recent snapshot (None before the first refresh)."""
+        with self._lock:
+            return self._latest
+
+    def latest_or_refresh(self) -> Snapshot:
+        """The latest snapshot, building the first one if none exists."""
+        snapshot = self.latest
+        if snapshot is None:
+            return self.refresh()
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # Periodic refresh
+    # ------------------------------------------------------------------ #
+
+    def start(self, interval: float) -> None:
+        """Refresh every ``interval`` seconds on a daemon thread."""
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if self._ticker is not None:
+            raise RuntimeError("periodic refresh already running")
+        self._stop.clear()
+
+        def tick() -> None:
+            while not self._stop.wait(interval):
+                try:
+                    self.refresh()
+                    self.last_refresh_error = None
+                except Exception as exc:
+                    # A transient failure (full disk, shard error) must not
+                    # kill the ticker: record it and retry next interval.
+                    self.last_refresh_error = exc
+
+        self._ticker = threading.Thread(
+            target=tick, name="snapshot-ticker", daemon=True
+        )
+        self._ticker.start()
+
+    def stop(self) -> None:
+        """Stop the periodic refresh thread (idempotent)."""
+        if self._ticker is None:
+            return
+        self._stop.set()
+        self._ticker.join()
+        self._ticker = None

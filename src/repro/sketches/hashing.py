@@ -42,6 +42,20 @@ def stable_fingerprint(item: Hashable) -> int:
     return value
 
 
+def shard_for(item: Hashable, num_shards: int) -> int:
+    """The shard that owns ``item`` under stable hash placement.
+
+    The single placement rule shared by in-process sharding
+    (:class:`repro.service.sharding.ShardedSummarizer`) and cross-site hash
+    partitioning (:func:`repro.distributed.partition.hash_partition`):
+    deterministic across processes and machines, so any two parties that
+    agree on ``num_shards`` agree on placement.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    return stable_fingerprint(item) % num_shards
+
+
 class PairwiseHash:
     """A pairwise-independent hash function onto ``{0, ..., width-1}``.
 

@@ -28,6 +28,7 @@ from repro.streams.batched import (
 )
 from repro.streams.exact import ExactCounter
 from repro.streams.generators import (
+    drifting_zipf_streams,
     heavy_plus_noise_stream,
     uniform_stream,
     zipf_frequencies,
@@ -48,6 +49,7 @@ __all__ = [
     "read_workload",
     "Stream",
     "WeightedStream",
+    "drifting_zipf_streams",
     "heavy_plus_noise_stream",
     "uniform_stream",
     "zipf_frequencies",

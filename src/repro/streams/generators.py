@@ -213,6 +213,50 @@ def weighted_zipf_stream(
     return WeightedStream(pairs, name=label)
 
 
+def drifting_zipf_streams(
+    num_items: int,
+    alpha: float,
+    tokens_per_bucket: int,
+    num_buckets: int,
+    drift: int = 1,
+    seed: int = 0,
+) -> List[Stream]:
+    """Per-bucket Zipf streams whose hot set drifts over time.
+
+    Models the windowed-traffic scenario (trending items): bucket ``b``
+    draws from the same Zipf(alpha) frequency profile, but the identity of
+    the rank-``r`` item is shifted by ``b * drift`` positions around the
+    domain, so yesterday's heavy hitters decay while new ones rise.  Feed
+    each returned stream into one bucket of a
+    :class:`~repro.service.windows.WindowedSummarizer` (advancing between
+    buckets) to exercise sliding-window queries.
+
+    Examples
+    --------
+    >>> buckets = drifting_zipf_streams(50, 1.2, 500, num_buckets=3, drift=5)
+    >>> [len(bucket) > 0 for bucket in buckets]
+    [True, True, True]
+    >>> buckets[0].frequencies()[1] == buckets[1].frequencies()[6]
+    True
+    """
+    if num_buckets < 1:
+        raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+    if drift < 0:
+        raise ValueError(f"drift must be >= 0, got {drift}")
+    profile = zipf_frequencies(num_items, alpha, tokens_per_bucket)
+    streams = []
+    for bucket in range(num_buckets):
+        rng = random.Random(seed * 7919 + bucket)
+        items = [
+            ((rank + bucket * drift) % num_items) + 1 for rank in range(num_items)
+        ]
+        tokens = _materialise(profile, items, "shuffled", rng)
+        streams.append(
+            Stream(tokens, name=f"drifting-zipf(bucket={bucket}, drift={drift})")
+        )
+    return streams
+
+
 def frequencies_to_stream(
     frequencies: Dict[Item, int],
     ordering: str = "shuffled",

@@ -199,3 +199,68 @@ class TestExperimentsCommand:
         out = capsys.readouterr().out
         assert "Table 1" in out
         assert "lower bound" in out
+
+
+class TestServeAndQueryCommands:
+    @pytest.fixture()
+    def live_service(self):
+        import threading
+
+        from repro.service import ServiceConfig, serve
+
+        config = ServiceConfig(
+            num_counters=200, num_shards=2, k=5, window_buckets=3
+        )
+        server = serve(config, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield server.port
+        finally:
+            server.shutdown()
+            server.server_close()
+            server.service.close()
+            thread.join(timeout=5)
+
+    def test_query_drives_a_live_service(self, live_service, workload_file, capsys):
+        port = str(live_service)
+        assert main(["query", "ping", "--port", port]) == 0
+        capsys.readouterr()
+        assert main(
+            ["query", "ingest", "--port", port, "--input", str(workload_file)]
+        ) == 0
+        response = json.loads(capsys.readouterr().out)
+        assert response["ingested"] == 100
+        assert main(["query", "snapshot", "--port", port]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["stream_length"] == 100.0
+        assert snapshot["guarantee"]["a"] == 3.0
+        assert main(["query", "top-k", "--port", port, "--k", "2"]) == 0
+        top = json.loads(capsys.readouterr().out)
+        assert top["top_k"][0]["item"] == "alpha"
+        assert main(["query", "point", "--port", port, "--item", "beta"]) == 0
+        point = json.loads(capsys.readouterr().out)
+        assert point["estimate"] >= 25.0
+        assert main(["query", "advance-window", "--port", port]) == 0
+        capsys.readouterr()
+        assert main(["query", "stats", "--port", port]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["num_shards"] == 2
+        assert stats["window"]["current_bucket"] == 1
+
+    def test_query_reports_service_errors(self, live_service, capsys):
+        port = str(live_service)
+        with pytest.raises(SystemExit):
+            main(["query", "window-top-k", "--port", port, "--window", "9"])
+        with pytest.raises(SystemExit):
+            main(["query", "point", "--port", port])  # missing --item
+
+    def test_query_unreachable_service(self):
+        with pytest.raises(SystemExit):
+            main(["query", "ping", "--port", "1", "--host", "127.0.0.1"])
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--port", "0"])
+        assert args.algorithm == "spacesaving"
+        assert args.shards == 4
+        assert args.window_buckets == 0

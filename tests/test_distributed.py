@@ -126,3 +126,53 @@ class TestDistributedSummarizer:
         )
         with pytest.raises(RuntimeError):
             coordinator.communication_cost_words()
+
+
+class TestSingleSite:
+    def test_single_site_skips_the_partitioner(self, zipf_medium, monkeypatch):
+        def explode(*args, **kwargs):
+            raise AssertionError("partitioner must not run for one site")
+
+        monkeypatch.setattr(
+            "repro.distributed.mergers.partition_stream", explode
+        )
+        coordinator = DistributedSummarizer(
+            make_estimator=lambda: SpaceSaving(num_counters=200),
+            k=10,
+            num_sites=1,
+        )
+        result = coordinator.run(zipf_medium)
+        assert len(coordinator.sites) == 1
+        assert coordinator.sites[0].local_weight == zipf_medium.total_weight
+        assert result.check(zipf_medium.frequencies()).holds
+
+
+class TestPlacementAgreement:
+    def test_hash_partition_matches_service_sharding(self, zipf_medium):
+        """Cross-site hash partitioning and in-process sharding agree."""
+        from repro.service.sharding import shard_for
+
+        parts = hash_partition(zipf_medium, 4)
+        for site, part in enumerate(parts):
+            for item in part.frequencies():
+                assert shard_for(item, 4) == site
+
+    def test_sharded_summarizer_agrees_with_hash_partition(self, zipf_medium):
+        from repro.service.sharding import ShardedSummarizer
+        from repro.streams.exact import ExactCounter
+
+        parts = hash_partition(zipf_medium, 4)
+        with ShardedSummarizer(ExactCounter, num_shards=4) as sharded:
+            sharded.ingest(zipf_medium.items)
+            summaries = sharded.shard_summaries()
+            for part, summary in zip(parts, summaries):
+                assert summary.counters() == part.frequencies()
+
+    def test_unknown_strategy_rejected_even_for_one_site(self):
+        with pytest.raises(ValueError, match="strategy"):
+            DistributedSummarizer(
+                make_estimator=lambda: SpaceSaving(num_counters=50),
+                k=5,
+                num_sites=1,
+                strategy="hashh",
+            )

@@ -21,6 +21,8 @@ import repro.core.merging
 import repro.core.zipf
 import repro.distributed.mergers
 import repro.serialization
+import repro.service.sharding
+import repro.service.windows
 import repro.streams.batched
 import repro.streams.exact
 import repro.streams.generators
@@ -39,6 +41,8 @@ MODULES = [
     repro.core.zipf,
     repro.distributed.mergers,
     repro.serialization,
+    repro.service.sharding,
+    repro.service.windows,
     repro.streams.batched,
     repro.streams.exact,
     repro.streams.generators,

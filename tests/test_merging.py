@@ -3,10 +3,13 @@
 import pytest
 
 from repro.algorithms.frequent import Frequent
+from repro.algorithms.frequent_real import FrequentR
 from repro.algorithms.space_saving import SpaceSaving
+from repro.algorithms.space_saving_real import SpaceSavingR
 from repro.core.merging import merge_all_counters, merge_summaries
 from repro.core.tail_guarantee import TailGuarantee
 from repro.metrics.error import max_error
+from repro.streams.generators import weighted_zipf_stream
 
 
 FACTORIES = {
@@ -137,3 +140,51 @@ class TestMergeAllCounters:
         # No formal guarantee, but the error should stay within the trivial
         # F1/m bound plus the per-part errors.
         assert max_error(frequencies, merged) <= 4 * zipf_medium.total_weight / 150
+
+
+class TestWeightedMerge:
+    """Theorem 11 under Section 6.1 weighted streams (real-valued weights)."""
+
+    WEIGHTED_FACTORIES = {
+        "frequentr": lambda m: FrequentR(num_counters=m),
+        "spacesavingr": lambda m: SpaceSavingR(num_counters=m),
+    }
+
+    @pytest.fixture(scope="class")
+    def weighted_stream(self):
+        return weighted_zipf_stream(
+            num_items=800, alpha=1.2, num_updates=6_000, weight_scale=25.0, seed=21
+        )
+
+    @pytest.mark.parametrize("name", sorted(WEIGHTED_FACTORIES))
+    @pytest.mark.parametrize("parts", [2, 4])
+    def test_theorem11_holds_for_weighted_streams(self, name, parts, weighted_stream):
+        weighted_factory = self.WEIGHTED_FACTORIES[name]
+        summaries = []
+        for index, part in enumerate(weighted_stream.split(parts)):
+            estimator = weighted_factory(150)
+            # Alternate sequential and batched ingestion so the merge
+            # guarantee is exercised over both ingest paths.
+            part.feed(estimator, chunk_size=512 if index % 2 else None)
+            summaries.append(estimator)
+        merged = merge_summaries(
+            summaries, k=10, make_estimator=lambda: weighted_factory(150)
+        )
+        assert merged.merged_constants == TailGuarantee(a=3.0, b=2.0)
+        check = merged.check(weighted_stream.frequencies())
+        assert check.holds, check
+
+    def test_weighted_merge_recovers_heavy_weight_items(self, weighted_stream):
+        summaries = []
+        for part in weighted_stream.split(4):
+            estimator = SpaceSavingR(num_counters=150)
+            part.feed(estimator)
+            summaries.append(estimator)
+        merged = merge_summaries(
+            summaries, k=10, make_estimator=lambda: SpaceSavingR(150)
+        )
+        frequencies = weighted_stream.frequencies()
+        bound = merged.bound(frequencies)
+        heaviest = sorted(frequencies, key=frequencies.get, reverse=True)[:5]
+        for item in heaviest:
+            assert abs(merged.estimator.estimate(item) - frequencies[item]) <= bound + 1e-6

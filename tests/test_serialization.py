@@ -161,3 +161,63 @@ class TestSizeAccounting:
         assert serialization.serialized_size_words(
             serialization.dump(small)
         ) < serialization.serialized_size_words(serialization.dump(large))
+
+
+class TestBytesAndCompression:
+    def test_dump_bytes_plain_round_trip(self, stream):
+        original = SpaceSaving(num_counters=32)
+        stream.feed(original)
+        data = serialization.dump_bytes(original)
+        assert isinstance(data, bytes)
+        assert data[:2] != serialization.GZIP_MAGIC
+        clone = serialization.load_bytes(data)
+        assert clone.counters() == original.counters()
+
+    def test_dump_bytes_gzip_round_trip(self, stream):
+        original = SpaceSaving(num_counters=200)
+        stream.feed(original)
+        compressed = serialization.dump_bytes(original, compress=True)
+        assert compressed[:2] == serialization.GZIP_MAGIC
+        clone = serialization.load_bytes(compressed)
+        assert clone.counters() == original.counters()
+        assert clone.per_item_errors() == original.per_item_errors()
+
+    def test_gzip_output_is_deterministic_and_smaller(self, stream):
+        original = SpaceSaving(num_counters=200)
+        stream.feed(original)
+        first = serialization.dump_bytes(original, compress=True)
+        second = serialization.dump_bytes(original, compress=True)
+        assert first == second
+        assert len(first) < len(serialization.dump_bytes(original))
+
+    def test_load_bytes_rejects_garbage(self):
+        with pytest.raises(serialization.SerializationError):
+            serialization.load_bytes(b"\x1f\x8bnot really gzip")
+        with pytest.raises(serialization.SerializationError):
+            serialization.load_bytes(b"\xff\xfe\x00invalid")
+
+    def test_load_bytes_rejects_truncated_gzip(self, stream):
+        original = SpaceSaving(num_counters=32)
+        stream.feed(original)
+        compressed = serialization.dump_bytes(original, compress=True)
+        # A partially written snapshot file (e.g. crash mid-persist) must
+        # surface as SerializationError, not a raw EOFError/zlib.error.
+        with pytest.raises(serialization.SerializationError):
+            serialization.load_bytes(compressed[: len(compressed) // 2])
+
+    def test_wire_cost_reports_both_models(self, stream):
+        original = SpaceSaving(num_counters=200)
+        stream.feed(original)
+        plain = serialization.wire_cost(original)
+        packed = serialization.wire_cost(original, compress=True)
+        payload = serialization.dump(original)
+        assert plain.words == serialization.serialized_size_words(payload)
+        assert plain.words == packed.words  # word model ignores encoding
+        assert plain.wire_bytes == plain.json_bytes
+        assert plain.compression_ratio == 1.0
+        assert packed.compressed
+        assert packed.wire_bytes < packed.json_bytes
+        assert packed.compression_ratio > 1.0
+        assert packed.wire_bytes == len(
+            serialization.dump_bytes(original, compress=True)
+        )

@@ -1,0 +1,484 @@
+"""Tests for the sharded heavy-hitters service (repro.service)."""
+
+import collections
+import threading
+import time
+
+import pytest
+
+from repro.algorithms.space_saving import SpaceSaving
+from repro.metrics.error import residual
+from repro.service import (
+    HeavyHittersService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ShardedSummarizer,
+    SnapshotManager,
+    partition_batch,
+    serve,
+    shard_for,
+)
+from repro.streams.batched import iter_chunks
+from repro.streams.exact import ExactCounter
+from repro.streams.generators import drifting_zipf_streams, zipf_stream
+
+
+class TestShardFor:
+    def test_deterministic_and_in_range(self):
+        for item in ["a", "b", 17, 3.5, "query term"]:
+            shard = shard_for(item, 4)
+            assert 0 <= shard < 4
+            assert shard == shard_for(item, 4)
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_for("a", 0)
+
+
+class TestPartitionBatch:
+    def test_preserves_multiset(self):
+        items = ["a", "b", "a", "c", "d", "a"]
+        parts = partition_batch(items, 3)
+        rebuilt = collections.Counter()
+        for shard_id, (shard_items, shard_weights) in parts.items():
+            assert shard_weights is None
+            for item in shard_items:
+                assert shard_for(item, 3) == shard_id
+            rebuilt.update(shard_items)
+        assert rebuilt == collections.Counter(items)
+
+    def test_weighted_batches_stay_parallel(self):
+        items = ["a", "b", "a", "c"]
+        weights = [1.0, 2.0, 3.0, 4.0]
+        parts = partition_batch(items, 2, weights)
+        totals = collections.defaultdict(float)
+        for shard_items, shard_weights in parts.values():
+            assert len(shard_items) == len(shard_weights)
+            for item, weight in zip(shard_items, shard_weights):
+                totals[item] += weight
+        assert totals == {"a": 4.0, "b": 2.0, "c": 4.0}
+
+    def test_single_shard_short_circuits(self):
+        parts = partition_batch(["x", "y"], 1)
+        assert list(parts) == [0]
+        assert parts[0][0] == ["x", "y"]
+        assert partition_batch([], 1) == {}
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            partition_batch(["a"], 2, [1.0, 2.0])
+
+    def test_negative_weights_rejected_before_enqueue(self):
+        with pytest.raises(ValueError, match="negative"):
+            partition_batch(["a", "b"], 2, [1.0, -1.0])
+        with pytest.raises(ValueError, match="negative"):
+            partition_batch(["a"], 1, [-2.0])
+
+    def test_non_finite_weights_rejected_before_enqueue(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="finite"):
+                partition_batch(["a"], 2, [bad])
+
+
+class TestShardedSummarizer:
+    def test_totals_match_exact_counts(self, zipf_medium):
+        with ShardedSummarizer(ExactCounter, num_shards=4) as sharded:
+            for chunk in iter_chunks(zipf_medium.items, 4096):
+                sharded.ingest(chunk)
+            sharded.flush()
+            merged = collections.Counter()
+            for summary in sharded.shard_summaries():
+                for item, count in summary.counters().items():
+                    merged[item] += count
+        assert merged == collections.Counter(zipf_medium.items)
+
+    def test_each_shard_owns_its_items(self, zipf_medium):
+        with ShardedSummarizer(ExactCounter, num_shards=4) as sharded:
+            sharded.ingest(zipf_medium.items)
+            for shard_id, summary in enumerate(sharded.shard_summaries()):
+                for item in summary.counters():
+                    assert shard_for(item, 4) == shard_id
+
+    def test_concurrent_producers(self, zipf_medium):
+        with ShardedSummarizer(ExactCounter, num_shards=4, queue_depth=8) as sharded:
+            halves = [zipf_medium.items[0::2], zipf_medium.items[1::2]]
+
+            def produce(tokens):
+                for chunk in iter_chunks(tokens, 1024):
+                    sharded.ingest(chunk)
+
+            threads = [
+                threading.Thread(target=produce, args=(half,)) for half in halves
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            sharded.flush()
+            assert sharded.stream_length == float(len(zipf_medium.items))
+            assert sharded.tokens_enqueued == len(zipf_medium.items)
+
+    def test_weighted_ingest(self):
+        with ShardedSummarizer(ExactCounter, num_shards=2) as sharded:
+            sharded.ingest_weighted([("a", 2.0), ("b", 3.0), ("a", 1.0)])
+            sharded.flush()
+            assert sharded.stream_length == 6.0
+
+    def test_worker_errors_surface_on_flush(self):
+        class Exploding(ExactCounter):
+            def update_batch(self, items, weights=None):
+                raise RuntimeError("boom")
+
+        with ShardedSummarizer(Exploding, num_shards=2) as sharded:
+            sharded.ingest(["a", "b"])
+            with pytest.raises(RuntimeError, match="shard"):
+                sharded.flush()
+
+    def test_worker_error_does_not_poison_the_service(self):
+        class ExplodesOnce(ExactCounter):
+            def update_batch(self, items, weights=None):
+                if "bad" in items:
+                    raise RuntimeError("boom")
+                super().update_batch(items, weights)
+
+        with ShardedSummarizer(ExplodesOnce, num_shards=1) as sharded:
+            sharded.ingest(["bad"])
+            # Batches queued behind the failing one still apply.
+            sharded.ingest(["survivor"])
+            with pytest.raises(RuntimeError, match="dropped"):
+                sharded.flush()
+            # The failed batch is gone, but the service keeps working.
+            sharded.ingest(["good", "good"])
+            sharded.flush()
+            assert sharded.stream_length == 3.0
+            counters = sharded.shard_summaries()[0].counters()
+            assert counters == {"survivor": 1.0, "good": 2.0}
+
+    def test_ingest_requires_started(self):
+        sharded = ShardedSummarizer(ExactCounter, num_shards=2)
+        with pytest.raises(RuntimeError):
+            sharded.ingest(["a"])
+        sharded.start()
+        sharded.close()
+        with pytest.raises(RuntimeError):
+            sharded.ingest(["a"])
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedSummarizer(ExactCounter, num_shards=0)
+        with pytest.raises(ValueError):
+            ShardedSummarizer(ExactCounter, num_shards=1, queue_depth=0)
+
+
+@pytest.fixture()
+def sharded_zipf(zipf_medium):
+    """A 4-shard SpaceSaving summarizer pre-loaded with zipf_medium."""
+    with ShardedSummarizer(
+        lambda: SpaceSaving(num_counters=400), num_shards=4
+    ) as sharded:
+        for chunk in iter_chunks(zipf_medium.items, 4096):
+            sharded.ingest(chunk)
+        sharded.flush()
+        yield sharded
+
+
+class TestSnapshotManager:
+    def test_versions_increment(self, sharded_zipf):
+        manager = SnapshotManager(sharded_zipf, k=10)
+        assert manager.latest is None
+        first = manager.refresh()
+        second = manager.refresh()
+        assert (first.version, second.version) == (1, 2)
+        assert manager.latest.version == 2
+
+    def test_latest_or_refresh_builds_first(self, sharded_zipf):
+        manager = SnapshotManager(sharded_zipf, k=10)
+        snapshot = manager.latest_or_refresh()
+        assert snapshot.version == 1
+        assert manager.latest_or_refresh() is snapshot
+
+    def test_snapshot_carries_merged_guarantee(self, sharded_zipf, zipf_medium):
+        manager = SnapshotManager(sharded_zipf, k=10)
+        snapshot = manager.refresh(drain=True)
+        assert snapshot.constants.a == 3.0
+        assert snapshot.constants.b == 2.0
+        assert snapshot.num_shards == 4
+        assert snapshot.stream_length == float(len(zipf_medium.items))
+        assert snapshot.check(zipf_medium.frequencies()).holds
+
+    def test_heavy_hitters_threshold_uses_true_weight(self, sharded_zipf, zipf_medium):
+        manager = SnapshotManager(sharded_zipf, k=10)
+        snapshot = manager.refresh()
+        phi = 0.05
+        threshold = phi * len(zipf_medium.items)
+        reported = dict(snapshot.heavy_hitters(phi))
+        for item, estimate in reported.items():
+            assert estimate > threshold
+        exact = zipf_medium.frequencies()
+        bound = snapshot.bound(exact)
+        for item, count in exact.items():
+            if count > threshold + bound:
+                assert item in reported
+
+    def test_persistence_round_trip(self, sharded_zipf, tmp_path):
+        manager = SnapshotManager(
+            sharded_zipf, k=10, directory=tmp_path, compress=True
+        )
+        snapshot = manager.refresh()
+        assert snapshot.path is not None and snapshot.path.exists()
+        assert snapshot.path.suffix == ".gz"
+        assert snapshot.wire.compressed
+        assert snapshot.wire.wire_bytes < snapshot.wire.json_bytes
+        reloaded = SnapshotManager.load(snapshot.path)
+        assert reloaded.counters() == snapshot.estimator.counters()
+
+    def test_periodic_refresh(self, sharded_zipf):
+        manager = SnapshotManager(sharded_zipf, k=10)
+        manager.start(interval=0.01)
+        try:
+            deadline = time.monotonic() + 5.0
+            while manager.latest is None and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            manager.stop()
+        assert manager.latest is not None
+        with pytest.raises(ValueError):
+            manager.start(interval=0.0)
+
+    def test_rejects_bad_k(self, sharded_zipf):
+        with pytest.raises(ValueError):
+            SnapshotManager(sharded_zipf, k=0)
+
+
+class TestHeavyHittersServiceHandle:
+    @pytest.fixture()
+    def service(self):
+        config = ServiceConfig(
+            num_counters=200, num_shards=2, k=5, window_buckets=3
+        )
+        with HeavyHittersService(config) as service:
+            yield service
+
+    def test_ping(self, service):
+        assert service.handle({"op": "ping"}) == {"ok": True, "pong": True}
+
+    def test_unknown_op_and_bad_request(self, service):
+        assert not service.handle({"op": "nope"})["ok"]
+        assert not service.handle(["not", "a", "dict"])["ok"]
+        assert not service.handle({"op": "ingest", "items": "abc"})["ok"]
+        assert not service.handle(
+            {"op": "ingest", "items": ["a"], "weights": [1.0, 2.0]}
+        )["ok"]
+
+    def test_unserialisable_items_rejected_at_ingest(self, service):
+        """Bools/None would poison snapshot serialisation later; reject now."""
+        for bad_item in (True, None, ["nested"]):
+            response = service.handle({"op": "ingest", "items": ["ok", bad_item]})
+            assert not response["ok"]
+        service.handle({"op": "ingest", "items": ["ok"] * 3})
+        meta = service.handle({"op": "snapshot"})
+        assert meta["ok"] and meta["stream_length"] == 3.0
+
+    def test_negative_weight_fails_synchronously_without_poisoning(self, service):
+        bad = service.handle(
+            {"op": "ingest", "items": ["a", "b"], "weights": [1.0, -1.0]}
+        )
+        assert not bad["ok"] and "negative" in bad["error"]
+        good = service.handle({"op": "ingest", "items": ["a"] * 4})
+        assert good["ok"]
+        meta = service.handle({"op": "snapshot"})
+        assert meta["ok"] and meta["stream_length"] == 4.0
+
+    def test_ingest_snapshot_query_cycle(self, service):
+        response = service.handle({"op": "ingest", "items": ["a"] * 30 + ["b"] * 10})
+        assert response["ok"] and response["ingested"] == 40
+        meta = service.handle({"op": "snapshot"})
+        assert meta["ok"] and meta["version"] == 1
+        assert meta["stream_length"] == 40.0
+        assert meta["guarantee"] == {"a": 3.0, "b": 2.0, "k": 5, "num_counters": 200}
+        point = service.handle({"op": "query", "type": "point", "item": "a"})
+        assert point["estimate"] == 30.0
+        top = service.handle({"op": "query", "type": "top-k", "k": 1})
+        assert top["top_k"][0] == {"item": "a", "estimate": 30.0}
+        hh = service.handle({"op": "query", "type": "heavy-hitters", "phi": 0.5})
+        assert [entry["item"] for entry in hh["heavy_hitters"]] == ["a"]
+
+    def test_window_ops(self, service):
+        service.handle({"op": "ingest", "items": ["old"] * 20})
+        assert service.handle({"op": "advance-window"})["bucket"] == 1
+        service.handle({"op": "ingest", "items": ["new"] * 5})
+        one = service.handle(
+            {"op": "query", "type": "window-point", "item": "old", "window": 1}
+        )
+        assert one["estimate"] == 0.0
+        both = service.handle(
+            {"op": "query", "type": "window-point", "item": "old", "window": 2}
+        )
+        assert both["estimate"] == 20.0
+        top = service.handle({"op": "query", "type": "window-top-k", "k": 1})
+        assert top["top_k"][0]["item"] == "old"
+
+    def test_stats(self, service):
+        service.handle({"op": "ingest", "items": ["a", "b", "c"]})
+        service.handle({"op": "snapshot"})
+        stats = service.handle({"op": "stats"})
+        assert stats["num_shards"] == 2
+        assert stats["tokens_enqueued"] == 3
+        assert stats["snapshot_version"] == 1
+        assert stats["window"]["current_bucket"] == 0
+
+    def test_windowless_service_rejects_window_ops(self):
+        config = ServiceConfig(num_counters=100, num_shards=1)
+        with HeavyHittersService(config) as service:
+            assert not service.handle({"op": "advance-window"})["ok"]
+            assert not service.handle(
+                {"op": "query", "type": "window-top-k", "k": 3}
+            )["ok"]
+
+    def test_unknown_query_type(self, service):
+        assert not service.handle({"op": "query", "type": "median"})["ok"]
+
+
+@pytest.fixture()
+def running_server():
+    """A live service on an ephemeral port, torn down after the test."""
+    config = ServiceConfig(
+        algorithm="spacesaving",
+        num_counters=2_000,
+        num_shards=4,
+        k=20,
+        window_buckets=4,
+    )
+    server = serve(config, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.service.close()
+        thread.join(timeout=5)
+
+
+class TestServiceEndToEnd:
+    """The acceptance scenario: concurrent ingest, certified answers."""
+
+    def test_service_answers_within_merged_bound(self, running_server):
+        port = running_server.port
+        stream = zipf_stream(num_items=20_000, alpha=1.1, total=130_000, seed=7)
+        assert len(stream.items) >= 100_000
+        exact = collections.Counter(stream.items)
+
+        # Concurrent ingestion: two client connections push interleaved
+        # halves while four shard workers drain their queues.
+        def produce(tokens):
+            with ServiceClient(port=port) as producer:
+                for chunk in iter_chunks(tokens, 8_192):
+                    producer.ingest(chunk)
+
+        threads = [
+            threading.Thread(target=produce, args=(stream.items[offset::2],))
+            for offset in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        with ServiceClient(port=port) as client:
+            meta = client.snapshot(drain=True)
+            assert meta["stream_length"] == float(len(stream.items))
+            shard_lengths = meta["shard_lengths"]
+            assert len(shard_lengths) == 4
+            assert all(length > 0 for length in shard_lengths)
+
+            # Top-k answers from the merged snapshot stay within the
+            # Theorem 11 (3A, A+B) tail bound of the exact counts.
+            guarantee = meta["guarantee"]
+            assert (guarantee["a"], guarantee["b"]) == (3.0, 2.0)
+            k = guarantee["k"]
+            bound = (
+                guarantee["a"]
+                * residual(exact, k)
+                / (guarantee["num_counters"] - guarantee["b"] * k)
+            )
+            answers = client.top_k(k)
+            assert len(answers) == k
+            for item, estimate in answers:
+                assert abs(estimate - exact.get(item, 0)) <= bound + 1e-9
+            top_true = {item for item, _ in exact.most_common(10)}
+            top_served = {item for item, _ in answers}
+            assert top_true <= top_served
+
+            # Sliding windows: three fresh buckets with a drifting hot
+            # set; a window query over the last 3 buckets must match an
+            # exact recount of exactly those buckets, within its bound.
+            buckets = drifting_zipf_streams(
+                3_000, alpha=1.2, tokens_per_bucket=8_000, num_buckets=3, drift=50,
+                seed=11,
+            )
+            window_exact = collections.Counter()
+            for bucket_stream in buckets:
+                client.advance_window()
+                for chunk in iter_chunks(bucket_stream.items, 8_192):
+                    client.ingest(chunk)
+                window_exact.update(bucket_stream.items)
+
+            response = client.call(
+                {"op": "query", "type": "window-top-k", "k": k, "window": 3}
+            )
+            assert response["buckets_merged"] == 3
+            assert response["stream_length"] == float(sum(window_exact.values()))
+            window_guarantee = response["guarantee"]
+            window_bound = (
+                window_guarantee["a"]
+                * residual(window_exact, window_guarantee["k"])
+                / (
+                    window_guarantee["num_counters"]
+                    - window_guarantee["b"] * window_guarantee["k"]
+                )
+            )
+            for entry in response["top_k"]:
+                assert (
+                    abs(entry["estimate"] - window_exact.get(entry["item"], 0))
+                    <= window_bound + 1e-9
+                )
+
+            # The bulk-phase tokens are outside the queried window.
+            heaviest_overall = exact.most_common(1)[0][0]
+            window_point = client.window_point(heaviest_overall, window=3)
+            assert (
+                window_point["estimate"]
+                <= window_exact.get(heaviest_overall, 0) + window_bound
+            )
+
+    def test_nan_weight_rejected_over_the_wire(self, running_server):
+        """json.loads accepts NaN, so the service must reject it itself."""
+        with ServiceClient(port=running_server.port) as client:
+            with pytest.raises(ServiceError, match="finite"):
+                client.ingest(["a"], [float("nan")])
+            assert client.ping()
+
+    def test_bind_failure_does_not_leak_the_service(self, running_server):
+        """serve() on a busy port must close the service it started."""
+        host, port = running_server.server_address[:2]
+        config = ServiceConfig(num_counters=50, num_shards=2)
+        before = threading.active_count()
+        with pytest.raises(OSError):
+            serve(config, host=host, port=port)
+        deadline = time.monotonic() + 5.0
+        while threading.active_count() > before and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert threading.active_count() <= before
+
+    def test_protocol_errors_and_shutdown(self, running_server):
+        port = running_server.port
+        with ServiceClient(port=port) as client:
+            with pytest.raises(ServiceError):
+                client.call({"op": "no-such-op"})
+            assert client.ping()
+        with ServiceClient(port=port) as client:
+            client.shutdown()
+        assert running_server.service.shutdown_requested.is_set()
