@@ -10,6 +10,12 @@ rather than linear CPU scaling -- the benchmark exists to keep that
 overhead/overlap trade-off visible per PR, alongside the snapshot
 (Theorem 11 merge) latency that queries pay.
 
+Every configuration also runs *columnar*: chunks are interned through a
+shared (pre-warmed) :class:`repro.engine.codec.TokenCodec` into encoded
+id columns, so shard fan-out happens with one vectorised ``shard_array``
+call per chunk instead of one ``shard_for`` call per token, and the shard
+workers consume the encoded sub-chunks directly.
+
 Two entry points, mirroring ``bench_update_throughput``:
 
 * under pytest (with pytest-benchmark) every shard count is a benchmark
@@ -34,6 +40,7 @@ except ImportError:  # standalone quick mode in a minimal environment
     pytest = None
 
 from repro.algorithms.space_saving import SpaceSaving
+from repro.engine.codec import TokenCodec
 from repro.service.sharding import ShardedSummarizer
 from repro.service.snapshots import SnapshotManager
 from repro.streams.batched import iter_chunks
@@ -52,21 +59,40 @@ def _make_estimator():
     return SpaceSaving(num_counters=NUM_COUNTERS)
 
 
-def _run_direct(items) -> float:
+def _warm_codec(items) -> TokenCodec:
+    """A codec whose vocabulary already covers the stream (steady state)."""
+    codec = TokenCodec()
+    for chunk in iter_chunks(items, CHUNK_SIZE):
+        codec.encode_chunk(chunk)
+    return codec
+
+
+def _run_direct(items, codec: Optional[TokenCodec] = None) -> float:
     """Baseline: batched ingestion into one summary on the calling thread."""
     summary = _make_estimator()
     start = time.perf_counter()
     for chunk in iter_chunks(items, CHUNK_SIZE):
-        summary.update_batch(chunk)
+        if codec is not None:
+            summary.update_batch(codec.encode_chunk(chunk))
+        else:
+            summary.update_batch(chunk)
     return time.perf_counter() - start
 
 
-def _run_sharded(items, num_shards: int, snapshot: bool = False) -> dict:
+def _run_sharded(
+    items,
+    num_shards: int,
+    snapshot: bool = False,
+    codec: Optional[TokenCodec] = None,
+) -> dict:
     """Sharded ingest of the same chunks; optionally time a snapshot too."""
     with ShardedSummarizer(_make_estimator, num_shards=num_shards) as sharded:
         start = time.perf_counter()
         for chunk in iter_chunks(items, CHUNK_SIZE):
-            sharded.ingest(chunk)
+            if codec is not None:
+                sharded.ingest(codec.encode_chunk(chunk))
+            else:
+                sharded.ingest(chunk)
         sharded.flush()
         ingest_seconds = time.perf_counter() - start
         snapshot_seconds = None
@@ -80,16 +106,24 @@ def _run_sharded(items, num_shards: int, snapshot: bool = False) -> dict:
 
 if pytest is not None:
 
+    @pytest.mark.parametrize("columnar", (False, True))
     @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
-    def test_sharded_ingest_throughput(benchmark, num_shards):
+    def test_sharded_ingest_throughput(benchmark, num_shards, columnar):
+        codec = _warm_codec(STREAM.items) if columnar else None
         result = benchmark.pedantic(
-            _run_sharded, args=(STREAM.items, num_shards), iterations=1, rounds=3
+            _run_sharded,
+            args=(STREAM.items, num_shards),
+            kwargs={"codec": codec},
+            iterations=1,
+            rounds=3,
         )
         assert result["ingest_seconds"] > 0
 
-    def test_direct_ingest_throughput(benchmark):
+    @pytest.mark.parametrize("columnar", (False, True))
+    def test_direct_ingest_throughput(benchmark, columnar):
+        codec = _warm_codec(STREAM.items) if columnar else None
         seconds = benchmark.pedantic(
-            _run_direct, args=(STREAM.items,), iterations=1, rounds=3
+            _run_direct, args=(STREAM.items, codec), iterations=1, rounds=3
         )
         assert seconds > 0
 
@@ -100,45 +134,55 @@ if pytest is not None:
 
 
 def run_comparison(rounds: int = 3, total: int = 50_000) -> List[dict]:
-    """One row per configuration (direct + each shard count), best of rounds."""
+    """One row per configuration (direct + each shard count, scalar and
+    columnar), best of rounds.  Columnar rows share one pre-warmed codec so
+    they report the saturated-vocabulary steady state."""
     stream = (
         STREAM
         if total == 50_000
         else zipf_stream(10_000, alpha=1.1, total=total, seed=79)
     )
     items = stream.items
+    codec = _warm_codec(items)
     rows = []
 
-    direct_best = min(_run_direct(items) for _ in range(max(1, rounds)))
-    rows.append(
-        {
-            "config": "direct",
-            "shards": 0,
-            "tokens": len(items),
-            "chunk_size": CHUNK_SIZE,
-            "ingest_seconds": direct_best,
-            "tokens_per_second": len(items) / direct_best,
-            "snapshot_seconds": None,
-        }
-    )
-
-    for num_shards in SHARD_COUNTS:
-        best = None
-        for _ in range(max(1, rounds)):
-            result = _run_sharded(items, num_shards, snapshot=True)
-            if best is None or result["ingest_seconds"] < best["ingest_seconds"]:
-                best = result
+    for columnar in (False, True):
+        suffix = "-columnar" if columnar else ""
+        run_codec = codec if columnar else None
+        direct_best = min(
+            _run_direct(items, run_codec) for _ in range(max(1, rounds))
+        )
         rows.append(
             {
-                "config": f"sharded-{num_shards}",
-                "shards": num_shards,
+                "config": f"direct{suffix}",
+                "shards": 0,
+                "columnar": columnar,
                 "tokens": len(items),
                 "chunk_size": CHUNK_SIZE,
-                "ingest_seconds": best["ingest_seconds"],
-                "tokens_per_second": len(items) / best["ingest_seconds"],
-                "snapshot_seconds": best["snapshot_seconds"],
+                "ingest_seconds": direct_best,
+                "tokens_per_second": len(items) / direct_best,
+                "snapshot_seconds": None,
             }
         )
+
+        for num_shards in SHARD_COUNTS:
+            best = None
+            for _ in range(max(1, rounds)):
+                result = _run_sharded(items, num_shards, snapshot=True, codec=run_codec)
+                if best is None or result["ingest_seconds"] < best["ingest_seconds"]:
+                    best = result
+            rows.append(
+                {
+                    "config": f"sharded-{num_shards}{suffix}",
+                    "shards": num_shards,
+                    "columnar": columnar,
+                    "tokens": len(items),
+                    "chunk_size": CHUNK_SIZE,
+                    "ingest_seconds": best["ingest_seconds"],
+                    "tokens_per_second": len(items) / best["ingest_seconds"],
+                    "snapshot_seconds": best["snapshot_seconds"],
+                }
+            )
     return rows
 
 
@@ -161,7 +205,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     rounds = 1 if args.quick else args.rounds
     rows = run_comparison(rounds=rounds, total=args.length)
 
-    header = f"{'config':<12} {'tok/s':>12} {'snapshot ms':>12}"
+    header = f"{'config':<20} {'tok/s':>12} {'snapshot ms':>12}"
     print(header)
     print("-" * len(header))
     for row in rows:
@@ -170,7 +214,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             if row["snapshot_seconds"] is None
             else f"{row['snapshot_seconds'] * 1e3:,.1f}"
         )
-        print(f"{row['config']:<12} {row['tokens_per_second']:>12,.0f} {snapshot:>12}")
+        print(f"{row['config']:<20} {row['tokens_per_second']:>12,.0f} {snapshot:>12}")
 
     if args.output:
         payload = {

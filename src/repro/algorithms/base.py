@@ -14,12 +14,16 @@ is ``O(m)`` words as in the paper.
 from __future__ import annotations
 
 import collections
+import math
 import operator
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.engine.codec import EncodedChunk
+from repro.engine.vectorized import fingerprint_array
 
 Item = Hashable
 
@@ -28,19 +32,53 @@ Item = Hashable
 #: so ties keep their aggregation order.
 _WEIGHT_KEY = operator.itemgetter(1)
 
+_EMPTY_U64 = np.empty(0, dtype=np.uint64)
+_EMPTY_F64 = np.empty(0, dtype=np.float64)
+
+
+def _unpack_batch(
+    items: Sequence[Item], weights: Optional[Sequence[float]]
+) -> Tuple[Sequence[Item], Optional[Sequence[float]]]:
+    """Normalise a batch: an :class:`EncodedChunk` carries its own weights.
+
+    Idempotent, so a batch may pass through several chunk-aware helpers:
+    passing a chunk's own weight column back alongside it is accepted,
+    anything else alongside a chunk is rejected.
+    """
+    if isinstance(items, EncodedChunk):
+        if weights is not None and weights is not items.weights:
+            raise ValueError(
+                "weights must be None (or the chunk's own column) when items "
+                "is an EncodedChunk"
+            )
+        return items, items.weights
+    return items, weights
+
 
 def _effective_tokens(items: Sequence[Item], weights: Optional[Sequence[float]]) -> int:
     """Number of chunk tokens a sequential ``update`` loop would record.
 
     ``update`` ignores zero-weight tokens (for summaries that early-return on
     them), so the batch paths must not count those either if their
-    bookkeeping is to match sequential ingestion.
+    bookkeeping is to match sequential ingestion.  NaN weights are rejected
+    identically in the list and ndarray branches (consistently with the
+    service validation path) rather than being counted as non-zero.
     """
+    if isinstance(items, EncodedChunk):
+        return items.effective_tokens()
     if weights is None:
         return len(items)
     if isinstance(weights, np.ndarray):
+        if np.isnan(weights).any():
+            raise ValueError("NaN weights are not supported")
         return int(np.count_nonzero(weights))
-    return sum(1 for weight in weights if weight != 0)
+    count = 0
+    for weight in weights:
+        if weight != weight:
+            raise ValueError("NaN weights are not supported")
+        if weight != 0:
+            count += 1
+    return count
 
 
 def _require_integral_weights(weights: Optional[Sequence[float]], algorithm: str) -> None:
@@ -81,39 +119,113 @@ def aggregate_batch(
     Keys of the returned dict are always plain Python objects (NumPy scalars
     are unboxed) so they interoperate with items ingested via ``update``.
 
-    Zero-weight tokens are dropped; negative weights raise ``ValueError``
-    exactly as the sequential path does.
+    Zero-weight tokens are dropped; negative and non-finite weights raise
+    ``ValueError`` exactly as the sequential path and the service ingest
+    boundary do.
+
+    An :class:`~repro.engine.codec.EncodedChunk` takes the fully columnar
+    path: aggregation runs over the dense id column and only the *distinct*
+    ids are decoded back into Python items.
     """
+    items, weights = _unpack_batch(items, weights)
+    if isinstance(items, EncodedChunk):
+        ids, totals = items.aggregate()
+        decode = items.codec.item_for
+        return {
+            decode(int(token_id)): float(total)
+            for token_id, total in zip(ids, totals)
+        }
+    # Object-dtype arrays (mixed or boxed Python items) cannot go through
+    # np.unique; Counter / the scalar loop handle them like plain sequences.
+    if isinstance(items, np.ndarray) and items.dtype.kind == "O":
+        items = items.tolist()
     if weights is None:
         if isinstance(items, np.ndarray):
             values, counts = np.unique(items, return_counts=True)
             return {value.item(): float(count) for value, count in zip(values, counts)}
         return {item: float(count) for item, count in collections.Counter(items).items()}
     if isinstance(items, np.ndarray) and isinstance(weights, np.ndarray):
-        if len(items) != len(weights):
-            raise ValueError("items and weights must have the same length")
-        if np.any(weights < 0):
-            raise ValueError("negative weights are not supported")
-        values, inverse = np.unique(items, return_inverse=True)
-        sums = np.zeros(len(values), dtype=np.float64)
-        np.add.at(sums, inverse, np.asarray(weights, dtype=np.float64))
-        return {
-            value.item(): float(total)
-            for value, total in zip(values, sums)
-            if total > 0.0
-        }
+        values, sums = _aggregate_weighted_arrays(items, weights)
+        return {value.item(): float(total) for value, total in zip(values, sums)}
     totals: Dict[Item, float] = {}
     count = 0
     for item, weight in zip(items, weights):
         count += 1
-        if weight < 0:
-            raise ValueError(f"negative weights are not supported, got {weight}")
+        if weight < 0 or not math.isfinite(weight):
+            raise ValueError(
+                f"weights must be finite and non-negative, got {weight}"
+            )
         if weight == 0:
             continue
+        if isinstance(item, np.generic):
+            # Unbox so dict keys (and the fingerprints computed from them)
+            # match the plain-Python items queries are made with.
+            item = item.item()
         totals[item] = totals.get(item, 0.0) + float(weight)
     if count != len(items) or count != len(weights):
         raise ValueError("items and weights must have the same length")
     return totals
+
+
+def _aggregate_weighted_arrays(
+    items: np.ndarray, weights: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate and collapse parallel ndarray columns to (values, sums).
+
+    The one definition of weighted array aggregation semantics -- finite
+    non-negative weights, zero-total entries dropped -- shared by the dict
+    and columnar batch paths so they cannot drift apart.
+    """
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have the same length")
+    if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+        raise ValueError("weights must be finite and non-negative")
+    values, inverse = np.unique(items, return_inverse=True)
+    sums = np.zeros(len(values), dtype=np.float64)
+    np.add.at(sums, inverse.reshape(-1), np.asarray(weights, dtype=np.float64))
+    keep = sums > 0.0
+    return values[keep], sums[keep]
+
+
+def aggregate_batch_columnar(
+    items: Sequence[Item], weights: Optional[Sequence[float]] = None
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Collapse a batch into ``(fingerprints, totals, token_count)`` columns.
+
+    The columnar twin of :func:`aggregate_batch`, used by the sketch batch
+    paths: instead of a Python dict it returns the distinct items'
+    ``uint64`` stable fingerprints and their ``float64`` total weights,
+    ready for vectorised Carter--Wegman hashing.  ``token_count`` is the
+    raw chunk length (sequential ingestion records every token, even
+    zero-weight ones).
+
+    For an :class:`~repro.engine.codec.EncodedChunk` the fingerprints come
+    straight from the codec's cache (no hashing at all); for plain batches
+    one scalar fingerprint is computed per *distinct* item, memoised across
+    batches.
+    """
+    items, weights = _unpack_batch(items, weights)
+    if isinstance(items, EncodedChunk):
+        ids, totals = items.aggregate()
+        return items.codec.fingerprints(ids), totals, len(items)
+    if isinstance(items, np.ndarray) and items.dtype.kind in ("i", "u", "b"):
+        # Integer arrays aggregate and fingerprint without boxing anything
+        # into Python objects -- the path shard workers hit when the service
+        # partitions ndarray batches.
+        tokens = len(items)
+        if weights is None:
+            values, counts = np.unique(items, return_counts=True)
+            return fingerprint_array(values), counts.astype(np.float64), tokens
+        if isinstance(weights, np.ndarray):
+            values, sums = _aggregate_weighted_arrays(items, weights)
+            return fingerprint_array(values), sums, tokens
+    totals_map = aggregate_batch(items, weights)
+    tokens = len(items)
+    if not totals_map:
+        return _EMPTY_U64, _EMPTY_F64, tokens
+    fingerprints = fingerprint_array(list(totals_map))
+    totals = np.fromiter(totals_map.values(), dtype=np.float64, count=len(totals_map))
+    return fingerprints, totals, tokens
 
 
 @dataclass(frozen=True)
@@ -230,7 +342,15 @@ class FrequencyEstimator(ABC):
         preserves the k-tail guarantee (Theorem 10) but may assign different
         individual counters than sequential replay.  See each subclass for
         its exact contract.
+
+        ``items`` may also be an :class:`~repro.engine.codec.EncodedChunk`
+        (with ``weights=None``), in which case the chunk's own weight column
+        applies; the base implementation decodes it back to items, while the
+        fast paths stay columnar end-to-end.
         """
+        items, weights = _unpack_batch(items, weights)
+        if isinstance(items, EncodedChunk):
+            items = items.items()
         if weights is None:
             self.update_many(items)
             return
@@ -347,9 +467,16 @@ class FrequencyEstimator(ABC):
     # ------------------------------------------------------------------ #
 
     def _record_update(self, weight: float) -> None:
-        """Track stream length; subclasses call this once per update."""
-        if weight < 0:
-            raise ValueError(f"negative weights are not supported, got {weight}")
+        """Track stream length; subclasses call this once per update.
+
+        Rejects negative and non-finite weights (a NaN weight would silently
+        corrupt every later estimate), matching the validation the service
+        ingest boundary applies.
+        """
+        if weight < 0 or not math.isfinite(weight):
+            raise ValueError(
+                f"weights must be finite and non-negative, got {weight}"
+            )
         self._stream_length += weight
         self._items_processed += 1
 

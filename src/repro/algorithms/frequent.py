@@ -34,6 +34,7 @@ from repro.algorithms.base import (
     FrequencyEstimator,
     Item,
     _require_integral_weights,
+    _unpack_batch,
     aggregate_batch,
 )
 
@@ -132,6 +133,7 @@ class Frequent(FrequencyEstimator):
         if self._mode != "lazy":
             super().update_batch(items, weights)
             return
+        items, weights = _unpack_batch(items, weights)
         _require_integral_weights(weights, "Frequent")
         totals = aggregate_batch(items, weights)
         if not totals:

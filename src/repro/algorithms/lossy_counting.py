@@ -26,6 +26,7 @@ from repro.algorithms.base import (
     FrequencyEstimator,
     Item,
     _require_integral_weights,
+    _unpack_batch,
     aggregate_batch,
 )
 
@@ -122,6 +123,7 @@ class LossyCounting(FrequencyEstimator):
         stored-entry *set* (and ``max_entries``) differs from sequential
         replay.
         """
+        items, weights = _unpack_batch(items, weights)
         _require_integral_weights(weights, "LossyCounting")
         totals = aggregate_batch(items, weights)
         if not totals:

@@ -11,11 +11,16 @@ coordinator:
 """
 
 from repro.distributed.mergers import DistributedSummarizer, SiteSummary
-from repro.distributed.partition import hash_partition, partition_stream
+from repro.distributed.partition import (
+    hash_partition,
+    hash_partition_chunk,
+    partition_stream,
+)
 
 __all__ = [
     "DistributedSummarizer",
     "SiteSummary",
     "hash_partition",
+    "hash_partition_chunk",
     "partition_stream",
 ]

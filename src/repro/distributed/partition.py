@@ -17,7 +17,8 @@ from __future__ import annotations
 from typing import Callable, List
 
 from repro.algorithms.base import Item
-from repro.sketches.hashing import shard_for
+from repro.engine.codec import EncodedChunk, partition_chunk
+from repro.sketches.hashing import fingerprint_array, shard_array
 from repro.streams.stream import Stream
 
 PARTITION_STRATEGIES = ("contiguous", "round_robin", "hash")
@@ -29,17 +30,39 @@ def hash_partition(stream: Stream, num_sites: int) -> List[Stream]:
     Placement is :func:`repro.sketches.hashing.shard_for` -- the same rule
     the in-process :class:`~repro.service.sharding.ShardedSummarizer` uses,
     so an item lands on the same owner whether sharding happens inside one
-    service or across remote sites.
+    service or across remote sites.  The whole stream is routed with one
+    vectorised :func:`~repro.sketches.hashing.shard_array` call over its
+    fingerprint column (bit-identical placement to per-item ``shard_for``).
     """
     if num_sites < 1:
         raise ValueError(f"num_sites must be >= 1, got {num_sites}")
     buckets: List[List[Item]] = [[] for _ in range(num_sites)]
-    for item in stream.items:
-        buckets[shard_for(item, num_sites)].append(item)
+    if len(stream.items):
+        site_ids = shard_array(fingerprint_array(stream.items), num_sites)
+        for item, site in zip(stream.items, site_ids.tolist()):
+            buckets[site].append(item)
     return [
         Stream(bucket, name=f"{stream.name}(hash site {index})")
         for index, bucket in enumerate(buckets)
     ]
+
+
+def hash_partition_chunk(chunk: EncodedChunk, num_sites: int) -> List[EncodedChunk]:
+    """Hash-partition an encoded columnar chunk into per-site sub-chunks.
+
+    The columnar twin of :func:`hash_partition`, delegating to the shared
+    fan-out kernel :func:`repro.engine.codec.partition_chunk` -- the same
+    routine the in-process service shards with, so in-process and
+    cross-site placement cannot drift apart.  Every site's sub-chunk shares
+    the original codec (and therefore its vocabulary -- use
+    :func:`repro.serialization.dump_chunk` to ship a sub-chunk, vocabulary
+    included, to a remote site).  Sites that receive no tokens get an empty
+    chunk so the result always has ``num_sites`` entries, mirroring
+    :func:`hash_partition`.
+    """
+    if num_sites < 1:
+        raise ValueError(f"num_sites must be >= 1, got {num_sites}")
+    return partition_chunk(chunk, num_sites)
 
 
 def partition_stream(

@@ -1,0 +1,48 @@
+"""Columnar token engine: codec + vectorised hash/shard kernels.
+
+The engine is the pluggable encoding layer underneath every batched hot
+path in the library.  It has two halves:
+
+* :mod:`repro.engine.vectorized` -- exact NumPy implementations of the
+  stable FNV-1a fingerprint and the Carter--Wegman hash family over the
+  Mersenne prime ``2^61 - 1``, bit-identical to the scalar functions in
+  :mod:`repro.sketches.hashing`;
+* :mod:`repro.engine.codec` -- :class:`TokenCodec`, which interns arbitrary
+  hashable items into dense ``int64`` ids (fingerprinting each distinct
+  item once), and :class:`EncodedChunk`, the immutable columnar batch of
+  ids + weights that flows through aggregation, sketch ingest and shard
+  fan-out without any per-token Python work.
+
+Layering: the engine imports nothing from the rest of :mod:`repro`, so the
+algorithms, sketches, streams, service and distributed layers can all build
+on it without import cycles.
+"""
+
+from repro.engine.codec import EncodedChunk, TokenCodec, partition_chunk
+from repro.engine.vectorized import (
+    MERSENNE_PRIME,
+    cw_hash_array,
+    cw_sign_array,
+    fingerprint_array,
+    shard_array,
+    shard_for,
+    stable_fingerprint,
+)
+
+# The hash-object-aware ``hash_rows`` lives in repro.sketches.hashing (it
+# takes PairwiseHash instances); the coefficient-level variant stays a
+# module-level detail of repro.engine.vectorized so the public API carries
+# exactly one function of that name.
+
+__all__ = [
+    "EncodedChunk",
+    "TokenCodec",
+    "partition_chunk",
+    "MERSENNE_PRIME",
+    "cw_hash_array",
+    "cw_sign_array",
+    "fingerprint_array",
+    "shard_array",
+    "shard_for",
+    "stable_fingerprint",
+]

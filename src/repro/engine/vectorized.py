@@ -1,0 +1,194 @@
+"""Vectorised fingerprint / hash / shard kernels.
+
+This module is the numeric core of the columnar token engine: NumPy
+implementations of the stable FNV-1a fingerprint and the Carter--Wegman
+``h(x) = ((a*x + b) mod p) mod w`` family over the Mersenne prime
+``p = 2^61 - 1`` that are **bit-identical** to the scalar functions
+(:func:`stable_fingerprint`, :class:`repro.sketches.hashing.PairwiseHash`,
+:func:`shard_for`) for every input -- verified exhaustively by the
+equivalence tests in ``tests/test_engine.py``.
+
+The difficulty is that ``a * x`` with ``a < 2^61`` and ``x < 2^64`` needs a
+128-bit product, which NumPy's ``uint64`` cannot hold.  :func:`_mulmod_p`
+therefore splits both operands into 32-bit limbs and reduces each partial
+product with the Mersenne identities ``2^61 === 1``, ``2^64 === 8`` and
+``2^32 * m === (m >> 29) + ((m & (2^29 - 1)) << 32)  (mod p)``, keeping
+every intermediate strictly below ``2^64``.  All arithmetic is exact, so
+vectorised and scalar hashing agree on every bit.
+
+Nothing in this module imports from the rest of :mod:`repro`; the scalar
+helpers in :mod:`repro.sketches.hashing` re-export from here so higher
+layers keep their historical import paths.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Hashable, Sequence, Tuple
+
+import numpy as np
+
+#: Mersenne prime 2^61 - 1, large enough for 64-bit style fingerprints.
+MERSENNE_PRIME = (1 << 61) - 1
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_U64_MASK = 0xFFFFFFFFFFFFFFFF
+
+# uint64 constants for the limb arithmetic in _mulmod_p.
+_P = np.uint64(MERSENNE_PRIME)
+_MASK32 = np.uint64(0xFFFFFFFF)
+_MASK29 = np.uint64((1 << 29) - 1)
+_SHIFT32 = np.uint64(32)
+_SHIFT29 = np.uint64(29)
+_SHIFT3 = np.uint64(3)
+_ONE = np.uint64(1)
+
+_EMPTY_U64 = np.empty(0, dtype=np.uint64)
+
+
+@functools.lru_cache(maxsize=1 << 16)
+def _fnv1a(text: str) -> int:
+    """FNV-1a over the UTF-8 bytes of ``text``, memoised.
+
+    The fingerprint of a non-integer item is a pure function of its
+    ``repr``, so caching on the repr string is semantics-preserving while
+    skipping the per-byte Python loop for every repeated token.
+    """
+    value = _FNV_OFFSET
+    for byte in text.encode("utf-8"):
+        value ^= byte
+        value = (value * _FNV_PRIME) & _U64_MASK
+    return value
+
+
+def stable_fingerprint(item: Hashable) -> int:
+    """Map an arbitrary hashable item to a stable 64-bit integer.
+
+    Integers map to themselves (mod 2^64) so that numeric experiments are
+    easy to reason about; all other items are fingerprinted by FNV-1a over
+    their ``repr``.  NumPy scalars are unboxed first, so ``np.float64(2.5)``
+    fingerprints exactly like ``2.5`` (their reprs differ between NumPy
+    major versions, which would otherwise make shard placement
+    NumPy-version-dependent).  The mapping is deterministic across
+    processes, unlike Python's randomised string hashing.  Non-integer
+    fingerprints are memoised (bounded LRU) so repeated tokens do not
+    re-hash their repr bytes on every update.
+    """
+    if isinstance(item, bool):
+        return int(item)
+    if isinstance(item, int):
+        return item & _U64_MASK
+    if isinstance(item, np.generic):
+        item = item.item()
+        if isinstance(item, bool):
+            return int(item)
+        if isinstance(item, int):
+            return item & _U64_MASK
+    return _fnv1a(repr(item))
+
+
+def fingerprint_array(items) -> np.ndarray:
+    """Vectorised :func:`stable_fingerprint`: one ``uint64`` per item.
+
+    Integer and boolean NumPy arrays are converted without any Python-level
+    loop (two's-complement reinterpretation matches the scalar ``& 2^64-1``
+    masking).  Any other input falls back to one scalar fingerprint per
+    element -- still benefiting from the FNV memo for repeated tokens.
+    """
+    if isinstance(items, np.ndarray):
+        if items.dtype.kind in ("i", "u", "b"):
+            return items.astype(np.uint64, copy=False).ravel()
+        # Unbox NumPy scalars so reprs match the plain-Python objects the
+        # scalar pipeline sees (np.float64(2.5) reprs differently from 2.5).
+        items = items.tolist()
+    n = len(items)
+    if n == 0:
+        return _EMPTY_U64
+    return np.fromiter(map(stable_fingerprint, items), dtype=np.uint64, count=n)
+
+
+def _mulmod_p(a: int, x: np.ndarray) -> np.ndarray:
+    """Exact ``(a * x) mod (2^61 - 1)`` for scalar ``a < 2^61`` and uint64 ``x``.
+
+    Splits ``a = a_hi*2^32 + a_lo`` and ``x = x_hi*2^32 + x_lo`` and reduces
+    each partial product separately; every intermediate stays below 2^64:
+
+    * ``a_hi*x_hi < 2^61`` and ``2^64 === 8 (mod p)``, so that term becomes
+      ``(a_hi*x_hi) << 3`` (``< 2^64``) reduced mod p;
+    * the cross terms are each reduced mod p before summing (``< 2^62``),
+      then multiplied by ``2^32`` via the split
+      ``m*2^32 === (m >> 29) + ((m & (2^29-1)) << 32) (mod p)``;
+    * ``a_lo*x_lo < 2^64`` directly.
+    """
+    a_hi = np.uint64(a >> 32)
+    a_lo = np.uint64(a & 0xFFFFFFFF)
+    x_hi = x >> _SHIFT32
+    x_lo = x & _MASK32
+    hi = ((a_hi * x_hi) << _SHIFT3) % _P
+    mid = ((a_hi * x_lo) % _P + (a_lo * x_hi) % _P) % _P
+    mid = ((mid >> _SHIFT29) + ((mid & _MASK29) << _SHIFT32)) % _P
+    low = (a_lo * x_lo) % _P
+    return (hi + mid + low) % _P
+
+
+def cw_hash_array(a: int, b: int, width: int, fingerprints: np.ndarray) -> np.ndarray:
+    """Vectorised Carter--Wegman hash ``((a*x + b) mod p) mod width``.
+
+    ``fingerprints`` must be a ``uint64`` array (the output of
+    :func:`fingerprint_array`).  Bit-identical to the scalar
+    :class:`~repro.sketches.hashing.PairwiseHash` evaluation; returns cell
+    indices as ``intp`` ready for table indexing.
+    """
+    h = (_mulmod_p(a, fingerprints) + np.uint64(b)) % _P
+    return (h % np.uint64(width)).astype(np.intp)
+
+
+def cw_sign_array(a: int, b: int, fingerprints: np.ndarray) -> np.ndarray:
+    """Vectorised sign hash onto ``{-1.0, +1.0}`` (float64).
+
+    Bit-identical to :class:`~repro.sketches.hashing.SignHash`: the low bit
+    of ``(a*x + b) mod p`` selects the sign.
+    """
+    bit = (_mulmod_p(a, fingerprints) + np.uint64(b)) % _P & _ONE
+    return np.where(bit.astype(bool), 1.0, -1.0)
+
+
+def hash_rows(
+    fingerprints: np.ndarray, coefficients: Sequence[Tuple[int, int]], width: int
+) -> np.ndarray:
+    """Stack one :func:`cw_hash_array` row per ``(a, b)`` coefficient pair.
+
+    Returns a ``(depth, n)`` matrix of cell indices -- the columnar form of
+    evaluating a sketch's ``depth`` hash functions over a batch.
+    """
+    if not coefficients:
+        return np.empty((0, len(fingerprints)), dtype=np.intp)
+    return np.stack(
+        [cw_hash_array(a, b, width, fingerprints) for a, b in coefficients]
+    )
+
+
+def shard_for(item: Hashable, num_shards: int) -> int:
+    """The shard that owns ``item`` under stable hash placement.
+
+    The single placement rule shared by in-process sharding
+    (:class:`repro.service.sharding.ShardedSummarizer`) and cross-site hash
+    partitioning (:func:`repro.distributed.partition.hash_partition`):
+    deterministic across processes and machines, so any two parties that
+    agree on ``num_shards`` agree on placement.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    return stable_fingerprint(item) % num_shards
+
+
+def shard_array(fingerprints: np.ndarray, num_shards: int) -> np.ndarray:
+    """Vectorised :func:`shard_for` over a ``uint64`` fingerprint array.
+
+    Returns ``intp`` shard ids; bit-identical to the scalar placement since
+    both are plain unsigned ``mod num_shards``.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    return (fingerprints % np.uint64(num_shards)).astype(np.intp)

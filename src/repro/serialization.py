@@ -37,10 +37,13 @@ import gzip
 import json
 import zlib
 from dataclasses import dataclass
-from typing import Any, Dict, Type
+from typing import Any, Dict, Optional, Type
+
+import numpy as np
 
 from repro.algorithms.base import FrequencyEstimator, Item
 from repro.algorithms.frequent import Frequent
+from repro.engine.codec import EncodedChunk, TokenCodec
 from repro.algorithms.frequent_real import FrequentR
 from repro.algorithms.lossy_counting import LossyCounting
 from repro.algorithms.space_saving import SpaceSaving, SpaceSavingHeap
@@ -86,18 +89,19 @@ def check_item(item: Item) -> Any:
     )
 
 
+def _encode_item_key(item: Item) -> str:
+    """Type-prefixed string form of an item (the wire key encoding)."""
+    check_item(item)
+    if isinstance(item, str):
+        return "s:" + item
+    if isinstance(item, int):
+        return f"i:{item}"
+    return f"f:{item!r}"
+
+
 def _encode_counts(counts: Dict[Item, float]) -> Dict[str, float]:
     """JSON object keys are strings; encode items with a type prefix."""
-    encoded = {}
-    for item, value in counts.items():
-        check_item(item)
-        if isinstance(item, str):
-            encoded["s:" + item] = float(value)
-        elif isinstance(item, int):
-            encoded[f"i:{item}"] = float(value)
-        else:
-            encoded[f"f:{item!r}"] = float(value)
-    return encoded
+    return {_encode_item_key(item): float(value) for item, value in counts.items()}
 
 
 def _decode_item(key: str) -> Item:
@@ -180,8 +184,12 @@ def dump_bytes(summary: FrequencyEstimator, compress: bool = False) -> bytes:
     return dump_bytes_with_cost(summary, compress=compress)[0]
 
 
-def load_bytes(data: bytes) -> FrequencyEstimator:
-    """Reconstruct a summary from :func:`dump_bytes` output (gzip or plain)."""
+def _payload_from_bytes(data: bytes) -> Dict[str, Any]:
+    """Decode wire bytes (gzip auto-detected) into a payload dictionary.
+
+    The single definition of byte-level decoding shared by the summary and
+    chunk read paths, so their corruption handling cannot drift apart.
+    """
     if data[:2] == GZIP_MAGIC:
         # gzip.decompress raises BadGzipFile (an OSError) for bad headers,
         # EOFError for truncation and zlib.error for corrupt deflate data.
@@ -193,7 +201,15 @@ def load_bytes(data: bytes) -> FrequencyEstimator:
         text = data.decode("utf-8")
     except UnicodeDecodeError as error:
         raise SerializationError(f"payload is not UTF-8: {error}") from error
-    return loads(text)
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"invalid JSON: {error}") from error
+
+
+def load_bytes(data: bytes) -> FrequencyEstimator:
+    """Reconstruct a summary from :func:`dump_bytes` output (gzip or plain)."""
+    return load(_payload_from_bytes(data))
 
 
 @dataclass(frozen=True)
@@ -341,3 +357,120 @@ def loads(text: str) -> FrequencyEstimator:
     except json.JSONDecodeError as error:
         raise SerializationError(f"invalid JSON: {error}") from error
     return load(payload)
+
+
+# --------------------------------------------------------------------------- #
+# Encoded columnar chunks on the wire
+# --------------------------------------------------------------------------- #
+
+CHUNK_FORMAT_NAME = "repro-chunk"
+CHUNK_FORMAT_VERSION = 1
+
+
+def dump_chunk(chunk: EncodedChunk) -> Dict[str, Any]:
+    """Serialise an encoded columnar chunk, vocabulary included.
+
+    The chunk's codec ids are remapped to a compact local id space covering
+    only the vocabulary entries this chunk actually references, so shipping
+    one chunk never drags a long-lived codec's whole vocabulary across the
+    wire.  Items are carried with the same type-prefix encoding the summary
+    format uses, so any two parties reconstruct identical tokens.
+
+    Examples
+    --------
+    >>> from repro.engine.codec import TokenCodec
+    >>> codec = TokenCodec()
+    >>> payload = dump_chunk(codec.encode_chunk(["a", "b", "a"]))
+    >>> payload["ids"], payload["vocabulary"]
+    ([0, 1, 0], ['s:a', 's:b'])
+    """
+    ids = np.asarray(chunk.ids, dtype=np.int64)
+    values, inverse = np.unique(ids, return_inverse=True)
+    vocabulary = [
+        _encode_item_key(chunk.codec.item_for(int(token_id))) for token_id in values
+    ]
+    payload: Dict[str, Any] = {
+        "format": CHUNK_FORMAT_NAME,
+        "version": CHUNK_FORMAT_VERSION,
+        "ids": inverse.reshape(-1).tolist(),
+        "vocabulary": vocabulary,
+        "weights": None if chunk.weights is None else chunk.weights.tolist(),
+    }
+    return payload
+
+
+def load_chunk(
+    payload: Dict[str, Any], codec: Optional[TokenCodec] = None
+) -> EncodedChunk:
+    """Reconstruct an :class:`EncodedChunk` from :func:`dump_chunk` output.
+
+    The carried vocabulary is interned into ``codec`` (a fresh codec when
+    ``None``), so a coordinator can funnel chunks from many sites into one
+    shared vocabulary; wire-local ids are remapped onto the codec's ids.
+    """
+    if not isinstance(payload, dict):
+        raise SerializationError("payload must be a dictionary")
+    if payload.get("format") != CHUNK_FORMAT_NAME:
+        raise SerializationError(
+            f"not a {CHUNK_FORMAT_NAME} payload: format={payload.get('format')!r}"
+        )
+    if payload.get("version") != CHUNK_FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported chunk version {payload.get('version')!r} "
+            f"(this library reads version {CHUNK_FORMAT_VERSION})"
+        )
+    codec = TokenCodec() if codec is None else codec
+    vocabulary = payload.get("vocabulary", [])
+    # Malformed entries surface as the module's wire-boundary error type, not
+    # as raw conversion errors from NumPy or the key decoder.
+    try:
+        local_to_codec = np.fromiter(
+            (codec.intern(_decode_item(key)) for key in vocabulary),
+            dtype=np.int64,
+            count=len(vocabulary),
+        )
+    except (AttributeError, TypeError, ValueError) as error:
+        raise SerializationError(f"invalid chunk vocabulary: {error}") from error
+    try:
+        wire_ids = np.asarray(payload.get("ids", []))
+    except (TypeError, ValueError) as error:
+        raise SerializationError(f"invalid chunk ids: {error}") from error
+    if wire_ids.ndim != 1:
+        raise SerializationError(
+            f"chunk ids must be a flat list, got {wire_ids.ndim} dimensions"
+        )
+    if wire_ids.size and wire_ids.dtype.kind not in ("i", "u"):
+        raise SerializationError(
+            f"chunk ids must be integers, got dtype {wire_ids.dtype}"
+        )
+    wire_ids = wire_ids.astype(np.int64, copy=False)
+    if wire_ids.size and (wire_ids.min() < 0 or wire_ids.max() >= len(vocabulary)):
+        raise SerializationError("chunk ids reference entries outside the vocabulary")
+    weights = payload.get("weights")
+    try:
+        weights = None if weights is None else np.asarray(weights, dtype=np.float64)
+    except (TypeError, ValueError) as error:
+        raise SerializationError(f"invalid chunk weights: {error}") from error
+    if weights is not None and weights.ndim != 1:
+        raise SerializationError(
+            f"chunk weights must be a flat list, got {weights.ndim} dimensions"
+        )
+    try:
+        return EncodedChunk(
+            ids=local_to_codec[wire_ids] if wire_ids.size else wire_ids,
+            codec=codec,
+            weights=weights,
+        )
+    except (TypeError, ValueError) as error:  # e.g. NaN weights, length mismatch
+        raise SerializationError(f"invalid chunk payload: {error}") from error
+
+
+def dump_chunk_bytes(chunk: EncodedChunk, compress: bool = False) -> bytes:
+    """Serialise a chunk to bytes (optionally gzip, deterministic mtime)."""
+    raw = json.dumps(dump_chunk(chunk), sort_keys=True).encode("utf-8")
+    return gzip.compress(raw, mtime=0) if compress else raw
+
+
+def load_chunk_bytes(data: bytes, codec: Optional[TokenCodec] = None) -> EncodedChunk:
+    """Reconstruct a chunk from :func:`dump_chunk_bytes` output (gzip or plain)."""
+    return load_chunk(_payload_from_bytes(data), codec)

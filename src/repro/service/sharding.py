@@ -30,10 +30,13 @@ from __future__ import annotations
 import math
 import queue
 import threading
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.algorithms.base import FrequencyEstimator, Item
-from repro.sketches.hashing import shard_for
+from repro.engine.codec import EncodedChunk, partition_chunk
+from repro.sketches.hashing import fingerprint_array, shard_array, shard_for
 
 EstimatorFactory = Callable[[], FrequencyEstimator]
 
@@ -45,42 +48,93 @@ DEFAULT_QUEUE_DEPTH = 64
 _STOP = object()
 
 
+#: One shard's batch: a plain ``(items, weights)`` pair or an encoded
+#: columnar sub-chunk (whose weights, if any, travel inside the chunk).
+ShardBatch = Tuple[Union[Sequence[Item], EncodedChunk], Optional[Sequence[float]]]
+
+
 def partition_batch(
-    items: Sequence[Item],
+    items: Union[Sequence[Item], EncodedChunk],
     num_shards: int,
     weights: Optional[Sequence[float]] = None,
-) -> Dict[int, Tuple[List[Item], Optional[List[float]]]]:
+) -> Dict[int, ShardBatch]:
     """Split a chunk of tokens into per-shard ``(items, weights)`` batches.
+
+    Placement is one vectorised ``shard_array`` call over the chunk's
+    fingerprint column -- bit-identical to per-item :func:`shard_for`.  An
+    :class:`~repro.engine.codec.EncodedChunk` is partitioned into per-shard
+    sub-chunks sharing its codec (no re-encoding); NumPy item arrays stay
+    arrays; plain sequences come back as lists, exactly as before.
 
     Only shards that actually receive tokens appear in the result.  Negative
     and non-finite weights are rejected *here*, before anything reaches a
     shard queue, so a bad token surfaces synchronously to the producer that
     sent it instead of failing asynchronously inside a worker (or, for NaN,
-    silently corrupting a shard's counters).
+    silently corrupting a shard's counters).  Encoded chunks were already
+    validated at construction.
     """
+    if isinstance(items, EncodedChunk):
+        if weights is not None:
+            raise ValueError("weights must be None when partitioning an EncodedChunk")
+        if len(items) == 0:
+            return {}
+        if num_shards == 1:
+            return {0: (items, None)}
+        return {
+            shard: (sub_chunk, None)
+            for shard, sub_chunk in enumerate(partition_chunk(items, num_shards))
+            if len(sub_chunk)
+        }
+    if isinstance(items, np.ndarray) and items.dtype.kind == "O":
+        # Mixed-type object arrays cannot go through np.unique in a shard
+        # worker; route them like a plain Python sequence.
+        items = items.tolist()
     if weights is not None:
         if len(items) != len(weights):
             raise ValueError("items and weights must have the same length")
-        for weight in weights:
-            if weight < 0 or not math.isfinite(weight):
-                raise ValueError(
-                    f"weights must be finite and non-negative, got {weight}"
-                )
+        if isinstance(weights, np.ndarray):
+            if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+                raise ValueError("weights must be finite and non-negative")
+        else:
+            for weight in weights:
+                if weight < 0 or not math.isfinite(weight):
+                    raise ValueError(
+                        f"weights must be finite and non-negative, got {weight}"
+                    )
     if num_shards == 1:
+        if not len(items):
+            return {}
+        if isinstance(items, np.ndarray):
+            # Copy: the batch outlives this call on a shard queue, and the
+            # producer is free to reuse its buffer once ingest() returns.
+            return {
+                0: (items.copy(), None if weights is None else np.array(weights))
+            }
         batch_weights = list(weights) if weights is not None else None
-        return {0: (list(items), batch_weights)} if len(items) else {}
+        return {0: (list(items), batch_weights)}
+    if not len(items):
+        return {}
+    shard_ids = shard_array(fingerprint_array(items), num_shards)
+    if isinstance(items, np.ndarray):
+        weight_array = None if weights is None else np.asarray(weights)
+        parts_arrays: Dict[int, ShardBatch] = {}
+        for shard in np.unique(shard_ids):
+            mask = shard_ids == shard
+            parts_arrays[int(shard)] = (
+                items[mask],
+                None if weight_array is None else weight_array[mask],
+            )
+        return parts_arrays
     parts: Dict[int, Tuple[List[Item], Optional[List[float]]]] = {}
     if weights is None:
-        for item in items:
-            shard = shard_for(item, num_shards)
+        for item, shard in zip(items, shard_ids.tolist()):
             entry = parts.get(shard)
             if entry is None:
                 entry = ([], None)
                 parts[shard] = entry
             entry[0].append(item)
         return parts
-    for item, weight in zip(items, weights):
-        shard = shard_for(item, num_shards)
+    for item, weight, shard in zip(items, weights, shard_ids.tolist()):
         entry = parts.get(shard)
         if entry is None:
             entry = ([], [])
@@ -228,9 +282,21 @@ class ShardedSummarizer:
         return shard_for(item, self.num_shards)
 
     def ingest(
-        self, items: Sequence[Item], weights: Optional[Sequence[float]] = None
+        self,
+        items: Union[Sequence[Item], EncodedChunk],
+        weights: Optional[Sequence[float]] = None,
     ) -> int:
         """Route a chunk of tokens to their shards; returns tokens enqueued.
+
+        ``items`` may be a plain sequence, a NumPy array, or an
+        :class:`~repro.engine.codec.EncodedChunk` (with ``weights=None``);
+        encoded chunks are fan-out partitioned with one vectorised
+        ``shard_array`` call and each worker applies its sub-chunk through
+        the columnar ``update_batch`` path.  Shard workers only *read* the
+        chunk's codec, so one codec may feed every shard -- but interning
+        (``encode_chunk``) is not thread-safe: encode on a single producer
+        thread, or give each producer its own codec, or serialise encoding
+        externally (see :class:`~repro.engine.codec.TokenCodec`).
 
         Blocks when a destination shard's queue is full (backpressure).
         """

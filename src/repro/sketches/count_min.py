@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.algorithms.base import FrequencyEstimator, Item, aggregate_batch
+from repro.algorithms.base import FrequencyEstimator, Item, aggregate_batch_columnar
 from repro.sketches.hashing import PairwiseHash
 
 
@@ -82,28 +82,35 @@ class CountMinSketch(FrequencyEstimator):
     def update_batch(
         self, items: Sequence[Item], weights: Optional[Sequence[float]] = None
     ) -> None:
-        """Batched fast path: hash each distinct item once per row.
+        """Columnar fast path: vectorised hashing over distinct fingerprints.
 
-        The sketch is a linear transform of the frequency vector, so
-        pre-aggregating a chunk and adding each distinct item's total weight
-        to its cells yields *bit-for-bit* the same table as sequential
-        ingestion whenever the weights are integer-valued (floating-point
-        weights can differ in the last ulp because addition order changes).
+        The chunk is collapsed into ``(fingerprints, totals)`` columns
+        (:func:`~repro.algorithms.base.aggregate_batch_columnar`) and each
+        row's cells are computed with one vectorised Carter--Wegman
+        evaluation (:meth:`~repro.sketches.hashing.PairwiseHash.hash_array`)
+        instead of one interpreted hash call per item.  The sketch is a
+        linear transform of the frequency vector and the array hashing is
+        bit-identical to the scalar hashing, so the table is *bit-for-bit*
+        the same as sequential ingestion whenever the weights are
+        integer-valued (floating-point weights can differ in the last ulp
+        because addition order changes).  ``items`` may be an
+        :class:`~repro.engine.codec.EncodedChunk`, in which case the cached
+        codec fingerprints are used and no Python-level hashing happens at
+        all.
         """
-        totals = aggregate_batch(items, weights)
+        fingerprints, totals, tokens = aggregate_batch_columnar(items, weights)
         # Sequential updates record every token (even zero-weight ones), so
         # bookkeeping advances before the empty-totals early return.
-        self._items_processed += len(items)
-        if not totals:
+        self._items_processed += tokens
+        if fingerprints.size == 0:
             return
-        distinct = list(totals)
-        batch_weights = np.fromiter(totals.values(), dtype=np.float64, count=len(distinct))
         for row, hash_fn in enumerate(self._hashes):
-            cells = np.fromiter(
-                (hash_fn(item) for item in distinct), dtype=np.intp, count=len(distinct)
+            # bincount accumulates in input order exactly like np.add.at,
+            # so the scatter-add stays bit-identical -- just buffered.
+            self._table[row] += np.bincount(
+                hash_fn.hash_array(fingerprints), weights=totals, minlength=self.width
             )
-            np.add.at(self._table[row], cells, batch_weights)
-        self._stream_length += float(batch_weights.sum())
+        self._stream_length += float(totals.sum())
 
     def estimate(self, item: Item) -> float:
         return float(

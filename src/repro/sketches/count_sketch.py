@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.algorithms.base import FrequencyEstimator, Item, aggregate_batch
+from repro.algorithms.base import FrequencyEstimator, Item, aggregate_batch_columnar
 from repro.sketches.hashing import PairwiseHash, SignHash
 
 
@@ -75,31 +75,32 @@ class CountSketch(FrequencyEstimator):
     def update_batch(
         self, items: Sequence[Item], weights: Optional[Sequence[float]] = None
     ) -> None:
-        """Batched fast path: hash each distinct item once per row.
+        """Columnar fast path: vectorised hash and sign rows per chunk.
 
-        Like Count-Min, the sketch is linear, so the batched table is
-        bit-for-bit identical to sequential ingestion for integer-valued
-        weights (sign-weighted sums of integers are exact in float64).
+        Like Count-Min, the chunk collapses into ``(fingerprints, totals)``
+        columns and each row evaluates its cell and sign hashes with one
+        vectorised Carter--Wegman pass (bit-identical to the scalar
+        hashes).  The sketch is linear, so the batched table is bit-for-bit
+        identical to sequential ingestion for integer-valued weights
+        (sign-weighted sums of integers are exact in float64).  ``items``
+        may be an :class:`~repro.engine.codec.EncodedChunk` to reuse cached
+        codec fingerprints.
         """
-        totals = aggregate_batch(items, weights)
+        fingerprints, totals, tokens = aggregate_batch_columnar(items, weights)
         # Sequential updates record every token (even zero-weight ones), so
         # bookkeeping advances before the empty-totals early return.
-        self._items_processed += len(items)
-        if not totals:
+        self._items_processed += tokens
+        if fingerprints.size == 0:
             return
-        distinct = list(totals)
-        batch_weights = np.fromiter(totals.values(), dtype=np.float64, count=len(distinct))
         for row in range(self.depth):
-            hash_fn = self._hashes[row]
-            sign_fn = self._signs[row]
-            cells = np.fromiter(
-                (hash_fn(item) for item in distinct), dtype=np.intp, count=len(distinct)
+            cells = self._hashes[row].hash_array(fingerprints)
+            signs = self._signs[row].sign_array(fingerprints)
+            # bincount accumulates in input order exactly like np.add.at,
+            # so the scatter-add stays bit-identical -- just buffered.
+            self._table[row] += np.bincount(
+                cells, weights=signs * totals, minlength=self.width
             )
-            signs = np.fromiter(
-                (sign_fn(item) for item in distinct), dtype=np.float64, count=len(distinct)
-            )
-            np.add.at(self._table[row], cells, signs * batch_weights)
-        self._stream_length += float(batch_weights.sum())
+        self._stream_length += float(totals.sum())
 
     def estimate(self, item: Item) -> float:
         values = [

@@ -8,52 +8,43 @@ Mersenne prime ``p = 2^61 - 1``, which is pairwise independent over integer
 keys.  Arbitrary hashable items are first mapped to integers with a stable
 FNV-1a fingerprint so that results are reproducible across runs and
 processes.
+
+The numeric kernels live in :mod:`repro.engine.vectorized`; this module
+re-exports the scalar entry points (``stable_fingerprint``, ``shard_for``,
+``MERSENNE_PRIME``) under their historical names and adds the *array*
+variants (:meth:`PairwiseHash.hash_array`, :meth:`SignHash.sign_array`,
+:func:`fingerprint_array`, :func:`shard_array`, :func:`hash_rows`) the
+columnar batch paths use.  Scalar and array evaluation are bit-identical.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Hashable
+from typing import Hashable, Sequence
 
-#: Mersenne prime 2^61 - 1, large enough for 64-bit style fingerprints.
-MERSENNE_PRIME = (1 << 61) - 1
+import numpy as np
 
-_FNV_OFFSET = 0xCBF29CE484222325
-_FNV_PRIME = 0x100000001B3
+from repro.engine.vectorized import (
+    MERSENNE_PRIME,
+    cw_hash_array,
+    cw_sign_array,
+    fingerprint_array,
+    shard_array,
+    shard_for,
+    stable_fingerprint,
+)
+from repro.engine.vectorized import hash_rows as _hash_rows
 
-
-def stable_fingerprint(item: Hashable) -> int:
-    """Map an arbitrary hashable item to a stable 64-bit integer.
-
-    Integers map to themselves (mod 2^64) so that numeric experiments are
-    easy to reason about; all other items are fingerprinted by FNV-1a over
-    their ``repr``.  The mapping is deterministic across processes, unlike
-    Python's randomised string hashing.
-    """
-    if isinstance(item, bool):
-        return int(item)
-    if isinstance(item, int):
-        return item & 0xFFFFFFFFFFFFFFFF
-    data = repr(item).encode("utf-8")
-    value = _FNV_OFFSET
-    for byte in data:
-        value ^= byte
-        value = (value * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
-    return value
-
-
-def shard_for(item: Hashable, num_shards: int) -> int:
-    """The shard that owns ``item`` under stable hash placement.
-
-    The single placement rule shared by in-process sharding
-    (:class:`repro.service.sharding.ShardedSummarizer`) and cross-site hash
-    partitioning (:func:`repro.distributed.partition.hash_partition`):
-    deterministic across processes and machines, so any two parties that
-    agree on ``num_shards`` agree on placement.
-    """
-    if num_shards < 1:
-        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
-    return stable_fingerprint(item) % num_shards
+__all__ = [
+    "MERSENNE_PRIME",
+    "PairwiseHash",
+    "SignHash",
+    "fingerprint_array",
+    "hash_rows",
+    "shard_array",
+    "shard_for",
+    "stable_fingerprint",
+]
 
 
 class PairwiseHash:
@@ -78,6 +69,15 @@ class PairwiseHash:
         x = stable_fingerprint(item)
         return ((self._a * x + self._b) % MERSENNE_PRIME) % self.width
 
+    def hash_array(self, fingerprints: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation over a ``uint64`` fingerprint array.
+
+        Bit-identical to calling the hash on each item whose fingerprint is
+        in ``fingerprints`` (see :func:`fingerprint_array`); returns cell
+        indices as ``intp``.
+        """
+        return cw_hash_array(self._a, self._b, self.width, fingerprints)
+
 
 class SignHash:
     """A pairwise-independent hash function onto ``{-1, +1}``.
@@ -93,3 +93,31 @@ class SignHash:
         x = stable_fingerprint(item)
         bit = ((self._a * x + self._b) % MERSENNE_PRIME) & 1
         return 1 if bit else -1
+
+    def sign_array(self, fingerprints: np.ndarray) -> np.ndarray:
+        """Vectorised signs (float64 of ±1.0) for a fingerprint array."""
+        return cw_sign_array(self._a, self._b, fingerprints)
+
+
+def hash_rows(
+    fingerprints: np.ndarray, hashes: Sequence[PairwiseHash], width: int | None = None
+) -> np.ndarray:
+    """Evaluate several :class:`PairwiseHash` functions as a (depth, n) matrix.
+
+    ``width`` defaults to the hashes' own width (they must agree when
+    given explicitly).  This is the columnar form of a sketch's per-row
+    hashing step.
+    """
+    coefficients = [(h._a, h._b) for h in hashes]
+    widths = {h.width for h in hashes}
+    if width is None:
+        if not hashes:
+            raise ValueError("width is required when no hashes are given")
+    else:
+        widths.add(width)
+    if len(widths) > 1:
+        raise ValueError(
+            f"hashes disagree on width: {sorted(widths)}; rows would not "
+            "match any scalar evaluation"
+        )
+    return _hash_rows(fingerprints, coefficients, widths.pop())

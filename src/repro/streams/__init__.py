@@ -20,9 +20,12 @@ The paper's model (Section 2) is a stream ``u_1, ..., u_N`` of elements from
 from repro.streams.batched import (
     DEFAULT_CHUNK_SIZE,
     BatchedIngestor,
+    encode_chunks,
     ingest,
+    ingest_encoded,
     ingest_file,
     ingest_weighted,
+    ingest_weighted_encoded,
     iter_chunks,
     read_workload,
 )
@@ -42,9 +45,12 @@ __all__ = [
     "BatchedIngestor",
     "DEFAULT_CHUNK_SIZE",
     "ExactCounter",
+    "encode_chunks",
     "ingest",
+    "ingest_encoded",
     "ingest_file",
     "ingest_weighted",
+    "ingest_weighted_encoded",
     "iter_chunks",
     "read_workload",
     "Stream",

@@ -20,6 +20,8 @@ import repro.core.heavy_hitters
 import repro.core.merging
 import repro.core.zipf
 import repro.distributed.mergers
+import repro.engine.codec
+import repro.engine.vectorized
 import repro.serialization
 import repro.service.sharding
 import repro.service.windows
@@ -40,6 +42,8 @@ MODULES = [
     repro.core.merging,
     repro.core.zipf,
     repro.distributed.mergers,
+    repro.engine.codec,
+    repro.engine.vectorized,
     repro.serialization,
     repro.service.sharding,
     repro.service.windows,
