@@ -39,8 +39,10 @@ try:
 except ImportError:  # standalone quick mode in a minimal environment
     pytest = None
 
+from repro import serialization
 from repro.algorithms.space_saving import SpaceSaving
 from repro.engine.codec import TokenCodec
+from repro.service.server import HeavyHittersService, ServiceConfig
 from repro.service.sharding import ShardedSummarizer
 from repro.service.snapshots import SnapshotManager
 from repro.streams.batched import iter_chunks
@@ -102,6 +104,50 @@ def _run_sharded(
             manager.refresh()
             snapshot_seconds = time.perf_counter() - start
     return {"ingest_seconds": ingest_seconds, "snapshot_seconds": snapshot_seconds}
+
+
+def _legacy_op_ingest(service, request):
+    """The pre-v2 ``_op_ingest`` body, replicated verbatim for the "before"
+    measurement: request parsing, one ``check_item()`` call per token
+    occurrence, then the plain-sequence sharded ingest."""
+    items = request.get("items")
+    if not isinstance(items, list):
+        return {"ok": False, "error": "ingest requires an 'items' list"}
+    weights = request.get("weights")
+    if weights is not None and (
+        not isinstance(weights, list) or len(weights) != len(items)
+    ):
+        return {"ok": False, "error": "'weights' must parallel 'items'"}
+    for item in items:
+        serialization.check_item(item)
+    ingested = service.sharded.ingest(items, weights)
+    return {"ok": True, "ingested": ingested}
+
+
+def _run_admission(items, mode: str) -> float:
+    """Time the server ingest path under each admission-control strategy.
+
+    ``scalar`` dispatches each request through :func:`_legacy_op_ingest`
+    (the pre-v2 handler body, parsing included); ``codec`` drives the real
+    ``handle()`` path, whose validation is amortised to once per new codec
+    vocabulary entry.  One residual skew is unavoidable: today's
+    ``partition_batch`` also runs the batch admission pass on plain
+    sequences, so the scalar row pays a per-chunk ``set()`` scan the true
+    pre-v2 code did not have.  The before/after pair lands in the JSON
+    artifact so the hot-path win stays visible per PR.
+    """
+    config = ServiceConfig(num_counters=NUM_COUNTERS, num_shards=2, k=10)
+    with HeavyHittersService(config) as service:
+        start = time.perf_counter()
+        for chunk in iter_chunks(items, CHUNK_SIZE):
+            request = {"op": "ingest", "items": chunk}
+            if mode == "scalar":
+                response = _legacy_op_ingest(service, request)
+            else:
+                response = service.handle(request)
+            assert response["ok"], response
+        service.sharded.flush()
+        return time.perf_counter() - start
 
 
 if pytest is not None:
@@ -183,6 +229,25 @@ def run_comparison(rounds: int = 3, total: int = 50_000) -> List[dict]:
                     "snapshot_seconds": best["snapshot_seconds"],
                 }
             )
+
+    # Admission control before/after: per-item check_item loop (pre-v2
+    # server) vs the codec-amortised handle() path.
+    for mode in ("scalar", "codec"):
+        best_seconds = min(
+            _run_admission(items, mode) for _ in range(max(1, rounds))
+        )
+        rows.append(
+            {
+                "config": f"service-admission-{mode}",
+                "shards": 2,
+                "columnar": mode == "codec",
+                "tokens": len(items),
+                "chunk_size": CHUNK_SIZE,
+                "ingest_seconds": best_seconds,
+                "tokens_per_second": len(items) / best_seconds,
+                "snapshot_seconds": None,
+            }
+        )
     return rows
 
 

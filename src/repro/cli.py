@@ -268,6 +268,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
             raise SystemExit(f"action {args.action!r} requires {flag}")
         return value
 
+    def query_item():
+        """The --item value, decoding the v2 tagged key form when asked.
+
+        ``--tagged`` lets the shell address structured tokens -- e.g. a
+        flow 5-tuple as ``--tagged --item 't:["s:10.0.0.1","i:443"]'``.
+        """
+        item = require(args.item, "--item")
+        if not args.tagged:
+            return item
+        try:
+            return serialization.decode_item_key(item)
+        except serialization.SerializationError as error:
+            raise SystemExit(f"invalid --item key: {error}") from error
+
     try:
         with ServiceClient(host=args.host, port=args.port) as client:
             if args.action == "ingest":
@@ -293,7 +307,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 client.shutdown()
                 response = {"ok": True, "stopping": True}
             elif args.action == "point":
-                response = client.point(require(args.item, "--item"))
+                response = client.point(query_item())
             elif args.action == "top-k":
                 response = client.call({"op": "query", "type": "top-k", "k": args.k})
             elif args.action == "heavy-hitters":
@@ -301,9 +315,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
                     {"op": "query", "type": "heavy-hitters", "phi": args.phi}
                 )
             elif args.action == "window-point":
-                response = client.window_point(
-                    require(args.item, "--item"), window=args.window
-                )
+                response = client.window_point(query_item(), window=args.window)
             elif args.action == "window-top-k":
                 request = {"op": "query", "type": "window-top-k", "k": args.k}
                 if args.window is not None:
@@ -324,7 +336,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"cannot reach service at {args.host}:{args.port}: {error}"
         ) from error
-    print(json.dumps(response, indent=2, sort_keys=True))
+    # Structured tokens decoded from tagged responses (tuples print as
+    # arrays natively; bytes and other non-JSON values fall back to repr).
+    for key in ("top_k", "heavy_hitters"):
+        entries = response.get(key)
+        if isinstance(entries, list):
+            for entry in entries:
+                if isinstance(entry, dict) and entry.pop("item_tagged", False):
+                    entry["item"] = serialization.decode_item_key(entry["item"])
+    print(json.dumps(response, indent=2, sort_keys=True, default=repr))
     return 0
 
 
@@ -476,6 +496,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--host", default="127.0.0.1")
     query.add_argument("--port", type=int, default=7071)
     query.add_argument("--item", default=None, help="item for point queries")
+    query.add_argument(
+        "--tagged",
+        action="store_true",
+        help="interpret --item as a v2 type-tagged wire key, e.g. "
+        "'t:[\"s:10.0.0.1\",\"i:443\"]' for a structured tuple token",
+    )
     query.add_argument("--k", type=int, default=10, help="k for top-k queries")
     query.add_argument(
         "--phi", type=float, default=0.01, help="threshold for heavy-hitter queries"

@@ -5,6 +5,11 @@ across sites, summarise each site's sub-stream independently with a counter
 algorithm, merge the summaries per Theorem 11, and answer queries about the
 union with the merged (3A, A+B) guarantee.  The per-site summaries are kept
 so experiments can also compare against a single centralised summary.
+
+Site payloads ship through :mod:`repro.serialization` wire format v2, so a
+deployment whose tokens are structured (network-flow 5-tuples, binary
+keys) merges exactly like one keyed by strings, and v1 payloads written by
+older sites still load at the coordinator.
 """
 
 from __future__ import annotations

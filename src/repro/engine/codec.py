@@ -35,6 +35,85 @@ _INT64_MIN = -(1 << 63)
 _INT64_MAX = (1 << 63) - 1
 
 
+class TokenAdmissionError(ValueError):
+    """A token the wire format cannot carry reached an ingest boundary."""
+
+
+def validate_token(item: Item) -> Item:
+    """Admission control: the single definition of a carriable token.
+
+    Wire format v2 carries ``str``, ``bytes``, ``bool``, ``int``, finite or
+    infinite ``float``, ``None`` and tuples of those (nested arbitrarily).
+    Everything else -- including ``NaN``, which can never be queried back
+    because ``NaN != NaN`` -- raises :class:`TokenAdmissionError` so a bad
+    token fails synchronously at the boundary that received it instead of
+    poisoning a snapshot serialisation later.
+
+    NumPy scalars validate as their unboxed Python values.  Returns ``item``
+    unchanged so callers can validate inline.
+    """
+    if item is None or isinstance(item, (str, bytes, bool, int)):
+        return item
+    if isinstance(item, float):
+        if item != item:  # NaN: no future query could ever match it
+            raise TokenAdmissionError(
+                "NaN tokens are not admissible: NaN != NaN, so the token "
+                "could never be queried or merged back"
+            )
+        return item
+    if isinstance(item, tuple):
+        for element in item:
+            validate_token(element)
+        return item
+    if isinstance(item, np.generic):
+        validate_token(item.item())
+        return item
+    raise TokenAdmissionError(
+        "tokens must be str, bytes, int, float, bool, None or tuples of "
+        f"those to cross the ingest boundary; got {type(item).__name__}"
+    )
+
+
+def validate_tokens(items: Sequence[Item]) -> None:
+    """Validate one ingest batch, amortised to once per *distinct* token.
+
+    The batch-shaped admission check used by every plain-sequence ingest
+    entry point (:class:`repro.service.sharding.ShardedSummarizer`,
+    :mod:`repro.streams.batched`).  Integer, boolean and string NumPy
+    arrays are admissible by dtype alone; float arrays need only a
+    vectorised NaN scan; anything else is reduced to its distinct tokens
+    with one C-speed ``set()`` pass, so a skewed chunk pays a few
+    :func:`validate_token` calls instead of one per occurrence.  Encoded
+    chunks skip this entirely -- their codec validated at intern time.
+    """
+    if isinstance(items, np.ndarray):
+        kind = items.dtype.kind
+        if kind in ("i", "u", "b", "U", "S"):
+            return
+        if kind == "f":
+            if items.size and bool(np.isnan(items).any()):
+                raise TokenAdmissionError(
+                    "NaN tokens are not admissible: NaN != NaN, so the "
+                    "token could never be queried or merged back"
+                )
+            return
+        items = items.tolist()
+    try:
+        distinct = set(items)
+    except TypeError:
+        for item in items:
+            try:
+                hash(item)
+            except TypeError as error:
+                raise TokenAdmissionError(
+                    f"unhashable token of type {type(item).__name__} cannot "
+                    "be ingested"
+                ) from error
+        raise
+    for item in distinct:
+        validate_token(item)
+
+
 class TokenCodec:
     """Interns arbitrary hashable items into dense ``int64`` ids.
 
@@ -66,9 +145,20 @@ class TokenCodec:
     ['b', 'a']
     >>> len(codec)
     2
+
+    The codec is also the system's *admission boundary*: unless
+    ``validate=False``, every vocabulary miss runs :func:`validate_token`,
+    so a token the wire format cannot carry is rejected synchronously by
+    whichever ingest path first sees it -- and the check is paid once per
+    vocabulary entry, not once per token occurrence.
     """
 
-    def __init__(self, vocabulary: Optional[Iterable[Item]] = None) -> None:
+    def __init__(
+        self,
+        vocabulary: Optional[Iterable[Item]] = None,
+        validate: bool = True,
+    ) -> None:
+        self._validate = validate
         self._ids: Dict[Item, int] = {}
         self._items: List[Item] = []
         self._fingerprints = np.empty(1024, dtype=np.uint64)
@@ -106,12 +196,23 @@ class TokenCodec:
         would compute for the unboxed value); since NumPy scalars hash and
         compare equal to their unboxed values, the unboxing only ever
         matters on a vocabulary miss.
+
+        Vocabulary misses pass admission control (:func:`validate_token`)
+        unless the codec was built with ``validate=False``.
         """
-        token_id = self._ids.get(item)
+        try:
+            token_id = self._ids.get(item)
+        except TypeError as error:
+            raise TokenAdmissionError(
+                f"unhashable token of type {type(item).__name__} cannot be "
+                "ingested"
+            ) from error
         if token_id is not None:
             return token_id
         if isinstance(item, np.generic):
             item = item.item()
+        if self._validate:
+            validate_token(item)
         token_id = len(self._items)
         self._ids[item] = token_id
         self._items.append(item)

@@ -11,14 +11,14 @@ The format is intentionally simple::
 
     {
       "format": "repro-summary",
-      "version": 1,
+      "version": 2,
       "algorithm": "SpaceSaving",
       "num_counters": 200,
       "stream_length": 30000.0,
       "items_processed": 30000,
-      "counts": {"item": 123.0, ...},
-      "errors": {"item": 7.0, ...},          # only when tracked
-      "extra": {...}                          # algorithm-specific state
+      "counts": {"<tag>:<payload>": 123.0, ...},
+      "errors": {"<tag>:<payload>": 7.0, ...},   # only when tracked
+      "extra": {...}                              # algorithm-specific state
     }
 
 Round-tripping a summary through :func:`dump` / :func:`load` preserves every
@@ -27,14 +27,22 @@ queries (and merges) exactly like the original.  It does *not* preserve
 internal acceleration structures byte-for-byte (e.g. the Stream-Summary
 bucket list is rebuilt), which is irrelevant to correctness.
 
-Items must be JSON-representable as strings or numbers; other hashable items
-are rejected with a clear error rather than silently repr'd.
+Items are carried as type-tagged key strings (wire format v2): ``s:`` str,
+``i:`` int, ``f:`` float (including ``inf``), ``b:`` bool, ``n:`` None,
+``y:`` base64 bytes and ``t:`` tuples (a JSON array of encoded elements,
+nesting arbitrarily) -- see :func:`encode_item_key`.  That covers
+structured stream keys such as network-flow 5-tuples end-to-end.  Anything
+else -- and NaN, which can never be queried back -- is rejected with a
+clear error rather than silently repr'd.  Version 1 payloads (which only
+ever used ``s:``/``i:``/``f:`` keys) still load.
 """
 
 from __future__ import annotations
 
+import base64
 import gzip
 import json
+import math
 import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Type
@@ -43,7 +51,12 @@ import numpy as np
 
 from repro.algorithms.base import FrequencyEstimator, Item
 from repro.algorithms.frequent import Frequent
-from repro.engine.codec import EncodedChunk, TokenCodec
+from repro.engine.codec import (
+    EncodedChunk,
+    TokenAdmissionError,
+    TokenCodec,
+    validate_token,
+)
 from repro.algorithms.frequent_real import FrequentR
 from repro.algorithms.lossy_counting import LossyCounting
 from repro.algorithms.space_saving import SpaceSaving, SpaceSavingHeap
@@ -51,7 +64,11 @@ from repro.algorithms.space_saving_real import SpaceSavingR
 from repro.streams.exact import ExactCounter
 
 FORMAT_NAME = "repro-summary"
-FORMAT_VERSION = 1
+#: Version written by this library.  Version 1 (whose keys were limited to
+#: ``s:``/``i:``/``f:``) is a strict subset of version 2, so the readers
+#: accept both -- see :data:`SUPPORTED_VERSIONS`.
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Registry of serialisable summary classes, keyed by their wire name.
 _REGISTRY: Dict[str, Type[FrequencyEstimator]] = {
@@ -70,53 +87,130 @@ class SerializationError(ValueError):
 
 
 def check_item(item: Item) -> Any:
-    """Validate that an item survives a JSON round trip unchanged.
+    """Validate that an item survives a wire round trip unchanged.
 
-    Raises :class:`SerializationError` for items the wire format cannot
-    carry (anything but strings and non-bool numbers).  The service layer
-    calls this at its ingest boundary so an unserialisable token is
-    rejected synchronously instead of poisoning later snapshots.
+    Raises :class:`SerializationError` for items wire format v2 cannot
+    carry (anything but str, bytes, bool, int, non-NaN float, None and
+    tuples of those).  Every ingest boundary -- the service layer, the
+    sharded summarizer and the batched pipeline -- runs this check (via
+    the shared :func:`repro.engine.codec.validate_token` admission layer)
+    so an unserialisable token is rejected synchronously instead of
+    poisoning later snapshots.
     """
-    if isinstance(item, bool) or item is None:
-        raise SerializationError(
-            f"item {item!r} of type {type(item).__name__} cannot be used as a "
-            "JSON object key without changing type; use strings or numbers"
-        )
-    if isinstance(item, (str, int, float)):
-        return item
-    raise SerializationError(
-        f"items must be strings or numbers to serialise, got {type(item).__name__}"
-    )
+    try:
+        return validate_token(item)
+    except TokenAdmissionError as error:
+        raise SerializationError(str(error)) from error
 
 
-def _encode_item_key(item: Item) -> str:
-    """Type-prefixed string form of an item (the wire key encoding)."""
+def json_lossless(item: Item) -> bool:
+    """True when raw JSON carries ``item``'s type and value losslessly.
+
+    The single definition of the raw-vs-tagged split in the NDJSON
+    protocol: the client tags exactly the tokens for which this is false,
+    and the server tags the same set in its responses.  Raw JSON preserves
+    str, bool, int, None and finite floats; tuples become arrays, bytes
+    are unrepresentable, and non-finite floats are non-standard JSON.
+    """
+    if item is None or isinstance(item, (str, bool, int)):
+        return True
+    return isinstance(item, float) and math.isfinite(item)
+
+
+def encode_item_key(item: Item) -> str:
+    """Type-tagged string form of an item (the v2 wire key encoding).
+
+    Tags: ``s:`` str, ``i:`` int, ``f:`` float, ``b:`` bool (``1``/``0``),
+    ``n:`` None, ``y:`` base64 bytes, ``t:`` tuple (JSON array of encoded
+    elements, nested tuples encode recursively).  Floats use ``repr``, so
+    the round trip is bit-exact (including ``inf``/``-inf``).
+
+    Examples
+    --------
+    >>> encode_item_key(("10.0.0.1", 443))
+    't:["s:10.0.0.1","i:443"]'
+    >>> decode_item_key(encode_item_key(("a", (b"x", None, True))))
+    ('a', (b'x', None, True))
+    """
     check_item(item)
+    return _encode_key(item)
+
+
+def _encode_key(item: Item) -> str:
+    """Recursive key encoder; ``item`` must already have passed admission."""
+    if isinstance(item, bool):  # before int: bool is an int subclass
+        return "b:1" if item else "b:0"
     if isinstance(item, str):
         return "s:" + item
     if isinstance(item, int):
         return f"i:{item}"
-    return f"f:{item!r}"
+    if isinstance(item, float):
+        return f"f:{item!r}"
+    if item is None:
+        return "n:"
+    if isinstance(item, bytes):
+        return "y:" + base64.b64encode(item).decode("ascii")
+    if isinstance(item, np.generic):
+        return _encode_key(item.item())
+    # validate_token admitted it, so it is a tuple.
+    return "t:" + json.dumps(
+        [_encode_key(element) for element in item], separators=(",", ":")
+    )
 
 
 def _encode_counts(counts: Dict[Item, float]) -> Dict[str, float]:
-    """JSON object keys are strings; encode items with a type prefix."""
-    return {_encode_item_key(item): float(value) for item, value in counts.items()}
+    """JSON object keys are strings; encode items with a type tag."""
+    return {encode_item_key(item): float(value) for item, value in counts.items()}
 
 
-def _decode_item(key: str) -> Item:
-    prefix, _, payload = key.partition(":")
+def decode_item_key(key: str) -> Item:
+    """Inverse of :func:`encode_item_key` (accepts v1 and v2 keys)."""
+    prefix, separator, payload = key.partition(":")
+    if not separator:
+        raise SerializationError(f"unrecognised item key {key!r}")
     if prefix == "s":
         return payload
-    if prefix == "i":
-        return int(payload)
-    if prefix == "f":
-        return float(payload)
+    try:
+        if prefix == "i":
+            return int(payload)
+        if prefix == "f":
+            value = float(payload)
+            if value != value:
+                # Pre-v2 check_item admitted NaN, so a genuine v1 payload
+                # can contain an "f:nan" key.  Loading it would re-open the
+                # accept-then-crash gap (the summary could never be
+                # re-dumped, and the token could never be queried), so the
+                # load boundary rejects it with a clear error instead.
+                raise SerializationError(
+                    f"item key {key!r} decodes to NaN, which can never be "
+                    "queried or re-serialised; this payload predates the "
+                    "v2 NaN admission rule"
+                )
+            return value
+        if prefix == "b":
+            if payload in ("1", "0"):
+                return payload == "1"
+            raise SerializationError(f"invalid bool item key {key!r}")
+        if prefix == "n":
+            return None
+        if prefix == "y":
+            return base64.b64decode(payload.encode("ascii"), validate=True)
+        if prefix == "t":
+            elements = json.loads(payload)
+            if not isinstance(elements, list) or not all(
+                isinstance(element, str) for element in elements
+            ):
+                raise SerializationError(f"invalid tuple item key {key!r}")
+            return tuple(decode_item_key(element) for element in elements)
+    except SerializationError:
+        raise
+    except (ValueError, UnicodeEncodeError) as error:
+        raise SerializationError(f"invalid item key {key!r}: {error}") from error
     raise SerializationError(f"unrecognised item key {key!r}")
 
 
 def _decode_counts(encoded: Dict[str, float]) -> Dict[Item, float]:
-    return {_decode_item(key): float(value) for key, value in encoded.items()}
+    return {decode_item_key(key): float(value) for key, value in encoded.items()}
 
 
 # --------------------------------------------------------------------------- #
@@ -285,10 +379,10 @@ def _validate(payload: Dict[str, Any]) -> None:
         raise SerializationError(
             f"not a {FORMAT_NAME} payload: format={payload.get('format')!r}"
         )
-    if payload.get("version") != FORMAT_VERSION:
+    if payload.get("version") not in SUPPORTED_VERSIONS:
         raise SerializationError(
             f"unsupported version {payload.get('version')!r} "
-            f"(this library reads version {FORMAT_VERSION})"
+            f"(this library reads versions {SUPPORTED_VERSIONS})"
         )
     if payload.get("algorithm") not in _REGISTRY:
         raise SerializationError(f"unknown algorithm {payload.get('algorithm')!r}")
@@ -364,7 +458,10 @@ def loads(text: str) -> FrequencyEstimator:
 # --------------------------------------------------------------------------- #
 
 CHUNK_FORMAT_NAME = "repro-chunk"
-CHUNK_FORMAT_VERSION = 1
+#: Chunk payloads follow the summary format's versioning: v2 adds the
+#: type-tagged vocabulary entries (bool/None/bytes/tuple); v1 still loads.
+CHUNK_FORMAT_VERSION = 2
+SUPPORTED_CHUNK_VERSIONS = (1, 2)
 
 
 def dump_chunk(chunk: EncodedChunk) -> Dict[str, Any]:
@@ -387,7 +484,7 @@ def dump_chunk(chunk: EncodedChunk) -> Dict[str, Any]:
     ids = np.asarray(chunk.ids, dtype=np.int64)
     values, inverse = np.unique(ids, return_inverse=True)
     vocabulary = [
-        _encode_item_key(chunk.codec.item_for(int(token_id))) for token_id in values
+        encode_item_key(chunk.codec.item_for(int(token_id))) for token_id in values
     ]
     payload: Dict[str, Any] = {
         "format": CHUNK_FORMAT_NAME,
@@ -414,10 +511,10 @@ def load_chunk(
         raise SerializationError(
             f"not a {CHUNK_FORMAT_NAME} payload: format={payload.get('format')!r}"
         )
-    if payload.get("version") != CHUNK_FORMAT_VERSION:
+    if payload.get("version") not in SUPPORTED_CHUNK_VERSIONS:
         raise SerializationError(
             f"unsupported chunk version {payload.get('version')!r} "
-            f"(this library reads version {CHUNK_FORMAT_VERSION})"
+            f"(this library reads versions {SUPPORTED_CHUNK_VERSIONS})"
         )
     codec = TokenCodec() if codec is None else codec
     vocabulary = payload.get("vocabulary", [])
@@ -425,7 +522,7 @@ def load_chunk(
     # as raw conversion errors from NumPy or the key decoder.
     try:
         local_to_codec = np.fromiter(
-            (codec.intern(_decode_item(key)) for key in vocabulary),
+            (codec.intern(decode_item_key(key)) for key in vocabulary),
             dtype=np.int64,
             count=len(vocabulary),
         )

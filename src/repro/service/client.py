@@ -1,9 +1,19 @@
 """Client for the heavy-hitters service's NDJSON socket protocol.
 
-A thin, dependency-free wrapper used by ``repro query``, the end-to-end
-tests and the throughput benchmark: one TCP connection, one JSON object per
-line each way.  Responses with ``"ok": false`` raise
-:class:`ServiceError` so callers never have to inspect error payloads.
+A thin wrapper used by ``repro query``, the end-to-end tests and the
+throughput benchmark: one TCP connection, one JSON object per line each
+way.  Responses with ``"ok": false`` raise :class:`ServiceError` so
+callers never have to inspect error payloads.
+
+Structured tokens (protocol v2): tuples, bytes, bools, None and
+non-finite floats are carried as the type-tagged key strings of
+:func:`repro.serialization.encode_item_key`.  The client tags
+transparently -- ``client.ingest([("10.0.0.1", 443)])`` just works -- and
+refuses to send tagged payloads to a protocol-1 server (which would store
+the key strings verbatim); plain string/number traffic stays on the
+version-1 raw encoding, so old servers keep working for it.  Tokens the
+wire format cannot carry at all (lists, dicts, arbitrary objects, NaN)
+are rejected client-side, synchronously, before anything hits the socket.
 """
 
 from __future__ import annotations
@@ -12,7 +22,52 @@ import json
 import socket
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import serialization
 from repro.algorithms.base import Item
+
+
+def _needs_tagging(item: Item) -> bool:
+    """True when raw JSON would change (or reject) the token's type.
+
+    The exact complement of :func:`repro.serialization.json_lossless`,
+    which is also what the server tags its responses by -- one shared
+    predicate, so the two sides cannot drift apart.
+    """
+    return not serialization.json_lossless(item)
+
+
+def _encode_tagged_items(items: Sequence[Item]) -> List[str]:
+    """Encode one ingest chunk as tagged keys, once per distinct token.
+
+    Skewed streams repeat a small set of tokens, so the per-chunk memo cuts
+    the recursive encode/validate cost to once per distinct item -- the
+    client-side mirror of the server's decode memo.  ``==``-equal tokens of
+    different types (``True``/``1``) collapse onto the first-seen encoding,
+    exactly as every dict-based aggregation path in this library already
+    collapses them.  Unhashable tokens fall through to ``encode_item_key``,
+    which rejects them with the canonical admission error.
+    """
+    memo: Dict[Item, str] = {}
+    encoded = []
+    for item in items:
+        try:
+            key = memo.get(item)
+        except TypeError:
+            key = serialization.encode_item_key(item)  # raises: unhashable
+        else:
+            if key is None:
+                key = serialization.encode_item_key(item)
+                memo[item] = key
+        encoded.append(key)
+    return encoded
+
+
+def _decode_wire_item(value: Any, tagged: Any) -> Item:
+    return serialization.decode_item_key(value) if tagged else value
+
+
+def _entry_item(entry: Dict[str, Any]) -> Item:
+    return _decode_wire_item(entry["item"], entry.get("item_tagged"))
 
 
 class ServiceError(RuntimeError):
@@ -37,6 +92,23 @@ class ServiceClient:
     ) -> None:
         self._socket = socket.create_connection((host, port), timeout=timeout)
         self._reader = self._socket.makefile("rb")
+        self._protocol: Optional[int] = None
+
+    def _require_tagging_support(self) -> None:
+        """Fail fast instead of feeding tagged keys to a v1 server.
+
+        A protocol-1 server would ingest the encoded key *strings* as
+        literal tokens -- silent corruption.  The protocol version is read
+        from one ping and cached for the connection's lifetime.
+        """
+        if self._protocol is None:
+            self._protocol = int(self.call({"op": "ping"}).get("protocol", 1))
+        if self._protocol < 2:
+            raise ServiceError(
+                "server speaks protocol "
+                f"{self._protocol}, which cannot carry structured tokens "
+                "(tuples, bytes, bools, None, non-finite floats)"
+            )
 
     # ------------------------------------------------------------------ #
     # Transport
@@ -70,13 +142,30 @@ class ServiceClient:
     # ------------------------------------------------------------------ #
 
     def ping(self) -> bool:
-        return bool(self.call({"op": "ping"}).get("pong"))
+        response = self.call({"op": "ping"})
+        self._protocol = int(response.get("protocol", 1))
+        return bool(response.get("pong"))
 
     def ingest(
         self, items: Sequence[Item], weights: Optional[Sequence[float]] = None
     ) -> int:
-        """Push one chunk of tokens; returns how many the service accepted."""
-        request: Dict[str, Any] = {"op": "ingest", "items": list(items)}
+        """Push one chunk of tokens; returns how many the service accepted.
+
+        Structured tokens switch the whole request to the tagged encoding
+        (validated and encoded client-side, so an uncarriable token fails
+        here, synchronously, before anything is sent).
+        """
+        items = list(items)
+        request: Dict[str, Any] = {"op": "ingest", "items": items}
+        if any(_needs_tagging(item) for item in items):
+            # Encode (and therefore validate) locally *before* the protocol
+            # check: an uncarriable token must fail with the admission
+            # error, not a misleading "server too old" one, and without
+            # touching the socket.
+            encoded = _encode_tagged_items(items)
+            self._require_tagging_support()
+            request["items"] = encoded
+            request["encoding"] = "tagged"
         if weights is not None:
             request["weights"] = [float(weight) for weight in weights]
         return int(self.call(request)["ingested"])
@@ -98,28 +187,44 @@ class ServiceClient:
 
     # -- queries -------------------------------------------------------- #
 
+    def _point_request(self, request: Dict[str, Any], item: Item) -> Dict[str, Any]:
+        """Send a point-style query, tagging and decoding the item as needed."""
+        if _needs_tagging(item):
+            key = serialization.encode_item_key(item)  # validate before ping
+            self._require_tagging_support()
+            request["item"] = key
+            request["item_encoding"] = "tagged"
+        else:
+            request["item"] = item
+        response = self.call(request)
+        if response.get("item_tagged"):
+            response["item"] = serialization.decode_item_key(response["item"])
+            del response["item_tagged"]
+        return response
+
     def point(self, item: Item) -> Dict[str, Any]:
         """Point query against the latest snapshot (estimate + guarantee)."""
-        return self.call({"op": "query", "type": "point", "item": item})
+        return self._point_request({"op": "query", "type": "point"}, item)
 
     def estimate(self, item: Item) -> float:
         return float(self.point(item)["estimate"])
 
     def top_k(self, k: int) -> List[Tuple[Item, float]]:
         response = self.call({"op": "query", "type": "top-k", "k": k})
-        return [(entry["item"], entry["estimate"]) for entry in response["top_k"]]
+        return [(_entry_item(entry), entry["estimate"]) for entry in response["top_k"]]
 
     def heavy_hitters(self, phi: float) -> List[Tuple[Item, float]]:
         response = self.call({"op": "query", "type": "heavy-hitters", "phi": phi})
         return [
-            (entry["item"], entry["estimate"]) for entry in response["heavy_hitters"]
+            (_entry_item(entry), entry["estimate"])
+            for entry in response["heavy_hitters"]
         ]
 
     def window_point(self, item: Item, window: Optional[int] = None) -> Dict[str, Any]:
-        request: Dict[str, Any] = {"op": "query", "type": "window-point", "item": item}
+        request: Dict[str, Any] = {"op": "query", "type": "window-point"}
         if window is not None:
             request["window"] = window
-        return self.call(request)
+        return self._point_request(request, item)
 
     def window_top_k(
         self, k: int, window: Optional[int] = None
@@ -128,7 +233,7 @@ class ServiceClient:
         if window is not None:
             request["window"] = window
         response = self.call(request)
-        return [(entry["item"], entry["estimate"]) for entry in response["top_k"]]
+        return [(_entry_item(entry), entry["estimate"]) for entry in response["top_k"]]
 
     def window_heavy_hitters(
         self, phi: float, window: Optional[int] = None
@@ -142,5 +247,6 @@ class ServiceClient:
             request["window"] = window
         response = self.call(request)
         return [
-            (entry["item"], entry["estimate"]) for entry in response["heavy_hitters"]
+            (_entry_item(entry), entry["estimate"])
+            for entry in response["heavy_hitters"]
         ]

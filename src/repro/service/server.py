@@ -7,16 +7,16 @@ windows (:mod:`repro.service.windows`) -- behind a single
 ``handle(request) -> response`` dict interface, so the core logic is
 testable without sockets.
 
-The wire protocol is newline-delimited JSON over a local TCP socket: one
-request object per line in, one response object per line out, ``"ok"``
-signalling success.  The ``repro serve`` / ``repro query`` CLI pair and
-:class:`repro.service.client.ServiceClient` speak it.  Requests::
+The wire protocol (version 2) is newline-delimited JSON over a local TCP
+socket: one request object per line in, one response object per line out,
+``"ok"`` signalling success.  The ``repro serve`` / ``repro query`` CLI
+pair and :class:`repro.service.client.ServiceClient` speak it.  Requests::
 
     {"op": "ping"}
-    {"op": "ingest", "items": [...], "weights": [...]?}
+    {"op": "ingest", "items": [...], "weights": [...]?, "encoding": "tagged"?}
     {"op": "snapshot", "drain": true?}
     {"op": "advance-window", "steps": 1?}
-    {"op": "query", "type": "point", "item": ...}
+    {"op": "query", "type": "point", "item": ..., "item_encoding": "tagged"?}
     {"op": "query", "type": "top-k", "k": 10}
     {"op": "query", "type": "heavy-hitters", "phi": 0.01}
     {"op": "query", "type": "window-point", "item": ..., "window": W?}
@@ -24,6 +24,22 @@ signalling success.  The ``repro serve`` / ``repro query`` CLI pair and
     {"op": "query", "type": "window-heavy-hitters", "phi": 0.01, "window": W?}
     {"op": "stats"}
     {"op": "shutdown"}
+
+Structured tokens (tuples such as network-flow 5-tuples, bytes, bools,
+None, non-finite floats) cross the socket as the type-tagged key strings
+of :func:`repro.serialization.encode_item_key`: an ingest request sets
+``"encoding": "tagged"`` and sends every item encoded; a point query tags
+its item with ``"item_encoding": "tagged"``.  Responses carry items as raw
+JSON whenever JSON represents the type losslessly and as a tagged key with
+``"item_tagged": true`` otherwise, so version 1 clients sending plain
+string/number tokens see byte-identical behaviour.
+
+Admission control is amortised into the columnar codec: each ingest chunk
+is interned through a :class:`~repro.engine.codec.TokenCodec`, which
+validates every *new* vocabulary entry exactly once (wire format v2)
+instead of re-checking each token occurrence in a per-item Python loop,
+and the encoded chunk fans out to the shards with one vectorised
+``shard_array`` call.
 
 Snapshot-backed answers carry the merged ``(3A, A+B)`` guarantee constants
 of Theorem 11; window answers carry the constants of however many buckets
@@ -36,10 +52,11 @@ import json
 import socketserver
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro import serialization
-from repro.algorithms.base import FrequencyEstimator
+from repro.algorithms.base import FrequencyEstimator, Item
+from repro.engine.codec import TokenCodec
 from repro.algorithms.frequent import Frequent
 from repro.algorithms.frequent_real import FrequentR
 from repro.algorithms.space_saving import SpaceSaving
@@ -48,6 +65,14 @@ from repro.core.tail_guarantee import TailGuarantee
 from repro.service.sharding import DEFAULT_QUEUE_DEPTH, ShardedSummarizer
 from repro.service.snapshots import Snapshot, SnapshotManager
 from repro.service.windows import WindowAnswer, WindowedSummarizer
+
+#: NDJSON protocol version: 2 adds tagged structured-token carriage and the
+#: codec-amortised admission path.  Exposed by the ping response so clients
+#: can refuse to send structured tokens to a v1 server (which would store
+#: the tagged key *strings* verbatim).
+PROTOCOL_VERSION = 2
+
+_MISSING = object()
 
 #: (algorithm name, weighted?) -> summary class, mirroring the CLI registry.
 SERVICE_ALGORITHMS: Dict[Tuple[str, bool], Callable[[int], FrequencyEstimator]] = {
@@ -73,6 +98,11 @@ class ServiceConfig:
     snapshot_dir: Optional[str] = None
     compress: bool = False
     merge_mode: str = "all_counters"
+    #: Bound on the ingest codec's vocabulary: past this many distinct
+    #: tokens the server rotates to a fresh codec (re-validating lazily as
+    #: tokens reappear) so a long-running service with an unbounded key
+    #: space cannot grow its interning state without limit.
+    max_vocabulary: int = 1 << 20
 
     def make_estimator(self) -> FrequencyEstimator:
         key = (self.algorithm, self.weighted)
@@ -87,6 +117,32 @@ class ServiceConfig:
 def _guarantee_payload(constants: TailGuarantee, k: int, m: int) -> Dict[str, float]:
     """The guarantee constants attached to every certified answer."""
     return {"a": constants.a, "b": constants.b, "k": k, "num_counters": m}
+
+
+def _wire_item(item: Item) -> Tuple[Any, bool]:
+    """Encode one token for a JSON response.
+
+    Returns ``(value, tagged)``: the raw item when JSON carries its type
+    losslessly (:func:`repro.serialization.json_lossless` -- the same
+    predicate the client tags by), else the type-tagged key string of
+    :func:`repro.serialization.encode_item_key` with ``tagged=True`` so
+    the client knows to decode it.
+    """
+    if serialization.json_lossless(item):
+        return item, False
+    return serialization.encode_item_key(item), True
+
+
+def _wire_entries(pairs: Iterable[Tuple[Item, float]]) -> List[Dict[str, Any]]:
+    """``{"item", "estimate"}`` response rows, tagging items as needed."""
+    entries = []
+    for item, estimate in pairs:
+        value, tagged = _wire_item(item)
+        entry: Dict[str, Any] = {"item": value, "estimate": estimate}
+        if tagged:
+            entry["item_tagged"] = True
+        entries.append(entry)
+    return entries
 
 
 class HeavyHittersService:
@@ -113,6 +169,13 @@ class HeavyHittersService:
                 num_buckets=config.window_buckets,
                 k=config.k,
             )
+        # The ingest codec doubles as the admission boundary: interning
+        # validates each new vocabulary entry once (wire format v2).  The
+        # lock serialises interning across connection threads; the shard
+        # workers only *read* the codec, which is safe concurrently.
+        self._codec = TokenCodec()
+        self._decode_memo: Dict[str, Item] = {}
+        self._ingest_lock = threading.Lock()
         self.shutdown_requested = threading.Event()
 
     # ------------------------------------------------------------------ #
@@ -153,7 +216,28 @@ class HeavyHittersService:
             return {"ok": False, "error": str(error)}
 
     def _op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        return {"ok": True, "pong": True}
+        return {"ok": True, "pong": True, "protocol": PROTOCOL_VERSION}
+
+    def _decode_tagged_items(self, keys: List[Any]) -> List[Item]:
+        """Decode tagged wire items, memoising once per distinct key string.
+
+        A skewed ingest stream repeats a small set of keys, so after warm-up
+        each occurrence costs one dict hit instead of a full key decode.
+        """
+        memo = self._decode_memo
+        decoded = []
+        for key in keys:
+            token = memo.get(key, _MISSING) if isinstance(key, str) else _MISSING
+            if token is _MISSING:
+                if not isinstance(key, str):
+                    raise serialization.SerializationError(
+                        "tagged ingest requires every item to be an encoded "
+                        f"key string, got {type(key).__name__}"
+                    )
+                token = serialization.decode_item_key(key)
+                memo[key] = token
+            decoded.append(token)
+        return decoded
 
     def _op_ingest(self, request: Dict[str, Any]) -> Dict[str, Any]:
         items = request.get("items")
@@ -166,13 +250,29 @@ class HeavyHittersService:
             return {"ok": False, "error": "'weights' must parallel 'items'"}
         # Snapshots copy shards through the wire format, so an item the
         # format cannot carry must be rejected here, before any shard
-        # stores it (SerializationError is a ValueError; handle() turns it
-        # into an error payload).
-        for item in items:
-            serialization.check_item(item)
-        ingested = self.sharded.ingest(items, weights)
+        # stores it.  That admission control is amortised into the codec:
+        # encode_chunk validates each *new* vocabulary entry exactly once
+        # (TokenAdmissionError is a ValueError; handle() turns it into an
+        # error payload) instead of re-checking every token occurrence,
+        # and the resulting chunk fans out to the shards with one
+        # vectorised shard_array call.
+        with self._ingest_lock:
+            # The decode memo is bounded independently of the vocabulary:
+            # non-canonical key spellings ("i:07", "f:1.00") decode onto
+            # existing tokens without growing the codec, so memo size --
+            # not just vocabulary size -- must be able to trigger rotation.
+            if (
+                len(self._codec) > self.config.max_vocabulary
+                or len(self._decode_memo) > self.config.max_vocabulary
+            ):
+                self._codec = TokenCodec()
+                self._decode_memo.clear()
+            if request.get("encoding") == "tagged":
+                items = self._decode_tagged_items(items)
+            chunk = self._codec.encode_chunk(items, weights)
+        ingested = self.sharded.ingest(chunk)
         if self.windowed is not None:
-            self.windowed.update_batch(items, weights)
+            self.windowed.update_batch(chunk)
         return {
             "ok": True,
             "ingested": ingested,
@@ -251,27 +351,43 @@ class HeavyHittersService:
             }
         return payload
 
+    @staticmethod
+    def _query_item(request: Dict[str, Any]) -> Item:
+        """The point-query target, decoding the tagged form when flagged."""
+        item = request["item"]
+        if request.get("item_encoding") == "tagged":
+            if not isinstance(item, str):
+                raise serialization.SerializationError(
+                    "tagged point queries require 'item' to be an encoded "
+                    f"key string, got {type(item).__name__}"
+                )
+            return serialization.decode_item_key(item)
+        if isinstance(item, list):
+            raise serialization.SerializationError(
+                "JSON arrays are not hashable tokens; send tuple items with "
+                '"item_encoding": "tagged"'
+            )
+        return item
+
     def _snapshot_query(self, query_type: str, request: Dict[str, Any]) -> Dict[str, Any]:
         snapshot = self.snapshots.latest_or_refresh()
         response = {"ok": True, **self._snapshot_payload(snapshot)}
         if query_type == "point":
             if "item" not in request:
                 return {"ok": False, "error": "point query requires 'item'"}
-            response["item"] = request["item"]
-            response["estimate"] = snapshot.estimate(request["item"])
+            item = self._query_item(request)
+            value, tagged = _wire_item(item)
+            response["item"] = value
+            if tagged:
+                response["item_tagged"] = True
+            response["estimate"] = snapshot.estimate(item)
         elif query_type == "top-k":
             k = int(request.get("k", self.config.k))
-            response["top_k"] = [
-                {"item": item, "estimate": estimate}
-                for item, estimate in snapshot.top_k(k)
-            ]
+            response["top_k"] = _wire_entries(snapshot.top_k(k))
         else:  # heavy-hitters
             phi = float(request["phi"])
             response["phi"] = phi
-            response["heavy_hitters"] = [
-                {"item": item, "estimate": estimate}
-                for item, estimate in snapshot.heavy_hitters(phi)
-            ]
+            response["heavy_hitters"] = _wire_entries(snapshot.heavy_hitters(phi))
         return response
 
     # -- window-backed queries ----------------------------------------- #
@@ -297,21 +413,19 @@ class HeavyHittersService:
         if query_type == "window-point":
             if "item" not in request:
                 return {"ok": False, "error": "point query requires 'item'"}
-            response["item"] = request["item"]
-            response["estimate"] = answer.estimate(request["item"])
+            item = self._query_item(request)
+            value, tagged = _wire_item(item)
+            response["item"] = value
+            if tagged:
+                response["item_tagged"] = True
+            response["estimate"] = answer.estimate(item)
         elif query_type == "window-top-k":
             k = int(request.get("k", self.config.k))
-            response["top_k"] = [
-                {"item": item, "estimate": estimate}
-                for item, estimate in answer.top_k(k)
-            ]
+            response["top_k"] = _wire_entries(answer.top_k(k))
         else:  # window-heavy-hitters
             phi = float(request["phi"])
             response["phi"] = phi
-            response["heavy_hitters"] = [
-                {"item": item, "estimate": estimate}
-                for item, estimate in answer.heavy_hitters(phi)
-            ]
+            response["heavy_hitters"] = _wire_entries(answer.heavy_hitters(phi))
         return response
 
     _OPS: Dict[str, Callable[["HeavyHittersService", Dict[str, Any]], Dict[str, Any]]] = {

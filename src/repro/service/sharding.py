@@ -35,7 +35,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.algorithms.base import FrequencyEstimator, Item
-from repro.engine.codec import EncodedChunk, partition_chunk
+from repro.engine.codec import EncodedChunk, partition_chunk, validate_tokens
 from repro.sketches.hashing import fingerprint_array, shard_array, shard_for
 
 EstimatorFactory = Callable[[], FrequencyEstimator]
@@ -67,11 +67,14 @@ def partition_batch(
     arrays; plain sequences come back as lists, exactly as before.
 
     Only shards that actually receive tokens appear in the result.  Negative
-    and non-finite weights are rejected *here*, before anything reaches a
-    shard queue, so a bad token surfaces synchronously to the producer that
-    sent it instead of failing asynchronously inside a worker (or, for NaN,
-    silently corrupting a shard's counters).  Encoded chunks were already
-    validated at construction.
+    and non-finite weights -- and tokens the wire format cannot carry
+    (:func:`repro.engine.codec.validate_tokens`) -- are rejected *here*,
+    before anything reaches a shard queue, so a bad token surfaces
+    synchronously to the producer that sent it instead of failing
+    asynchronously inside a worker, poisoning a later snapshot
+    serialisation, or (for NaN) silently corrupting a shard's counters.
+    Encoded chunks were already validated at construction: their codec runs
+    admission control at intern time.
     """
     if isinstance(items, EncodedChunk):
         if weights is not None:
@@ -89,6 +92,7 @@ def partition_batch(
         # Mixed-type object arrays cannot go through np.unique in a shard
         # worker; route them like a plain Python sequence.
         items = items.tolist()
+    validate_tokens(items)
     if weights is not None:
         if len(items) != len(weights):
             raise ValueError("items and weights must have the same length")

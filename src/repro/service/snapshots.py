@@ -12,6 +12,10 @@ a fixed cadence (:meth:`start`), keeps the latest one for queries, and can
 persist every version through :func:`repro.serialization.dump_bytes`
 (optionally gzipped) so a restarted service -- or an offline analyst -- can
 reload any version with :meth:`SnapshotManager.load`.
+
+Persistence rides wire format v2: structured tokens (flow 5-tuples, bytes,
+bools, None) admitted at the ingest boundary serialise losslessly, and any
+snapshot file written by a v1 build of this library still loads.
 """
 
 from __future__ import annotations

@@ -14,6 +14,10 @@ over the window satisfies the ``(3A, A+B)`` guarantee with respect to the
 window's combined frequency vector (a single-bucket window keeps the sharp
 ``(A, B)`` constants -- no merge happens).  The window boundary itself is
 exact at bucket granularity: answers cover whole buckets, never fractions.
+
+Bucket copies travel through the v2 wire format, so windows answer queries
+over structured tokens (flow 5-tuples, bytes, bools, None) exactly like
+the snapshot path does.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from typing import Callable, Deque, List, Mapping, Optional, Sequence, Tuple
 
 from repro import serialization
 from repro.algorithms.base import FrequencyEstimator, Item
+from repro.engine.codec import EncodedChunk, validate_token, validate_tokens
 from repro.core.bounds import k_tail_bound
 from repro.core.merging import merge_summaries
 from repro.core.tail_guarantee import GuaranteeCheck, TailGuarantee
@@ -168,14 +173,27 @@ class WindowedSummarizer:
             return self._buckets[-1].bucket_id
 
     def update(self, item: Item, weight: float = 1.0) -> None:
-        """Record one token in the current bucket."""
+        """Record one token in the current bucket.
+
+        An ingest boundary: bucket copies travel through the wire format at
+        query time, so an uncarriable token is rejected here, synchronously,
+        instead of poisoning a later window merge.
+        """
+        validate_token(item)
         with self._lock:
             self._buckets[-1].estimator.update(item, weight)
 
     def update_batch(
         self, items: Sequence[Item], weights: Optional[Sequence[float]] = None
     ) -> None:
-        """Record a chunk of tokens in the current bucket (batched path)."""
+        """Record a chunk of tokens in the current bucket (batched path).
+
+        Applies the same admission control as :meth:`update`, amortised per
+        distinct token; encoded chunks were already validated by their
+        codec at intern time.
+        """
+        if not isinstance(items, EncodedChunk):
+            validate_tokens(items)
         with self._lock:
             self._buckets[-1].estimator.update_batch(items, weights)
 

@@ -40,7 +40,7 @@ from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.algorithms.base import FrequencyEstimator, Item
-from repro.engine.codec import EncodedChunk, TokenCodec
+from repro.engine.codec import EncodedChunk, TokenCodec, validate_tokens
 
 #: Default number of tokens aggregated per ``update_batch`` call.  Large
 #: enough that per-chunk overhead is negligible, small enough that a chunk's
@@ -73,8 +73,15 @@ def ingest(
     items: Iterable[Item],
     chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> FrequencyEstimator:
-    """Feed unit-weight ``items`` to ``estimator`` in aggregated chunks."""
+    """Feed unit-weight ``items`` to ``estimator`` in aggregated chunks.
+
+    This is an ingest boundary: each chunk passes wire-format admission
+    control (:func:`repro.engine.codec.validate_tokens`, amortised per
+    distinct token), so a token that could not be persisted later is
+    rejected synchronously here.
+    """
     for chunk in iter_chunks(items, chunk_size):
+        validate_tokens(chunk)
         estimator.update_batch(chunk)
     return estimator
 
@@ -84,11 +91,14 @@ def ingest_weighted(
     pairs: Iterable[Tuple[Item, float]],
     chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> FrequencyEstimator:
-    """Feed ``(item, weight)`` pairs to ``estimator`` in aggregated chunks."""
+    """Feed ``(item, weight)`` pairs to ``estimator`` in aggregated chunks.
+
+    Applies the same per-chunk admission control as :func:`ingest`.
+    """
     for chunk in iter_chunks(pairs, chunk_size):
-        estimator.update_batch(
-            [item for item, _ in chunk], [weight for _, weight in chunk]
-        )
+        items = [item for item, _ in chunk]
+        validate_tokens(items)
+        estimator.update_batch(items, [weight for _, weight in chunk])
     return estimator
 
 
@@ -223,11 +233,17 @@ class BatchedIngestor:
     def feed(
         self, estimator: FrequencyEstimator, items: Iterable[Item]
     ) -> FrequencyEstimator:
-        """Feed unit-weight items in chunks, updating the counters."""
+        """Feed unit-weight items in chunks, updating the counters.
+
+        An ingest boundary: with a codec, admission control runs inside
+        ``encode_chunk`` (once per new vocabulary entry); without one,
+        every chunk passes :func:`repro.engine.codec.validate_tokens`.
+        """
         for chunk in iter_chunks(items, self.chunk_size):
             if self.codec is not None:
                 estimator.update_batch(self.codec.encode_chunk(chunk))
             else:
+                validate_tokens(chunk)
                 estimator.update_batch(chunk)
             self.chunks_processed += 1
             self.tokens_processed += len(chunk)
@@ -243,6 +259,7 @@ class BatchedIngestor:
             if self.codec is not None:
                 estimator.update_batch(self.codec.encode_chunk(items, weights))
             else:
+                validate_tokens(items)
                 estimator.update_batch(items, weights)
             self.chunks_processed += 1
             self.tokens_processed += len(chunk)

@@ -248,6 +248,38 @@ class TestServeAndQueryCommands:
         assert stats["num_shards"] == 2
         assert stats["window"]["current_bucket"] == 1
 
+    def test_query_tagged_structured_tokens(self, live_service, capsys):
+        """A flow 5-tuple addressed from the shell via the v2 tagged key."""
+        from repro.service.client import ServiceClient
+
+        port = str(live_service)
+        flow = ("10.0.0.1", 443)
+        with ServiceClient(port=live_service) as client:
+            client.ingest([flow] * 7 + ["plain"] * 2)
+            client.snapshot()
+        assert main(
+            [
+                "query",
+                "point",
+                "--port",
+                port,
+                "--tagged",
+                "--item",
+                't:["s:10.0.0.1","i:443"]',
+            ]
+        ) == 0
+        point = json.loads(capsys.readouterr().out)
+        assert point["estimate"] == 7.0
+        assert point["item"] == ["10.0.0.1", 443]  # tuple prints as JSON array
+        assert main(["query", "top-k", "--port", port, "--k", "2"]) == 0
+        top = json.loads(capsys.readouterr().out)
+        assert top["top_k"][0]["item"] == ["10.0.0.1", 443]
+        assert "item_tagged" not in top["top_k"][0]
+        with pytest.raises(SystemExit, match="invalid --item"):
+            main(
+                ["query", "point", "--port", port, "--tagged", "--item", "q:bad"]
+            )
+
     def test_query_reports_service_errors(self, live_service, capsys):
         port = str(live_service)
         with pytest.raises(SystemExit):

@@ -31,7 +31,7 @@ from repro.algorithms.frequent_real import FrequentR
 from repro.algorithms.lossy_counting import LossyCounting
 from repro.algorithms.space_saving import SpaceSaving, SpaceSavingHeap
 from repro.distributed.partition import hash_partition, hash_partition_chunk
-from repro.engine.codec import TokenCodec
+from repro.engine.codec import TokenAdmissionError, TokenCodec
 from repro.serialization import SerializationError
 from repro.service.sharding import ShardedSummarizer, partition_batch
 from repro.sketches.count_min import CountMinSketch
@@ -572,9 +572,24 @@ class TestChunkSerialization:
         with pytest.raises(SerializationError):
             serialization.load_chunk_bytes(b"\x1f\x8b garbage")
 
-    def test_unserialisable_items_rejected(self):
+    def test_structured_vocabulary_round_trips(self):
+        # Wire format v2: tuples (the flow-key case) ride along in the
+        # chunk vocabulary instead of failing at dump time.
         codec = TokenCodec()
-        chunk = codec.encode_chunk([("tuple", 1)])
+        chunk = codec.encode_chunk([("tuple", 1), b"raw", None, ("tuple", 1)])
+        clone = serialization.load_chunk(serialization.dump_chunk(chunk))
+        assert clone.items() == [("tuple", 1), b"raw", None, ("tuple", 1)]
+
+    def test_unserialisable_items_rejected(self):
+        # Admission control now lives in the codec: an uncarriable token
+        # never reaches a chunk at all.
+        codec = TokenCodec()
+        with pytest.raises(TokenAdmissionError):
+            codec.encode_chunk([frozenset({"x"})])
+        # A codec that opted out of validation still cannot *persist* the
+        # token -- dump_chunk rejects it at the wire boundary.
+        permissive = TokenCodec(validate=False)
+        chunk = permissive.encode_chunk([frozenset({"x"})])
         with pytest.raises(SerializationError):
             serialization.dump_chunk(chunk)
 

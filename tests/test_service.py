@@ -6,6 +6,7 @@ import time
 
 import pytest
 
+from repro import serialization
 from repro.algorithms.space_saving import SpaceSaving
 from repro.metrics.error import residual
 from repro.service import (
@@ -261,7 +262,11 @@ class TestHeavyHittersServiceHandle:
             yield service
 
     def test_ping(self, service):
-        assert service.handle({"op": "ping"}) == {"ok": True, "pong": True}
+        assert service.handle({"op": "ping"}) == {
+            "ok": True,
+            "pong": True,
+            "protocol": 2,
+        }
 
     def test_unknown_op_and_bad_request(self, service):
         assert not service.handle({"op": "nope"})["ok"]
@@ -272,13 +277,37 @@ class TestHeavyHittersServiceHandle:
         )["ok"]
 
     def test_unserialisable_items_rejected_at_ingest(self, service):
-        """Bools/None would poison snapshot serialisation later; reject now."""
-        for bad_item in (True, None, ["nested"]):
+        """Tokens v2 cannot carry must fail now, not poison snapshots later."""
+        for bad_item in (["nested"], {"d": 1}, float("nan")):
             response = service.handle({"op": "ingest", "items": ["ok", bad_item]})
-            assert not response["ok"]
+            assert not response["ok"], bad_item
         service.handle({"op": "ingest", "items": ["ok"] * 3})
         meta = service.handle({"op": "snapshot"})
         assert meta["ok"] and meta["stream_length"] == 3.0
+
+    def test_structured_tokens_accepted_at_ingest(self, service):
+        """Wire format v2 carries bools/None/tuples through to snapshots."""
+        tagged = [
+            serialization.encode_item_key(item)
+            for item in (True, None, ("10.0.0.1", 443), ("10.0.0.1", 443))
+        ]
+        response = service.handle(
+            {"op": "ingest", "items": tagged, "encoding": "tagged"}
+        )
+        assert response["ok"] and response["ingested"] == 4
+        meta = service.handle({"op": "snapshot"})
+        assert meta["ok"] and meta["stream_length"] == 4.0
+        point = service.handle(
+            {
+                "op": "query",
+                "type": "point",
+                "item": serialization.encode_item_key(("10.0.0.1", 443)),
+                "item_encoding": "tagged",
+            }
+        )
+        assert point["ok"] and point["estimate"] == 2.0
+        assert point["item"] == serialization.encode_item_key(("10.0.0.1", 443))
+        assert point["item_tagged"] is True
 
     def test_negative_weight_fails_synchronously_without_poisoning(self, service):
         bad = service.handle(
