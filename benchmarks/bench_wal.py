@@ -1,0 +1,265 @@
+"""WAL benchmark: durable vs non-durable ingest, plus recovery replay rate.
+
+Measures what durability costs on the service ingest path and how fast a
+crashed state comes back:
+
+* ``wal-off``            -- the PR-2/4 service path, no log (baseline);
+* ``wal-fsync-off``      -- WAL appends, OS page cache only;
+* ``wal-fsync-interval`` -- WAL appends, fsync once per second (the
+  default production setting: bounded loss window);
+* ``wal-fsync-always``   -- WAL appends, fsync per chunk (acked = on
+  disk);
+* ``recovery-replay``    -- tokens/second of ``recover()`` replaying the
+  fsync-interval log from empty.
+
+Every configuration drives the real service end to end -- NDJSON socket,
+request parsing, admission codec, WAL append, shard fan-out -- via
+:class:`repro.service.client.ServiceClient`, so the rows reflect what a
+producer actually observes and the durability overhead is measured as a
+fraction of true served ingest cost.
+
+Two entry points, mirroring the other benchmarks: pytest-benchmark cases
+under pytest, and a standalone quick mode emitting the standard JSON rows
+for CI (``--output``).  ``--check`` re-reads an emitted artifact and
+fails (exit 1) if durable ingest under ``fsync=interval`` retains less
+than ``MIN_INTERVAL_RETENTION`` of the WAL-off throughput -- the
+regression gate CI runs after the smoke rows are produced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional
+
+try:
+    import pytest
+except ImportError:  # standalone quick mode in a minimal environment
+    pytest = None
+
+from repro.service.recovery import recover
+from repro.service.server import HeavyHittersService, ServiceConfig
+from repro.streams.batched import iter_chunks
+from repro.streams.generators import zipf_stream
+
+CHUNK_SIZE = 8_192
+NUM_COUNTERS = 1_000
+NUM_SHARDS = 4
+
+#: The acceptance floor: durable (fsync=interval) batched ingest must
+#: retain at least this fraction of WAL-off throughput.
+MIN_INTERVAL_RETENTION = 0.70
+
+STREAM = zipf_stream(num_items=10_000, alpha=1.1, total=200_000, seed=83)
+
+WAL_MODES = ("off", "fsync-off", "fsync-interval", "fsync-always")
+
+
+def _config(wal_dir: Optional[str], mode: str) -> ServiceConfig:
+    fsync = {"fsync-off": "off", "fsync-interval": "interval", "fsync-always": "always"}
+    return ServiceConfig(
+        num_counters=NUM_COUNTERS,
+        num_shards=NUM_SHARDS,
+        k=10,
+        wal_dir=wal_dir,
+        fsync=fsync.get(mode, "interval"),
+    )
+
+
+def _run_ingest(items, mode: str, wal_dir: Optional[Path] = None) -> float:
+    """Seconds to push the stream through a live server's socket protocol."""
+    import threading
+
+    from repro.service.client import ServiceClient
+    from repro.service.server import serve
+
+    directory = None
+    if mode != "off":
+        directory = (
+            Path(tempfile.mkdtemp(prefix="bench-wal-")) if wal_dir is None else wal_dir
+        )
+    config = _config(None if directory is None else str(directory), mode)
+    server = serve(config, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        with ServiceClient(port=server.port) as client:
+            start = time.perf_counter()
+            for chunk in iter_chunks(items, CHUNK_SIZE):
+                client.ingest(chunk)
+            server.service.sharded.flush()
+            elapsed = time.perf_counter() - start
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.service.close()
+        thread.join(timeout=10)
+        if directory is not None and wal_dir is None:
+            shutil.rmtree(directory, ignore_errors=True)
+    return elapsed
+
+
+def _run_recovery(items) -> dict:
+    """Write a WAL once, then time a full replay recovery from it."""
+    directory = Path(tempfile.mkdtemp(prefix="bench-wal-recovery-"))
+    try:
+        config = _config(str(directory), "fsync-interval")
+        service = HeavyHittersService(config).start()
+        try:
+            for chunk in iter_chunks(items, CHUNK_SIZE):
+                service.handle({"op": "ingest", "items": chunk})
+            service.sharded.flush()
+        finally:
+            service.close()
+        start = time.perf_counter()
+        result = recover(directory)
+        elapsed = time.perf_counter() - start
+        assert result.tokens_replayed == len(items)
+        return {"replay_seconds": elapsed, "tokens": result.tokens_replayed}
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+if pytest is not None:
+
+    @pytest.mark.parametrize("mode", WAL_MODES)
+    def test_wal_ingest_throughput(benchmark, mode):
+        seconds = benchmark.pedantic(
+            _run_ingest, args=(STREAM.items, mode), iterations=1, rounds=3
+        )
+        assert seconds > 0
+
+    def test_recovery_replay_rate(benchmark):
+        result = benchmark.pedantic(
+            _run_recovery, args=(STREAM.items,), iterations=1, rounds=3
+        )
+        assert result["replay_seconds"] > 0
+
+
+# --------------------------------------------------------------------------- #
+# Standalone quick mode (used by the CI benchmark-smoke job)
+# --------------------------------------------------------------------------- #
+
+
+def run_comparison(rounds: int = 3, total: int = 200_000) -> List[dict]:
+    stream = (
+        STREAM
+        if total == 200_000
+        else zipf_stream(num_items=10_000, alpha=1.1, total=total, seed=83)
+    )
+    items = stream.items
+    rows = []
+    for mode in WAL_MODES:
+        best = min(_run_ingest(items, mode) for _ in range(max(1, rounds)))
+        rows.append(
+            {
+                "config": f"wal-{mode}" if mode != "off" else "wal-off",
+                "mode": mode,
+                "tokens": len(items),
+                "chunk_size": CHUNK_SIZE,
+                "shards": NUM_SHARDS,
+                "ingest_seconds": best,
+                "tokens_per_second": len(items) / best,
+            }
+        )
+    replay_best = None
+    for _ in range(max(1, rounds)):
+        result = _run_recovery(items)
+        if replay_best is None or result["replay_seconds"] < replay_best:
+            replay_best = result["replay_seconds"]
+    rows.append(
+        {
+            "config": "recovery-replay",
+            "mode": "recovery",
+            "tokens": len(items),
+            "chunk_size": CHUNK_SIZE,
+            "shards": NUM_SHARDS,
+            "ingest_seconds": replay_best,
+            "tokens_per_second": len(items) / replay_best,
+        }
+    )
+    return rows
+
+
+def check_artifact(path: str) -> int:
+    """The CI regression gate over an emitted JSON artifact."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    rows = {row["config"]: row for row in payload["results"]}
+    try:
+        baseline = rows["wal-off"]["tokens_per_second"]
+        durable = rows["wal-fsync-interval"]["tokens_per_second"]
+    except KeyError as error:
+        print(f"artifact {path} is missing row {error}", file=sys.stderr)
+        return 1
+    retention = durable / baseline
+    print(
+        f"durable ingest retention: {retention:.1%} "
+        f"({durable:,.0f} vs {baseline:,.0f} tok/s; floor "
+        f"{MIN_INTERVAL_RETENTION:.0%})"
+    )
+    if retention < MIN_INTERVAL_RETENTION:
+        print(
+            f"REGRESSION: fsync=interval ingest fell below "
+            f"{MIN_INTERVAL_RETENTION:.0%} of WAL-off throughput",
+            file=sys.stderr,
+        )
+        return 1
+    replay = rows.get("recovery-replay")
+    if replay is not None:
+        print(f"recovery replay rate: {replay['tokens_per_second']:,.0f} tok/s")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="WAL durability overhead and recovery replay benchmark."
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="timing rounds per case (best is kept)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="single round (CI smoke mode)"
+    )
+    parser.add_argument(
+        "--length", type=int, default=200_000, help="stream length to time against"
+    )
+    parser.add_argument("--output", default=None, help="write results as JSON here")
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="ARTIFACT",
+        help="read a previously emitted JSON artifact and fail if durable "
+        "ingest dropped below the retention floor",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check is not None:
+        return check_artifact(args.check)
+
+    rounds = 2 if args.quick else args.rounds
+    rows = run_comparison(rounds=rounds, total=args.length)
+
+    header = f"{'config':<20} {'tok/s':>12} {'seconds':>10}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['config']:<20} {row['tokens_per_second']:>12,.0f} "
+            f"{row['ingest_seconds']:>10.3f}"
+        )
+
+    if args.output:
+        payload = {"benchmark": "wal_throughput", "rounds": rounds, "results": rows}
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,11 +20,17 @@ Installed as the ``repro`` console script.  Subcommands:
     Run the reproduction experiment suite and print every table.
 ``serve``
     Run the long-running heavy-hitters service: sharded concurrent ingest,
-    merged snapshots, optional sliding windows (:mod:`repro.service`).
+    merged snapshots, optional sliding windows, and (with ``--wal-dir``) a
+    write-ahead log that makes acked ingest survive crashes
+    (:mod:`repro.service`).
 ``query``
     Talk to a running service over its newline-delimited JSON socket
-    protocol: push tokens, force snapshots, ask point / top-k /
-    heavy-hitter / windowed queries.
+    protocol: push tokens, force snapshots and WAL checkpoints, ask point /
+    top-k / heavy-hitter / windowed queries.
+``recover``
+    Rebuild service state from a write-ahead log directory after a crash:
+    load the latest checkpoint, replay newer segments, report and
+    optionally persist the merged summary (:mod:`repro.service.recovery`).
 
 Every subcommand works on plain text files so the tool composes with standard
 UNIX tooling (``cut``, ``zcat``, ...).
@@ -230,7 +236,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service import ServiceConfig, serve
+    from repro.service import RecoveryError, ServiceConfig, WalError, serve
+    from repro.service.recovery import resume_service
 
     config = ServiceConfig(
         algorithm=args.algorithm,
@@ -242,12 +249,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         snapshot_interval=args.snapshot_interval,
         snapshot_dir=args.snapshot_dir,
         compress=args.compress,
+        wal_dir=args.wal_dir,
+        fsync=args.fsync,
+        fsync_interval=args.fsync_interval,
+        wal_segment_bytes=args.wal_segment_bytes,
+        checkpoint_interval=args.checkpoint_interval,
     )
-    server = serve(config, host=args.host, port=args.port)
+    service = None
+    if args.wal_dir is not None:
+        # A WAL directory with prior state means a previous process died:
+        # recover (checkpoint + replay) before accepting new traffic, so
+        # every acked token survives the restart.
+        try:
+            service, recovered = resume_service(config)
+        except (RecoveryError, WalError, serialization.SerializationError) as error:
+            raise SystemExit(f"cannot recover WAL at {args.wal_dir}: {error}") from error
+        if recovered is not None:
+            print(
+                f"recovered {recovered.tokens_replayed:,} tokens from "
+                f"{recovered.scan.segments_scanned} WAL segment(s) on top of "
+                f"checkpoint v{recovered.checkpoint_version} "
+                f"(stream weight {recovered.stream_length:,.0f}"
+                + (
+                    f", truncated torn tail of {recovered.scan.truncated_bytes} bytes)"
+                    if recovered.scan.torn_tail
+                    else ")"
+                ),
+                flush=True,
+            )
+    server = serve(config, host=args.host, port=args.port, service=service)
     host, port = server.server_address[:2]
+    wal_note = f", wal={args.wal_dir} fsync={args.fsync}" if args.wal_dir else ""
     print(
         f"serving {args.algorithm} (m={args.counters}, shards={args.shards}, "
-        f"k={args.k}) on {host}:{port}",
+        f"k={args.k}{wal_note}) on {host}:{port}",
         flush=True,
     )
     try:
@@ -257,6 +292,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
         server.service.close()
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.service import RecoveryError, WalError
+    from repro.service.recovery import compact, recover
+
+    try:
+        result = recover(args.wal_dir, k=args.k)
+    except (RecoveryError, WalError, serialization.SerializationError) as error:
+        raise SystemExit(f"recovery failed: {error}") from error
+    scan = result.scan
+    torn = (
+        f"; truncated torn tail of {scan.truncated_bytes} bytes"
+        if scan.torn_tail
+        else ""
+    )
+    print(
+        f"recovered {result.tokens_replayed:,} tokens in {result.chunks_replayed} "
+        f"chunks from {scan.segments_scanned} segment(s) on top of checkpoint "
+        f"v{result.checkpoint_version} across {result.num_shards} shard(s){torn}"
+    )
+    print(
+        f"stream weight: {result.stream_length:,.0f}"
+        + (
+            f"  (merged guarantee A={result.merge.merged_constants.a:.0f}, "
+            f"B={result.merge.merged_constants.b:.0f}, k={result.merge.k})"
+            if result.merge is not None
+            else ""
+        )
+    )
+    print(f"{'rank':>4} {'item':<24} {'estimate':>12}")
+    for rank, (item, estimate) in enumerate(
+        result.estimator.top_k(args.top_k), start=1
+    ):
+        print(f"{rank:>4} {str(item):<24} {estimate:>12.1f}")
+    if args.output:
+        Path(args.output).write_text(
+            serialization.dumps(result.estimator), encoding="utf-8"
+        )
+        print(f"wrote merged summary to {args.output}")
+    if args.compact:
+        path = compact(args.wal_dir, result)
+        print(f"compacted WAL into {path.name}")
     return 0
 
 
@@ -301,6 +380,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 response = client.stats()
             elif args.action == "snapshot":
                 response = client.snapshot()
+            elif args.action == "checkpoint":
+                response = client.checkpoint()
             elif args.action == "advance-window":
                 response = {"ok": True, "bucket": client.advance_window(args.steps)}
             elif args.action == "shutdown":
@@ -471,7 +552,64 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--compress", action="store_true", help="gzip persisted snapshots"
     )
+    serve.add_argument(
+        "--wal-dir",
+        default=None,
+        help="write-ahead log directory: every ingest chunk is logged before "
+        "it reaches the shards, and a restart recovers prior state from it",
+    )
+    serve.add_argument(
+        "--fsync",
+        choices=("always", "interval", "off"),
+        default="interval",
+        help="WAL fsync policy: always = acked ingest is on disk; interval = "
+        "fsync every --fsync-interval seconds; off = OS page cache only",
+    )
+    serve.add_argument(
+        "--fsync-interval",
+        type=float,
+        default=1.0,
+        help="seconds between WAL fsyncs under --fsync interval",
+    )
+    serve.add_argument(
+        "--wal-segment-bytes",
+        type=int,
+        default=16 << 20,
+        help="rotate WAL segments at this size",
+    )
+    serve.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=0.0,
+        help="seconds between automatic WAL checkpoints (0 = on demand only)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    recover = subparsers.add_parser(
+        "recover",
+        help="rebuild service state from a write-ahead log directory",
+    )
+    recover.add_argument(
+        "--wal-dir", required=True, help="WAL directory written by repro serve"
+    )
+    recover.add_argument(
+        "--k",
+        type=int,
+        default=None,
+        help="tail parameter of the merged guarantee (default: the served value)",
+    )
+    recover.add_argument(
+        "--top-k", type=int, default=10, help="recovered items to print"
+    )
+    recover.add_argument(
+        "--output", default=None, help="write the recovered merged summary here"
+    )
+    recover.add_argument(
+        "--compact",
+        action="store_true",
+        help="checkpoint the recovered state and prune replayed segments",
+    )
+    recover.set_defaults(func=_cmd_recover)
 
     query = subparsers.add_parser(
         "query", help="talk to a running heavy-hitters service"
@@ -482,6 +620,7 @@ def build_parser() -> argparse.ArgumentParser:
             "ping",
             "ingest",
             "snapshot",
+            "checkpoint",
             "stats",
             "advance-window",
             "shutdown",

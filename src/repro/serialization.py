@@ -43,6 +43,7 @@ import base64
 import gzip
 import json
 import math
+import weakref
 import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Type
@@ -464,6 +465,38 @@ CHUNK_FORMAT_VERSION = 2
 SUPPORTED_CHUNK_VERSIONS = (1, 2)
 
 
+#: Per-codec memo of ``token id -> encoded wire key``, stored as a dense
+#: object column aligned with the codec's id space.  A long-lived codec
+#: (the service ingest codec, a WAL writer) dumps many chunks drawn from
+#: one vocabulary, and an entry's key never changes once interned -- so
+#: the recursive encode/validate cost is paid once per vocabulary entry
+#: instead of once per chunk that references it, and the per-chunk work is
+#: a single vectorised gather.  Weak keys: dropping the codec drops its
+#: memo.
+_WIRE_KEY_MEMO: "weakref.WeakKeyDictionary[TokenCodec, np.ndarray]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _wire_keys_for(codec: TokenCodec, values: np.ndarray) -> "list[str]":
+    """Encoded wire keys for the (distinct, in-range) ids in ``values``."""
+    memo = _WIRE_KEY_MEMO.get(codec)
+    size = len(codec)
+    if memo is None or memo.size < size:
+        grown = np.empty(max(1024, 2 * size), dtype=object)
+        if memo is not None:
+            grown[: memo.size] = memo
+        memo = grown
+        _WIRE_KEY_MEMO[codec] = memo
+    gathered = memo[values]
+    missing = np.equal(gathered, None)
+    if missing.any():
+        for token_id in values[missing].tolist():
+            memo[token_id] = encode_item_key(codec.item_for(token_id))
+        gathered = memo[values]
+    return gathered.tolist()
+
+
 def dump_chunk(chunk: EncodedChunk) -> Dict[str, Any]:
     """Serialise an encoded columnar chunk, vocabulary included.
 
@@ -471,7 +504,14 @@ def dump_chunk(chunk: EncodedChunk) -> Dict[str, Any]:
     only the vocabulary entries this chunk actually references, so shipping
     one chunk never drags a long-lived codec's whole vocabulary across the
     wire.  Items are carried with the same type-prefix encoding the summary
-    format uses, so any two parties reconstruct identical tokens.
+    format uses (memoised per codec vocabulary entry), so any two parties
+    reconstruct identical tokens.
+
+    This sits on the durable ingest hot path (the write-ahead log frames
+    one payload per chunk), so the distinct-id pass mirrors the bincount
+    trick of :meth:`repro.engine.codec.EncodedChunk.aggregate` instead of
+    a sort-based ``np.unique`` whenever the vocabulary is not vastly
+    larger than the chunk.
 
     Examples
     --------
@@ -482,10 +522,17 @@ def dump_chunk(chunk: EncodedChunk) -> Dict[str, Any]:
     ([0, 1, 0], ['s:a', 's:b'])
     """
     ids = np.asarray(chunk.ids, dtype=np.int64)
-    values, inverse = np.unique(ids, return_inverse=True)
-    vocabulary = [
-        encode_item_key(chunk.codec.item_for(int(token_id))) for token_id in values
-    ]
+    vocabulary_size = len(chunk.codec)
+    if ids.size and 0 <= int(ids.min()) and vocabulary_size <= 4 * ids.size + 1024:
+        # Ids are dense in [0, vocabulary_size): one counting pass beats
+        # the sort inside np.unique, and searchsorted against the short
+        # distinct column rebuilds the same compact local ids.
+        present = np.bincount(ids, minlength=vocabulary_size)
+        values = np.flatnonzero(present)
+        inverse = np.searchsorted(values, ids)
+    else:
+        values, inverse = np.unique(ids, return_inverse=True)
+    vocabulary = _wire_keys_for(chunk.codec, values)
     payload: Dict[str, Any] = {
         "format": CHUNK_FORMAT_NAME,
         "version": CHUNK_FORMAT_VERSION,
@@ -563,8 +610,15 @@ def load_chunk(
 
 
 def dump_chunk_bytes(chunk: EncodedChunk, compress: bool = False) -> bytes:
-    """Serialise a chunk to bytes (optionally gzip, deterministic mtime)."""
-    raw = json.dumps(dump_chunk(chunk), sort_keys=True).encode("utf-8")
+    """Serialise a chunk to bytes (optionally gzip, deterministic mtime).
+
+    Compact separators: chunk payloads sit on the ingest hot path (the
+    write-ahead log frames one per chunk), so the wire form carries no
+    whitespace.
+    """
+    raw = json.dumps(
+        dump_chunk(chunk), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
     return gzip.compress(raw, mtime=0) if compress else raw
 
 

@@ -19,11 +19,22 @@ bounds.  The pipeline is::
   snapshots carrying the merged guarantee;
 * :mod:`repro.service.windows` -- sliding-window heavy hitters over
   bucketed summaries;
+* :mod:`repro.service.wal` -- segmented write-ahead log (CRC frames,
+  fsync policy, checkpoints) appended to *before* tokens reach the
+  shards, so acked ingest survives a crash;
+* :mod:`repro.service.recovery` -- checkpoint + replay crash recovery
+  behind ``repro recover`` and ``repro serve --wal-dir`` restarts;
 * :mod:`repro.service.server` / :mod:`repro.service.client` -- the NDJSON
   socket protocol behind ``repro serve`` and ``repro query``.
 """
 
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.recovery import (
+    RecoveryError,
+    RecoveryResult,
+    recover,
+    resume_service,
+)
 from repro.service.server import (
     HeavyHittersService,
     ServiceConfig,
@@ -32,10 +43,13 @@ from repro.service.server import (
 )
 from repro.service.sharding import ShardedSummarizer, partition_batch, shard_for
 from repro.service.snapshots import Snapshot, SnapshotManager
+from repro.service.wal import WalError, WalPosition, WriteAheadLog, iter_wal
 from repro.service.windows import WindowAnswer, WindowedSummarizer
 
 __all__ = [
     "HeavyHittersService",
+    "RecoveryError",
+    "RecoveryResult",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
@@ -43,9 +57,15 @@ __all__ = [
     "ShardedSummarizer",
     "Snapshot",
     "SnapshotManager",
+    "WalError",
+    "WalPosition",
     "WindowAnswer",
     "WindowedSummarizer",
+    "WriteAheadLog",
+    "iter_wal",
     "partition_batch",
+    "recover",
+    "resume_service",
     "serve",
     "shard_for",
 ]

@@ -93,6 +93,11 @@ class ServiceClient:
         self._socket = socket.create_connection((host, port), timeout=timeout)
         self._reader = self._socket.makefile("rb")
         self._protocol: Optional[int] = None
+        #: WAL position of the most recent acked ingest (None when the
+        #: server runs without a WAL) and whether that ack was durable
+        #: (appended under fsync=always).
+        self.last_ingest_wal: Optional[Dict[str, Any]] = None
+        self.last_ingest_durable: bool = False
 
     def _require_tagging_support(self) -> None:
         """Fail fast instead of feeding tagged keys to a v1 server.
@@ -154,6 +159,13 @@ class ServiceClient:
         Structured tokens switch the whole request to the tagged encoding
         (validated and encoded client-side, so an uncarriable token fails
         here, synchronously, before anything is sent).
+
+        Durability: a WAL-backed server appends the chunk to its log
+        *before* acking, so when this call returns under ``fsync=always``
+        every pushed token is on disk and survives a crash
+        (``last_ingest_wal`` holds the acked log position).  Without a WAL
+        -- or under weaker fsync policies -- an ack only means the tokens
+        reached the shard queues.
         """
         items = list(items)
         request: Dict[str, Any] = {"op": "ingest", "items": items}
@@ -168,11 +180,22 @@ class ServiceClient:
             request["encoding"] = "tagged"
         if weights is not None:
             request["weights"] = [float(weight) for weight in weights]
-        return int(self.call(request)["ingested"])
+        response = self.call(request)
+        self.last_ingest_wal = response.get("wal")
+        self.last_ingest_durable = bool(response.get("durable", False))
+        return int(response["ingested"])
 
     def snapshot(self, drain: bool = True) -> Dict[str, Any]:
         """Force a new merged snapshot; returns its metadata."""
         return self.call({"op": "snapshot", "drain": drain})
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Force a durable WAL checkpoint; returns its metadata.
+
+        Raises :class:`ServiceError` when the server runs without a
+        write-ahead log.
+        """
+        return self.call({"op": "checkpoint"})
 
     def advance_window(self, steps: int = 1) -> int:
         """Rotate the window ring; returns the new current bucket id."""

@@ -15,6 +15,7 @@ pair and :class:`repro.service.client.ServiceClient` speak it.  Requests::
     {"op": "ping"}
     {"op": "ingest", "items": [...], "weights": [...]?, "encoding": "tagged"?}
     {"op": "snapshot", "drain": true?}
+    {"op": "checkpoint"}
     {"op": "advance-window", "steps": 1?}
     {"op": "query", "type": "point", "item": ..., "item_encoding": "tagged"?}
     {"op": "query", "type": "top-k", "k": 10}
@@ -52,7 +53,7 @@ import json
 import socketserver
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro import serialization
 from repro.algorithms.base import FrequencyEstimator, Item
@@ -64,7 +65,17 @@ from repro.algorithms.space_saving_real import SpaceSavingR
 from repro.core.tail_guarantee import TailGuarantee
 from repro.service.sharding import DEFAULT_QUEUE_DEPTH, ShardedSummarizer
 from repro.service.snapshots import Snapshot, SnapshotManager
+from repro.service.wal import (
+    DEFAULT_FSYNC_INTERVAL,
+    DEFAULT_SEGMENT_BYTES,
+    WriteAheadLog,
+    write_checkpoint,
+    write_manifest,
+)
 from repro.service.windows import WindowAnswer, WindowedSummarizer
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a module cycle
+    from repro.service.recovery import RecoveryResult
 
 #: NDJSON protocol version: 2 adds tagged structured-token carriage and the
 #: codec-amortised admission path.  Exposed by the ping response so clients
@@ -103,6 +114,32 @@ class ServiceConfig:
     #: tokens reappear) so a long-running service with an unbounded key
     #: space cannot grow its interning state without limit.
     max_vocabulary: int = 1 << 20
+    #: Write-ahead log directory (``None`` = no durability: tokens since
+    #: the last snapshot are lost on a crash, the pre-WAL behaviour).
+    wal_dir: Optional[str] = None
+    #: WAL fsync policy: ``"always"`` (acked => on disk), ``"interval"``
+    #: (bounded loss window) or ``"off"`` (page cache only).
+    fsync: str = "interval"
+    #: Seconds between fsyncs under ``fsync="interval"``.
+    fsync_interval: float = DEFAULT_FSYNC_INTERVAL
+    #: Rotate WAL segments once they reach this many bytes.
+    wal_segment_bytes: int = DEFAULT_SEGMENT_BYTES
+    #: Seconds between automatic checkpoints (0 = checkpoint on demand
+    #: only, via the ``checkpoint`` op or ``repro query checkpoint``).
+    checkpoint_interval: float = 0.0
+
+    def manifest(self) -> Dict[str, Any]:
+        """The fields recovery needs to rebuild this service's estimators."""
+        return {
+            "algorithm": self.algorithm,
+            "num_counters": self.num_counters,
+            "num_shards": self.num_shards,
+            "k": self.k,
+            "weighted": self.weighted,
+            "window_buckets": self.window_buckets,
+            "merge_mode": self.merge_mode,
+            "fsync": self.fsync,
+        }
 
     def make_estimator(self) -> FrequencyEstimator:
         key = (self.algorithm, self.weighted)
@@ -177,6 +214,24 @@ class HeavyHittersService:
         self._decode_memo: Dict[str, Item] = {}
         self._ingest_lock = threading.Lock()
         self.shutdown_requested = threading.Event()
+        # Durability: with a WAL, every chunk is appended (fsync per
+        # policy) before any shard sees it, and the ingest lock spans
+        # append + enqueue so a checkpoint's WAL position always agrees
+        # exactly with what the shards have been handed.
+        self.wal: Optional[WriteAheadLog] = None
+        self._checkpoint_lock = threading.Lock()
+        self._checkpoint_version = 0
+        self._checkpoint_ticker: Optional[threading.Thread] = None
+        self._checkpoint_stop = threading.Event()
+        self.last_checkpoint_error: Optional[BaseException] = None
+        if config.wal_dir is not None:
+            self.wal = WriteAheadLog(
+                config.wal_dir,
+                fsync=config.fsync,
+                fsync_interval=config.fsync_interval,
+                max_segment_bytes=config.wal_segment_bytes,
+            )
+            write_manifest(self.wal.directory, config.manifest())
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -186,11 +241,107 @@ class HeavyHittersService:
         self.sharded.start()
         if self.config.snapshot_interval > 0:
             self.snapshots.start(self.config.snapshot_interval)
+        if self.wal is not None and self.config.checkpoint_interval > 0:
+            self._start_checkpoint_ticker(self.config.checkpoint_interval)
         return self
 
     def close(self) -> None:
+        self._stop_checkpoint_ticker()
         self.snapshots.stop()
         self.sharded.close()
+        if self.wal is not None:
+            self.wal.close()
+
+    def restore(self, result: "RecoveryResult") -> None:
+        """Install crash-recovered state (before :meth:`start`).
+
+        ``result`` comes from :func:`repro.service.recovery.recover` /
+        :func:`~repro.service.recovery.resume_service`: the per-shard
+        summaries are swapped into the shard workers, the window ring (if
+        any) is rebuilt, and checkpoint numbering continues from the
+        recovered version.
+        """
+        self.sharded.restore_shards(result.estimators)
+        if self.windowed is not None and result.window is not None:
+            self.windowed.restore_buckets(result.window.bucket_states())
+        self._checkpoint_version = result.checkpoint_version
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Write a durable checkpoint and prune the WAL segments it covers.
+
+        Under the ingest lock the current WAL tail is captured and the
+        shard queues drained, so the persisted shard payloads contain
+        *exactly* the chunks logged before that position -- recovery
+        resumes replay there with no gap and no double count.
+        """
+        if self.wal is None:
+            raise RuntimeError(
+                "service has no write-ahead log (start with wal_dir set)"
+            )
+        with self._checkpoint_lock:
+            with self._ingest_lock:
+                # The checkpoint file is fsynced, so the WAL bytes its
+                # position covers must be too: under fsync=interval/off an
+                # OS crash could otherwise leave the on-disk segment
+                # shorter than the recorded resume offset (recovery would
+                # hard-fail) with the pruned segments gone as fallback.
+                self.wal.sync()
+                position = self.wal.tail()
+                self.sharded.flush()
+                shard_payloads = self.sharded.shard_payloads()
+                window_buckets = (
+                    self.windowed.bucket_payloads()
+                    if self.windowed is not None
+                    else None
+                )
+            self._checkpoint_version += 1
+            version = self._checkpoint_version
+            path = write_checkpoint(
+                self.wal.directory,
+                version=version,
+                position=position,
+                shard_payloads=shard_payloads,
+                window_buckets=window_buckets,
+                durable=self.config.fsync != "off",
+            )
+            pruned = self.wal.prune_upto(position)
+        return {
+            "version": version,
+            "path": str(path),
+            "wal": position.as_dict(),
+            "pruned_segments": pruned,
+        }
+
+    def _start_checkpoint_ticker(self, interval: float) -> None:
+        if self._checkpoint_ticker is not None:
+            raise RuntimeError("checkpoint ticker already running")
+        self._checkpoint_stop.clear()
+
+        def tick() -> None:
+            while not self._checkpoint_stop.wait(interval):
+                try:
+                    self.checkpoint()
+                    self.last_checkpoint_error = None
+                except Exception as exc:
+                    # A transient failure (full disk) must not kill the
+                    # ticker: record it and retry next interval.
+                    self.last_checkpoint_error = exc
+
+        self._checkpoint_ticker = threading.Thread(
+            target=tick, name="wal-checkpoint", daemon=True
+        )
+        self._checkpoint_ticker.start()
+
+    def _stop_checkpoint_ticker(self) -> None:
+        if self._checkpoint_ticker is None:
+            return
+        self._checkpoint_stop.set()
+        self._checkpoint_ticker.join()
+        self._checkpoint_ticker = None
 
     def __enter__(self) -> "HeavyHittersService":
         return self.start()
@@ -270,14 +421,36 @@ class HeavyHittersService:
             if request.get("encoding") == "tagged":
                 items = self._decode_tagged_items(items)
             chunk = self._codec.encode_chunk(items, weights)
-        ingested = self.sharded.ingest(chunk)
-        if self.windowed is not None:
-            self.windowed.update_batch(chunk)
-        return {
+            if self.wal is not None:
+                # Durability boundary: the chunk hits the log (fsync per
+                # policy) before any shard sees it, and the ack below only
+                # goes out after this append returns -- so under
+                # fsync="always" an acked token is on disk.  Enqueue stays
+                # under the lock so a concurrent checkpoint's WAL position
+                # always matches what the shards were handed.  A pending
+                # shard failure is surfaced *before* the append: otherwise
+                # this request would error after durably logging its chunk,
+                # and a producer that retries on error would double-count
+                # on recovery.  (The enqueue itself cannot fail validation
+                # -- the codec admitted every token above.)
+                self.sharded.raise_pending_errors()
+                wal_position = self.wal.append_chunk(chunk)
+                ingested = self.sharded.ingest(chunk)
+                if self.windowed is not None:
+                    self.windowed.update_batch(chunk)
+        if self.wal is None:
+            ingested = self.sharded.ingest(chunk)
+            if self.windowed is not None:
+                self.windowed.update_batch(chunk)
+        response = {
             "ok": True,
             "ingested": ingested,
             "tokens_enqueued": self.sharded.tokens_enqueued,
         }
+        if self.wal is not None:
+            response["wal"] = wal_position.as_dict()
+            response["durable"] = self.config.fsync == "always"
+        return response
 
     def _op_snapshot(self, request: Dict[str, Any]) -> Dict[str, Any]:
         snapshot = self.snapshots.refresh(drain=bool(request.get("drain", True)))
@@ -286,8 +459,21 @@ class HeavyHittersService:
     def _op_advance_window(self, request: Dict[str, Any]) -> Dict[str, Any]:
         if self.windowed is None:
             return {"ok": False, "error": "service started without windows"}
-        bucket = self.windowed.advance(int(request.get("steps", 1)))
+        steps = int(request.get("steps", 1))
+        if steps < 1:
+            return {"ok": False, "error": f"steps must be >= 1, got {steps}"}
+        if self.wal is not None:
+            # Bucket boundaries are part of the recoverable state: log the
+            # advance so replay reproduces the same ring rotation.
+            with self._ingest_lock:
+                self.wal.append_advance(steps)
+                bucket = self.windowed.advance(steps)
+        else:
+            bucket = self.windowed.advance(steps)
         return {"ok": True, "bucket": bucket}
+
+    def _op_checkpoint(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"ok": True, **self.checkpoint()}
 
     def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
         latest = self.snapshots.latest
@@ -314,6 +500,20 @@ class HeavyHittersService:
                     {"bucket": bucket_id, "weight": weight}
                     for bucket_id, weight in self.windowed.live_buckets()
                 ],
+            }
+        if self.wal is not None:
+            stats["wal"] = {
+                "directory": str(self.wal.directory),
+                "fsync": self.wal.fsync,
+                "tail": self.wal.tail().as_dict(),
+                "frames_appended": self.wal.frames_appended,
+                "bytes_appended": self.wal.bytes_appended,
+                "checkpoint_version": self._checkpoint_version,
+                "last_checkpoint_error": (
+                    None
+                    if self.last_checkpoint_error is None
+                    else str(self.last_checkpoint_error)
+                ),
             }
         return stats
 
@@ -432,6 +632,7 @@ class HeavyHittersService:
         "ping": _op_ping,
         "ingest": _op_ingest,
         "snapshot": _op_snapshot,
+        "checkpoint": _op_checkpoint,
         "advance-window": _op_advance_window,
         "stats": _op_stats,
         "query": _op_query,
@@ -486,15 +687,22 @@ class ServiceServer(socketserver.ThreadingTCPServer):
 
 
 def serve(
-    config: ServiceConfig, host: str = "127.0.0.1", port: int = 0
+    config: ServiceConfig,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    service: Optional[HeavyHittersService] = None,
 ) -> ServiceServer:
     """Start a service and a server for it; returns the (running) server.
 
     ``port=0`` binds an ephemeral port (``server.port`` reveals it).  The
     caller drives ``serve_forever()`` -- typically on a background thread in
-    tests and on the main thread in ``repro serve``.
+    tests and on the main thread in ``repro serve``.  ``service`` lets a
+    caller hand in a pre-built (e.g. crash-recovered, see
+    :func:`repro.service.recovery.resume_service`) instance; it must not be
+    started yet.
     """
-    service = HeavyHittersService(config).start()
+    service = HeavyHittersService(config) if service is None else service
+    service.start()
     try:
         return ServiceServer(service, host, port)
     except BaseException:

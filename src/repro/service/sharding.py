@@ -336,6 +336,15 @@ class ShardedSummarizer:
             worker.queue.join()
         self._raise_pending_errors()
 
+    def raise_pending_errors(self) -> None:
+        """Surface any recorded shard-worker failure to the caller.
+
+        Public so ingest boundaries with side effects (the WAL append in
+        :meth:`repro.service.server.HeavyHittersService._op_ingest`) can
+        fail *before* committing a chunk that the shards would then reject.
+        """
+        self._raise_pending_errors()
+
     def _raise_pending_errors(self) -> None:
         """Surface a worker failure once, then let the service recover.
 
@@ -352,6 +361,46 @@ class ShardedSummarizer:
                     f"shard {worker.shard_id} failed while applying a batch "
                     "(the failed batch was dropped)"
                 ) from error
+
+    # ------------------------------------------------------------------ #
+    # Durability hooks (checkpoint / crash recovery)
+    # ------------------------------------------------------------------ #
+
+    def restore_shards(self, estimators: Sequence[FrequencyEstimator]) -> None:
+        """Install recovered per-shard summaries (before :meth:`start`).
+
+        Crash recovery rebuilds each shard's summary from the latest
+        checkpoint plus WAL replay and swaps them in here; shard ``i``
+        must hold exactly the items :func:`shard_for` routes to ``i``
+        (replay uses the same placement, so this holds by construction).
+        """
+        if len(estimators) != self.num_shards:
+            raise ValueError(
+                f"expected {self.num_shards} shard summaries, got {len(estimators)}"
+            )
+        with self._state:
+            if self._started or self._closed:
+                raise RuntimeError(
+                    "shard state can only be restored before the summarizer starts"
+                )
+            for worker, estimator in zip(self._workers, estimators):
+                worker.estimator = estimator
+
+    def shard_payloads(self) -> List[Dict]:
+        """Consistent serialised per-shard payloads (checkpoint contents).
+
+        Each payload is dumped under that shard's lock, so it sits on a
+        batch boundary; unlike :meth:`snapshot_summaries` the payloads are
+        not rebuilt into estimators -- the checkpoint writer persists the
+        dictionaries directly.
+        """
+        from repro import serialization
+
+        payloads = []
+        for worker in self._workers:
+            with worker.lock:
+                payloads.append(serialization.dump(worker.estimator))
+        return payloads
 
     # ------------------------------------------------------------------ #
     # Reading the shards

@@ -213,6 +213,57 @@ class WindowedSummarizer:
             return next_id
 
     # ------------------------------------------------------------------ #
+    # Durability hooks (checkpoint / crash recovery)
+    # ------------------------------------------------------------------ #
+
+    def bucket_states(self) -> List[Tuple[int, FrequencyEstimator]]:
+        """``(bucket id, estimator)`` for every live bucket, oldest first.
+
+        The estimators are the ring's own instances -- only read them while
+        no ingest is in flight (recovery does; a running service uses
+        :meth:`bucket_payloads` instead).
+        """
+        with self._lock:
+            return [(bucket.bucket_id, bucket.estimator) for bucket in self._buckets]
+
+    def bucket_payloads(self) -> List[Tuple[int, dict]]:
+        """Consistent serialised copies of every live bucket (oldest first).
+
+        Taken under the ingest lock at a batch boundary -- the write-ahead
+        log's checkpoint records these so recovery restores the ring
+        exactly, ids included.
+        """
+        with self._lock:
+            return [
+                (bucket.bucket_id, serialization.dump(bucket.estimator))
+                for bucket in self._buckets
+            ]
+
+    def restore_buckets(
+        self, states: Sequence[Tuple[int, FrequencyEstimator]]
+    ) -> None:
+        """Replace the ring with recovered ``(bucket id, estimator)`` state.
+
+        Bucket ids must be strictly increasing (ring order); at most
+        ``num_buckets`` newest entries are kept, matching what the ring
+        itself would have retained.
+        """
+        entries = list(states)
+        if not entries:
+            raise ValueError("restore_buckets requires at least one bucket")
+        ids = [bucket_id for bucket_id, _ in entries]
+        if any(b <= a for a, b in zip(ids, ids[1:])):
+            raise ValueError(f"bucket ids must be strictly increasing, got {ids}")
+        with self._lock:
+            self._buckets = collections.deque(
+                [
+                    _Bucket(bucket_id, estimator)
+                    for bucket_id, estimator in entries[-self.num_buckets :]
+                ],
+                maxlen=self.num_buckets,
+            )
+
+    # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
 

@@ -296,3 +296,109 @@ class TestServeAndQueryCommands:
         assert args.algorithm == "spacesaving"
         assert args.shards == 4
         assert args.window_buckets == 0
+        assert args.wal_dir is None
+        assert args.fsync == "interval"
+        assert args.checkpoint_interval == 0.0
+
+    def test_checkpoint_against_wal_less_service_is_an_error(self, live_service):
+        with pytest.raises(SystemExit, match="service error"):
+            main(["query", "checkpoint", "--port", str(live_service)])
+
+
+class TestCliErrorPaths:
+    """Operational failures must exit non-zero with one actionable line."""
+
+    def _assert_one_line(self, excinfo):
+        message = str(excinfo.value.code)
+        assert message and "\n" not in message
+        assert "Traceback" not in message
+        return message
+
+    def test_query_against_dead_server(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", "stats", "--port", "1", "--host", "127.0.0.1"])
+        message = self._assert_one_line(excinfo)
+        assert "cannot reach service" in message
+
+    def test_recover_missing_wal_dir(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["recover", "--wal-dir", str(tmp_path / "never-existed")])
+        message = self._assert_one_line(excinfo)
+        assert "recovery failed" in message
+
+    def test_recover_empty_wal_dir(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(SystemExit) as excinfo:
+            main(["recover", "--wal-dir", str(empty)])
+        assert "recovery failed" in self._assert_one_line(excinfo)
+
+    def test_recover_corrupt_wal_segment(self, tmp_path):
+        from repro.service.wal import write_manifest
+
+        corrupt = tmp_path / "corrupt"
+        corrupt.mkdir()
+        write_manifest(corrupt, {"algorithm": "spacesaving", "num_shards": 2})
+        (corrupt / "wal-00000001.log").write_bytes(b"this is not a wal segment")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["recover", "--wal-dir", str(corrupt)])
+        message = self._assert_one_line(excinfo)
+        assert "recovery failed" in message and "magic" in message
+
+    def test_serve_refuses_corrupt_wal_dir(self, tmp_path):
+        from repro.service.wal import write_manifest
+
+        corrupt = tmp_path / "corrupt"
+        corrupt.mkdir()
+        write_manifest(corrupt, {"algorithm": "spacesaving", "num_shards": 2})
+        (corrupt / "wal-00000001.log").write_bytes(b"garbage segment header!!")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--port", "0", "--wal-dir", str(corrupt)])
+        message = self._assert_one_line(excinfo)
+        assert "cannot recover WAL" in message
+
+    @pytest.fixture()
+    def v1_server(self):
+        """A fake protocol-1 server: pongs, but cannot carry tagged tokens."""
+        import json as jsonlib
+        import socketserver
+        import threading
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self):
+                for line in self.rfile:
+                    if not line.strip():
+                        continue
+                    response = {"ok": True, "pong": True, "protocol": 1}
+                    self.wfile.write(
+                        (jsonlib.dumps(response) + "\n").encode("utf-8")
+                    )
+                    self.wfile.flush()
+
+        server = socketserver.ThreadingTCPServer(("127.0.0.1", 0), Handler)
+        server.daemon_threads = True
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield server.server_address[1]
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_tagged_query_against_v1_server_is_refused(self, v1_server):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "query",
+                    "point",
+                    "--port",
+                    str(v1_server),
+                    "--tagged",
+                    "--item",
+                    't:["s:10.0.0.1","i:443"]',
+                ]
+            )
+        message = self._assert_one_line(excinfo)
+        assert "protocol 1" in message
+        assert "structured tokens" in message

@@ -24,6 +24,7 @@ import repro.engine.codec
 import repro.engine.vectorized
 import repro.serialization
 import repro.service.sharding
+import repro.service.wal
 import repro.service.windows
 import repro.streams.batched
 import repro.streams.exact
@@ -46,6 +47,7 @@ MODULES = [
     repro.engine.vectorized,
     repro.serialization,
     repro.service.sharding,
+    repro.service.wal,
     repro.service.windows,
     repro.streams.batched,
     repro.streams.exact,

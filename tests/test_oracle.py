@@ -1,0 +1,272 @@
+"""Differential-oracle property tests: every ingest path vs an exact oracle.
+
+Randomised (weighted) streams are pushed through each ingest surface the
+library exposes:
+
+* scalar ``update`` (one call per token),
+* plain ``update_batch`` (per-chunk aggregated lists),
+* columnar ``update_batch`` over :class:`~repro.engine.codec.EncodedChunk`,
+* chunks round-tripped through the tagged wire format
+  (``dump_chunk_bytes`` / ``load_chunk_bytes``),
+* sharded ingestion merged back per Theorem 11,
+* and a WAL write + crash-recovery replay.
+
+The differential contracts:
+
+1. the columnar paths (in-process :class:`EncodedChunk` vs chunks
+   round-tripped through the tagged wire format) end in **bit-identical**
+   summary state -- same counters, same per-item errors, same serialised
+   payload -- because the consumer codec reconstructs the producer's id
+   order exactly;
+2. sketches (CountMin / CountSketch) are bit-identical across *all* paths,
+   scalar included (their updates commute exactly);
+3. plain-list batching and scalar ingestion aggregate in a different
+   order (per-chunk dict order vs global id order), so for counter
+   summaries they may tie-break evictions differently -- but every path
+   reports identical bookkeeping (stream length, items processed) and
+   stays within its k-tail bound of an exact ``collections.Counter``
+   oracle: ``(A, B)`` for single summaries, the merged ``(3A, A+B)`` of
+   Theorem 11 for sharded-then-merged and for crash recovery.
+"""
+
+import collections
+import random
+
+import pytest
+
+from repro import serialization
+from repro.algorithms.frequent import Frequent
+from repro.algorithms.frequent_real import FrequentR
+from repro.algorithms.space_saving import SpaceSaving, SpaceSavingHeap
+from repro.algorithms.space_saving_real import SpaceSavingR
+from repro.core.merging import merge_summaries
+from repro.core.tail_guarantee import TailGuarantee
+from repro.engine.codec import TokenCodec
+from repro.metrics.error import max_error, residual
+from repro.service import ShardedSummarizer, recover
+from repro.service.wal import WriteAheadLog
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.count_sketch import CountSketch
+from repro.streams.batched import iter_chunks
+
+NUM_COUNTERS = 128
+CHUNK_SIZE = 700
+K = 8
+
+
+def random_stream(seed: int, length: int = 12_000, weighted: bool = False):
+    """A skewed random stream over a mixed-type token space."""
+    rng = random.Random(seed)
+    universe = (
+        [f"term-{index}" for index in range(400)]
+        + list(range(200))
+        + [("10.0.0.%d" % index, 443) for index in range(40)]
+    )
+    # Zipf-ish skew: earlier universe entries are far more likely.
+    weights = [1.0 / (rank + 1) ** 1.2 for rank in range(len(universe))]
+    items = rng.choices(universe, weights=weights, k=length)
+    if not weighted:
+        return [(item, 1.0) for item in items]
+    return [(item, float(rng.randint(1, 9))) for item in items]
+
+
+def oracle_of(pairs):
+    oracle = collections.Counter()
+    for item, weight in pairs:
+        oracle[item] += weight
+    return dict(oracle)
+
+
+def within_tail_bound(estimator, oracle, constants=None, k=K):
+    """Definition 2: max |estimate - truth| <= A * F1_res(k) / (m - Bk)."""
+    constants = (
+        TailGuarantee.for_algorithm(estimator) if constants is None else constants
+    )
+    bound = constants.bound(residual(oracle, k), estimator.num_counters, k)
+    return max_error(oracle, estimator) <= bound + 1e-9
+
+
+COUNTER_FACTORIES = {
+    "frequent": lambda: Frequent(num_counters=NUM_COUNTERS),
+    "spacesaving": lambda: SpaceSaving(num_counters=NUM_COUNTERS),
+    "spacesaving_heap": lambda: SpaceSavingHeap(num_counters=NUM_COUNTERS),
+}
+WEIGHTED_FACTORIES = {
+    "frequent_r": lambda: FrequentR(num_counters=NUM_COUNTERS),
+    "spacesaving_r": lambda: SpaceSavingR(num_counters=NUM_COUNTERS),
+}
+
+
+def feed_scalar(factory, pairs):
+    summary = factory()
+    for item, weight in pairs:
+        summary.update(item, weight)
+    return summary
+
+
+def feed_batched(factory, pairs, weighted):
+    summary = factory()
+    for chunk in iter_chunks(pairs, CHUNK_SIZE):
+        items = [item for item, _ in chunk]
+        if weighted:
+            summary.update_batch(items, [weight for _, weight in chunk])
+        else:
+            summary.update_batch(items)
+    return summary
+
+
+def feed_columnar(factory, pairs, weighted, codec=None):
+    summary = factory()
+    codec = TokenCodec() if codec is None else codec
+    for chunk in iter_chunks(pairs, CHUNK_SIZE):
+        items = [item for item, _ in chunk]
+        weights = [weight for _, weight in chunk] if weighted else None
+        summary.update_batch(codec.encode_chunk(items, weights))
+    return summary
+
+
+def feed_wire_round_trip(factory, pairs, weighted):
+    """Chunks cross the tagged wire format before reaching the summary."""
+    summary = factory()
+    producer = TokenCodec()
+    consumer = TokenCodec()
+    for chunk in iter_chunks(pairs, CHUNK_SIZE):
+        items = [item for item, _ in chunk]
+        weights = [weight for _, weight in chunk] if weighted else None
+        data = serialization.dump_chunk_bytes(producer.encode_chunk(items, weights))
+        summary.update_batch(serialization.load_chunk_bytes(data, consumer))
+    return summary
+
+
+def feed_sharded_merged(factory, pairs, weighted, num_shards=4):
+    with ShardedSummarizer(factory, num_shards=num_shards) as sharded:
+        for chunk in iter_chunks(pairs, CHUNK_SIZE):
+            items = [item for item, _ in chunk]
+            weights = [weight for _, weight in chunk] if weighted else None
+            sharded.ingest(items, weights)
+        sharded.flush()
+        copies = sharded.snapshot_summaries()
+    return merge_summaries(copies, k=K, make_estimator=factory)
+
+
+@pytest.mark.parametrize("seed", [11, 23, 47])
+@pytest.mark.parametrize("name", sorted(COUNTER_FACTORIES))
+class TestUnitWeightOracle:
+    def test_chunk_paths_bit_identical_and_within_bound(self, name, seed):
+        factory = COUNTER_FACTORIES[name]
+        pairs = random_stream(seed)
+        oracle = oracle_of(pairs)
+        batched = feed_batched(factory, pairs, weighted=False)
+        columnar = feed_columnar(factory, pairs, weighted=False)
+        wire = feed_wire_round_trip(factory, pairs, weighted=False)
+        # 1. In-process columnar and the tagged-wire round trip are the
+        #    same computation: the summaries serialise to the same bytes.
+        assert serialization.dumps(wire) == serialization.dumps(columnar)
+        # 2. Plain-list batching aggregates in per-chunk dict order rather
+        #    than id order, so its state may tie-break differently -- but
+        #    its bookkeeping is identical and its bound holds equally.
+        assert batched.stream_length == columnar.stream_length
+        assert batched.items_processed == columnar.items_processed
+        assert within_tail_bound(batched, oracle)
+        assert within_tail_bound(columnar, oracle)
+        # 3. The scalar path aggregates differently again (per token, not
+        #    per chunk) but obeys the same bound.
+        assert within_tail_bound(feed_scalar(factory, pairs), oracle)
+
+    def test_sharded_then_merged_within_merged_bound(self, name, seed):
+        factory = COUNTER_FACTORIES[name]
+        pairs = random_stream(seed)
+        oracle = oracle_of(pairs)
+        merged = feed_sharded_merged(factory, pairs, weighted=False)
+        check = merged.check(oracle)
+        assert check.holds, check.description
+
+    def test_estimates_identical_across_columnar_paths(self, name, seed):
+        """Point estimates agree item-for-item, not just payload-for-payload."""
+        factory = COUNTER_FACTORIES[name]
+        pairs = random_stream(seed, length=4_000)
+        wire = feed_wire_round_trip(factory, pairs, weighted=False)
+        columnar = feed_columnar(factory, pairs, weighted=False)
+        for item in list(oracle_of(pairs))[:50]:
+            assert wire.estimate(item) == columnar.estimate(item)
+
+
+@pytest.mark.parametrize("seed", [5, 19])
+@pytest.mark.parametrize("name", sorted(WEIGHTED_FACTORIES))
+class TestWeightedOracle:
+    def test_weighted_paths_agree_and_hold_bound(self, name, seed):
+        factory = WEIGHTED_FACTORIES[name]
+        pairs = random_stream(seed, weighted=True)
+        oracle = oracle_of(pairs)
+        batched = feed_batched(factory, pairs, weighted=True)
+        columnar = feed_columnar(factory, pairs, weighted=True)
+        wire = feed_wire_round_trip(factory, pairs, weighted=True)
+        assert serialization.dumps(wire) == serialization.dumps(columnar)
+        assert batched.stream_length == columnar.stream_length
+        assert batched.items_processed == columnar.items_processed
+        assert within_tail_bound(batched, oracle)
+        assert within_tail_bound(columnar, oracle)
+        assert within_tail_bound(feed_scalar(factory, pairs), oracle)
+
+    def test_weighted_sharded_merged(self, name, seed):
+        factory = WEIGHTED_FACTORIES[name]
+        pairs = random_stream(seed, weighted=True)
+        oracle = oracle_of(pairs)
+        merged = feed_sharded_merged(factory, pairs, weighted=True)
+        check = merged.check(oracle)
+        assert check.holds, check.description
+
+
+@pytest.mark.parametrize("seed", [3, 31])
+class TestSketchOracle:
+    """Sketch updates commute exactly: all paths are bit-identical."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: CountMinSketch(width=512, depth=4, seed=9),
+            lambda: CountSketch(width=512, depth=4, seed=9),
+        ],
+        ids=["countmin", "countsketch"],
+    )
+    def test_all_paths_bit_identical(self, factory, seed):
+        pairs = random_stream(seed, length=6_000)
+        scalar = feed_scalar(factory, pairs)
+        batched = feed_batched(factory, pairs, weighted=False)
+        columnar = feed_columnar(factory, pairs, weighted=False)
+        assert (scalar._table == batched._table).all()
+        assert (scalar._table == columnar._table).all()
+        oracle = oracle_of(pairs)
+        for item in list(oracle)[:30]:
+            assert scalar.estimate(item) == columnar.estimate(item)
+
+
+@pytest.mark.parametrize("seed", [13])
+class TestRecoveryOracle:
+    def test_wal_recovery_within_merged_bound(self, tmp_path, seed):
+        """Crash recovery is just another ingest path: log every chunk,
+        recover from the log alone, and hold the merged (3A, A+B) bound
+        against the exact oracle of everything logged."""
+        pairs = random_stream(seed)
+        oracle = oracle_of(pairs)
+        codec = TokenCodec()
+        with WriteAheadLog(tmp_path, fsync="off") as wal:
+            for chunk in iter_chunks(pairs, CHUNK_SIZE):
+                wal.append_chunk(
+                    codec.encode_chunk([item for item, _ in chunk])
+                )
+        result = recover(
+            tmp_path,
+            make_estimator=COUNTER_FACTORIES["spacesaving"],
+            num_shards=4,
+            k=K,
+        )
+        assert result.stream_length == pytest.approx(sum(oracle.values()))
+        check = result.merge.check(oracle)
+        assert check.holds, check.description
+        # Zero loss at the item level: counter summaries never undercount
+        # by more than the bound, and the heavy items are all present.
+        top = dict(result.estimator.top_k(10))
+        heaviest = sorted(oracle, key=oracle.get, reverse=True)[:3]
+        for item in heaviest:
+            assert item in top or result.estimator.estimate(item) > 0.0
