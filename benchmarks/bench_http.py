@@ -1,0 +1,308 @@
+"""HTTP/observability plane benchmark: what instrumentation costs ingest.
+
+The observability plane's contract is that it is *nearly free*: metric
+instruments on the hot path are one counter bump per 8k-token chunk, and
+everything else is sampled at scrape time.  This benchmark measures that
+claim and gates it:
+
+* ``ingest-metrics-off`` -- durable ingest (WAL, ``fsync=interval``) with
+  ``ServiceConfig(metrics=False)``: the uninstrumented baseline;
+* ``ingest-metrics-on``  -- the same ingest with the full registry wired
+  (WAL latency timers, ingest counters, scrape callbacks registered);
+* ``http-ingest``        -- ingest pushed through the REST plane
+  (``POST /v1/ingest``), for the record -- the TCP socket remains the
+  fast path;
+* ``metrics-scrape``     -- ``GET /metrics`` scrapes per second against a
+  populated registry, the cost a Prometheus server imposes.
+
+The timed path for the gate pair is in-process ``service.handle()`` --
+no socket -- so the A/B difference isolates instrumentation cost from
+transport noise; rounds are interleaved (off/on/off/on) and the best of
+each side is kept, which keeps the ratio stable on noisy CI runners.
+
+``--check`` re-reads an emitted artifact and fails (exit 1) if
+instrumented ingest retains less than ``MIN_INSTRUMENTED_RETENTION`` of
+the uninstrumented throughput -- the <2% overhead acceptance gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional
+
+try:
+    import pytest
+except ImportError:  # standalone quick mode in a minimal environment
+    pytest = None
+
+from repro.service.server import HeavyHittersService, ServiceConfig
+from repro.streams.batched import iter_chunks
+from repro.streams.generators import zipf_stream
+
+CHUNK_SIZE = 8_192
+NUM_COUNTERS = 1_000
+NUM_SHARDS = 4
+
+#: The acceptance floor: instrumented ingest (metrics on, WAL
+#: fsync=interval) must retain at least this fraction of uninstrumented
+#: throughput.
+MIN_INSTRUMENTED_RETENTION = 0.98
+
+STREAM = zipf_stream(num_items=10_000, alpha=1.1, total=200_000, seed=83)
+
+
+def _config(wal_dir: str, metrics: bool) -> ServiceConfig:
+    return ServiceConfig(
+        num_counters=NUM_COUNTERS,
+        num_shards=NUM_SHARDS,
+        k=10,
+        wal_dir=wal_dir,
+        fsync="interval",
+        metrics=metrics,
+    )
+
+
+def _run_handle_ingest(items, metrics: bool) -> float:
+    """Seconds to push the stream through ``service.handle()`` directly."""
+    directory = Path(tempfile.mkdtemp(prefix="bench-http-"))
+    try:
+        service = HeavyHittersService(_config(str(directory), metrics)).start()
+        try:
+            start = time.perf_counter()
+            for chunk in iter_chunks(items, CHUNK_SIZE):
+                response = service.handle({"op": "ingest", "items": chunk})
+                assert response["ok"], response
+            service.sharded.flush()
+            return time.perf_counter() - start
+        finally:
+            service.close()
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def _run_http_ingest(items) -> float:
+    """Seconds to push the stream through ``POST /v1/ingest``."""
+    from repro.service.client import HttpServiceClient
+    from repro.service.http import serve_http
+
+    directory = Path(tempfile.mkdtemp(prefix="bench-http-"))
+    try:
+        service = HeavyHittersService(_config(str(directory), True)).start()
+        http = serve_http(port=0, service=service)
+        try:
+            client = HttpServiceClient(port=http.port)
+            start = time.perf_counter()
+            for chunk in iter_chunks(items, CHUNK_SIZE):
+                client.ingest(chunk)
+            service.sharded.flush()
+            return time.perf_counter() - start
+        finally:
+            http.close()
+            service.close()
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def _run_scrapes(items, seconds_budget: float = 1.0) -> float:
+    """Scrapes per second of ``GET /metrics`` on a populated registry."""
+    from repro.service.client import HttpServiceClient
+    from repro.service.http import serve_http
+
+    directory = Path(tempfile.mkdtemp(prefix="bench-http-"))
+    try:
+        service = HeavyHittersService(_config(str(directory), True)).start()
+        http = serve_http(port=0, service=service)
+        try:
+            for chunk in iter_chunks(items[:50_000], CHUNK_SIZE):
+                service.handle({"op": "ingest", "items": chunk})
+            client = HttpServiceClient(port=http.port)
+            client.metrics_text()  # warm the connection path
+            scrapes = 0
+            start = time.perf_counter()
+            while time.perf_counter() - start < seconds_budget:
+                client.metrics_text()
+                scrapes += 1
+            return scrapes / (time.perf_counter() - start)
+        finally:
+            http.close()
+            service.close()
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+if pytest is not None:
+
+    @pytest.mark.parametrize("metrics", (False, True), ids=("metrics-off", "metrics-on"))
+    def test_instrumented_ingest_throughput(benchmark, metrics):
+        seconds = benchmark.pedantic(
+            _run_handle_ingest, args=(STREAM.items, metrics), iterations=1, rounds=3
+        )
+        assert seconds > 0
+
+    def test_http_ingest_throughput(benchmark):
+        seconds = benchmark.pedantic(
+            _run_http_ingest, args=(STREAM.items,), iterations=1, rounds=3
+        )
+        assert seconds > 0
+
+    def test_metrics_scrape_rate(benchmark):
+        rate = benchmark.pedantic(
+            _run_scrapes, args=(STREAM.items,), iterations=1, rounds=3
+        )
+        assert rate > 0
+
+
+# --------------------------------------------------------------------------- #
+# Standalone quick mode (used by the CI benchmark-smoke job)
+# --------------------------------------------------------------------------- #
+
+
+def run_comparison(rounds: int = 3, total: int = 200_000) -> List[dict]:
+    stream = (
+        STREAM
+        if total == 200_000
+        else zipf_stream(num_items=10_000, alpha=1.1, total=total, seed=83)
+    )
+    items = stream.items
+    # Interleave the A/B rounds so machine drift (thermal, noisy
+    # neighbours) lands on both sides of the ratio equally.
+    best_off: Optional[float] = None
+    best_on: Optional[float] = None
+    for _ in range(max(1, rounds)):
+        off = _run_handle_ingest(items, metrics=False)
+        on = _run_handle_ingest(items, metrics=True)
+        best_off = off if best_off is None else min(best_off, off)
+        best_on = on if best_on is None else min(best_on, on)
+    rows = [
+        {
+            "config": "ingest-metrics-off",
+            "tokens": len(items),
+            "chunk_size": CHUNK_SIZE,
+            "shards": NUM_SHARDS,
+            "ingest_seconds": best_off,
+            "tokens_per_second": len(items) / best_off,
+        },
+        {
+            "config": "ingest-metrics-on",
+            "tokens": len(items),
+            "chunk_size": CHUNK_SIZE,
+            "shards": NUM_SHARDS,
+            "ingest_seconds": best_on,
+            "tokens_per_second": len(items) / best_on,
+        },
+    ]
+    best_http = min(_run_http_ingest(items) for _ in range(max(1, rounds)))
+    rows.append(
+        {
+            "config": "http-ingest",
+            "tokens": len(items),
+            "chunk_size": CHUNK_SIZE,
+            "shards": NUM_SHARDS,
+            "ingest_seconds": best_http,
+            "tokens_per_second": len(items) / best_http,
+        }
+    )
+    best_scrape = max(_run_scrapes(items) for _ in range(max(1, rounds)))
+    rows.append(
+        {
+            "config": "metrics-scrape",
+            "tokens": len(items),
+            "chunk_size": CHUNK_SIZE,
+            "shards": NUM_SHARDS,
+            "ingest_seconds": None,
+            "tokens_per_second": None,
+            "scrapes_per_second": best_scrape,
+        }
+    )
+    return rows
+
+
+def check_artifact(path: str) -> int:
+    """The CI instrumentation-overhead gate over an emitted artifact."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    rows = {row["config"]: row for row in payload["results"]}
+    try:
+        baseline = rows["ingest-metrics-off"]["tokens_per_second"]
+        instrumented = rows["ingest-metrics-on"]["tokens_per_second"]
+    except KeyError as error:
+        print(f"artifact {path} is missing row {error}", file=sys.stderr)
+        return 1
+    retention = instrumented / baseline
+    print(
+        f"instrumented ingest retention: {retention:.1%} "
+        f"({instrumented:,.0f} vs {baseline:,.0f} tok/s; floor "
+        f"{MIN_INSTRUMENTED_RETENTION:.0%})"
+    )
+    if retention < MIN_INSTRUMENTED_RETENTION:
+        print(
+            f"REGRESSION: metrics instrumentation costs more than "
+            f"{1 - MIN_INSTRUMENTED_RETENTION:.0%} of ingest throughput",
+            file=sys.stderr,
+        )
+        return 1
+    scrape = rows.get("metrics-scrape")
+    if scrape is not None and scrape.get("scrapes_per_second"):
+        print(f"metrics scrape rate: {scrape['scrapes_per_second']:,.0f} scrapes/s")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Observability-plane overhead benchmark (metrics + HTTP)."
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="timing rounds per case (best is kept)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="two rounds (CI smoke mode)"
+    )
+    parser.add_argument(
+        "--length", type=int, default=200_000, help="stream length to time against"
+    )
+    parser.add_argument("--output", default=None, help="write results as JSON here")
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="ARTIFACT",
+        help="read a previously emitted JSON artifact and fail if instrumented "
+        "ingest dropped below the retention floor",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check is not None:
+        return check_artifact(args.check)
+
+    rounds = 2 if args.quick else args.rounds
+    rows = run_comparison(rounds=rounds, total=args.length)
+
+    header = f"{'config':<22} {'tok/s':>12} {'seconds':>10}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        if row["tokens_per_second"] is None:
+            print(
+                f"{row['config']:<22} {row['scrapes_per_second']:>12,.0f} "
+                f"{'scrapes/s':>10}"
+            )
+        else:
+            print(
+                f"{row['config']:<22} {row['tokens_per_second']:>12,.0f} "
+                f"{row['ingest_seconds']:>10.3f}"
+            )
+
+    if args.output:
+        payload = {"benchmark": "http_observability", "rounds": rounds, "results": rows}
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""The trend regression gate over the committed benchmark trajectory.
+
+Compares a fresh CI run's quick-mode artifacts against every committed
+``BENCH_*.json`` snapshot and fails (exit 1) when any metric drops more
+than ``--tolerance`` (default 30%) below the *best* committed value::
+
+    PYTHONPATH=src python benchmarks/check_trajectory.py \\
+        --baseline benchmarks/trajectory/BENCH_*.json \\
+        --current bench-throughput.json bench-service.json bench-wal.json
+
+The 30% default is deliberately loose: CI runners are shared and noisy,
+and the point gates (``bench_update_throughput --check`` etc.) already
+police tight invariants.  This gate exists to catch the *slow drift*
+point gates cannot see -- a 10%-per-PR decay compounds past 30% within a
+few PRs and trips here, against the all-time best rather than only the
+previous run.
+
+Metrics present in the current run but absent from every baseline are
+reported as new (benchmarks grow); baseline metrics missing from the
+current run are reported but do not fail (not every job runs every
+bench).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+# Same-directory import: both tools are scripts, not a package, and the
+# script's own directory is always on sys.path when run as one.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from record_trajectory import FORMAT_NAME, normalize_artifact  # noqa: E402
+
+DEFAULT_TOLERANCE = 0.30
+
+
+def load_baselines(paths: List[str]) -> Dict[Tuple[str, str], Tuple[float, str]]:
+    """``(benchmark, metric) -> (best rate, series it came from)``."""
+    best: Dict[Tuple[str, str], Tuple[float, str]] = {}
+    for path in paths:
+        snapshot = json.loads(Path(path).read_text(encoding="utf-8"))
+        if snapshot.get("format") != FORMAT_NAME:
+            raise SystemExit(f"{path} is not a {FORMAT_NAME} snapshot")
+        series = snapshot.get("series", Path(path).stem)
+        for bench, metrics in snapshot.get("benchmarks", {}).items():
+            for metric, rate in metrics.items():
+                key = (bench, metric)
+                if key not in best or rate > best[key][0]:
+                    best[key] = (float(rate), series)
+    return best
+
+
+def load_current(paths: List[str]) -> Dict[Tuple[str, str], float]:
+    current: Dict[Tuple[str, str], float] = {}
+    for path in paths:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        bench = payload.get("benchmark")
+        if not bench:
+            raise SystemExit(f"{path} has no 'benchmark' field; not a bench artifact")
+        for metric, rate in normalize_artifact(payload).items():
+            current[(bench, metric)] = rate
+    return current
+
+
+def check(
+    baselines: Dict[Tuple[str, str], Tuple[float, str]],
+    current: Dict[Tuple[str, str], float],
+    tolerance: float,
+) -> int:
+    floor_fraction = 1.0 - tolerance
+    regressions = []
+    print(f"{'benchmark/metric':<46} {'current':>12} {'best':>12} {'ratio':>7}")
+    print("-" * 80)
+    for key in sorted(current):
+        bench, metric = key
+        rate = current[key]
+        baseline = baselines.get(key)
+        label = f"{bench}/{metric}"
+        if baseline is None:
+            print(f"{label:<46} {rate:>12,.0f} {'(new)':>12} {'-':>7}")
+            continue
+        best, series = baseline
+        ratio = rate / best
+        marker = "" if ratio >= floor_fraction else "  << REGRESSION"
+        print(f"{label:<46} {rate:>12,.0f} {best:>12,.0f} {ratio:>6.0%}{marker}")
+        if ratio < floor_fraction:
+            regressions.append((label, rate, best, series))
+    missing = sorted(set(baselines) - set(current))
+    if missing:
+        names = ", ".join(f"{bench}/{metric}" for bench, metric in missing[:8])
+        more = f" (+{len(missing) - 8} more)" if len(missing) > 8 else ""
+        print(f"not exercised this run: {names}{more}")
+    if regressions:
+        print(
+            f"\n{len(regressions)} metric(s) fell more than {tolerance:.0%} below "
+            "the best committed snapshot:",
+            file=sys.stderr,
+        )
+        for label, rate, best, series in regressions:
+            print(
+                f"  {label}: {rate:,.0f} vs {best:,.0f} tok/s "
+                f"(best from {series})",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"\ntrajectory gate passed ({tolerance:.0%} tolerance)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a bench run regresses against the committed "
+        "trajectory."
+    )
+    parser.add_argument(
+        "--baseline",
+        nargs="+",
+        required=True,
+        help="committed BENCH_*.json trajectory snapshots",
+    )
+    parser.add_argument(
+        "--current",
+        nargs="+",
+        required=True,
+        help="fresh quick-mode bench artifacts from this run",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed drop vs the best committed value (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.tolerance < 1.0:
+        raise SystemExit(f"--tolerance must lie in (0, 1), got {args.tolerance}")
+    return check(
+        load_baselines(args.baseline), load_current(args.current), args.tolerance
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,152 @@
+"""Record one committed point of the benchmark trajectory.
+
+The benchmarks emit per-run JSON artifacts (``bench-*.json``) in CI, but
+artifacts expire; the *trajectory* is the in-repo record.  This tool
+normalizes any number of quick-mode artifacts into one schema-versioned
+snapshot::
+
+    PYTHONPATH=src python benchmarks/record_trajectory.py \\
+        --series BENCH_006 \\
+        --output benchmarks/trajectory/BENCH_006.json \\
+        bench-throughput.json bench-service.json bench-wal.json bench-http.json
+
+The convention (documented in README "Operations"): each PR that lands a
+performance-relevant change records ``BENCH_<PR>.json`` under
+``benchmarks/trajectory/`` from a quick-mode run on the development
+machine, and CI's ``check_trajectory.py`` gate compares every subsequent
+run against the best committed snapshot per metric.  Machine metadata is
+embedded so cross-machine points are comparable with due suspicion.
+
+Normalized metric names are ``<config>`` for single-rate rows and
+``<row key>/<mode>`` for rows carrying several rates, e.g.
+``wal-fsync-interval`` or ``spacesaving-5k/columnar``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+SCHEMA_VERSION = 1
+FORMAT_NAME = "repro-bench-trajectory"
+
+_SUFFIX = "_tokens_per_second"
+
+
+def normalize_artifact(payload: dict) -> Dict[str, float]:
+    """Flatten one quick-mode bench payload into ``{metric: rate}``.
+
+    Handles both row shapes the benchmarks emit: rows keyed by ``config``
+    with one ``tokens_per_second`` (service / WAL / HTTP benches), and
+    rows keyed by ``summary`` with several ``<mode>_tokens_per_second``
+    columns (the update-throughput bench).  Rates that are missing or
+    null (e.g. the scrape row's token rate) are skipped.
+    """
+    metrics: Dict[str, float] = {}
+    for row in payload.get("results", []):
+        prefix = row.get("config") or row.get("summary")
+        if not prefix:
+            continue
+        for key, value in row.items():
+            if not isinstance(value, (int, float)) or value <= 0:
+                continue
+            if key == "tokens_per_second":
+                metrics[prefix] = float(value)
+            elif key.endswith(_SUFFIX):
+                metrics[f"{prefix}/{key[: -len(_SUFFIX)]}"] = float(value)
+            elif key == "scrapes_per_second":
+                metrics[f"{prefix}/scrapes"] = float(value)
+    return metrics
+
+
+def _git_commit() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                check=True,
+                cwd=Path(__file__).resolve().parent,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _machine() -> Dict[str, object]:
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def build_snapshot(series: str, artifact_paths: List[str]) -> dict:
+    benchmarks: Dict[str, Dict[str, float]] = {}
+    for path in artifact_paths:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        name = payload.get("benchmark")
+        if not name:
+            raise SystemExit(f"{path} has no 'benchmark' field; not a bench artifact")
+        metrics = normalize_artifact(payload)
+        if not metrics:
+            raise SystemExit(f"{path} yielded no throughput metrics")
+        # Re-recording the same bench merges (later artifacts win per key).
+        benchmarks.setdefault(name, {}).update(metrics)
+    return {
+        "format": FORMAT_NAME,
+        "schema_version": SCHEMA_VERSION,
+        "series": series,
+        "commit": _git_commit(),
+        "recorded": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "machine": _machine(),
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Normalize quick-mode bench artifacts into one committed "
+        "trajectory snapshot."
+    )
+    parser.add_argument(
+        "artifacts", nargs="+", help="quick-mode bench JSON artifacts to fold in"
+    )
+    parser.add_argument(
+        "--series",
+        required=True,
+        help="snapshot series name, by convention BENCH_<PR number>",
+    )
+    parser.add_argument(
+        "--output",
+        required=True,
+        help="where to write the snapshot (benchmarks/trajectory/<series>.json)",
+    )
+    args = parser.parse_args(argv)
+
+    snapshot = build_snapshot(args.series, args.artifacts)
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    total = sum(len(metrics) for metrics in snapshot["benchmarks"].values())
+    print(
+        f"recorded {total} metrics from {len(snapshot['benchmarks'])} benchmark(s) "
+        f"at commit {snapshot['commit']} -> {output}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

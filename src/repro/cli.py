@@ -237,6 +237,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import RecoveryError, ServiceConfig, WalError, serve
+    from repro.service.http import serve_http
     from repro.service.recovery import resume_service
 
     config = ServiceConfig(
@@ -254,7 +255,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fsync_interval=args.fsync_interval,
         wal_segment_bytes=args.wal_segment_bytes,
         checkpoint_interval=args.checkpoint_interval,
+        metrics=not args.no_metrics,
     )
+    # The HTTP plane comes up *before* recovery replay: an orchestrator
+    # then sees liveness (200 /healthz) with readiness 503 "recovering"
+    # for however long the WAL replay takes, instead of a dead port.
+    http_server = None
+    if args.http_port is not None:
+        http_server = serve_http(host=args.host, port=args.http_port)
+        print(
+            f"operations HTTP plane on {args.host}:{http_server.port} "
+            "(/healthz /readyz /metrics /v1/...)",
+            flush=True,
+        )
     service = None
     if args.wal_dir is not None:
         # A WAL directory with prior state means a previous process died:
@@ -277,7 +290,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ),
                 flush=True,
             )
-    server = serve(config, host=args.host, port=args.port, service=service)
+    try:
+        server = serve(config, host=args.host, port=args.port, service=service)
+    except BaseException:
+        if http_server is not None:
+            http_server.close()
+        raise
+    if http_server is not None:
+        http_server.attach(server.service)
     host, port = server.server_address[:2]
     wal_note = f", wal={args.wal_dir} fsync={args.fsync}" if args.wal_dir else ""
     print(
@@ -290,6 +310,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if http_server is not None:
+            http_server.close()
         server.server_close()
         server.service.close()
     return 0
@@ -342,6 +364,8 @@ def _cmd_recover(args: argparse.Namespace) -> int:
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.service.client import ServiceClient, ServiceError
 
+    scheme = "http" if args.http else "tcp"
+
     def require(value, flag: str):
         if value is None:
             raise SystemExit(f"action {args.action!r} requires {flag}")
@@ -362,7 +386,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             raise SystemExit(f"invalid --item key: {error}") from error
 
     try:
-        with ServiceClient(host=args.host, port=args.port) as client:
+        with ServiceClient.from_url(f"{scheme}://{args.host}:{args.port}") as client:
             if args.action == "ingest":
                 path = Path(require(args.input, "--input"))
                 pushed = 0
@@ -526,6 +550,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7071, help="0 picks a free port")
     serve.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        help="also serve the operations HTTP plane (REST queries, /healthz, "
+        "/readyz, Prometheus /metrics) on this port; 0 picks a free port",
+    )
+    serve.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="skip the metrics registry (the uninstrumented baseline; "
+        "/metrics then answers 503)",
+    )
+    serve.add_argument(
         "--algorithm", choices=sorted(_UNIT_ALGORITHMS), default="spacesaving"
     )
     serve.add_argument("--counters", type=int, default=1_000, help="counter budget m per shard")
@@ -634,6 +671,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--host", default="127.0.0.1")
     query.add_argument("--port", type=int, default=7071)
+    query.add_argument(
+        "--http",
+        action="store_true",
+        help="talk to the operations HTTP plane on --host:--port instead of "
+        "the NDJSON TCP socket (shutdown stays TCP-only)",
+    )
     query.add_argument("--item", default=None, help="item for point queries")
     query.add_argument(
         "--tagged",

@@ -25,10 +25,17 @@ bounds.  The pipeline is::
 * :mod:`repro.service.recovery` -- checkpoint + replay crash recovery
   behind ``repro recover`` and ``repro serve --wal-dir`` restarts;
 * :mod:`repro.service.server` / :mod:`repro.service.client` -- the NDJSON
-  socket protocol behind ``repro serve`` and ``repro query``.
+  socket protocol behind ``repro serve`` and ``repro query``;
+* :mod:`repro.service.metrics` -- zero-dependency Prometheus-style
+  Counter/Gauge/Histogram instruments and their text exposition;
+* :mod:`repro.service.http` -- the operations HTTP plane (REST queries,
+  ``/healthz`` / ``/readyz`` probes, ``/metrics``) behind
+  ``repro serve --http-port`` and ``repro query --http``.
 """
 
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import HttpServiceClient, ServiceClient, ServiceError
+from repro.service.http import OperationsHttpServer, serve_http
+from repro.service.metrics import MetricsRegistry, parse_exposition
 from repro.service.recovery import (
     RecoveryError,
     RecoveryResult,
@@ -48,6 +55,9 @@ from repro.service.windows import WindowAnswer, WindowedSummarizer
 
 __all__ = [
     "HeavyHittersService",
+    "HttpServiceClient",
+    "MetricsRegistry",
+    "OperationsHttpServer",
     "RecoveryError",
     "RecoveryResult",
     "ServiceClient",
@@ -63,9 +73,11 @@ __all__ = [
     "WindowedSummarizer",
     "WriteAheadLog",
     "iter_wal",
+    "parse_exposition",
     "partition_batch",
     "recover",
     "resume_service",
     "serve",
+    "serve_http",
     "shard_for",
 ]

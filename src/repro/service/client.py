@@ -14,12 +14,23 @@ the key strings verbatim); plain string/number traffic stays on the
 version-1 raw encoding, so old servers keep working for it.  Tokens the
 wire format cannot carry at all (lists, dicts, arbitrary objects, NaN)
 are rejected client-side, synchronously, before anything hits the socket.
+
+Transports: the same operation API is served by two planes.
+:meth:`ServiceClient.from_url` picks the transport from the URL scheme --
+``tcp://host:port`` (or a bare ``host:port``) opens the NDJSON socket,
+``http://host:port`` returns an :class:`HttpServiceClient` speaking the
+operations HTTP plane of :mod:`repro.service.http`.  Every query and
+ingest method behaves identically on both; only ``shutdown`` is
+TCP-only (the HTTP plane deliberately has no process-control route).
 """
 
 from __future__ import annotations
 
 import json
 import socket
+import urllib.error
+import urllib.parse
+import urllib.request
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import serialization
@@ -98,6 +109,27 @@ class ServiceClient:
         #: (appended under fsync=always).
         self.last_ingest_wal: Optional[Dict[str, Any]] = None
         self.last_ingest_durable: bool = False
+
+    @staticmethod
+    def from_url(url: str, timeout: float = 30.0) -> "ServiceClient":
+        """Build a client from a service URL, picking the transport.
+
+        ``http://host:port`` speaks the operations HTTP plane
+        (:class:`HttpServiceClient`); ``tcp://host:port`` -- or a bare
+        ``host:port`` -- opens the NDJSON socket.  Any other scheme is an
+        error.
+        """
+        parsed = urllib.parse.urlsplit(url if "//" in url else "//" + url)
+        scheme = parsed.scheme or "tcp"
+        if parsed.hostname is None or parsed.port is None:
+            raise ValueError(f"service URL needs host and port, got {url!r}")
+        if scheme == "http":
+            return HttpServiceClient(parsed.hostname, parsed.port, timeout=timeout)
+        if scheme == "tcp":
+            return ServiceClient(parsed.hostname, parsed.port, timeout=timeout)
+        raise ValueError(
+            f"unsupported service URL scheme {scheme!r} (use tcp:// or http://)"
+        )
 
     def _require_tagging_support(self) -> None:
         """Fail fast instead of feeding tagged keys to a v1 server.
@@ -273,3 +305,169 @@ class ServiceClient:
             (_entry_item(entry), entry["estimate"])
             for entry in response["heavy_hitters"]
         ]
+
+
+# --------------------------------------------------------------------------- #
+# HTTP transport
+# --------------------------------------------------------------------------- #
+
+#: query type -> operations-plane route for the GET query endpoints.
+_HTTP_QUERY_ROUTES: Dict[str, str] = {
+    "point": "/v1/point",
+    "top-k": "/v1/top-k",
+    "heavy-hitters": "/v1/heavy-hitters",
+    "window-point": "/v1/window/point",
+    "window-top-k": "/v1/window/top-k",
+    "window-heavy-hitters": "/v1/window/heavy-hitters",
+}
+
+
+class HttpServiceClient(ServiceClient):
+    """The same operation API, spoken to the operations HTTP plane.
+
+    Every :class:`ServiceClient` method works unchanged because they all
+    funnel through :meth:`call`, which this class reimplements as a
+    translation from protocol op dicts onto the REST routes of
+    :mod:`repro.service.http`.  Stateless between calls (plain
+    request/response HTTP), so one client may be shared across threads.
+
+    ``shutdown`` raises: the HTTP plane has no process-control route by
+    design.
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 30.0
+    ) -> None:
+        # Deliberately no super().__init__(): there is no socket to open.
+        self._base = f"http://{host}:{port}"
+        self._timeout = timeout
+        self._protocol: Optional[int] = None
+        self.last_ingest_wal: Optional[Dict[str, Any]] = None
+        self.last_ingest_durable: bool = False
+
+    # -- transport ------------------------------------------------------- #
+
+    def _http(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self._base + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self._timeout) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            # Service-level failures arrive as 4xx/5xx with the same
+            # {"ok": false, "error": ...} payload the TCP protocol uses.
+            try:
+                payload = json.loads(error.read().decode("utf-8"))
+            except (ValueError, OSError):
+                raise ServiceError(f"HTTP {error.code} from {path}") from error
+            raise ServiceError(
+                payload.get("error", f"HTTP {error.code} from {path}")
+            ) from error
+        except urllib.error.URLError as error:
+            raise ServiceError(f"cannot reach service at {self._base}: {error.reason}")
+        if not payload.get("ok"):
+            raise ServiceError(payload.get("error", "unknown service error"))
+        return payload
+
+    def call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Translate one protocol op dict onto the REST surface."""
+        op = request.get("op")
+        if op == "ping":
+            response = self._http("GET", "/healthz")
+            return {**response, "pong": True}
+        if op == "stats":
+            return self._http("GET", "/v1/stats")
+        if op == "snapshot":
+            return self._http(
+                "POST", "/v1/snapshot", {"drain": bool(request.get("drain", True))}
+            )
+        if op == "checkpoint":
+            return self._http("POST", "/v1/checkpoint")
+        if op == "advance-window":
+            body = {}
+            if "steps" in request:
+                body["steps"] = request["steps"]
+            return self._http("POST", "/v1/advance-window", body)
+        if op == "ingest":
+            return self._http(
+                "POST",
+                "/v1/ingest",
+                {key: value for key, value in request.items() if key != "op"},
+            )
+        if op == "query":
+            return self._query(request)
+        if op == "shutdown":
+            raise ServiceError(
+                "shutdown is not available over HTTP; use the TCP plane"
+            )
+        raise ServiceError(f"op {op!r} has no HTTP route")
+
+    def _query(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        route = _HTTP_QUERY_ROUTES.get(request.get("type", ""))
+        if route is None:
+            raise ServiceError(f"query type {request.get('type')!r} has no HTTP route")
+        params: Dict[str, str] = {}
+        if "item" in request:
+            item = request["item"]
+            if request.get("item_encoding") == "tagged":
+                params["item"], params["tagged"] = item, "1"
+            elif isinstance(item, str):
+                # A raw string query parameter stays a string server-side.
+                params["item"] = item
+            else:
+                # Query strings are untyped, so every non-string token --
+                # even JSON-lossless ints the TCP protocol sends raw --
+                # rides the tagged encoding to keep its type.
+                params["item"] = serialization.encode_item_key(item)
+                params["tagged"] = "1"
+        for key in ("k", "phi", "window"):
+            if key in request:
+                params[key] = str(request[key])
+        query = urllib.parse.urlencode(params)
+        return self._http("GET", route + ("?" + query if query else ""))
+
+    def close(self) -> None:
+        """Nothing to release: each call is one self-contained HTTP request."""
+
+    # -- HTTP-plane extras ----------------------------------------------- #
+
+    def healthz(self) -> Dict[str, Any]:
+        """The liveness payload (raises only if the plane is unreachable)."""
+        return self._http("GET", "/healthz")
+
+    def readyz(self) -> Dict[str, Any]:
+        """The readiness payload -- returned, not raised, even when 503.
+
+        A not-ready service is an *answer* (``{"ready": false, "checks":
+        {...}}``), not a transport failure; only an unreachable plane
+        raises.
+        """
+        request = urllib.request.Request(self._base + "/readyz")
+        try:
+            with urllib.request.urlopen(request, timeout=self._timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                return json.loads(error.read().decode("utf-8"))
+            except (ValueError, OSError):
+                raise ServiceError(f"HTTP {error.code} from /readyz") from error
+        except urllib.error.URLError as error:
+            raise ServiceError(f"cannot reach service at {self._base}: {error.reason}")
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition payload of ``GET /metrics``."""
+        request = urllib.request.Request(self._base + "/metrics")
+        try:
+            with urllib.request.urlopen(request, timeout=self._timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ServiceError(f"HTTP {error.code} from /metrics") from error
+        except urllib.error.URLError as error:
+            raise ServiceError(f"cannot reach service at {self._base}: {error.reason}")

@@ -52,17 +52,19 @@ from __future__ import annotations
 import json
 import socketserver
 import threading
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro import serialization
 from repro.algorithms.base import FrequencyEstimator, Item
-from repro.engine.codec import TokenCodec
+from repro.engine.codec import TokenAdmissionError, TokenCodec
 from repro.algorithms.frequent import Frequent
 from repro.algorithms.frequent_real import FrequentR
 from repro.algorithms.space_saving import SpaceSaving
 from repro.algorithms.space_saving_real import SpaceSavingR
 from repro.core.tail_guarantee import TailGuarantee
+from repro.service.metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 from repro.service.sharding import DEFAULT_QUEUE_DEPTH, ShardedSummarizer
 from repro.service.snapshots import Snapshot, SnapshotManager
 from repro.service.wal import (
@@ -127,6 +129,12 @@ class ServiceConfig:
     #: Seconds between automatic checkpoints (0 = checkpoint on demand
     #: only, via the ``checkpoint`` op or ``repro query checkpoint``).
     checkpoint_interval: float = 0.0
+    #: Attach a :class:`~repro.service.metrics.MetricsRegistry` (Prometheus
+    #: instruments behind ``GET /metrics``).  ``False`` restores the bare
+    #: pre-observability hot path -- the uninstrumented baseline that
+    #: ``benchmarks/bench_http.py --check`` measures the <2% overhead gate
+    #: against.
+    metrics: bool = True
 
     def manifest(self) -> Dict[str, Any]:
         """The fields recovery needs to rebuild this service's estimators."""
@@ -214,6 +222,48 @@ class HeavyHittersService:
         self._decode_memo: Dict[str, Item] = {}
         self._ingest_lock = threading.Lock()
         self.shutdown_requested = threading.Event()
+        self._started = False
+        self._closed = False
+        # Observability: the registry exists before the WAL so the WAL's
+        # latency timers can be wired in at construction.  Hot-path writes
+        # are limited to per-chunk counter bumps; everything the service
+        # already tracks (queue depths, WAL byte counts, snapshot age) is
+        # exposed through scrape-time callbacks at zero ingest cost.
+        self.metrics: Optional[MetricsRegistry] = None
+        self._m_tokens = self._m_batches = self._m_batch_size = None
+        self._m_rejections = self._m_checkpoint_seconds = None
+        wal_append_timer = wal_fsync_timer = None
+        if config.metrics:
+            self.metrics = MetricsRegistry()
+            self._m_tokens = self.metrics.counter(
+                "repro_ingest_tokens_total",
+                "Total token weight acked by the ingest op.",
+            )
+            self._m_batches = self.metrics.counter(
+                "repro_ingest_batches_total",
+                "Ingest requests successfully acked.",
+            )
+            self._m_batch_size = self.metrics.histogram(
+                "repro_ingest_batch_size",
+                "Tokens per ingest request.",
+                buckets=DEFAULT_SIZE_BUCKETS,
+            )
+            self._m_rejections = self.metrics.counter(
+                "repro_admission_rejections_total",
+                "Requests rejected by token admission control.",
+            )
+            self._m_checkpoint_seconds = self.metrics.histogram(
+                "repro_checkpoint_seconds",
+                "Wall time of one durable checkpoint (drain + persist + prune).",
+            )
+            wal_append_timer = self.metrics.histogram(
+                "repro_wal_append_seconds",
+                "WAL append latency (frame build + write + policy fsync).",
+            )
+            wal_fsync_timer = self.metrics.histogram(
+                "repro_wal_fsync_seconds",
+                "os.fsync latency on the active WAL segment.",
+            )
         # Durability: with a WAL, every chunk is appended (fsync per
         # policy) before any shard sees it, and the ingest lock spans
         # append + enqueue so a checkpoint's WAL position always agrees
@@ -230,8 +280,157 @@ class HeavyHittersService:
                 fsync=config.fsync,
                 fsync_interval=config.fsync_interval,
                 max_segment_bytes=config.wal_segment_bytes,
+                append_timer=wal_append_timer,
+                fsync_timer=wal_fsync_timer,
             )
             write_manifest(self.wal.directory, config.manifest())
+        if self.metrics is not None:
+            self._register_scrape_callbacks()
+
+    def _register_scrape_callbacks(self) -> None:
+        """Expose already-tracked state as scrape-time metric callbacks.
+
+        Nothing here runs on the ingest path: each callback reads counters
+        the components maintain anyway, once per ``GET /metrics``.
+        """
+        registry = self.metrics
+        assert registry is not None
+
+        def shard_samples(key: str):
+            def sample():
+                return [
+                    ({"shard": str(row["shard"])}, float(row[key]))
+                    for row in self.sharded.queue_stats()
+                ]
+
+            return sample
+
+        registry.register_callback(
+            "repro_shard_queue_depth",
+            "Batches waiting in each shard worker's queue.",
+            "gauge",
+            shard_samples("pending_batches"),
+        )
+        registry.register_callback(
+            "repro_shard_tokens_applied_total",
+            "Token weight each shard worker has applied to its summary.",
+            "counter",
+            shard_samples("tokens_applied"),
+        )
+        registry.register_callback(
+            "repro_shard_batches_applied_total",
+            "Batches each shard worker has applied to its summary.",
+            "counter",
+            shard_samples("batches_applied"),
+        )
+        registry.register_callback(
+            "repro_stream_weight",
+            "Total token weight enqueued to the shards since start.",
+            "gauge",
+            lambda: [(None, float(self.sharded.tokens_enqueued))],
+        )
+        registry.register_callback(
+            "repro_snapshot_version",
+            "Version of the latest queryable snapshot (0 before the first).",
+            "gauge",
+            lambda: [
+                (
+                    None,
+                    0.0
+                    if self.snapshots.latest is None
+                    else float(self.snapshots.latest.version),
+                )
+            ],
+        )
+        registry.register_callback(
+            "repro_snapshot_age_seconds",
+            "Seconds since the latest snapshot was built.",
+            "gauge",
+            lambda: (
+                []
+                if self.snapshots.snapshot_age_seconds() is None
+                else [(None, float(self.snapshots.snapshot_age_seconds()))]
+            ),
+        )
+        registry.register_callback(
+            "repro_snapshot_refresh_seconds",
+            "Wall time of the most recent snapshot rebuild.",
+            "gauge",
+            lambda: (
+                []
+                if self.snapshots.last_refresh_seconds is None
+                else [(None, float(self.snapshots.last_refresh_seconds))]
+            ),
+        )
+        registry.register_callback(
+            "repro_snapshot_refreshes_total",
+            "Snapshot rebuilds since start.",
+            "counter",
+            lambda: [(None, float(self.snapshots.refreshes_total))],
+        )
+        if self.wal is not None:
+            registry.register_callback(
+                "repro_wal_frames_appended_total",
+                "Frames appended to the write-ahead log since open.",
+                "counter",
+                lambda: [(None, float(self.wal.frames_appended))],
+            )
+            registry.register_callback(
+                "repro_wal_bytes_appended_total",
+                "Bytes appended to the write-ahead log since open.",
+                "counter",
+                lambda: [(None, float(self.wal.bytes_appended))],
+            )
+            registry.register_callback(
+                "repro_wal_segment_rotations_total",
+                "WAL segment rotations since open.",
+                "counter",
+                lambda: [(None, float(self.wal.rotations))],
+            )
+            registry.register_callback(
+                "repro_checkpoint_version",
+                "Version of the most recent durable checkpoint.",
+                "gauge",
+                lambda: [(None, float(self._checkpoint_version))],
+            )
+        if self.windowed is not None:
+            registry.register_callback(
+                "repro_window_current_bucket",
+                "Id of the window bucket currently receiving traffic.",
+                "gauge",
+                lambda: [(None, float(self.windowed.current_bucket))],
+            )
+            registry.register_callback(
+                "repro_window_advances_total",
+                "Window bucket rotations since start.",
+                "counter",
+                lambda: [(None, float(self.windowed.advances_total))],
+            )
+        registry.register_callback(
+            "repro_service_ready",
+            "1 when the service passes its readiness checks, else 0.",
+            "gauge",
+            lambda: [(None, 1.0 if self.ready else 0.0)],
+        )
+        registry.register_callback(
+            "repro_service_info",
+            "Static service configuration (value is always 1).",
+            "gauge",
+            lambda: [
+                (
+                    {
+                        "algorithm": self.config.algorithm,
+                        "weighted": str(self.config.weighted).lower(),
+                        "num_counters": str(self.config.num_counters),
+                        "num_shards": str(self.config.num_shards),
+                        "protocol": str(PROTOCOL_VERSION),
+                        "wal": "on" if self.wal is not None else "off",
+                        "fsync": self.config.fsync,
+                    },
+                    1.0,
+                )
+            ],
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -243,14 +442,41 @@ class HeavyHittersService:
             self.snapshots.start(self.config.snapshot_interval)
         if self.wal is not None and self.config.checkpoint_interval > 0:
             self._start_checkpoint_ticker(self.config.checkpoint_interval)
+        self._started = True
         return self
 
     def close(self) -> None:
+        self._closed = True
         self._stop_checkpoint_ticker()
         self.snapshots.stop()
         self.sharded.close()
         if self.wal is not None:
             self.wal.close()
+
+    # ------------------------------------------------------------------ #
+    # Readiness
+    # ------------------------------------------------------------------ #
+
+    @property
+    def ready(self) -> bool:
+        """True when every readiness check passes (see :meth:`readiness`)."""
+        return all(self.readiness().values())
+
+    def readiness(self) -> Dict[str, bool]:
+        """Per-check readiness verdicts backing ``GET /readyz``.
+
+        Ready means the service can take traffic *now*: it has been
+        started (recovery replay, which runs before ``start()``, shows up
+        as not-ready), it has not been closed, every shard worker thread
+        is alive and draining its queue, and the WAL (when configured) is
+        still accepting appends.
+        """
+        return {
+            "started": self._started,
+            "not_closed": not self._closed,
+            "shards_draining": self.sharded.workers_alive(),
+            "wal_writable": self.wal is None or not self.wal.closed,
+        }
 
     def restore(self, result: "RecoveryResult") -> None:
         """Install crash-recovered state (before :meth:`start`).
@@ -282,6 +508,7 @@ class HeavyHittersService:
             raise RuntimeError(
                 "service has no write-ahead log (start with wal_dir set)"
             )
+        checkpoint_started = time.perf_counter()
         with self._checkpoint_lock:
             with self._ingest_lock:
                 # The checkpoint file is fsynced, so the WAL bytes its
@@ -309,6 +536,10 @@ class HeavyHittersService:
                 durable=self.config.fsync != "off",
             )
             pruned = self.wal.prune_upto(position)
+        if self._m_checkpoint_seconds is not None:
+            self._m_checkpoint_seconds.observe(
+                time.perf_counter() - checkpoint_started
+            )
         return {
             "version": version,
             "path": str(path),
@@ -364,6 +595,10 @@ class HeavyHittersService:
         try:
             return handler(self, request)
         except (ValueError, RuntimeError, KeyError, TypeError, OSError) as error:
+            if self._m_rejections is not None and isinstance(
+                error, (TokenAdmissionError, serialization.SerializationError)
+            ):
+                self._m_rejections.inc()
             return {"ok": False, "error": str(error)}
 
     def _op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -442,6 +677,12 @@ class HeavyHittersService:
             ingested = self.sharded.ingest(chunk)
             if self.windowed is not None:
                 self.windowed.update_batch(chunk)
+        if self._m_tokens is not None:
+            # One counter bump per *chunk* (not per token), after the ack
+            # is decided: scraped totals always equal acked totals.
+            self._m_tokens.inc(ingested)
+            self._m_batches.inc()
+            self._m_batch_size.observe(len(items))
         response = {
             "ok": True,
             "ingested": ingested,

@@ -161,6 +161,8 @@ class _ShardWorker(threading.Thread):
         self.lock = threading.Lock()
         self.error: BaseException | None = None
         self.tokens_applied = 0
+        self.batches_applied = 0
+        self.batches_failed = 0
 
     def run(self) -> None:
         while True:
@@ -173,9 +175,11 @@ class _ShardWorker(threading.Thread):
                 with self.lock:
                     self.estimator.update_batch(items, weights)
                 self.tokens_applied += len(items)
+                self.batches_applied += 1
             except BaseException as exc:  # surfaced to producers on flush()
                 # Only the failing batch is dropped; batches queued behind
                 # it still apply.  The first error wins until surfaced.
+                self.batches_failed += 1
                 if self.error is None:
                     self.error = exc
             finally:
@@ -276,6 +280,28 @@ class ShardedSummarizer:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    @property
+    def started(self) -> bool:
+        with self._state:
+            return self._started
+
+    @property
+    def closed(self) -> bool:
+        with self._state:
+            return self._closed
+
+    def workers_alive(self) -> bool:
+        """True while every shard thread is running and able to drain.
+
+        The readiness probe's "shards draining" check: a dead worker means
+        its queue will back up until producers block forever, so the
+        service must stop advertising itself as ready.
+        """
+        with self._state:
+            if not self._started or self._closed:
+                return False
+        return all(worker.is_alive() for worker in self._workers)
 
     # ------------------------------------------------------------------ #
     # Ingest
@@ -451,12 +477,31 @@ class ShardedSummarizer:
                     {
                         "shard": worker.shard_id,
                         "tokens_applied": worker.tokens_applied,
+                        "batches_applied": worker.batches_applied,
                         "stream_length": worker.estimator.stream_length,
                         "counters_in_use": len(worker.estimator),
                         "pending_batches": worker.queue.qsize(),
                     }
                 )
         return stats
+
+    def queue_stats(self) -> List[Dict[str, float]]:
+        """Lock-free per-shard progress counters, cheap enough per scrape.
+
+        Unlike :meth:`shard_stats` this never touches a shard lock, so a
+        metrics scrape cannot stall (or be stalled by) a worker applying a
+        batch; the integer reads are each individually consistent.
+        """
+        return [
+            {
+                "shard": worker.shard_id,
+                "pending_batches": worker.queue.qsize(),
+                "tokens_applied": worker.tokens_applied,
+                "batches_applied": worker.batches_applied,
+                "batches_failed": worker.batches_failed,
+            }
+            for worker in self._workers
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

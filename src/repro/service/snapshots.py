@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, List, Mapping, Optional, Tuple, Union
@@ -142,6 +143,20 @@ class SnapshotManager:
     #: The exception of the most recent failed periodic refresh (None when
     #: the last tick succeeded); the stats op surfaces it to operators.
     last_refresh_error: Optional[BaseException] = field(default=None, repr=False)
+    #: Observability bookkeeping, read by the metrics plane at scrape time:
+    #: wall-clock instant and duration of the most recent successful
+    #: refresh, plus a lifetime refresh count.  ``snapshot age`` -- the
+    #: operator's staleness signal -- is ``time.time() - last_refresh_wall``.
+    last_refresh_wall: Optional[float] = field(default=None, repr=False)
+    last_refresh_seconds: Optional[float] = field(default=None, repr=False)
+    refreshes_total: int = field(default=0, repr=False)
+
+    def snapshot_age_seconds(self) -> Optional[float]:
+        """Seconds since the latest snapshot was built (None before any)."""
+        with self._lock:
+            if self.last_refresh_wall is None:
+                return None
+            return max(0.0, time.time() - self.last_refresh_wall)
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -167,6 +182,7 @@ class SnapshotManager:
         """
         if drain:
             self.sharded.flush()
+        started = time.perf_counter()
         # _refresh_lock serialises whole rebuilds (periodic ticker vs manual
         # refreshes); _lock is only held for the version bump and the final
         # swap, so readers of `latest` never wait on a merge or a disk write.
@@ -192,6 +208,9 @@ class SnapshotManager:
                 snapshot = self._persist(snapshot)
             with self._lock:
                 self._latest = snapshot
+                self.last_refresh_wall = time.time()
+                self.last_refresh_seconds = time.perf_counter() - started
+                self.refreshes_total += 1
             return snapshot
 
     def _persist(self, snapshot: Snapshot) -> Snapshot:

@@ -216,6 +216,12 @@ class WriteAheadLog:
         (``None`` disables time-based rotation).
     compress:
         Gzip chunk payloads before framing (the reader auto-detects).
+    append_timer / fsync_timer:
+        Optional observers with an ``observe(seconds)`` method (e.g.
+        :class:`repro.service.metrics.Histogram`) timing each append and
+        each physical ``fsync``.  ``None`` (the default) keeps the append
+        path observer-free -- one ``is not None`` test per append, so
+        durability benchmarks without metrics measure the bare log.
 
     Examples
     --------
@@ -237,6 +243,8 @@ class WriteAheadLog:
         max_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
         max_segment_age: Optional[float] = None,
         compress: bool = False,
+        append_timer: Optional[Any] = None,
+        fsync_timer: Optional[Any] = None,
     ) -> None:
         if fsync not in FSYNC_POLICIES:
             raise ValueError(
@@ -258,6 +266,8 @@ class WriteAheadLog:
         self.max_segment_bytes = max_segment_bytes
         self.max_segment_age = max_segment_age
         self.compress = compress
+        self._append_timer = append_timer
+        self._fsync_timer = fsync_timer
         self._lock = threading.Lock()
         self._closed = False
         self._last_fsync = time.monotonic()
@@ -309,6 +319,8 @@ class WriteAheadLog:
         ``"always"`` the frame (and everything before it) is on disk.
         """
         frame = encode_frame(frame_type, payload)
+        timer = self._append_timer
+        start = time.perf_counter() if timer is not None else 0.0
         with self._lock:
             if self._closed:
                 raise WalError("write-ahead log is closed")
@@ -323,7 +335,9 @@ class WriteAheadLog:
                 and time.monotonic() - self._segment_opened >= self.max_segment_age
             ):
                 self._rotate_locked()
-            return position
+        if timer is not None:
+            timer.observe(time.perf_counter() - start)
+        return position
 
     def append_chunk(self, chunk: EncodedChunk) -> WalPosition:
         """Log one encoded ingest chunk (wire-format v2 payload)."""
@@ -338,14 +352,24 @@ class WriteAheadLog:
         payload = json.dumps({"steps": int(steps)}).encode("utf-8")
         return self.append(FRAME_ADVANCE, payload)
 
+    def _fsync_locked(self) -> None:
+        """One physical fsync of the current segment, timed when observed."""
+        timer = self._fsync_timer
+        if timer is None:
+            os.fsync(self._file.fileno())
+            return
+        start = time.perf_counter()
+        os.fsync(self._file.fileno())
+        timer.observe(time.perf_counter() - start)
+
     def _sync_locked(self) -> None:
         self._file.flush()
         if self.fsync == "always":
-            os.fsync(self._file.fileno())
+            self._fsync_locked()
         elif self.fsync == "interval":
             now = time.monotonic()
             if now - self._last_fsync >= self.fsync_interval:
-                os.fsync(self._file.fileno())
+                self._fsync_locked()
                 self._last_fsync = now
                 self._dirty = False
             else:
@@ -361,7 +385,7 @@ class WriteAheadLog:
                 if self._closed:
                     return
                 if self._dirty:
-                    os.fsync(self._file.fileno())
+                    self._fsync_locked()
                     self._last_fsync = time.monotonic()
                     self._dirty = False
 
@@ -371,7 +395,7 @@ class WriteAheadLog:
             if self._closed:
                 return
             self._file.flush()
-            os.fsync(self._file.fileno())
+            self._fsync_locked()
             self._last_fsync = time.monotonic()
             self._dirty = False
 
@@ -382,7 +406,7 @@ class WriteAheadLog:
     def _rotate_locked(self) -> None:
         self._file.flush()
         if self.fsync != "off":
-            os.fsync(self._file.fileno())
+            self._fsync_locked()
             self._dirty = False
         self._file.close()
         self._segment_index += 1
@@ -401,6 +425,16 @@ class WriteAheadLog:
         """The position one past the last appended byte."""
         with self._lock:
             return WalPosition(self._segment_index, self._offset)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran -- the log no longer accepts appends.
+
+        The readiness probe's "WAL writable" check reads this: a closed
+        (or never-opened) log means acked durability can no longer be
+        honoured, so the service must stop advertising itself as ready.
+        """
+        return self._closed
 
     def prune_upto(self, position: WalPosition) -> int:
         """Delete segments wholly covered by ``position``; returns the count.

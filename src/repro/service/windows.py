@@ -161,6 +161,8 @@ class WindowedSummarizer:
         self._buckets: Deque[_Bucket] = collections.deque(
             [_Bucket(0, make_estimator())], maxlen=num_buckets
         )
+        #: Lifetime count of bucket rotations, read by the metrics plane.
+        self.advances_total = 0
 
     # ------------------------------------------------------------------ #
     # Ingest / time
@@ -210,6 +212,7 @@ class WindowedSummarizer:
             for _ in range(steps):
                 next_id += 1
                 self._buckets.append(_Bucket(next_id, self.make_estimator()))
+            self.advances_total += steps
             return next_id
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,268 @@
+"""Tests for the zero-dependency metrics instruments and exposition format.
+
+The contract under test is the Prometheus text exposition format 0.0.4:
+counters/gauges render one sample per label combination, histograms render
+*cumulative* ``_bucket{le=...}`` series plus ``_sum``/``_count``, and the
+whole payload survives a round-trip through :func:`parse_exposition` (the
+format-validity oracle the HTTP-plane tests reuse).
+"""
+
+import math
+import threading
+
+import pytest
+
+from repro.service.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_exposition,
+    render_value,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("requests_total", "Requests.")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("requests_total", "Requests.")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+        assert counter.value == 0.0
+
+    def test_labelled_cells_are_independent(self):
+        counter = Counter("http_total", "Requests.", labelnames=("path", "code"))
+        counter.labels("/healthz", "200").inc(3)
+        counter.labels(path="/readyz", code="503").inc()
+        assert counter.labels("/healthz", "200").value == 3.0
+        assert counter.labels("/readyz", "503").value == 1.0
+
+    def test_unlabelled_access_on_labelled_family_rejected(self):
+        counter = Counter("http_total", "Requests.", labelnames=("path",))
+        with pytest.raises(ValueError, match="use .labels"):
+            counter.inc()
+
+    def test_wrong_label_arity_rejected(self):
+        counter = Counter("http_total", "Requests.", labelnames=("path", "code"))
+        with pytest.raises(ValueError, match="2 label values"):
+            counter.labels("/healthz")
+        with pytest.raises(ValueError, match="unknown labels"):
+            counter.labels(path="/x", code="200", verb="GET")
+
+    def test_render(self):
+        counter = Counter("hits_total", "Hits.", labelnames=("shard",))
+        counter.labels("0").inc(2)
+        counter.labels("1").inc(5)
+        text = counter.render()
+        assert "# HELP hits_total Hits." in text
+        assert "# TYPE hits_total counter" in text
+        assert 'hits_total{shard="0"} 2' in text
+        assert 'hits_total{shard="1"} 5' in text
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("depth", "Queue depth.")
+        gauge.set(7)
+        gauge.inc(3)
+        gauge.dec(4)
+        assert gauge.value == 6.0
+
+    def test_can_go_negative(self):
+        gauge = Gauge("delta", "Drift.")
+        gauge.dec(2)
+        assert gauge.value == -2.0
+
+
+class TestHistogram:
+    def test_cumulative_buckets_and_sum_count(self):
+        histogram = Histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0))
+        for value in (0.05, 0.05, 0.5, 2.0):
+            histogram.observe(value)
+        samples = parse_exposition(histogram.render())
+        buckets = samples["lat_seconds_bucket"]
+        assert buckets[(("le", "0.1"),)] == 2  # cumulative
+        assert buckets[(("le", "1"),)] == 3
+        assert buckets[(("le", "+Inf"),)] == 4
+        assert samples["lat_seconds_count"][()] == 4
+        assert samples["lat_seconds_sum"][()] == pytest.approx(2.6)
+
+    def test_boundary_lands_in_its_bucket(self):
+        # le is inclusive: an observation exactly on a bound counts there.
+        histogram = Histogram("h", "H.", buckets=(1.0, 2.0))
+        histogram.observe(1.0)
+        samples = parse_exposition(histogram.render())
+        assert samples["h_bucket"][(("le", "1"),)] == 1
+
+    def test_explicit_inf_bucket_collapses_onto_implicit(self):
+        histogram = Histogram("h", "H.", buckets=(1.0, math.inf))
+        assert histogram.buckets == (1.0,)
+
+    def test_non_increasing_buckets_rejected(self):
+        with pytest.raises(ValueError, match="increasing"):
+            Histogram("h", "H.", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="increasing"):
+            Histogram("h", "H.", buckets=())
+
+    def test_default_size_buckets_accepted(self):
+        Histogram("batch", "B.", buckets=DEFAULT_SIZE_BUCKETS).observe(100)
+
+    def test_labelled_histogram(self):
+        histogram = Histogram("h", "H.", buckets=(1.0,), labelnames=("shard",))
+        histogram.labels("3").observe(0.5)
+        samples = parse_exposition(histogram.render())
+        assert samples["h_bucket"][(("le", "1"), ("shard", "3"))] == 1
+        assert samples["h_count"][(("shard", "3"),)] == 1
+
+
+class TestRegistry:
+    def test_getters_are_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("a_total", "A.")
+        second = registry.counter("a_total", "A.")
+        assert first is second
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "A.")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("a_total", "A.")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("9starts_with_digit", "Bad.")
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("has-dash", "Bad.")
+
+    def test_callback_sampled_at_scrape_time(self):
+        registry = MetricsRegistry()
+        state = {"value": 1.0}
+        registry.register_callback(
+            "depth", "Depth.", "gauge", lambda: [(None, state["value"])]
+        )
+        assert parse_exposition(registry.render())["depth"][()] == 1.0
+        state["value"] = 9.0
+        assert parse_exposition(registry.render())["depth"][()] == 9.0
+
+    def test_labelled_callback(self):
+        registry = MetricsRegistry()
+        registry.register_callback(
+            "q",
+            "Q.",
+            "gauge",
+            lambda: [({"shard": str(i)}, float(i)) for i in range(3)],
+        )
+        samples = parse_exposition(registry.render())["q"]
+        assert samples[(("shard", "2"),)] == 2.0
+
+    def test_raising_callback_counted_not_fatal(self):
+        registry = MetricsRegistry()
+        registry.counter("fine_total", "Fine.").inc()
+
+        def boom():
+            raise RuntimeError("broken sampler")
+
+        registry.register_callback("broken", "B.", "gauge", boom)
+        samples = parse_exposition(registry.render())
+        assert samples["fine_total"][()] == 1.0
+        assert samples["repro_metrics_scrape_errors_total"][()] == 1.0
+
+    def test_callback_kind_restricted(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="counter or gauge"):
+            registry.register_callback("h", "H.", "histogram", lambda: [])
+
+    def test_unregister(self):
+        registry = MetricsRegistry()
+        registry.counter("gone_total", "G.")
+        registry.unregister("gone_total")
+        assert registry.get("gone_total") is None
+        assert "gone_total" not in registry.render()
+
+    def test_render_ends_with_newline(self):
+        # The exposition format requires a trailing newline on the payload.
+        assert MetricsRegistry().render().endswith("\n")
+
+
+class TestExpositionFormat:
+    def test_render_value_spellings(self):
+        assert render_value(3.0) == "3"
+        assert render_value(2.5) == "2.5"
+        assert render_value(math.inf) == "+Inf"
+        assert render_value(-math.inf) == "-Inf"
+        assert render_value(math.nan) == "NaN"
+
+    def test_label_value_escaping_round_trips(self):
+        counter = Counter("c_total", "C.", labelnames=("path",))
+        tricky = 'quo"te\\slash\nnewline'
+        counter.labels(tricky).inc()
+        samples = parse_exposition(counter.render())
+        assert samples["c_total"][(("path", tricky),)] == 1.0
+
+    def test_help_newline_escaped(self):
+        counter = Counter("c_total", "line one\nline two")
+        assert "# HELP c_total line one\\nline two" in counter.render()
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_exposition("what even is this line")
+        with pytest.raises(ValueError):
+            parse_exposition('name{unclosed="x" 1')
+
+    def test_full_registry_payload_parses(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "A.").inc(2)
+        registry.gauge("b", "B.", labelnames=("x",)).labels("1").set(4)
+        registry.histogram("c_seconds", "C.", buckets=(0.1, 1.0)).observe(0.5)
+        samples = parse_exposition(registry.render())
+        assert samples["a_total"][()] == 2.0
+        assert samples["b"][(("x", "1"),)] == 4.0
+        assert samples["c_seconds_count"][()] == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_sum_exactly(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n_total", "N.")
+        histogram = registry.histogram("h", "H.", buckets=(0.5,))
+
+        def worker():
+            for _ in range(1_000):
+                counter.inc()
+                histogram.observe(0.25)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8_000.0
+        assert histogram.count == 8_000
+
+    def test_scrape_during_writes_is_parseable(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n_total", "N.", labelnames=("w",))
+        stop = threading.Event()
+
+        def writer(worker_id: int):
+            while not stop.is_set():
+                counter.labels(str(worker_id)).inc()
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(50):
+                parse_exposition(registry.render())  # must never raise
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
