@@ -9,6 +9,11 @@ claim and gates it:
   ``ServiceConfig(metrics=False)``: the uninstrumented baseline;
 * ``ingest-metrics-on``  -- the same ingest with the full registry wired
   (WAL latency timers, ingest counters, scrape callbacks registered);
+* ``ingest-tracing-off`` -- instrumented ingest with tracing and the
+  accuracy auditor disabled;
+* ``ingest-tracing-on``  -- the same ingest with the full ISSUE 7
+  observability surface: ambient trace sampling at the default 1% plus
+  the hash-sampled accuracy auditor mirroring the stream;
 * ``http-ingest``        -- ingest pushed through the REST plane
   (``POST /v1/ingest``), for the record -- the TCP socket remains the
   fast path;
@@ -54,10 +59,18 @@ NUM_SHARDS = 4
 #: throughput.
 MIN_INSTRUMENTED_RETENTION = 0.98
 
+#: Same floor for the ISSUE 7 surface: ingest with ambient trace
+#: sampling (1%) plus the accuracy auditor must retain at least this
+#: fraction of the tracing-off throughput.
+MIN_TRACING_RETENTION = 0.98
+
 STREAM = zipf_stream(num_items=10_000, alpha=1.1, total=200_000, seed=83)
 
 
-def _config(wal_dir: str, metrics: bool) -> ServiceConfig:
+def _config(wal_dir: str, metrics: bool, tracing: Optional[bool] = None) -> ServiceConfig:
+    # tracing=None keeps the PR 6 pair byte-for-byte comparable across
+    # the trajectory: tracing and audit both off, as that pair predates
+    # them.  tracing=True/False is the ISSUE 7 A/B pair.
     return ServiceConfig(
         num_counters=NUM_COUNTERS,
         num_shards=NUM_SHARDS,
@@ -65,14 +78,18 @@ def _config(wal_dir: str, metrics: bool) -> ServiceConfig:
         wal_dir=wal_dir,
         fsync="interval",
         metrics=metrics,
+        tracing=bool(tracing),
+        audit_rate=1.0 / 64.0 if tracing else 0.0,
     )
 
 
-def _run_handle_ingest(items, metrics: bool) -> float:
+def _run_handle_ingest(items, metrics: bool, tracing: Optional[bool] = None) -> float:
     """Seconds to push the stream through ``service.handle()`` directly."""
     directory = Path(tempfile.mkdtemp(prefix="bench-http-"))
     try:
-        service = HeavyHittersService(_config(str(directory), metrics)).start()
+        service = HeavyHittersService(
+            _config(str(directory), metrics, tracing)
+        ).start()
         try:
             start = time.perf_counter()
             for chunk in iter_chunks(items, CHUNK_SIZE):
@@ -145,6 +162,16 @@ if pytest is not None:
         )
         assert seconds > 0
 
+    @pytest.mark.parametrize("tracing", (False, True), ids=("tracing-off", "tracing-on"))
+    def test_traced_ingest_throughput(benchmark, tracing):
+        seconds = benchmark.pedantic(
+            _run_handle_ingest,
+            args=(STREAM.items, True, tracing),
+            iterations=1,
+            rounds=3,
+        )
+        assert seconds > 0
+
     def test_http_ingest_throughput(benchmark):
         seconds = benchmark.pedantic(
             _run_http_ingest, args=(STREAM.items,), iterations=1, rounds=3
@@ -174,11 +201,21 @@ def run_comparison(rounds: int = 3, total: int = 200_000) -> List[dict]:
     # neighbours) lands on both sides of the ratio equally.
     best_off: Optional[float] = None
     best_on: Optional[float] = None
+    best_trace_off: Optional[float] = None
+    best_trace_on: Optional[float] = None
     for _ in range(max(1, rounds)):
         off = _run_handle_ingest(items, metrics=False)
         on = _run_handle_ingest(items, metrics=True)
+        trace_off = _run_handle_ingest(items, metrics=True, tracing=False)
+        trace_on = _run_handle_ingest(items, metrics=True, tracing=True)
         best_off = off if best_off is None else min(best_off, off)
         best_on = on if best_on is None else min(best_on, on)
+        best_trace_off = (
+            trace_off if best_trace_off is None else min(best_trace_off, trace_off)
+        )
+        best_trace_on = (
+            trace_on if best_trace_on is None else min(best_trace_on, trace_on)
+        )
     rows = [
         {
             "config": "ingest-metrics-off",
@@ -195,6 +232,22 @@ def run_comparison(rounds: int = 3, total: int = 200_000) -> List[dict]:
             "shards": NUM_SHARDS,
             "ingest_seconds": best_on,
             "tokens_per_second": len(items) / best_on,
+        },
+        {
+            "config": "ingest-tracing-off",
+            "tokens": len(items),
+            "chunk_size": CHUNK_SIZE,
+            "shards": NUM_SHARDS,
+            "ingest_seconds": best_trace_off,
+            "tokens_per_second": len(items) / best_trace_off,
+        },
+        {
+            "config": "ingest-tracing-on",
+            "tokens": len(items),
+            "chunk_size": CHUNK_SIZE,
+            "shards": NUM_SHARDS,
+            "ingest_seconds": best_trace_on,
+            "tokens_per_second": len(items) / best_trace_on,
         },
     ]
     best_http = min(_run_http_ingest(items) for _ in range(max(1, rounds)))
@@ -246,6 +299,24 @@ def check_artifact(path: str) -> int:
             file=sys.stderr,
         )
         return 1
+    # The ISSUE 7 gate: tracing + auditor on vs off.  Older artifacts
+    # (pre-tracing trajectory entries) simply lack the rows -- skip.
+    if "ingest-tracing-off" in rows and "ingest-tracing-on" in rows:
+        tracing_baseline = rows["ingest-tracing-off"]["tokens_per_second"]
+        tracing_on = rows["ingest-tracing-on"]["tokens_per_second"]
+        tracing_retention = tracing_on / tracing_baseline
+        print(
+            f"traced ingest retention: {tracing_retention:.1%} "
+            f"({tracing_on:,.0f} vs {tracing_baseline:,.0f} tok/s; floor "
+            f"{MIN_TRACING_RETENTION:.0%})"
+        )
+        if tracing_retention < MIN_TRACING_RETENTION:
+            print(
+                f"REGRESSION: tracing + audit cost more than "
+                f"{1 - MIN_TRACING_RETENTION:.0%} of ingest throughput",
+                file=sys.stderr,
+            )
+            return 1
     scrape = rows.get("metrics-scrape")
     if scrape is not None and scrape.get("scrapes_per_second"):
         print(f"metrics scrape rate: {scrape['scrapes_per_second']:,.0f} scrapes/s")

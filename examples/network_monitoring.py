@@ -14,7 +14,11 @@ popularity and bursty arrivals stands in for a real capture; we find
 * the same pipeline *crashing mid-stream* with a write-ahead log enabled:
   the process is abandoned SIGKILL-style between acks, ``recover()``
   rebuilds the state from the log, zero acked packets are lost, and the
-  revived service keeps ingesting on top of the recovered state.
+  revived service keeps ingesting on top of the recovered state, and
+* one *force-traced* ingest and query: ``trace=True`` makes the server
+  record per-stage spans (decode, admission, shard apply, ...) and hand
+  the latency breakdown back on the response -- the first tool to reach
+  for when the service is slow.
 
 Structured keys ride wire format v2 (type-tagged tokens), so the exact
 tuples come back from every query; tokens the wire cannot carry are
@@ -163,6 +167,25 @@ def five_tuples_through_the_service(trace) -> None:
                 )
                 hitters = client.heavy_hitters(phi=0.01)
                 print(f"flows above 1% of traffic: {len(hitters)}")
+
+                # Force-trace one ingest and one query: the server records
+                # per-stage spans and attaches the breakdown to the
+                # response (a traced ingest waits for its batches to apply,
+                # so the shard_apply span is inline).
+                print("\nforce-traced ingest (per-stage latency):")
+                client.ingest(flows[:CHUNK], trace=True)
+                breakdown = client.last_trace
+                print(f"  trace {breakdown['trace_id']}")
+                for span in breakdown["spans"]:
+                    print(f"    {span['name']:<14} {span['ms']:8.3f} ms")
+                print(f"    {'total':<14} {breakdown['total_ms']:8.3f} ms")
+                client.top_k(TOP, trace=True)
+                query_trace = client.last_trace
+                stages = ", ".join(span["name"] for span in query_trace["spans"])
+                print(
+                    f"force-traced top-{TOP} query: {query_trace['total_ms']:.3f} ms"
+                    f" across stages [{stages}]"
+                )
                 snapshot_path = Path(meta["path"])
         finally:
             server.shutdown()

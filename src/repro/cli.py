@@ -238,8 +238,10 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import RecoveryError, ServiceConfig, WalError, serve
     from repro.service.http import serve_http
+    from repro.service.logging import configure_logging
     from repro.service.recovery import resume_service
 
+    configure_logging(log_format=args.log_format, level=args.log_level)
     config = ServiceConfig(
         algorithm=args.algorithm,
         num_counters=args.counters,
@@ -256,6 +258,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         wal_segment_bytes=args.wal_segment_bytes,
         checkpoint_interval=args.checkpoint_interval,
         metrics=not args.no_metrics,
+        tracing=not args.no_tracing,
+        trace_sample_rate=args.trace_sample_rate,
+        slow_request_seconds=args.slow_request_seconds,
+        audit_rate=args.audit_rate,
     )
     # The HTTP plane comes up *before* recovery replay: an orchestrator
     # then sees liveness (200 /healthz) with readiness 503 "recovering"
@@ -619,6 +625,44 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="seconds between automatic WAL checkpoints (0 = on demand only)",
+    )
+    serve.add_argument(
+        "--log-format",
+        choices=("text", "json"),
+        default="text",
+        help="structured log output: human-readable text or one JSON object "
+        "per line (trace_id-correlated) for log aggregators",
+    )
+    serve.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="minimum level emitted on the service loggers",
+    )
+    serve.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help="disable request tracing entirely (/v1/traces answers an error)",
+    )
+    serve.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.01,
+        help="fraction of requests ambiently sampled into the trace ring "
+        "(forced traces via ?trace=1 are always recorded)",
+    )
+    serve.add_argument(
+        "--slow-request-seconds",
+        type=float,
+        default=1.0,
+        help="log a WARNING for any request slower than this (0 disables)",
+    )
+    serve.add_argument(
+        "--audit-rate",
+        type=float,
+        default=1.0 / 64.0,
+        help="fraction of the key space mirrored exactly by the live "
+        "accuracy auditor (0 disables auditing)",
     )
     serve.set_defaults(func=_cmd_serve)
 

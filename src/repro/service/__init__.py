@@ -29,12 +29,30 @@ bounds.  The pipeline is::
 * :mod:`repro.service.metrics` -- zero-dependency Prometheus-style
   Counter/Gauge/Histogram instruments and their text exposition;
 * :mod:`repro.service.http` -- the operations HTTP plane (REST queries,
-  ``/healthz`` / ``/readyz`` probes, ``/metrics``) behind
-  ``repro serve --http-port`` and ``repro query --http``.
+  ``/healthz`` / ``/readyz`` probes, ``/metrics``, the live dashboard at
+  ``/``) behind ``repro serve --http-port`` and ``repro query --http``;
+* :mod:`repro.service.tracing` -- zero-dependency W3C
+  traceparent-compatible request tracing: per-stage spans from decode
+  through WAL append to shard apply, a bounded in-memory ring exported at
+  ``GET /v1/traces``, probabilistic + forced sampling;
+* :mod:`repro.service.logging` -- structured JSON / text logging with
+  trace-id correlation behind ``repro serve --log-format``;
+* :mod:`repro.service.audit` -- live accuracy auditor: a deterministic
+  hash-sampled exact mirror of the stream whose observed errors are
+  compared against the paper's k-tail bound and exported as
+  ``repro_observed_error`` / ``repro_error_budget_ratio`` gauges.
 """
 
+from repro.service.audit import AccuracyAuditor, AuditReport
 from repro.service.client import HttpServiceClient, ServiceClient, ServiceError
+from repro.service.dashboard import DASHBOARD_HTML
 from repro.service.http import OperationsHttpServer, serve_http
+from repro.service.logging import (
+    JsonFormatter,
+    TextFormatter,
+    configure_logging,
+    get_logger,
+)
 from repro.service.metrics import MetricsRegistry, parse_exposition
 from repro.service.recovery import (
     RecoveryError,
@@ -50,12 +68,23 @@ from repro.service.server import (
 )
 from repro.service.sharding import ShardedSummarizer, partition_batch, shard_for
 from repro.service.snapshots import Snapshot, SnapshotManager
+from repro.service.tracing import (
+    Trace,
+    TraceContext,
+    Tracer,
+    format_server_timing,
+    parse_traceparent,
+)
 from repro.service.wal import WalError, WalPosition, WriteAheadLog, iter_wal
 from repro.service.windows import WindowAnswer, WindowedSummarizer
 
 __all__ = [
+    "AccuracyAuditor",
+    "AuditReport",
+    "DASHBOARD_HTML",
     "HeavyHittersService",
     "HttpServiceClient",
+    "JsonFormatter",
     "MetricsRegistry",
     "OperationsHttpServer",
     "RecoveryError",
@@ -67,13 +96,21 @@ __all__ = [
     "ShardedSummarizer",
     "Snapshot",
     "SnapshotManager",
+    "TextFormatter",
+    "Trace",
+    "TraceContext",
+    "Tracer",
     "WalError",
     "WalPosition",
     "WindowAnswer",
     "WindowedSummarizer",
     "WriteAheadLog",
+    "configure_logging",
+    "format_server_timing",
+    "get_logger",
     "iter_wal",
     "parse_exposition",
+    "parse_traceparent",
     "partition_batch",
     "recover",
     "resume_service",

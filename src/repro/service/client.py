@@ -35,6 +35,17 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import serialization
 from repro.algorithms.base import Item
+from repro.service.tracing import TraceContext
+
+
+def _force_trace_field() -> Dict[str, Any]:
+    """The request's ``trace`` field for a client-initiated forced trace.
+
+    A fresh client-side context rides along as a W3C ``traceparent`` so
+    the server's span joins the caller's trace id (the id printed by the
+    client and the id in the server's ring/logs agree).
+    """
+    return {"force": True, "traceparent": TraceContext.new().to_traceparent()}
 
 
 def _needs_tagging(item: Item) -> bool:
@@ -109,6 +120,10 @@ class ServiceClient:
         #: (appended under fsync=always).
         self.last_ingest_wal: Optional[Dict[str, Any]] = None
         self.last_ingest_durable: bool = False
+        #: Per-stage latency breakdown of the most recent response, when
+        #: that request was force-traced (``trace=True`` on ingest/point/
+        #: top_k); ``None`` otherwise.
+        self.last_trace: Optional[Dict[str, Any]] = None
 
     @staticmethod
     def from_url(url: str, timeout: float = 30.0) -> "ServiceClient":
@@ -158,6 +173,7 @@ class ServiceClient:
         if not line:
             raise ServiceError("connection closed by the service")
         response = json.loads(line)
+        self.last_trace = response.get("trace")
         if not response.get("ok"):
             raise ServiceError(response.get("error", "unknown service error"))
         return response
@@ -184,13 +200,23 @@ class ServiceClient:
         return bool(response.get("pong"))
 
     def ingest(
-        self, items: Sequence[Item], weights: Optional[Sequence[float]] = None
+        self,
+        items: Sequence[Item],
+        weights: Optional[Sequence[float]] = None,
+        trace: bool = False,
     ) -> int:
         """Push one chunk of tokens; returns how many the service accepted.
 
         Structured tokens switch the whole request to the tagged encoding
         (validated and encoded client-side, so an uncarriable token fails
         here, synchronously, before anything is sent).
+
+        ``trace=True`` force-samples the request: the server records the
+        per-stage pipeline spans (decode, admission, WAL append, shard
+        apply, ...) and attaches the breakdown to the response, available
+        afterwards as :attr:`last_trace`.  A traced ingest waits for its
+        batches to apply (a shard-queue barrier), so reserve it for
+        debugging, not steady-state ingest.
 
         Durability: a WAL-backed server appends the chunk to its log
         *before* acking, so when this call returns under ``fsync=always``
@@ -212,6 +238,8 @@ class ServiceClient:
             request["encoding"] = "tagged"
         if weights is not None:
             request["weights"] = [float(weight) for weight in weights]
+        if trace:
+            request["trace"] = _force_trace_field()
         response = self.call(request)
         self.last_ingest_wal = response.get("wal")
         self.last_ingest_durable = bool(response.get("durable", False))
@@ -257,16 +285,38 @@ class ServiceClient:
             del response["item_tagged"]
         return response
 
-    def point(self, item: Item) -> Dict[str, Any]:
-        """Point query against the latest snapshot (estimate + guarantee)."""
-        return self._point_request({"op": "query", "type": "point"}, item)
+    def point(self, item: Item, trace: bool = False) -> Dict[str, Any]:
+        """Point query against the latest snapshot (estimate + guarantee).
+
+        ``trace=True`` force-samples the query; the per-stage breakdown
+        lands on :attr:`last_trace`.
+        """
+        request: Dict[str, Any] = {"op": "query", "type": "point"}
+        if trace:
+            request["trace"] = _force_trace_field()
+        return self._point_request(request, item)
 
     def estimate(self, item: Item) -> float:
         return float(self.point(item)["estimate"])
 
-    def top_k(self, k: int) -> List[Tuple[Item, float]]:
-        response = self.call({"op": "query", "type": "top-k", "k": k})
+    def top_k(self, k: int, trace: bool = False) -> List[Tuple[Item, float]]:
+        request: Dict[str, Any] = {"op": "query", "type": "top-k", "k": k}
+        if trace:
+            request["trace"] = _force_trace_field()
+        response = self.call(request)
         return [(_entry_item(entry), entry["estimate"]) for entry in response["top_k"]]
+
+    def traces(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Recent sampled traces from the server's ring buffer."""
+        request: Dict[str, Any] = {"op": "traces"}
+        if limit is not None:
+            request["limit"] = int(limit)
+        return self.call(request)["traces"]
+
+    def audit(self) -> Dict[str, Any]:
+        """Run an accuracy audit now; returns the report (see
+        :class:`repro.service.audit.AuditReport`)."""
+        return self.call({"op": "audit"})
 
     def heavy_hitters(self, phi: float) -> List[Tuple[Item, float]]:
         response = self.call({"op": "query", "type": "heavy-hitters", "phi": phi})
@@ -344,22 +394,31 @@ class HttpServiceClient(ServiceClient):
         self._protocol: Optional[int] = None
         self.last_ingest_wal: Optional[Dict[str, Any]] = None
         self.last_ingest_durable: bool = False
+        self.last_trace: Optional[Dict[str, Any]] = None
 
     # -- transport ------------------------------------------------------- #
 
     def _http(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Dict[str, Any]:
         data = None if body is None else json.dumps(body).encode("utf-8")
+        request_headers = dict(headers or {})
+        if data:
+            request_headers["Content-Type"] = "application/json"
         request = urllib.request.Request(
             self._base + path,
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            headers=request_headers,
         )
         try:
             with urllib.request.urlopen(request, timeout=self._timeout) as response:
                 payload = json.loads(response.read().decode("utf-8"))
+                self.last_trace = payload.get("trace")
         except urllib.error.HTTPError as error:
             # Service-level failures arrive as 4xx/5xx with the same
             # {"ok": false, "error": ...} payload the TCP protocol uses.
@@ -403,6 +462,13 @@ class HttpServiceClient(ServiceClient):
             )
         if op == "query":
             return self._query(request)
+        if op == "traces":
+            path = "/v1/traces"
+            if "limit" in request:
+                path += f"?limit={int(request['limit'])}"
+            return self._http("GET", path)
+        if op == "audit":
+            return self._http("GET", "/v1/audit")
         if op == "shutdown":
             raise ServiceError(
                 "shutdown is not available over HTTP; use the TCP plane"
@@ -430,8 +496,18 @@ class HttpServiceClient(ServiceClient):
         for key in ("k", "phi", "window"):
             if key in request:
                 params[key] = str(request[key])
+        headers: Dict[str, str] = {}
+        trace_field = request.get("trace")
+        if trace_field:
+            # Force-sample over HTTP: ?trace=1 plus the W3C header so the
+            # server joins the client's trace id.
+            params["trace"] = "1"
+            if isinstance(trace_field, dict) and trace_field.get("traceparent"):
+                headers["traceparent"] = str(trace_field["traceparent"])
         query = urllib.parse.urlencode(params)
-        return self._http("GET", route + ("?" + query if query else ""))
+        return self._http(
+            "GET", route + ("?" + query if query else ""), headers=headers
+        )
 
     def close(self) -> None:
         """Nothing to release: each call is one self-contained HTTP request."""

@@ -23,6 +23,7 @@ protocol stays the ingest fast path; this plane is for everything an
 
 Routes::
 
+    GET  /                                 live dashboard (static HTML)
     GET  /healthz
     GET  /readyz
     GET  /metrics
@@ -34,10 +35,20 @@ Routes::
     GET  /v1/window/top-k?k=10[&window=W]
     GET  /v1/window/point?item=KEY[&tagged=1][&window=W]
     GET  /v1/window/heavy-hitters?phi=0.01[&window=W]
+    GET  /v1/traces[?limit=N]              recent sampled traces
+    GET  /v1/audit                         run an accuracy audit now
     POST /v1/ingest                        body = TCP ingest op fields
     POST /v1/snapshot                      body = {"drain": bool}?
     POST /v1/checkpoint
     POST /v1/advance-window                body = {"steps": int}?
+
+Tracing: ``?trace=1`` on any ``/v1`` route (or a sampled W3C
+``traceparent`` request header) force-samples the request; the response
+then carries the per-stage breakdown in its JSON body plus
+``Server-Timing`` and ``traceparent`` response headers.  Every error
+payload includes a ``trace_id`` — the id to grep server logs and
+``/v1/traces`` by — and unexpected handler failures return structured
+JSON 500s rather than a printed traceback with no response.
 
 Everything is stdlib (:mod:`http.server`): no new runtime dependency.
 The server is a ``ThreadingHTTPServer``, so scrapes and queries proceed
@@ -53,8 +64,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, Optional
 from urllib.parse import parse_qs, urlsplit
 
+from repro.service.dashboard import DASHBOARD_HTML
+from repro.service.logging import get_logger
 from repro.service.metrics import MetricsRegistry
 from repro.service.server import PROTOCOL_VERSION, HeavyHittersService
+from repro.service.tracing import TraceContext, format_server_timing, parse_traceparent
 
 __all__ = ["OperationsHttpServer", "serve_http", "CONTENT_TYPE_EXPOSITION"]
 
@@ -62,6 +76,9 @@ __all__ = ["OperationsHttpServer", "serve_http", "CONTENT_TYPE_EXPOSITION"]
 CONTENT_TYPE_EXPOSITION = "text/plain; version=0.0.4; charset=utf-8"
 
 _JSON = "application/json; charset=utf-8"
+_HTML = "text/html; charset=utf-8"
+
+_LOG = get_logger("http")
 
 #: route pattern -> builder(query, body) -> service.handle() request dict.
 #: Patterns (not raw paths) also label ``repro_http_requests_total``, so
@@ -165,6 +182,19 @@ def _route_window_heavy_hitters(query: Dict[str, str]) -> Dict[str, Any]:
     }
 
 
+@_get_op("/v1/traces")
+def _route_traces(query: Dict[str, str]) -> Dict[str, Any]:
+    request: Dict[str, Any] = {"op": "traces"}
+    if "limit" in query:
+        request["limit"] = int(query["limit"])
+    return request
+
+
+@_get_op("/v1/audit")
+def _route_audit(query: Dict[str, str]) -> Dict[str, Any]:
+    return {"op": "audit"}
+
+
 @_post_op("/v1/ingest")
 def _route_ingest(body: Dict[str, Any]) -> Dict[str, Any]:
     return {"op": "ingest", **body}
@@ -202,21 +232,69 @@ class _OperationsHandler(BaseHTTPRequestHandler):
         # request counter metric carries the same signal, labelled.
         pass
 
-    def _send(self, code: int, payload: bytes, content_type: str) -> None:
+    def _send(
+        self,
+        code: int,
+        payload: bytes,
+        content_type: str,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
 
     def _send_json(self, code: int, payload: Dict[str, Any]) -> None:
-        self._send(code, (json.dumps(payload) + "\n").encode("utf-8"), _JSON)
+        # Error payloads always carry a trace_id (the correlation handle
+        # for server logs and /v1/traces); traced responses additionally
+        # get the breakdown as Server-Timing + traceparent headers.
+        headers: Optional[Dict[str, str]] = None
+        if not payload.get("ok"):
+            payload.setdefault("trace_id", self._trace_id())
+        breakdown = payload.get("trace")
+        if isinstance(breakdown, dict):
+            headers = {
+                "Server-Timing": format_server_timing(breakdown),
+                "traceparent": TraceContext(
+                    trace_id=breakdown.get("trace_id", self._trace_id()),
+                    span_id=breakdown.get("span_id", "0" * 16),
+                ).to_traceparent(),
+            }
+        self._send(
+            code, (json.dumps(payload) + "\n").encode("utf-8"), _JSON, headers
+        )
+
+    def _trace_id(self) -> str:
+        """This request's trace id: joined from the caller's traceparent
+        header when one parses, freshly minted otherwise."""
+        cached = getattr(self, "_trace_ctx", None)
+        if cached is None:
+            parent = parse_traceparent(self.headers.get("traceparent"))
+            cached = parent.trace_id if parent is not None else TraceContext.new().trace_id
+            self._trace_ctx = cached
+        return cached
+
+    def _trace_request(self, query: Dict[str, str]) -> Dict[str, Any]:
+        """The op request's ``trace`` field, from ``?trace=1`` / headers."""
+        field: Dict[str, Any] = {}
+        traceparent = self.headers.get("traceparent")
+        if traceparent:
+            field["traceparent"] = traceparent
+        if query.get("trace") in ("1", "true", "yes"):
+            field["force"] = True
+        return field
 
     def _count(self, pattern: str, code: int) -> None:
         self.server.count_request(pattern, code)
 
     def _read_body(self) -> Dict[str, Any]:
-        length = int(self.headers.get("Content-Length") or 0)
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise ValueError("Content-Length header must be an integer")
         if length == 0:
             return {}
         body = json.loads(self.rfile.read(length).decode("utf-8"))
@@ -244,11 +322,51 @@ class _OperationsHandler(BaseHTTPRequestHandler):
         self._send_json(code, response)
         self._count(pattern, code)
 
+    def _guarded(self, pattern_hint: str, handler: Callable[[], None]) -> None:
+        """Run one request handler; any unexpected failure becomes a
+        structured JSON 500 (with trace_id) instead of http.server's
+        printed traceback and silent connection drop."""
+        self._trace_ctx = None  # keep-alive reuses this handler instance
+        try:
+            handler()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to answer
+        except Exception as error:  # noqa: BLE001 - the HTTP boundary
+            trace_id = self._trace_id()
+            _LOG.error(
+                "unhandled error serving request",
+                extra={
+                    "path": self.path,
+                    "trace_id": trace_id,
+                    "error": repr(error),
+                },
+                exc_info=True,
+            )
+            try:
+                self._send_json(
+                    500,
+                    {
+                        "ok": False,
+                        "error": f"internal error: {error}",
+                        "trace_id": trace_id,
+                    },
+                )
+            except OSError:
+                pass  # response channel already broken
+            self._count(pattern_hint, 500)
+
     # -- GET ------------------------------------------------------------ #
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._guarded("GET", self._handle_get)
+
+    def _handle_get(self) -> None:
         split = urlsplit(self.path)
         path = split.path.rstrip("/") or "/"
+        if path == "/":
+            self._send(200, DASHBOARD_HTML.encode("utf-8"), _HTML)
+            self._count("/", 200)
+            return
         if path == "/healthz":
             self._send_json(
                 200, {"ok": True, "status": "alive", "protocol": PROTOCOL_VERSION}
@@ -276,6 +394,9 @@ class _OperationsHandler(BaseHTTPRequestHandler):
             self._send_json(400, {"ok": False, "error": str(error)})
             self._count(path, 400)
             return
+        trace_field = self._trace_request(query)
+        if trace_field:
+            request.setdefault("trace", trace_field)
         self._dispatch_op(path, request)
 
     def _do_readyz(self) -> None:
@@ -310,7 +431,11 @@ class _OperationsHandler(BaseHTTPRequestHandler):
     # -- POST ----------------------------------------------------------- #
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        path = urlsplit(self.path).path.rstrip("/") or "/"
+        self._guarded("POST", self._handle_post)
+
+    def _handle_post(self) -> None:
+        split = urlsplit(self.path)
+        path = split.path.rstrip("/") or "/"
         builder = _POST_OPS.get(path)
         if builder is None:
             self._send_json(404, {"ok": False, "error": f"no route {path!r}"})
@@ -322,6 +447,14 @@ class _OperationsHandler(BaseHTTPRequestHandler):
             self._send_json(400, {"ok": False, "error": f"bad request body: {error}"})
             self._count(path, 400)
             return
+        query = {
+            name: values[-1]
+            for name, values in parse_qs(split.query, keep_blank_values=True).items()
+        }
+        trace_field = self._trace_request(query)
+        if trace_field:
+            # A trace carried in the body wins over query/header hints.
+            request.setdefault("trace", trace_field)
         self._dispatch_op(path, request)
 
 

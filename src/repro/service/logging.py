@@ -1,0 +1,116 @@
+"""Structured logging for the service: JSON or key=value text lines.
+
+The service's log consumers fall in two camps: a human tailing a
+terminal (``--log-format text``, the default) and a log pipeline
+shipping to a collector (``--log-format json``).  Both get the same
+*structure* — every ``extra`` field a call site attaches (``trace_id``,
+``op``, ``seconds``) is preserved — only the rendering differs, so a
+trace id found in a JSON log line can be pasted straight into
+``GET /v1/traces``.
+
+Plain stdlib ``logging`` underneath: handlers, levels, and third-party
+integration all behave exactly as any Python operator expects.  The
+module name shadows nothing at runtime — absolute imports mean
+``import logging`` inside this file resolves to the stdlib.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import sys
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["JsonFormatter", "TextFormatter", "configure_logging", "get_logger"]
+
+ROOT_LOGGER_NAME = "repro"
+
+# LogRecord's own attributes; anything else in record.__dict__ arrived
+# via `extra=` and belongs in the structured payload.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+def _structured_fields(record: logging.LogRecord) -> Dict[str, Any]:
+    return {
+        key: value
+        for key, value in record.__dict__.items()
+        if key not in _RESERVED and not key.startswith("_")
+    }
+
+
+def _isoformat(created: float) -> str:
+    base = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(created))
+    millis = int((created % 1.0) * 1000)
+    return f"{base}.{millis:03d}Z"
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; stable keys, extras flattened in."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": _isoformat(record.created),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        payload.update(_structured_fields(record))
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        # default=str keeps a bad extra (e.g. a Path or an exception
+        # object) from killing the log line that reports a failure.
+        return json.dumps(payload, default=str, sort_keys=True)
+
+
+class TextFormatter(logging.Formatter):
+    """Human-first: timestamp, level, message, then key=value extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        parts = [
+            _isoformat(record.created),
+            record.levelname,
+            record.name,
+            record.getMessage(),
+        ]
+        for key, value in sorted(_structured_fields(record).items()):
+            parts.append(f"{key}={value}")
+        line = " ".join(str(part) for part in parts)
+        if record.exc_info:
+            line = f"{line}\n{self.formatException(record.exc_info)}"
+        return line
+
+
+def configure_logging(
+    log_format: str = "text",
+    level: str = "info",
+    stream: Optional[io.TextIOBase] = None,
+) -> logging.Logger:
+    """Install one handler on the ``repro`` logger tree; idempotent.
+
+    Reconfiguring replaces the previous handler rather than stacking a
+    second one, so tests (and ``repro serve`` restarts in one process)
+    can call this freely.
+    """
+    if log_format not in ("text", "json"):
+        raise ValueError(f"log_format must be 'text' or 'json', got {log_format!r}")
+    numeric_level = logging.getLevelName(level.upper())
+    if not isinstance(numeric_level, int):
+        raise ValueError(f"unknown log level {level!r}")
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(numeric_level)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if log_format == "json" else TextFormatter())
+    for existing in list(root.handlers):
+        root.removeHandler(existing)
+    root.addHandler(handler)
+    root.propagate = False
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Child logger under the ``repro`` tree (``repro.service`` etc.)."""
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")

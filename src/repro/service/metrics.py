@@ -418,7 +418,11 @@ class _Callback:
         ]
         for labels, value in self.fn():
             if labels:
-                names = tuple(labels.keys())
+                # Callback-supplied labels are the one path where names
+                # arrive at scrape time rather than registration time, so
+                # validate here; a bad name raises and is counted in
+                # repro_metrics_scrape_errors_total by the registry.
+                names = tuple(_check_name(label) for label in labels.keys())
                 values = tuple(str(v) for v in labels.values())
             else:
                 names, values = (), ()

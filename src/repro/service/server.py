@@ -50,6 +50,7 @@ were actually merged (see :mod:`repro.service.windows`).
 from __future__ import annotations
 
 import json
+import math
 import socketserver
 import threading
 import time
@@ -64,9 +65,22 @@ from repro.algorithms.frequent_real import FrequentR
 from repro.algorithms.space_saving import SpaceSaving
 from repro.algorithms.space_saving_real import SpaceSavingR
 from repro.core.tail_guarantee import TailGuarantee
+from repro.service.audit import (
+    DEFAULT_AUDIT_INTERVAL,
+    DEFAULT_AUDIT_MAX_ITEMS,
+    DEFAULT_AUDIT_RATE,
+    AccuracyAuditor,
+)
+from repro.service.logging import get_logger
 from repro.service.metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 from repro.service.sharding import DEFAULT_QUEUE_DEPTH, ShardedSummarizer
 from repro.service.snapshots import Snapshot, SnapshotManager
+from repro.service.tracing import (
+    DEFAULT_RING_SIZE,
+    DEFAULT_SAMPLE_RATE,
+    Trace,
+    Tracer,
+)
 from repro.service.wal import (
     DEFAULT_FSYNC_INTERVAL,
     DEFAULT_SEGMENT_BYTES,
@@ -135,6 +149,27 @@ class ServiceConfig:
     #: ``benchmarks/bench_http.py --check`` measures the <2% overhead gate
     #: against.
     metrics: bool = True
+    #: Attach a :class:`~repro.service.tracing.Tracer`.  ``False`` removes
+    #: every per-request clock read (the bare path the tracing-overhead
+    #: bench gate measures against).
+    tracing: bool = True
+    #: Ambient probability that an un-forced request is traced into the
+    #: ring buffer.  Forced traces (``trace={"force": true}`` / ``?trace=1``)
+    #: are always sampled regardless of this rate.
+    trace_sample_rate: float = DEFAULT_SAMPLE_RATE
+    #: Capacity of the recent-traces ring behind ``GET /v1/traces``.
+    trace_ring_size: int = DEFAULT_RING_SIZE
+    #: Requests slower than this many seconds are logged at WARNING with
+    #: their op (and trace id when sampled).  0 disables the slow log.
+    slow_request_seconds: float = 1.0
+    #: Deterministic hash-sampling rate of the accuracy auditor's exact
+    #: mirror (see :mod:`repro.service.audit`).  0 disables auditing.
+    audit_rate: float = DEFAULT_AUDIT_RATE
+    #: Bound on the auditor's mirror size; past it the sampling threshold
+    #: halves (pruning half the mirror) to stay within budget.
+    audit_max_items: int = DEFAULT_AUDIT_MAX_ITEMS
+    #: Minimum seconds between scrape-triggered audit comparisons.
+    audit_interval: float = DEFAULT_AUDIT_INTERVAL
 
     def manifest(self) -> Dict[str, Any]:
         """The fields recovery needs to rebuild this service's estimators."""
@@ -224,6 +259,27 @@ class HeavyHittersService:
         self.shutdown_requested = threading.Event()
         self._started = False
         self._closed = False
+        self._log = get_logger("service")
+        self._slow_threshold = config.slow_request_seconds
+        # Tracing: per-request span recording behind a sampling decision.
+        # Ambient samples only land in the ring (responses stay
+        # byte-identical for unsuspecting clients); forced traces get the
+        # breakdown attached to their response.
+        self.tracer: Optional[Tracer] = None
+        if config.tracing:
+            self.tracer = Tracer(
+                sample_rate=config.trace_sample_rate,
+                ring_size=config.trace_ring_size,
+            )
+        # Accuracy auditing: a deterministic hash-sampled exact mirror of
+        # the ingest stream, compared against snapshots at scrape time.
+        self.auditor: Optional[AccuracyAuditor] = None
+        if config.audit_rate > 0:
+            self.auditor = AccuracyAuditor(
+                rate=config.audit_rate,
+                max_items=config.audit_max_items,
+                interval=config.audit_interval,
+            )
         # Observability: the registry exists before the WAL so the WAL's
         # latency timers can be wired in at construction.  Hot-path writes
         # are limited to per-chunk counter bumps; everything the service
@@ -406,6 +462,85 @@ class HeavyHittersService:
                 "counter",
                 lambda: [(None, float(self.windowed.advances_total))],
             )
+        if self.tracer is not None:
+            registry.register_callback(
+                "repro_traces_sampled_total",
+                "Requests sampled into the trace ring buffer since start.",
+                "counter",
+                lambda: [(None, float(self.tracer.started_total))],
+            )
+            registry.register_callback(
+                "repro_traces_forced_total",
+                "Force-sampled traces (?trace=1 / trace.force) since start.",
+                "counter",
+                lambda: [(None, float(self.tracer.forced_total))],
+            )
+        if self.auditor is not None:
+            # The auditor may be detached later (restore() of recovered
+            # state the mirror never saw), so every callback re-reads
+            # self.auditor and degrades to no samples.
+            def observed_error_samples():
+                auditor = self.auditor
+                report = (
+                    None
+                    if auditor is None
+                    else auditor.report(self.snapshots.latest)
+                )
+                if report is None:
+                    return []
+                return [
+                    ({"quantile": str(quantile)}, float(value))
+                    for quantile, value in report.observed_error.items()
+                ]
+
+            registry.register_callback(
+                "repro_observed_error",
+                "Observed |estimate - exact| over the audited substream "
+                "(quantile 1.0 is the max).",
+                "gauge",
+                observed_error_samples,
+            )
+
+            def budget_ratio_samples():
+                auditor = self.auditor
+                report = (
+                    None
+                    if auditor is None
+                    else auditor.report(self.snapshots.latest)
+                )
+                if report is None or report.budget_ratio is None:
+                    return []
+                if not math.isfinite(report.budget_ratio):
+                    return []
+                return [(None, float(report.budget_ratio))]
+
+            registry.register_callback(
+                "repro_error_budget_ratio",
+                "Observed max error / conservative Theorem 11 bound; "
+                ">= 1 is a certain guarantee violation.",
+                "gauge",
+                budget_ratio_samples,
+            )
+            registry.register_callback(
+                "repro_audit_items",
+                "Distinct items in the auditor's exact mirror.",
+                "gauge",
+                lambda: (
+                    []
+                    if self.auditor is None
+                    else [(None, float(self.auditor.items_audited))]
+                ),
+            )
+            registry.register_callback(
+                "repro_audit_sampled_weight",
+                "Token weight mirrored exactly by the auditor since start.",
+                "gauge",
+                lambda: (
+                    []
+                    if self.auditor is None
+                    else [(None, float(self.auditor.sampled_weight))]
+                ),
+            )
         registry.register_callback(
             "repro_service_ready",
             "1 when the service passes its readiness checks, else 0.",
@@ -491,6 +626,16 @@ class HeavyHittersService:
         if self.windowed is not None and result.window is not None:
             self.windowed.restore_buckets(result.window.bucket_states())
         self._checkpoint_version = result.checkpoint_version
+        if self.auditor is not None and result.stream_length > 0:
+            # The exact mirror starts empty at process start; recovered
+            # estimators carry history it never saw, so every comparison
+            # would be skewed.  Disable rather than mislead.
+            self.auditor = None
+            self._log.info(
+                "accuracy auditor disabled: recovered state predates the "
+                "exact mirror",
+                extra={"recovered_weight": result.stream_length},
+            )
 
     # ------------------------------------------------------------------ #
     # Checkpointing
@@ -585,24 +730,62 @@ class HeavyHittersService:
     # ------------------------------------------------------------------ #
 
     def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        """Dispatch one request dict; never raises, errors become payloads."""
+        """Dispatch one request dict; never raises, errors become payloads.
+
+        Tracing rides the same path: a sampling decision per request,
+        span recording only for the sampled few, and the per-stage
+        breakdown attached to the response for *forced* traces (ambient
+        samples stay ring-only, so ordinary clients see byte-identical
+        payloads).  Requests slower than ``slow_request_seconds`` are
+        logged at WARNING with their trace id when one exists.
+        """
         if not isinstance(request, dict):
             return {"ok": False, "error": "request must be a JSON object"}
         op = request.get("op")
         handler = self._OPS.get(op)
         if handler is None:
             return {"ok": False, "error": f"unknown op {op!r}"}
+        trace: Optional[Trace] = None
+        if self.tracer is not None:
+            trace = self.tracer.begin(op, request.get("trace"))
+        timed = trace is not None or self._slow_threshold > 0.0
+        started = time.perf_counter() if timed else 0.0
         try:
-            return handler(self, request)
+            response = handler(self, request, trace)
         except (ValueError, RuntimeError, KeyError, TypeError, OSError) as error:
             if self._m_rejections is not None and isinstance(
                 error, (TokenAdmissionError, serialization.SerializationError)
             ):
                 self._m_rejections.inc()
-            return {"ok": False, "error": str(error)}
+            response = {"ok": False, "error": str(error)}
+        if timed:
+            elapsed = time.perf_counter() - started
+            if trace is not None:
+                if response.get("ok") is False:
+                    trace.error = str(response.get("error"))
+                trace.finish(elapsed)
+                if trace.forced:
+                    response["trace"] = trace.breakdown()
+            if self._slow_threshold > 0.0 and elapsed >= self._slow_threshold:
+                extra: Dict[str, Any] = {"op": op, "seconds": round(elapsed, 6)}
+                if trace is not None:
+                    extra["trace_id"] = trace.trace_id
+                self._log.warning("slow request", extra=extra)
+        return response
 
-    def _op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        return {"ok": True, "pong": True, "protocol": PROTOCOL_VERSION}
+    def _op_ping(
+        self, request: Dict[str, Any], trace: Optional[Trace] = None
+    ) -> Dict[str, Any]:
+        # "tracing"/"audit" are capability advertisements, not protocol
+        # bumps: the trace request field is optional and ignored by older
+        # servers, so protocol 2 carries it gracefully.
+        return {
+            "ok": True,
+            "pong": True,
+            "protocol": PROTOCOL_VERSION,
+            "tracing": self.tracer is not None,
+            "audit": self.auditor is not None,
+        }
 
     def _decode_tagged_items(self, keys: List[Any]) -> List[Item]:
         """Decode tagged wire items, memoising once per distinct key string.
@@ -625,7 +808,9 @@ class HeavyHittersService:
             decoded.append(token)
         return decoded
 
-    def _op_ingest(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    def _op_ingest(
+        self, request: Dict[str, Any], trace: Optional[Trace] = None
+    ) -> Dict[str, Any]:
         items = request.get("items")
         if not isinstance(items, list):
             return {"ok": False, "error": "ingest requires an 'items' list"}
@@ -653,9 +838,22 @@ class HeavyHittersService:
             ):
                 self._codec = TokenCodec()
                 self._decode_memo.clear()
+            # Trace spans are recorded with bare perf_counter deltas
+            # behind `is not None` guards: the unsampled hot path pays
+            # nothing beyond the comparisons.
+            if trace is not None:
+                mark = time.perf_counter()
             if request.get("encoding") == "tagged":
                 items = self._decode_tagged_items(items)
+            if trace is not None:
+                now = time.perf_counter()
+                trace.add_span("decode", now - mark)
+                mark = now
             chunk = self._codec.encode_chunk(items, weights)
+            if trace is not None:
+                now = time.perf_counter()
+                trace.add_span("admission", now - mark, tokens=len(items))
+                mark = now
             if self.wal is not None:
                 # Durability boundary: the chunk hits the log (fsync per
                 # policy) before any shard sees it, and the ack below only
@@ -669,14 +867,35 @@ class HeavyHittersService:
                 # on recovery.  (The enqueue itself cannot fail validation
                 # -- the codec admitted every token above.)
                 self.sharded.raise_pending_errors()
-                wal_position = self.wal.append_chunk(chunk)
-                ingested = self.sharded.ingest(chunk)
+                wal_position = self.wal.append_chunk(chunk, trace=trace)
+                if trace is not None:
+                    now = time.perf_counter()
+                    trace.add_span("wal_append", now - mark)
+                    mark = now
+                ingested = self.sharded.ingest(chunk, trace=trace)
+                if trace is not None:
+                    trace.add_span("shard_enqueue", time.perf_counter() - mark)
                 if self.windowed is not None:
                     self.windowed.update_batch(chunk)
+                if self.auditor is not None:
+                    self.auditor.observe_chunk(chunk)
         if self.wal is None:
-            ingested = self.sharded.ingest(chunk)
+            if trace is not None:
+                mark = time.perf_counter()
+            ingested = self.sharded.ingest(chunk, trace=trace)
+            if trace is not None:
+                trace.add_span("shard_enqueue", time.perf_counter() - mark)
             if self.windowed is not None:
                 self.windowed.update_batch(chunk)
+            if self.auditor is not None:
+                self.auditor.observe_chunk(chunk)
+        if trace is not None and trace.forced:
+            # Barrier for forced traces only: draining the queues lets the
+            # response breakdown cover the full decode -> admission ->
+            # wal_append -> shard_apply pipeline.  Ambient samples stay
+            # asynchronous; their shard_apply spans land in the ring after
+            # the ack.
+            self.sharded.flush()
         if self._m_tokens is not None:
             # One counter bump per *chunk* (not per token), after the ack
             # is decided: scraped totals always equal acked totals.
@@ -693,11 +912,17 @@ class HeavyHittersService:
             response["durable"] = self.config.fsync == "always"
         return response
 
-    def _op_snapshot(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        snapshot = self.snapshots.refresh(drain=bool(request.get("drain", True)))
+    def _op_snapshot(
+        self, request: Dict[str, Any], trace: Optional[Trace] = None
+    ) -> Dict[str, Any]:
+        snapshot = self.snapshots.refresh(
+            drain=bool(request.get("drain", True)), trace=trace
+        )
         return {"ok": True, **self._snapshot_payload(snapshot)}
 
-    def _op_advance_window(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    def _op_advance_window(
+        self, request: Dict[str, Any], trace: Optional[Trace] = None
+    ) -> Dict[str, Any]:
         if self.windowed is None:
             return {"ok": False, "error": "service started without windows"}
         steps = int(request.get("steps", 1))
@@ -713,10 +938,44 @@ class HeavyHittersService:
             bucket = self.windowed.advance(steps)
         return {"ok": True, "bucket": bucket}
 
-    def _op_checkpoint(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    def _op_checkpoint(
+        self, request: Dict[str, Any], trace: Optional[Trace] = None
+    ) -> Dict[str, Any]:
         return {"ok": True, **self.checkpoint()}
 
-    def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    def _op_traces(
+        self, request: Dict[str, Any], trace: Optional[Trace] = None
+    ) -> Dict[str, Any]:
+        """Export the recent-traces ring (``GET /v1/traces`` over HTTP)."""
+        if self.tracer is None:
+            return {
+                "ok": False,
+                "error": "tracing disabled (service started with tracing=False)",
+            }
+        limit = request.get("limit")
+        return {
+            "ok": True,
+            "sample_rate": self.tracer.sample_rate,
+            "traces": self.tracer.snapshot(None if limit is None else int(limit)),
+        }
+
+    def _op_audit(
+        self, request: Dict[str, Any], trace: Optional[Trace] = None
+    ) -> Dict[str, Any]:
+        """Run one accuracy audit now, against the latest snapshot."""
+        if self.auditor is None:
+            return {
+                "ok": False,
+                "error": "auditor disabled (audit_rate=0, or state was "
+                "recovered after a restart)",
+            }
+        snapshot = self.snapshots.latest_or_refresh(trace=trace)
+        report = self.auditor.run_audit(snapshot)
+        return {"ok": True, **report.as_dict()}
+
+    def _op_stats(
+        self, request: Dict[str, Any], trace: Optional[Trace] = None
+    ) -> Dict[str, Any]:
         latest = self.snapshots.latest
         stats: Dict[str, Any] = {
             "ok": True,
@@ -756,16 +1015,33 @@ class HeavyHittersService:
                     else str(self.last_checkpoint_error)
                 ),
             }
+        if self.tracer is not None:
+            stats["tracing"] = {
+                "sample_rate": self.tracer.sample_rate,
+                "sampled_total": self.tracer.started_total,
+                "forced_total": self.tracer.forced_total,
+                "ring": len(self.tracer),
+            }
+        if self.auditor is not None:
+            stats["audit"] = {
+                "sample_rate": self.auditor.sample_rate,
+                "items_audited": self.auditor.items_audited,
+                "sampled_weight": self.auditor.sampled_weight,
+            }
         return stats
 
-    def _op_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    def _op_shutdown(
+        self, request: Dict[str, Any], trace: Optional[Trace] = None
+    ) -> Dict[str, Any]:
         self.shutdown_requested.set()
         return {"ok": True, "stopping": True}
 
-    def _op_query(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    def _op_query(
+        self, request: Dict[str, Any], trace: Optional[Trace] = None
+    ) -> Dict[str, Any]:
         query_type = request.get("type")
         if query_type in ("point", "top-k", "heavy-hitters"):
-            return self._snapshot_query(query_type, request)
+            return self._snapshot_query(query_type, request, trace)
         if query_type in ("window-point", "window-top-k", "window-heavy-hitters"):
             return self._window_query(query_type, request)
         return {"ok": False, "error": f"unknown query type {query_type!r}"}
@@ -810,8 +1086,15 @@ class HeavyHittersService:
             )
         return item
 
-    def _snapshot_query(self, query_type: str, request: Dict[str, Any]) -> Dict[str, Any]:
-        snapshot = self.snapshots.latest_or_refresh()
+    def _snapshot_query(
+        self,
+        query_type: str,
+        request: Dict[str, Any],
+        trace: Optional[Trace] = None,
+    ) -> Dict[str, Any]:
+        snapshot = self.snapshots.latest_or_refresh(trace=trace)
+        if trace is not None:
+            mark = time.perf_counter()
         response = {"ok": True, **self._snapshot_payload(snapshot)}
         if query_type == "point":
             if "item" not in request:
@@ -829,6 +1112,12 @@ class HeavyHittersService:
             phi = float(request["phi"])
             response["phi"] = phi
             response["heavy_hitters"] = _wire_entries(snapshot.heavy_hitters(phi))
+        if trace is not None:
+            trace.add_span(
+                "query_execute",
+                time.perf_counter() - mark,
+                snapshot_version=snapshot.version,
+            )
         return response
 
     # -- window-backed queries ----------------------------------------- #
@@ -869,7 +1158,7 @@ class HeavyHittersService:
             response["heavy_hitters"] = _wire_entries(answer.heavy_hitters(phi))
         return response
 
-    _OPS: Dict[str, Callable[["HeavyHittersService", Dict[str, Any]], Dict[str, Any]]] = {
+    _OPS: Dict[str, Callable[..., Dict[str, Any]]] = {
         "ping": _op_ping,
         "ingest": _op_ingest,
         "snapshot": _op_snapshot,
@@ -877,6 +1166,8 @@ class HeavyHittersService:
         "advance-window": _op_advance_window,
         "stats": _op_stats,
         "query": _op_query,
+        "traces": _op_traces,
+        "audit": _op_audit,
         "shutdown": _op_shutdown,
     }
 

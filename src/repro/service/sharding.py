@@ -30,6 +30,7 @@ from __future__ import annotations
 import math
 import queue
 import threading
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -170,10 +171,19 @@ class _ShardWorker(threading.Thread):
             if batch is _STOP:
                 self.queue.task_done()
                 return
-            items, weights = batch
+            items, weights, trace = batch
             try:
+                if trace is not None:
+                    started = time.perf_counter()
                 with self.lock:
                     self.estimator.update_batch(items, weights)
+                if trace is not None:
+                    trace.add_span(
+                        "shard_apply",
+                        time.perf_counter() - started,
+                        shard=self.shard_id,
+                        tokens=len(items),
+                    )
                 self.tokens_applied += len(items)
                 self.batches_applied += 1
             except BaseException as exc:  # surfaced to producers on flush()
@@ -315,6 +325,7 @@ class ShardedSummarizer:
         self,
         items: Union[Sequence[Item], EncodedChunk],
         weights: Optional[Sequence[float]] = None,
+        trace=None,
     ) -> int:
         """Route a chunk of tokens to their shards; returns tokens enqueued.
 
@@ -329,6 +340,11 @@ class ShardedSummarizer:
         externally (see :class:`~repro.engine.codec.TokenCodec`).
 
         Blocks when a destination shard's queue is full (backpressure).
+
+        A sampled ``trace`` (see :mod:`repro.service.tracing`) rides
+        along with each sub-batch; the owning worker appends a
+        ``shard_apply`` span when it applies the batch — possibly after
+        this call has already returned (apply is asynchronous).
         """
         with self._state:
             if not self._started or self._closed:
@@ -340,7 +356,9 @@ class ShardedSummarizer:
             self._raise_pending_errors()
             parts = partition_batch(items, self.num_shards, weights)
             for shard_id, batch in parts.items():
-                self._workers[shard_id].queue.put(batch)
+                # Queue entries are (items, weights, trace): the worker
+                # records a shard_apply span for sampled requests.
+                self._workers[shard_id].queue.put((batch[0], batch[1], trace))
             with self._state:
                 self.batches_enqueued += len(parts)
                 self.tokens_enqueued += len(items)

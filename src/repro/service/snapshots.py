@@ -171,7 +171,7 @@ class SnapshotManager:
     # Building snapshots
     # ------------------------------------------------------------------ #
 
-    def refresh(self, drain: bool = False) -> Snapshot:
+    def refresh(self, drain: bool = False, trace=None) -> Snapshot:
         """Merge consistent shard copies into a new versioned snapshot.
 
         With ``drain=True`` the shard queues are flushed first, so the
@@ -179,6 +179,9 @@ class SnapshotManager:
         barrier end-to-end tests (and graceful shutdown) want.  Without it
         the snapshot is simply a consistent cut at batch boundaries while
         ingestion keeps running.
+
+        A sampled ``trace`` receives one ``snapshot_refresh`` span
+        covering the merge (and persistence, when configured).
         """
         if drain:
             self.sharded.flush()
@@ -211,6 +214,12 @@ class SnapshotManager:
                 self.last_refresh_wall = time.time()
                 self.last_refresh_seconds = time.perf_counter() - started
                 self.refreshes_total += 1
+            if trace is not None:
+                trace.add_span(
+                    "snapshot_refresh",
+                    time.perf_counter() - started,
+                    version=snapshot.version,
+                )
             return snapshot
 
     def _persist(self, snapshot: Snapshot) -> Snapshot:
@@ -248,11 +257,11 @@ class SnapshotManager:
         with self._lock:
             return self._latest
 
-    def latest_or_refresh(self) -> Snapshot:
+    def latest_or_refresh(self, trace=None) -> Snapshot:
         """The latest snapshot, building the first one if none exists."""
         snapshot = self.latest
         if snapshot is None:
-            return self.refresh()
+            return self.refresh(trace=trace)
         return snapshot
 
     # ------------------------------------------------------------------ #

@@ -271,6 +271,7 @@ class WriteAheadLog:
         self._lock = threading.Lock()
         self._closed = False
         self._last_fsync = time.monotonic()
+        self._last_fsync_seconds: Optional[float] = None
         self._dirty = False
         self.frames_appended = 0
         self.bytes_appended = 0
@@ -312,11 +313,15 @@ class WriteAheadLog:
         self._offset = len(SEGMENT_MAGIC)
         self._segment_opened = time.monotonic()
 
-    def append(self, frame_type: int, payload: bytes) -> WalPosition:
+    def append(self, frame_type: int, payload: bytes, trace=None) -> WalPosition:
         """Append one frame; returns its end position.
 
         Durability at return time follows the fsync policy: under
         ``"always"`` the frame (and everything before it) is on disk.
+
+        A sampled ``trace`` receives a ``wal_fsync`` sub-span when this
+        append triggered a physical fsync (the interesting case for a
+        latency investigation: the fsync is usually the whole cost).
         """
         frame = encode_frame(frame_type, payload)
         timer = self._append_timer
@@ -329,7 +334,10 @@ class WriteAheadLog:
             self.frames_appended += 1
             self.bytes_appended += len(frame)
             position = WalPosition(self._segment_index, self._offset)
+            self._last_fsync_seconds = None
             self._sync_locked()
+            if trace is not None and self._last_fsync_seconds is not None:
+                trace.add_span("wal_fsync", self._last_fsync_seconds)
             if self._offset >= self.max_segment_bytes or (
                 self.max_segment_age is not None
                 and time.monotonic() - self._segment_opened >= self.max_segment_age
@@ -339,10 +347,12 @@ class WriteAheadLog:
             timer.observe(time.perf_counter() - start)
         return position
 
-    def append_chunk(self, chunk: EncodedChunk) -> WalPosition:
+    def append_chunk(self, chunk: EncodedChunk, trace=None) -> WalPosition:
         """Log one encoded ingest chunk (wire-format v2 payload)."""
         return self.append(
-            FRAME_CHUNK, serialization.dump_chunk_bytes(chunk, compress=self.compress)
+            FRAME_CHUNK,
+            serialization.dump_chunk_bytes(chunk, compress=self.compress),
+            trace=trace,
         )
 
     def append_advance(self, steps: int) -> WalPosition:
@@ -353,14 +363,19 @@ class WriteAheadLog:
         return self.append(FRAME_ADVANCE, payload)
 
     def _fsync_locked(self) -> None:
-        """One physical fsync of the current segment, timed when observed."""
-        timer = self._fsync_timer
-        if timer is None:
-            os.fsync(self._file.fileno())
-            return
+        """One physical fsync of the current segment, always timed.
+
+        The duration is parked on ``_last_fsync_seconds`` so ``append``
+        can attribute it to a sampled trace; the two clock reads are
+        noise next to the fsync itself.
+        """
         start = time.perf_counter()
         os.fsync(self._file.fileno())
-        timer.observe(time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        self._last_fsync_seconds = elapsed
+        timer = self._fsync_timer
+        if timer is not None:
+            timer.observe(elapsed)
 
     def _sync_locked(self) -> None:
         self._file.flush()

@@ -13,13 +13,22 @@ final frame and all), ``repro recover`` must rebuild a state that
 A committed torn-WAL fixture (``tests/data/wal-torn/``) pins the on-disk
 format: a crash image produced by one build must stay recoverable by
 every later build.
+
+Post-mortem artifacts: when ``FAULT_ARTIFACT_DIR`` is set (CI exports it
+and uploads the directory on failure), every spawned server runs with
+``--log-format json`` at full trace sampling, its output is streamed to
+``server-<port>.log`` in that directory, and the trace ring is dumped
+via the TCP ``traces`` op just before each deliberate SIGKILL -- so a
+failing run leaves the structured logs and traces a debugger needs.
 """
 
 import collections
+import json
 import os
 import signal
 import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -39,6 +48,35 @@ STREAM_LENGTH = 100_000
 CHUNK_SIZE = 4_096
 
 
+def _artifact_dir():
+    """Post-mortem artifact directory, or None outside CI."""
+    configured = os.environ.get("FAULT_ARTIFACT_DIR")
+    if not configured:
+        return None
+    path = Path(configured)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _dump_trace_ring(port, name):
+    """Best-effort trace-ring dump before a deliberate kill.
+
+    Failure is fine (the server may already be gone); the dump exists
+    for humans debugging a red CI run, not for assertions.
+    """
+    directory = _artifact_dir()
+    if directory is None:
+        return
+    try:
+        with ServiceClient(port=port, timeout=10.0) as client:
+            traces = client.traces()
+        (directory / f"{name}-traces.json").write_text(
+            json.dumps(traces, indent=2, default=str), encoding="utf-8"
+        )
+    except (ServiceError, OSError):
+        pass
+
+
 def _spawn_server(wal_dir, extra_args=()):
     """Run ``repro serve`` in a subprocess; returns (process, port)."""
     package_root = str(Path(repro.__file__).resolve().parents[1])
@@ -46,6 +84,12 @@ def _spawn_server(wal_dir, extra_args=()):
     env["PYTHONPATH"] = os.pathsep.join(
         [package_root, env.get("PYTHONPATH", "")]
     ).rstrip(os.pathsep)
+    artifact_dir = _artifact_dir()
+    artifact_args = (
+        ("--log-format", "json", "--trace-sample-rate", "1.0")
+        if artifact_dir is not None
+        else ()
+    )
     process = subprocess.Popen(
         [
             sys.executable,
@@ -64,6 +108,7 @@ def _spawn_server(wal_dir, extra_args=()):
             str(wal_dir),
             "--fsync",
             "always",
+            *artifact_args,
             *extra_args,
         ],
         env=env,
@@ -84,6 +129,20 @@ def _spawn_server(wal_dir, extra_args=()):
                 )
         assert " on " in banner, f"no serve banner within 30s: {banner!r}"
         port = int(banner.rsplit(":", 1)[1])
+        if artifact_dir is not None:
+            # Stream the server's JSON logs to the artifact directory on a
+            # daemon thread.  This also keeps the stdout pipe drained --
+            # full-sample tracing logs far more than the banner reader
+            # consumes, and a full pipe would block the server.
+            log_path = artifact_dir / f"server-{port}.log"
+
+            def pump(stdout=process.stdout, path=log_path):
+                with open(path, "w", encoding="utf-8") as sink:
+                    for line in stdout:
+                        sink.write(line)
+                        sink.flush()
+
+            threading.Thread(target=pump, daemon=True).start()
         return process, port
     except BaseException:
         process.kill()
@@ -107,6 +166,7 @@ def test_sigkill_mid_stream_loses_no_acked_token(tmp_path, kill_after_chunks):
                     # this point may ever count as acked.  (Deterministic
                     # by construction -- a sleep-based concurrent killer
                     # can lose the race against a fast server and flake.)
+                    _dump_trace_ring(port, "sigkill-mid-stream")
                     process.send_signal(signal.SIGKILL)
                     process.wait(timeout=30)
                     killed = True
@@ -168,6 +228,7 @@ def test_recover_cli_reports_the_killed_state(tmp_path, capsys):
             client.ingest(["alpha"] * 600 + ["beta"] * 250)
             client.ingest([f"noise-{index}" for index in range(150)])
     finally:
+        _dump_trace_ring(port, "recover-cli")
         process.send_signal(signal.SIGKILL)
         process.wait(timeout=30)
     output = tmp_path / "merged.json"
@@ -208,6 +269,7 @@ def test_serve_restart_recovers_and_keeps_serving(tmp_path):
         with ServiceClient(port=port) as client:
             client.ingest(["persistent"] * 500)
     finally:
+        _dump_trace_ring(port, "restart-first-life")
         process.send_signal(signal.SIGKILL)
         process.wait(timeout=30)
     process, port = _spawn_server(wal_dir)
@@ -219,6 +281,7 @@ def test_serve_restart_recovers_and_keeps_serving(tmp_path):
             stats = client.stats()
             assert stats["wal"]["fsync"] == "always"
     finally:
+        _dump_trace_ring(port, "restart-second-life")
         process.send_signal(signal.SIGKILL)
         process.wait(timeout=30)
 

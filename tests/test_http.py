@@ -450,3 +450,145 @@ class TestCliHttp:
         out = capsys.readouterr().out
         assert "operations HTTP plane on" in out
         assert "serving spacesaving" in out
+
+
+class TestDashboard:
+    def test_root_serves_html(self, running_service):
+        _, http = running_service
+        status, headers, body = _get(http.port, "/")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/html")
+        assert "<html" in body and "/v1/traces" in body and "/metrics" in body
+
+    def test_dashboard_up_during_recovery(self):
+        # The dashboard is static: it must render even before a service
+        # is attached (its JS polls /readyz and shows "recovering").
+        http = serve_http(port=0, service=None)
+        try:
+            status, headers, _ = _get(http.port, "/")
+            assert status == 200
+            assert headers["Content-Type"].startswith("text/html")
+        finally:
+            http.close()
+
+
+class TestStructuredErrors:
+    """ISSUE 7 satellite: malformed input anywhere on the HTTP plane must
+    produce a structured JSON 400/500 carrying a ``trace_id``, never a
+    raw traceback or a silently dropped connection."""
+
+    def _post(self, port, path, data, headers=None):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}{path}",
+            data=data,
+            method="POST",
+            headers=headers or {},
+        )
+        try:
+            with urllib.request.urlopen(request) as response:
+                return response.status, json.loads(response.read().decode())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read().decode())
+
+    @pytest.mark.parametrize(
+        "path", ["/v1/ingest", "/v1/snapshot", "/v1/checkpoint", "/v1/advance-window"]
+    )
+    def test_malformed_json_body_is_structured_400(self, running_service, path):
+        _, http = running_service
+        status, payload = self._post(http.port, path, b"{not json!")
+        assert status == 400
+        assert payload["ok"] is False
+        assert "error" in payload
+        assert len(payload["trace_id"]) == 32
+
+    def test_non_object_json_body_is_structured_400(self, running_service):
+        _, http = running_service
+        status, payload = self._post(http.port, "/v1/ingest", b'["a", "b"]')
+        assert status == 400
+        assert "object" in payload["error"]
+        assert "trace_id" in payload
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "/v1/top-k?k=banana",
+            "/v1/point",  # missing item
+            "/v1/heavy-hitters?phi=banana",
+            "/v1/heavy-hitters",  # missing phi
+            "/v1/window/top-k?k=banana",
+            "/v1/window/point?item=a&window=banana",
+            "/v1/traces?limit=banana",
+        ],
+    )
+    def test_bad_query_params_are_structured_400(self, running_service, path):
+        _, http = running_service
+        status, _, body = _get(http.port, path)
+        assert status == 400
+        payload = json.loads(body)
+        assert payload["ok"] is False and "trace_id" in payload
+
+    def test_404_carries_trace_id(self, running_service):
+        _, http = running_service
+        status, _, body = _get(http.port, "/v1/definitely-not-a-route")
+        assert status == 404
+        assert "trace_id" in json.loads(body)
+
+    def test_503_recovering_carries_trace_id(self):
+        http = serve_http(port=0, service=None)
+        try:
+            status, _, body = _get(http.port, "/v1/stats")
+            assert status == 503
+            assert "trace_id" in json.loads(body)
+        finally:
+            http.close()
+
+    def test_error_joins_upstream_traceparent(self, running_service):
+        from repro.service.tracing import TraceContext
+
+        _, http = running_service
+        upstream = TraceContext.new()
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{http.port}/v1/nope",
+            headers={"traceparent": upstream.to_traceparent()},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        payload = json.loads(excinfo.value.read().decode())
+        assert payload["trace_id"] == upstream.trace_id
+
+    def test_unhandled_exception_is_structured_500(self, running_service):
+        service, http = running_service
+        original = service.handle
+        service.handle = lambda request: (_ for _ in ()).throw(
+            RuntimeError("kaboom")
+        )
+        try:
+            status, _, body = _get(http.port, "/v1/stats")
+        finally:
+            service.handle = original
+        assert status == 500
+        payload = json.loads(body)
+        assert payload["ok"] is False
+        assert "kaboom" in payload["error"]
+        assert len(payload["trace_id"]) == 32
+
+    def test_garbage_content_length_is_400(self, running_service):
+        # Raw socket: urllib would silently rewrite the header.
+        import socket
+
+        _, http = running_service
+        with socket.create_connection(("127.0.0.1", http.port), timeout=5) as sock:
+            sock.sendall(
+                b"POST /v1/checkpoint HTTP/1.1\r\n"
+                b"Host: localhost\r\n"
+                b"Content-Length: banana\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            raw = b""
+            while chunk := sock.recv(4096):
+                raw += chunk
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b" 400 " in head.split(b"\r\n", 1)[0]
+        payload = json.loads(body.decode())
+        assert "Content-Length" in payload["error"]
+        assert "trace_id" in payload

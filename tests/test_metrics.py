@@ -266,3 +266,66 @@ class TestThreadSafety:
             stop.set()
             for thread in threads:
                 thread.join()
+
+
+class TestExpositionEscaping:
+    """ISSUE 7 satellite: every escapable character class round-trips
+    through render -> parse_exposition, alone and combined, on both
+    eagerly-labelled families and scrape-time callback labels."""
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            "newline\nin the middle",
+            "trailing newline\n",
+            'a "quoted" value',
+            "back\\slash",
+            "\\n literal-backslash-n",
+            'all three: "q" \\ and\nnewline',
+            "",  # empty label value
+        ],
+    )
+    def test_label_value_round_trips(self, value):
+        counter = Counter("esc_total", "E.", labelnames=("v",))
+        counter.labels(value).inc(2)
+        samples = parse_exposition(counter.render())
+        assert samples["esc_total"][(("v", value),)] == 2.0
+
+    def test_distinct_tricky_values_stay_distinct(self):
+        counter = Counter("esc_total", "E.", labelnames=("v",))
+        # These would collide if escaping were lossy.
+        first, second = "a\nb", "a\\nb"
+        counter.labels(first).inc(1)
+        counter.labels(second).inc(5)
+        samples = parse_exposition(counter.render())
+        assert samples["esc_total"][(("v", first),)] == 1.0
+        assert samples["esc_total"][(("v", second),)] == 5.0
+
+    def test_callback_label_values_round_trip(self):
+        registry = MetricsRegistry()
+        tricky = 'cb "q"\\\nend'
+        registry.register_callback(
+            "cb_gauge", "CB.", "gauge", lambda: [({"v": tricky}, 7.0)]
+        )
+        samples = parse_exposition(registry.render())
+        assert samples["cb_gauge"][(("v", tricky),)] == 7.0
+
+    def test_help_with_backslash_and_newline_renders_one_line(self):
+        counter = Counter("h_total", "first\nsecond \\ third")
+        rendered = counter.render()
+        help_line = rendered.splitlines()[0]
+        assert help_line == "# HELP h_total first\\nsecond \\\\ third"
+        # And the payload still parses (HELP lines are skipped, samples kept).
+        assert parse_exposition(rendered + "\n")["h_total"][()] == 0.0
+
+    def test_invalid_callback_label_name_counted_not_fatal(self):
+        registry = MetricsRegistry()
+        registry.counter("fine_total", "F.").inc(3)
+        registry.register_callback(
+            "bad_cb", "B.", "gauge", lambda: [({"not-valid!": "x"}, 1.0)]
+        )
+        samples = parse_exposition(registry.render())
+        # The bad family is dropped, the scrape survives, the error counts.
+        assert "bad_cb" not in samples
+        assert samples["fine_total"][()] == 3.0
+        assert samples["repro_metrics_scrape_errors_total"][()] == 1.0

@@ -266,6 +266,8 @@ class TestHeavyHittersServiceHandle:
             "ok": True,
             "pong": True,
             "protocol": 2,
+            "tracing": True,
+            "audit": True,
         }
 
     def test_unknown_op_and_bad_request(self, service):
