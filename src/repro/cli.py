@@ -262,6 +262,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_sample_rate=args.trace_sample_rate,
         slow_request_seconds=args.slow_request_seconds,
         audit_rate=args.audit_rate,
+        binary=not args.no_binary,
     )
     # The HTTP plane comes up *before* recovery replay: an orchestrator
     # then sees liveness (200 /healthz) with readiness 503 "recovering"
@@ -391,8 +392,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
         except serialization.SerializationError as error:
             raise SystemExit(f"invalid --item key: {error}") from error
 
+    binary = "always" if args.binary else "auto"
+    if args.binary and args.http:
+        raise SystemExit("--binary needs the TCP transport; drop --http")
     try:
-        with ServiceClient.from_url(f"{scheme}://{args.host}:{args.port}") as client:
+        with ServiceClient.from_url(
+            f"{scheme}://{args.host}:{args.port}", binary=binary
+        ) as client:
             if args.action == "ingest":
                 path = Path(require(args.input, "--input"))
                 pushed = 0
@@ -569,6 +575,12 @@ def build_parser() -> argparse.ArgumentParser:
         "/metrics then answers 503)",
     )
     serve.add_argument(
+        "--no-binary",
+        action="store_true",
+        help="refuse wire-protocol-v3 binary ingest frames and advertise "
+        "protocol 2 (NDJSON only); v3 clients downgrade automatically",
+    )
+    serve.add_argument(
         "--algorithm", choices=sorted(_UNIT_ALGORITHMS), default="spacesaving"
     )
     serve.add_argument("--counters", type=int, default=1_000, help="counter budget m per shard")
@@ -738,6 +750,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--steps", type=int, default=1, help="buckets to advance")
     query.add_argument("--input", default=None, help="workload file for ingest")
     query.add_argument("--weighted", action="store_true")
+    query.add_argument(
+        "--binary",
+        action="store_true",
+        help="require wire-protocol-v3 binary ingest frames (error out "
+        "against an NDJSON-only server instead of downgrading)",
+    )
     query.add_argument(
         "--batch-size",
         type=int,

@@ -46,7 +46,7 @@ import math
 import weakref
 import zlib
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Type
+from typing import Any, Dict, Optional, Type, Union
 
 import numpy as np
 
@@ -279,8 +279,12 @@ def dump_bytes(summary: FrequencyEstimator, compress: bool = False) -> bytes:
     return dump_bytes_with_cost(summary, compress=compress)[0]
 
 
-def _payload_from_bytes(data: bytes) -> Dict[str, Any]:
+def _payload_from_bytes(data: Union[bytes, bytearray, memoryview]) -> Dict[str, Any]:
     """Decode wire bytes (gzip auto-detected) into a payload dictionary.
+
+    Accepts any bytes-like object -- the wire-protocol-v3 ingest path
+    hands in a :class:`memoryview` aliasing the received socket buffer,
+    so this function must not assume :class:`bytes` methods.
 
     The single definition of byte-level decoding shared by the summary and
     chunk read paths, so their corruption handling cannot drift apart.
@@ -293,7 +297,7 @@ def _payload_from_bytes(data: bytes) -> Dict[str, Any]:
         except (OSError, EOFError, zlib.error) as error:
             raise SerializationError(f"invalid gzip payload: {error}") from error
     try:
-        text = data.decode("utf-8")
+        text = str(data, "utf-8")
     except UnicodeDecodeError as error:
         raise SerializationError(f"payload is not UTF-8: {error}") from error
     try:
@@ -478,6 +482,36 @@ _WIRE_KEY_MEMO: "weakref.WeakKeyDictionary[TokenCodec, np.ndarray]" = (
 )
 
 
+#: The load-side mirror of :data:`_WIRE_KEY_MEMO`: per-codec
+#: ``encoded wire key -> token id``.  A long-lived codec (the service
+#: ingest codec decoding v3 binary frames, a WAL recovery replay) loads
+#: many chunks drawn from one vocabulary, and a key's interned id never
+#: changes -- so the recursive decode/intern cost is paid once per
+#: distinct key instead of once per chunk that references it, and a
+#: steady-state chunk vocabulary resolves with one dict hit per entry.
+#: Bounded by codec rotation (rotating drops the codec, and its memo).
+_WIRE_ID_MEMO: "weakref.WeakKeyDictionary[TokenCodec, Dict[str, int]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _ids_for_wire_keys(codec: TokenCodec, vocabulary: List[Any]) -> np.ndarray:
+    """Codec ids for a chunk's wire-key vocabulary, memoised per codec."""
+    memo = _WIRE_ID_MEMO.get(codec)
+    if memo is None:
+        memo = {}
+        _WIRE_ID_MEMO[codec] = memo
+    lookup = memo.get
+    ids = np.empty(len(vocabulary), dtype=np.int64)
+    for index, key in enumerate(vocabulary):
+        token_id = lookup(key)
+        if token_id is None:
+            token_id = codec.intern(decode_item_key(key))
+            memo[key] = token_id
+        ids[index] = token_id
+    return ids
+
+
 def _wire_keys_for(codec: TokenCodec, values: np.ndarray) -> "list[str]":
     """Encoded wire keys for the (distinct, in-range) ids in ``values``."""
     memo = _WIRE_KEY_MEMO.get(codec)
@@ -568,11 +602,7 @@ def load_chunk(
     # Malformed entries surface as the module's wire-boundary error type, not
     # as raw conversion errors from NumPy or the key decoder.
     try:
-        local_to_codec = np.fromiter(
-            (codec.intern(decode_item_key(key)) for key in vocabulary),
-            dtype=np.int64,
-            count=len(vocabulary),
-        )
+        local_to_codec = _ids_for_wire_keys(codec, vocabulary)
     except (AttributeError, TypeError, ValueError) as error:
         raise SerializationError(f"invalid chunk vocabulary: {error}") from error
     try:
@@ -622,6 +652,14 @@ def dump_chunk_bytes(chunk: EncodedChunk, compress: bool = False) -> bytes:
     return gzip.compress(raw, mtime=0) if compress else raw
 
 
-def load_chunk_bytes(data: bytes, codec: Optional[TokenCodec] = None) -> EncodedChunk:
-    """Reconstruct a chunk from :func:`dump_chunk_bytes` output (gzip or plain)."""
+def load_chunk_bytes(
+    data: Union[bytes, bytearray, memoryview],
+    codec: Optional[TokenCodec] = None,
+) -> EncodedChunk:
+    """Reconstruct a chunk from :func:`dump_chunk_bytes` output (gzip or plain).
+
+    Accepts any bytes-like object; the binary ingest path passes a
+    :class:`memoryview` of the received frame so no intermediate copy of
+    the payload is materialised.
+    """
     return load_chunk(_payload_from_bytes(data), codec)

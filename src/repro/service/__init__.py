@@ -12,7 +12,7 @@ bounds.  The pipeline is::
 
     SnapshotManager: shard copies --merge (Thm 11)--> versioned Snapshot
     Snapshot / WindowAnswer: point, top-k, heavy-hitters queries
-    server/client: newline-delimited JSON over a local TCP socket
+    server/client: NDJSON lines + v3 binary ingest frames, one TCP socket
 
 * :mod:`repro.service.sharding` -- concurrent hash-sharded ingestion;
 * :mod:`repro.service.snapshots` -- versioned, persisted, queryable
@@ -24,8 +24,12 @@ bounds.  The pipeline is::
   shards, so acked ingest survives a crash;
 * :mod:`repro.service.recovery` -- checkpoint + replay crash recovery
   behind ``repro recover`` and ``repro serve --wal-dir`` restarts;
-* :mod:`repro.service.server` / :mod:`repro.service.client` -- the NDJSON
-  socket protocol behind ``repro serve`` and ``repro query``;
+* :mod:`repro.service.server` / :mod:`repro.service.client` -- the TCP
+  wire protocol behind ``repro serve`` and ``repro query``: NDJSON
+  request lines plus, since protocol v3, binary length-prefixed ingest
+  frames that carry the WAL's CRC-framed chunk record end to end;
+* :mod:`repro.service.wire` -- the v3 socket framing shared by both
+  sides (magic + type + length, negotiation constants);
 * :mod:`repro.service.metrics` -- zero-dependency Prometheus-style
   Counter/Gauge/Histogram instruments and their text exposition;
 * :mod:`repro.service.http` -- the operations HTTP plane (REST queries,

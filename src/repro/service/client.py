@@ -1,9 +1,21 @@
-"""Client for the heavy-hitters service's NDJSON socket protocol.
+"""Client for the heavy-hitters service's TCP wire protocol.
 
 A thin wrapper used by ``repro query``, the end-to-end tests and the
 throughput benchmark: one TCP connection, one JSON object per line each
-way.  Responses with ``"ok": false`` raise :class:`ServiceError` so
-callers never have to inspect error payloads.
+way -- and, against a protocol-3 server, binary length-prefixed ingest
+frames interleaved with those lines (see :mod:`repro.service.wire`).
+Responses with ``"ok": false`` raise :class:`ServiceError` so callers
+never have to inspect error payloads.
+
+Binary ingest (protocol v3): the client interns each chunk through its
+own :class:`~repro.engine.codec.TokenCodec` and ships the WAL's exact
+CRC-framed record inside one socket frame, so the server appends the
+received buffer verbatim -- no JSON encode here, no JSON parse there.
+The ``binary`` constructor knob picks the mode: ``"auto"`` (default)
+negotiates via ping and silently downgrades to NDJSON against older
+servers, ``"always"`` raises :class:`ServiceError` when the server
+cannot take frames, ``"never"`` sticks to NDJSON.  Force-traced ingests
+always ride NDJSON (frames carry no trace field).
 
 Structured tokens (protocol v2): tuples, bytes, bools, None and
 non-finite floats are carried as the type-tagged key strings of
@@ -31,11 +43,35 @@ import socket
 import urllib.error
 import urllib.parse
 import urllib.request
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import serialization
 from repro.algorithms.base import Item
+from repro.engine.codec import (
+    EncodedChunk,
+    TokenAdmissionError,
+    TokenCodec,
+    validate_tokens,
+)
 from repro.service.tracing import TraceContext
+from repro.service.wal import encode_chunk_record
+from repro.service.wire import (
+    BINARY_MIN_PROTOCOL,
+    SOCKET_FRAME_INGEST,
+    SOCKET_FRAME_RESPONSE,
+    SOCKET_MAGIC,
+    FrameError,
+    encode_socket_frame,
+    read_socket_frame,
+)
+
+#: Modes of the ``binary`` constructor knob.
+BINARY_MODES = ("auto", "always", "never")
+
+#: Rotation bound on the client-side ingest codec, mirroring the server's
+#: default ``max_vocabulary``: a long-lived client over an unbounded key
+#: space must not grow its interning state without limit.
+_CLIENT_MAX_VOCABULARY = 1 << 20
 
 
 def _force_trace_field() -> Dict[str, Any]:
@@ -110,11 +146,26 @@ class ServiceClient:
     """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 7071, timeout: float = 30.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7071,
+        timeout: float = 30.0,
+        binary: str = "auto",
     ) -> None:
+        if binary not in BINARY_MODES:
+            raise ValueError(f"binary must be one of {BINARY_MODES}, got {binary!r}")
         self._socket = socket.create_connection((host, port), timeout=timeout)
+        # Synchronous request/response: Nagle would hold the tail of each
+        # request behind the server's delayed ACK, stalling every
+        # round-trip by up to the delayed-ACK timeout.
+        self._socket.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._reader = self._socket.makefile("rb")
         self._protocol: Optional[int] = None
+        self._binary = binary
+        #: Lazily-built ingest codec for the binary path; rotated once its
+        #: vocabulary outgrows the bound (the server re-interns per chunk
+        #: vocabulary anyway, so rotation is invisible on the wire).
+        self._codec: Optional[TokenCodec] = None
         #: WAL position of the most recent acked ingest (None when the
         #: server runs without a WAL) and whether that ack was durable
         #: (appended under fsync=always).
@@ -126,25 +177,40 @@ class ServiceClient:
         self.last_trace: Optional[Dict[str, Any]] = None
 
     @staticmethod
-    def from_url(url: str, timeout: float = 30.0) -> "ServiceClient":
+    def from_url(
+        url: str, timeout: float = 30.0, binary: str = "auto"
+    ) -> "ServiceClient":
         """Build a client from a service URL, picking the transport.
 
         ``http://host:port`` speaks the operations HTTP plane
         (:class:`HttpServiceClient`); ``tcp://host:port`` -- or a bare
-        ``host:port`` -- opens the NDJSON socket.  Any other scheme is an
-        error.
+        ``host:port`` -- opens the wire-protocol socket.  Any other scheme
+        is an error, as is ``binary="always"`` over HTTP (the operations
+        plane has no frame transport).
         """
         parsed = urllib.parse.urlsplit(url if "//" in url else "//" + url)
         scheme = parsed.scheme or "tcp"
         if parsed.hostname is None or parsed.port is None:
             raise ValueError(f"service URL needs host and port, got {url!r}")
         if scheme == "http":
+            if binary == "always":
+                raise ValueError(
+                    "binary ingest frames need the TCP transport, not http://"
+                )
             return HttpServiceClient(parsed.hostname, parsed.port, timeout=timeout)
         if scheme == "tcp":
-            return ServiceClient(parsed.hostname, parsed.port, timeout=timeout)
+            return ServiceClient(
+                parsed.hostname, parsed.port, timeout=timeout, binary=binary
+            )
         raise ValueError(
             f"unsupported service URL scheme {scheme!r} (use tcp:// or http://)"
         )
+
+    @property
+    def protocol(self) -> Optional[int]:
+        """The server's negotiated protocol version (``None`` before the
+        first :meth:`ping` or protocol-dependent operation)."""
+        return self._protocol
 
     def _require_tagging_support(self) -> None:
         """Fail fast instead of feeding tagged keys to a v1 server.
@@ -162,6 +228,33 @@ class ServiceClient:
                 "(tuples, bytes, bools, None, non-finite floats)"
             )
 
+    def _use_binary(self, trace: bool = False) -> bool:
+        """Decide the wire encoding for one ingest, negotiating on demand.
+
+        The protocol version comes from one ping, cached for the
+        connection's lifetime.  Forced traces ride NDJSON (frames carry no
+        trace field); under ``"always"`` a server without frame support is
+        a hard :class:`ServiceError` rather than a silent downgrade.
+        """
+        if self._binary == "never":
+            return False
+        if self._protocol is None:
+            self.ping()
+        if self._protocol < BINARY_MIN_PROTOCOL:
+            if self._binary == "always":
+                raise ServiceError(
+                    f"server speaks protocol {self._protocol}, which has no "
+                    "binary ingest frames (need protocol "
+                    f"{BINARY_MIN_PROTOCOL}+); retry without --binary"
+                )
+            return False
+        return not trace
+
+    def _ingest_codec(self) -> TokenCodec:
+        if self._codec is None or len(self._codec) > _CLIENT_MAX_VOCABULARY:
+            self._codec = TokenCodec()
+        return self._codec
+
     # ------------------------------------------------------------------ #
     # Transport
     # ------------------------------------------------------------------ #
@@ -173,6 +266,38 @@ class ServiceClient:
         if not line:
             raise ServiceError("connection closed by the service")
         response = json.loads(line)
+        self.last_trace = response.get("trace")
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown service error"))
+        return response
+
+    def _read_frame_response(self) -> Dict[str, Any]:
+        """Read the response to one binary frame, raising on errors.
+
+        A frame-capable server always answers a frame with a RESPONSE
+        frame; an NDJSON-only deployment answers with one JSON error line
+        instead (its first byte cannot be the frame magic), which is
+        surfaced verbatim as :class:`ServiceError`.
+        """
+        first = self._reader.read(1)
+        if not first:
+            raise ServiceError("connection closed by the service")
+        if first[0] != SOCKET_MAGIC:
+            line = first + self._reader.readline()
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ServiceError(
+                    "malformed response to a binary ingest frame"
+                ) from error
+            raise ServiceError(payload.get("error", "unknown service error"))
+        try:
+            frame_type, payload = read_socket_frame(self._reader, magic_consumed=True)
+        except FrameError as error:
+            raise ServiceError(str(error)) from error
+        if frame_type != SOCKET_FRAME_RESPONSE:
+            raise ServiceError(f"unexpected response frame type {frame_type}")
+        response = json.loads(payload)
         self.last_trace = response.get("trace")
         if not response.get("ok"):
             raise ServiceError(response.get("error", "unknown service error"))
@@ -224,8 +349,23 @@ class ServiceClient:
         (``last_ingest_wal`` holds the acked log position).  Without a WAL
         -- or under weaker fsync policies -- an ack only means the tokens
         reached the shard queues.
+
+        Wire encoding: against a protocol-3 server (unless constructed
+        with ``binary="never"``) the chunk ships as one binary frame --
+        encoded client-side, appended to the server's WAL verbatim.
+        Older servers get the NDJSON request unchanged.
         """
         items = list(items)
+        if self._binary != "never" and self._protocol is None:
+            # Negotiation pings the server, but an uncarriable token must
+            # fail locally, with the admission error, before *anything*
+            # touches the socket -- so validate ahead of the first ping.
+            try:
+                validate_tokens(items)
+            except TokenAdmissionError as error:
+                raise serialization.SerializationError(str(error)) from error
+        if self._use_binary(trace):
+            return self._ingest_binary(items, weights)
         request: Dict[str, Any] = {"op": "ingest", "items": items}
         if any(_needs_tagging(item) for item in items):
             # Encode (and therefore validate) locally *before* the protocol
@@ -244,6 +384,69 @@ class ServiceClient:
         self.last_ingest_wal = response.get("wal")
         self.last_ingest_durable = bool(response.get("durable", False))
         return int(response["ingested"])
+
+    def _ingest_binary(
+        self, items: List[Item], weights: Optional[Sequence[float]]
+    ) -> int:
+        """Encode one chunk locally and ship it as a binary frame.
+
+        Admission control runs inside ``encode_chunk`` -- an uncarriable
+        token fails here, synchronously, before anything hits the socket,
+        with the same :class:`~repro.serialization.SerializationError` the
+        tagged NDJSON path raises.
+        """
+        codec = self._ingest_codec()
+        try:
+            chunk = codec.encode_chunk(items, weights)
+        except TokenAdmissionError as error:
+            raise serialization.SerializationError(str(error)) from error
+        except ValueError as error:
+            # Weight validation parity with the NDJSON path, where the
+            # *server* rejects bad weights and the client surfaces them as
+            # ServiceError: same request, same exception, either wire.
+            raise ServiceError(str(error)) from error
+        return self.ingest_chunk(chunk)
+
+    def ingest_chunk(self, chunk: EncodedChunk) -> int:
+        """Push one pre-encoded columnar chunk.
+
+        The zero-copy producer path: a pipeline that already holds
+        :class:`~repro.engine.codec.EncodedChunk` objects (e.g. a
+        :class:`~repro.streams.batched.BatchedIngestor` with a codec)
+        frames the chunk's wire-v2 bytes once and sends them -- the same
+        bytes the server appends to its WAL.  Falls back to the NDJSON
+        ``ingest`` op when the connection negotiated no binary support.
+        """
+        if not self._use_binary():
+            weights = (
+                None
+                if chunk.weights is None
+                else [float(weight) for weight in chunk.weights]
+            )
+            return self.ingest(chunk.items(), weights)
+        record = encode_chunk_record(chunk)
+        self._socket.sendall(encode_socket_frame(SOCKET_FRAME_INGEST, record))
+        response = self._read_frame_response()
+        self.last_ingest_wal = response.get("wal")
+        self.last_ingest_durable = bool(response.get("durable", False))
+        return int(response["ingested"])
+
+    def update_batch(
+        self,
+        items: Union[EncodedChunk, Sequence[Item]],
+        weights: Optional[Sequence[float]] = None,
+    ) -> int:
+        """Estimator-shaped ingest adapter.
+
+        Makes a client a valid target for
+        :meth:`repro.streams.batched.BatchedIngestor.feed` (and any other
+        ``update_batch`` driver): the whole stream then flows over this
+        one persistent connection, as binary frames when the ingestor
+        carries a codec and the server speaks protocol 3.
+        """
+        if isinstance(items, EncodedChunk):
+            return self.ingest_chunk(items)
+        return self.ingest(items, weights)
 
     def snapshot(self, drain: bool = True) -> Dict[str, Any]:
         """Force a new merged snapshot; returns its metadata."""
@@ -392,6 +595,9 @@ class HttpServiceClient(ServiceClient):
         self._base = f"http://{host}:{port}"
         self._timeout = timeout
         self._protocol: Optional[int] = None
+        # The HTTP plane has no frame transport: every ingest stays JSON.
+        self._binary = "never"
+        self._codec: Optional[TokenCodec] = None
         self.last_ingest_wal: Optional[Dict[str, Any]] = None
         self.last_ingest_durable: bool = False
         self.last_trace: Optional[Dict[str, Any]] = None

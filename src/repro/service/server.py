@@ -84,20 +84,34 @@ from repro.service.tracing import (
 from repro.service.wal import (
     DEFAULT_FSYNC_INTERVAL,
     DEFAULT_SEGMENT_BYTES,
+    WalPosition,
     WriteAheadLog,
+    encode_chunk_record,
+    parse_chunk_record,
     write_checkpoint,
     write_manifest,
+)
+from repro.service.wire import (
+    SOCKET_FRAME_INGEST,
+    SOCKET_FRAME_RESPONSE,
+    SOCKET_MAGIC,
+    FrameError,
+    encode_socket_frame,
+    read_socket_frame,
 )
 from repro.service.windows import WindowAnswer, WindowedSummarizer
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a module cycle
     from repro.service.recovery import RecoveryResult
 
-#: NDJSON protocol version: 2 adds tagged structured-token carriage and the
-#: codec-amortised admission path.  Exposed by the ping response so clients
-#: can refuse to send structured tokens to a v1 server (which would store
-#: the tagged key *strings* verbatim).
-PROTOCOL_VERSION = 2
+#: Wire protocol version: 2 added tagged structured-token carriage and the
+#: codec-amortised admission path; 3 adds binary length-prefixed ingest
+#: frames interleaved with NDJSON lines on the same socket (see
+#: :mod:`repro.service.wire`).  Exposed by the ping response so clients can
+#: negotiate: a v3-aware client only sends frames after seeing protocol >= 3,
+#: and refuses structured tokens to a v1 server (which would store the
+#: tagged key *strings* verbatim).
+PROTOCOL_VERSION = 3
 
 _MISSING = object()
 
@@ -170,6 +184,11 @@ class ServiceConfig:
     audit_max_items: int = DEFAULT_AUDIT_MAX_ITEMS
     #: Minimum seconds between scrape-triggered audit comparisons.
     audit_interval: float = DEFAULT_AUDIT_INTERVAL
+    #: Accept wire-protocol-v3 binary ingest frames on the TCP socket.
+    #: ``False`` runs an NDJSON-only server that advertises protocol 2 and
+    #: answers any binary frame with a one-line JSON error -- the explicit
+    #: downgrade knob for fleets still draining v2-only clients.
+    binary: bool = True
 
     def manifest(self) -> Dict[str, Any]:
         """The fields recovery needs to rebuild this service's estimators."""
@@ -288,6 +307,7 @@ class HeavyHittersService:
         self.metrics: Optional[MetricsRegistry] = None
         self._m_tokens = self._m_batches = self._m_batch_size = None
         self._m_rejections = self._m_checkpoint_seconds = None
+        self._m_ingest_requests = None
         wal_append_timer = wal_fsync_timer = None
         if config.metrics:
             self.metrics = MetricsRegistry()
@@ -298,6 +318,11 @@ class HeavyHittersService:
             self._m_batches = self.metrics.counter(
                 "repro_ingest_batches_total",
                 "Ingest requests successfully acked.",
+            )
+            self._m_ingest_requests = self.metrics.counter(
+                "repro_ingest_requests_total",
+                "Ingest requests acked, by wire encoding (json or binary).",
+                labelnames=("protocol",),
             )
             self._m_batch_size = self.metrics.histogram(
                 "repro_ingest_batch_size",
@@ -558,7 +583,7 @@ class HeavyHittersService:
                         "weighted": str(self.config.weighted).lower(),
                         "num_counters": str(self.config.num_counters),
                         "num_shards": str(self.config.num_shards),
-                        "protocol": str(PROTOCOL_VERSION),
+                        "protocol": str(self.protocol),
                         "wal": "on" if self.wal is not None else "off",
                         "fsync": self.config.fsync,
                     },
@@ -773,6 +798,17 @@ class HeavyHittersService:
                 self._log.warning("slow request", extra=extra)
         return response
 
+    @property
+    def protocol(self) -> int:
+        """The wire protocol version this instance advertises.
+
+        This *is* the negotiation: a client pings, reads this field, and
+        only sends binary frames when it is >= 3.  An instance with
+        ``binary=False`` advertises protocol 2 so v3 clients downgrade to
+        NDJSON automatically.
+        """
+        return PROTOCOL_VERSION if self.config.binary else 2
+
     def _op_ping(
         self, request: Dict[str, Any], trace: Optional[Trace] = None
     ) -> Dict[str, Any]:
@@ -782,7 +818,8 @@ class HeavyHittersService:
         return {
             "ok": True,
             "pong": True,
-            "protocol": PROTOCOL_VERSION,
+            "protocol": self.protocol,
+            "binary": self.config.binary,
             "tracing": self.tracer is not None,
             "audit": self.auditor is not None,
         }
@@ -808,6 +845,105 @@ class HeavyHittersService:
             decoded.append(token)
         return decoded
 
+    def _maybe_rotate_codec_locked(self) -> None:
+        """Bound the interning state; caller holds ``_ingest_lock``.
+
+        The decode memo is bounded independently of the vocabulary:
+        non-canonical key spellings ("i:07", "f:1.00") decode onto
+        existing tokens without growing the codec, so memo size --
+        not just vocabulary size -- must be able to trigger rotation.
+        """
+        if (
+            len(self._codec) > self.config.max_vocabulary
+            or len(self._decode_memo) > self.config.max_vocabulary
+        ):
+            self._codec = TokenCodec()
+            self._decode_memo.clear()
+
+    def _apply_chunk_locked(
+        self, chunk, record: bytes, trace: Optional[Trace]
+    ) -> Tuple[float, WalPosition]:
+        """WAL append of a pre-framed record + shard fan-out, under the lock.
+
+        ``record`` is the one CRC-framed serialisation of ``chunk`` --
+        built once per request (by the server on the JSON path, by the
+        *client* on the binary path) and shared by every consumer, so the
+        chunk is never encoded twice.
+
+        Durability boundary: the record hits the log (fsync per policy)
+        before any shard sees it, and the ack only goes out after the
+        append returns -- so under fsync="always" an acked token is on
+        disk.  Enqueue stays under the lock so a concurrent checkpoint's
+        WAL position always matches what the shards were handed.  A
+        pending shard failure is surfaced *before* the append: otherwise
+        this request would error after durably logging its chunk, and a
+        producer that retries on error would double-count on recovery.
+        (The enqueue itself cannot fail validation -- the codec admitted
+        every token already.)
+        """
+        self.sharded.raise_pending_errors()
+        if trace is not None:
+            mark = time.perf_counter()
+        wal_position = self.wal.append_record(record, trace=trace)
+        if trace is not None:
+            now = time.perf_counter()
+            trace.add_span("wal_append", now - mark)
+            mark = now
+        ingested = self.sharded.ingest(chunk, trace=trace)
+        if trace is not None:
+            trace.add_span("shard_enqueue", time.perf_counter() - mark)
+        if self.windowed is not None:
+            self.windowed.update_batch(chunk)
+        if self.auditor is not None:
+            self.auditor.observe_chunk(chunk)
+        return ingested, wal_position
+
+    def _apply_chunk_unlogged(self, chunk, trace: Optional[Trace]) -> float:
+        """Shard fan-out without a WAL; runs *outside* the ingest lock."""
+        if trace is not None:
+            mark = time.perf_counter()
+        ingested = self.sharded.ingest(chunk, trace=trace)
+        if trace is not None:
+            trace.add_span("shard_enqueue", time.perf_counter() - mark)
+        if self.windowed is not None:
+            self.windowed.update_batch(chunk)
+        if self.auditor is not None:
+            self.auditor.observe_chunk(chunk)
+        return ingested
+
+    def _ingest_response(
+        self,
+        chunk,
+        ingested: float,
+        wal_position: Optional[WalPosition],
+        protocol: str,
+        trace: Optional[Trace],
+    ) -> Dict[str, Any]:
+        """The shared ingest epilogue: forced-trace barrier, metrics, ack."""
+        if trace is not None and trace.forced:
+            # Barrier for forced traces only: draining the queues lets the
+            # response breakdown cover the full decode -> admission ->
+            # wal_append -> shard_apply pipeline.  Ambient samples stay
+            # asynchronous; their shard_apply spans land in the ring after
+            # the ack.
+            self.sharded.flush()
+        if self._m_tokens is not None:
+            # One counter bump per *chunk* (not per token), after the ack
+            # is decided: scraped totals always equal acked totals.
+            self._m_tokens.inc(ingested)
+            self._m_batches.inc()
+            self._m_batch_size.observe(len(chunk))
+            self._m_ingest_requests.labels(protocol).inc()
+        response = {
+            "ok": True,
+            "ingested": ingested,
+            "tokens_enqueued": self.sharded.tokens_enqueued,
+        }
+        if self.wal is not None:
+            response["wal"] = wal_position.as_dict()
+            response["durable"] = self.config.fsync == "always"
+        return response
+
     def _op_ingest(
         self, request: Dict[str, Any], trace: Optional[Trace] = None
     ) -> Dict[str, Any]:
@@ -827,17 +963,9 @@ class HeavyHittersService:
         # error payload) instead of re-checking every token occurrence,
         # and the resulting chunk fans out to the shards with one
         # vectorised shard_array call.
+        wal_position: Optional[WalPosition] = None
         with self._ingest_lock:
-            # The decode memo is bounded independently of the vocabulary:
-            # non-canonical key spellings ("i:07", "f:1.00") decode onto
-            # existing tokens without growing the codec, so memo size --
-            # not just vocabulary size -- must be able to trigger rotation.
-            if (
-                len(self._codec) > self.config.max_vocabulary
-                or len(self._decode_memo) > self.config.max_vocabulary
-            ):
-                self._codec = TokenCodec()
-                self._decode_memo.clear()
+            self._maybe_rotate_codec_locked()
             # Trace spans are recorded with bare perf_counter deltas
             # behind `is not None` guards: the unsampled hot path pays
             # nothing beyond the comparisons.
@@ -847,70 +975,67 @@ class HeavyHittersService:
                 items = self._decode_tagged_items(items)
             if trace is not None:
                 now = time.perf_counter()
-                trace.add_span("decode", now - mark)
+                trace.add_span("decode", now - mark, protocol="json")
                 mark = now
             chunk = self._codec.encode_chunk(items, weights)
             if trace is not None:
-                now = time.perf_counter()
-                trace.add_span("admission", now - mark, tokens=len(items))
-                mark = now
+                trace.add_span(
+                    "admission", time.perf_counter() - mark, tokens=len(items)
+                )
             if self.wal is not None:
-                # Durability boundary: the chunk hits the log (fsync per
-                # policy) before any shard sees it, and the ack below only
-                # goes out after this append returns -- so under
-                # fsync="always" an acked token is on disk.  Enqueue stays
-                # under the lock so a concurrent checkpoint's WAL position
-                # always matches what the shards were handed.  A pending
-                # shard failure is surfaced *before* the append: otherwise
-                # this request would error after durably logging its chunk,
-                # and a producer that retries on error would double-count
-                # on recovery.  (The enqueue itself cannot fail validation
-                # -- the codec admitted every token above.)
-                self.sharded.raise_pending_errors()
-                wal_position = self.wal.append_chunk(chunk, trace=trace)
-                if trace is not None:
-                    now = time.perf_counter()
-                    trace.add_span("wal_append", now - mark)
-                    mark = now
-                ingested = self.sharded.ingest(chunk, trace=trace)
-                if trace is not None:
-                    trace.add_span("shard_enqueue", time.perf_counter() - mark)
-                if self.windowed is not None:
-                    self.windowed.update_batch(chunk)
-                if self.auditor is not None:
-                    self.auditor.observe_chunk(chunk)
+                record = encode_chunk_record(chunk, compress=self.wal.compress)
+                ingested, wal_position = self._apply_chunk_locked(
+                    chunk, record, trace
+                )
         if self.wal is None:
+            ingested = self._apply_chunk_unlogged(chunk, trace)
+        return self._ingest_response(chunk, ingested, wal_position, "json", trace)
+
+    def _op_ingest_binary(
+        self, request: Dict[str, Any], trace: Optional[Trace] = None
+    ) -> Dict[str, Any]:
+        """One wire-protocol-v3 ingest frame (synthesised by the transport).
+
+        ``request["record"]`` is the raw frame payload: a complete
+        CRC-framed WAL chunk record produced client-side.  The hot path
+        therefore skips the JSON parse, the per-token re-intern, and the
+        WAL re-encode of the NDJSON path: validate the CRC, decode the
+        columns from a :class:`memoryview` of the received buffer, append
+        that same buffer to the log verbatim.
+        """
+        if not self.config.binary:
+            return {
+                "ok": False,
+                "error": "binary ingest frames are disabled on this server "
+                "(NDJSON protocol 2 only)",
+            }
+        record = request.get("record")
+        if not isinstance(record, (bytes, bytearray, memoryview)):
+            return {"ok": False, "error": "binary ingest requires a chunk record"}
+        payload = parse_chunk_record(record)
+        wal_position: Optional[WalPosition] = None
+        with self._ingest_lock:
+            self._maybe_rotate_codec_locked()
             if trace is not None:
                 mark = time.perf_counter()
-            ingested = self.sharded.ingest(chunk, trace=trace)
+            # Decoding interns only vocabulary entries the codec has not
+            # seen (admission control included); the id column is validated
+            # in one vectorised pass against the chunk's own vocabulary.
+            chunk = serialization.load_chunk_bytes(payload, self._codec)
             if trace is not None:
-                trace.add_span("shard_enqueue", time.perf_counter() - mark)
-            if self.windowed is not None:
-                self.windowed.update_batch(chunk)
-            if self.auditor is not None:
-                self.auditor.observe_chunk(chunk)
-        if trace is not None and trace.forced:
-            # Barrier for forced traces only: draining the queues lets the
-            # response breakdown cover the full decode -> admission ->
-            # wal_append -> shard_apply pipeline.  Ambient samples stay
-            # asynchronous; their shard_apply spans land in the ring after
-            # the ack.
-            self.sharded.flush()
-        if self._m_tokens is not None:
-            # One counter bump per *chunk* (not per token), after the ack
-            # is decided: scraped totals always equal acked totals.
-            self._m_tokens.inc(ingested)
-            self._m_batches.inc()
-            self._m_batch_size.observe(len(items))
-        response = {
-            "ok": True,
-            "ingested": ingested,
-            "tokens_enqueued": self.sharded.tokens_enqueued,
-        }
-        if self.wal is not None:
-            response["wal"] = wal_position.as_dict()
-            response["durable"] = self.config.fsync == "always"
-        return response
+                trace.add_span(
+                    "decode",
+                    time.perf_counter() - mark,
+                    tokens=len(chunk),
+                    protocol="binary",
+                )
+            if self.wal is not None:
+                ingested, wal_position = self._apply_chunk_locked(
+                    chunk, bytes(record) if not isinstance(record, bytes) else record, trace
+                )
+        if self.wal is None:
+            ingested = self._apply_chunk_unlogged(chunk, trace)
+        return self._ingest_response(chunk, ingested, wal_position, "binary", trace)
 
     def _op_snapshot(
         self, request: Dict[str, Any], trace: Optional[Trace] = None
@@ -1161,6 +1286,7 @@ class HeavyHittersService:
     _OPS: Dict[str, Callable[..., Dict[str, Any]]] = {
         "ping": _op_ping,
         "ingest": _op_ingest,
+        "ingest-binary": _op_ingest_binary,
         "snapshot": _op_snapshot,
         "checkpoint": _op_checkpoint,
         "advance-window": _op_advance_window,
@@ -1173,14 +1299,36 @@ class HeavyHittersService:
 
 
 # --------------------------------------------------------------------------- #
-# NDJSON-over-TCP transport
+# TCP transport: NDJSON lines and v3 binary frames on one socket
 # --------------------------------------------------------------------------- #
 
 
 class _RequestHandler(socketserver.StreamRequestHandler):
+    """Per-connection reader speaking both wire encodings.
+
+    Dispatch is on the first byte of each message: ``0xB3`` starts a
+    binary frame (protocol v3), anything else -- in practice ``{`` -- is
+    an NDJSON line.  The two interleave freely on one connection, so a
+    client can bulk-ingest with frames and query with JSON lines without
+    reconnecting.  Responses mirror the request encoding.
+    """
+
+    #: Request/response over small writes: Nagle would hold each response
+    #: behind the peer's delayed ACK, stalling every synchronous ingest
+    #: round-trip by up to the delayed-ACK timeout.
+    disable_nagle_algorithm = True
+
     def handle(self) -> None:
         service: HeavyHittersService = self.server.service  # type: ignore[attr-defined]
-        for raw in self.rfile:
+        while True:
+            first = self.rfile.read(1)
+            if not first:
+                return
+            if first[0] == SOCKET_MAGIC:
+                if not self._handle_frame(service):
+                    return
+                continue
+            raw = first + self.rfile.readline()
             line = raw.strip()
             if not line:
                 continue
@@ -1201,6 +1349,53 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                     target=self.server.shutdown, daemon=True  # type: ignore[attr-defined]
                 ).start()
                 return
+
+    def _handle_frame(self, service: HeavyHittersService) -> bool:
+        """Process one binary frame; False closes the connection.
+
+        A malformed frame header is fatal for the *connection* (with no
+        trustworthy length there is no way to resynchronise the stream)
+        but never for the server.  A well-framed message with an
+        unsupported type is answered and skipped -- the length made the
+        stream seekable past it.
+        """
+        if not service.config.binary:
+            # NDJSON-only server: one JSON error line, then hang up.  The
+            # line (not a frame) is deliberate -- a protocol-2 deployment
+            # of this handler only speaks lines, and a v3 client treats a
+            # non-magic response byte as exactly this refusal.
+            self.wfile.write(
+                (
+                    json.dumps(
+                        {
+                            "ok": False,
+                            "error": "binary frames not supported: this "
+                            "server speaks NDJSON protocol 2 only",
+                        }
+                    )
+                    + "\n"
+                ).encode("utf-8")
+            )
+            self.wfile.flush()
+            return False
+        try:
+            frame_type, payload = read_socket_frame(self.rfile, magic_consumed=True)
+        except FrameError as error:
+            self._respond_frame({"ok": False, "error": str(error)})
+            return False
+        if frame_type != SOCKET_FRAME_INGEST:
+            self._respond_frame(
+                {"ok": False, "error": f"unsupported frame type {frame_type}"}
+            )
+            return True
+        response = service.handle({"op": "ingest-binary", "record": payload})
+        self._respond_frame(response)
+        return True
+
+    def _respond_frame(self, response: Dict[str, Any]) -> None:
+        body = json.dumps(response).encode("utf-8")
+        self.wfile.write(encode_socket_frame(SOCKET_FRAME_RESPONSE, body))
+        self.wfile.flush()
 
 
 class ServiceServer(socketserver.ThreadingTCPServer):

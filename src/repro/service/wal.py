@@ -196,6 +196,50 @@ def encode_frame(frame_type: int, payload: bytes) -> bytes:
     )
 
 
+def encode_chunk_record(chunk: EncodedChunk, compress: bool = False) -> bytes:
+    """One complete CRC-framed chunk record (header + wire-v2 payload).
+
+    This is the *only* chunk serialisation in the system: the WAL appends
+    it, and a wire-protocol-v3 client ships the identical bytes inside a
+    socket ingest frame -- so the server can validate the CRC and append
+    the received buffer verbatim, with no re-serialisation.
+    """
+    return encode_frame(
+        FRAME_CHUNK, serialization.dump_chunk_bytes(chunk, compress=compress)
+    )
+
+
+def parse_chunk_record(record: Union[bytes, bytearray, memoryview]) -> memoryview:
+    """Validate a CRC-framed chunk record; returns a view of its payload.
+
+    The view aliases ``record`` -- no copy.  Raises :class:`WalError`
+    for a bad marker, wrong frame type, length mismatch (trailing or
+    missing bytes), or CRC failure.
+    """
+    view = memoryview(record)
+    if len(view) < _FRAME_HEADER.size:
+        raise WalError(
+            f"chunk record of {len(view)} bytes is shorter than a frame header"
+        )
+    marker, frame_type, length, crc = _FRAME_HEADER.unpack_from(view, 0)
+    if marker != FRAME_MARKER:
+        raise WalError(
+            f"bad chunk record marker 0x{marker:02X} "
+            f"(expected 0x{FRAME_MARKER:02X})"
+        )
+    if frame_type != FRAME_CHUNK:
+        raise WalError(f"frame type {frame_type} is not a chunk record")
+    payload = view[_FRAME_HEADER.size :]
+    if len(payload) != length:
+        raise WalError(
+            f"chunk record declares {length} payload bytes but carries "
+            f"{len(payload)}"
+        )
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise WalError("chunk record failed its CRC check")
+    return payload
+
+
 class WriteAheadLog:
     """Append-only segmented log with CRC frames and fsync policy knobs.
 
@@ -314,7 +358,18 @@ class WriteAheadLog:
         self._segment_opened = time.monotonic()
 
     def append(self, frame_type: int, payload: bytes, trace=None) -> WalPosition:
-        """Append one frame; returns its end position.
+        """Frame ``payload`` and append it; returns its end position."""
+        return self.append_record(encode_frame(frame_type, payload), trace=trace)
+
+    def append_record(self, record: bytes, trace=None) -> WalPosition:
+        """Append one *pre-framed* record verbatim; returns its end position.
+
+        ``record`` must already carry the marker/type/length/crc header
+        (:func:`encode_frame` / :func:`encode_chunk_record`) -- this is
+        the zero-copy landing point for wire-protocol-v3 ingest frames,
+        whose payload is exactly such a record.  Only a cheap marker
+        check guards the write; callers owning untrusted bytes validate
+        with :func:`parse_chunk_record` first.
 
         Durability at return time follows the fsync policy: under
         ``"always"`` the frame (and everything before it) is on disk.
@@ -323,16 +378,17 @@ class WriteAheadLog:
         append triggered a physical fsync (the interesting case for a
         latency investigation: the fsync is usually the whole cost).
         """
-        frame = encode_frame(frame_type, payload)
+        if len(record) < _FRAME_HEADER.size or record[0] != FRAME_MARKER:
+            raise WalError("append_record requires a CRC-framed record")
         timer = self._append_timer
         start = time.perf_counter() if timer is not None else 0.0
         with self._lock:
             if self._closed:
                 raise WalError("write-ahead log is closed")
-            self._file.write(frame)
-            self._offset += len(frame)
+            self._file.write(record)
+            self._offset += len(record)
             self.frames_appended += 1
-            self.bytes_appended += len(frame)
+            self.bytes_appended += len(record)
             position = WalPosition(self._segment_index, self._offset)
             self._last_fsync_seconds = None
             self._sync_locked()
@@ -349,10 +405,8 @@ class WriteAheadLog:
 
     def append_chunk(self, chunk: EncodedChunk, trace=None) -> WalPosition:
         """Log one encoded ingest chunk (wire-format v2 payload)."""
-        return self.append(
-            FRAME_CHUNK,
-            serialization.dump_chunk_bytes(chunk, compress=self.compress),
-            trace=trace,
+        return self.append_record(
+            encode_chunk_record(chunk, compress=self.compress), trace=trace
         )
 
     def append_advance(self, steps: int) -> WalPosition:

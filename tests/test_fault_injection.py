@@ -219,6 +219,66 @@ def test_sigkill_mid_stream_loses_no_acked_token(tmp_path, kill_after_chunks):
         assert result.estimator.estimate(item) >= count
 
 
+@pytest.mark.parametrize("kill_after_chunks", [12])
+def test_sigkill_mid_binary_stream_loses_no_acked_token(
+    tmp_path, kill_after_chunks
+):
+    """The wire-v3 durability contract: a binary-frame ack at
+    ``fsync=always`` means the client's exact chunk bytes are on disk, so
+    a SIGKILL between acks loses nothing that was acked and the log
+    replays through the same ``repro recover`` path as NDJSON ingest."""
+    wal_dir = tmp_path / "wal"
+    stream = zipf_stream(num_items=10_000, alpha=1.1, total=STREAM_LENGTH, seed=181)
+    chunks = list(iter_chunks([f"flow-{int(v)}" for v in stream.items], CHUNK_SIZE))
+    process, port = _spawn_server(wal_dir)
+    acked = []
+    killed = False
+    try:
+        with ServiceClient(port=port, timeout=30.0, binary="always") as client:
+            for index, chunk in enumerate(chunks):
+                if index == kill_after_chunks:
+                    _dump_trace_ring(port, "sigkill-mid-binary-stream")
+                    process.send_signal(signal.SIGKILL)
+                    process.wait(timeout=30)
+                    killed = True
+                try:
+                    client.ingest(chunk)
+                except (ServiceError, OSError):
+                    assert killed, "binary ingest failed before the kill"
+                    break
+                assert not killed, "server acked a frame after SIGKILL"
+                # fsync=always: the frame's record is on disk at ack time.
+                assert client.last_ingest_durable
+                acked.append(chunk)
+            else:
+                pytest.fail("client drained every chunk despite the kill")
+    finally:
+        if process.poll() is None:
+            process.kill()
+        process.wait(timeout=30)
+    assert killed
+    assert len(acked) == kill_after_chunks
+
+    acked_counts = collections.Counter(
+        item for chunk in acked for item in chunk
+    )
+    result = recover(wal_dir)
+    assert result.stream_length >= float(sum(acked_counts.values()))
+
+    # Differential oracle over the same (client-encoded) log frames.
+    exact = recover(wal_dir, make_estimator=ExactCounter, num_shards=4, k=8)
+    oracle = collections.Counter()
+    for estimator in exact.estimators:
+        for item, count in estimator.counters().items():
+            oracle[item] += count
+    for item, count in acked_counts.items():
+        assert oracle[item] >= count, f"acked occurrences of {item!r} lost"
+    check = result.merge.check(dict(oracle))
+    assert check.holds, check.description
+    for item, count in acked_counts.most_common(10):
+        assert result.estimator.estimate(item) >= count
+
+
 def test_recover_cli_reports_the_killed_state(tmp_path, capsys):
     """The CLI verb recovers a fresh SIGKILL image end to end."""
     wal_dir = tmp_path / "wal"

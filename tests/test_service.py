@@ -265,7 +265,8 @@ class TestHeavyHittersServiceHandle:
         assert service.handle({"op": "ping"}) == {
             "ok": True,
             "pong": True,
-            "protocol": 2,
+            "protocol": 3,
+            "binary": True,
             "tracing": True,
             "audit": True,
         }

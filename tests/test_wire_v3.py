@@ -1,0 +1,647 @@
+"""Wire protocol v3: binary length-prefixed ingest frames, end to end.
+
+The contract under test (ISSUE 8):
+
+* the socket framing round-trips and every malformed frame (bad magic,
+  truncation, oversize) fails loudly as :class:`FrameError`;
+* the frame payload IS a CRC-framed WAL chunk record -- the server
+  validates the CRC, appends the received bytes verbatim, and decodes
+  columns through ``memoryview`` without re-serialising;
+* negotiation works in both directions on one port: a v3 server answers
+  protocol-2 NDJSON clients unchanged, an NDJSON-only server
+  (``binary=False``) refuses a frame with one readable error line, an
+  ``auto`` client downgrades silently and an ``always`` client errors;
+* a corrupted record is rejected before it can reach the WAL and the
+  connection survives to carry the retry;
+* WAL files written via the binary path hold the client's exact chunk
+  bytes and recover bit-identically to the same stream pushed as NDJSON;
+* a committed golden frame (``tests/data/ingest-frame-v3.bin``) pins the
+  on-wire byte layout across builds.
+"""
+
+import collections
+import io
+import json
+import socket
+import struct
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro import serialization
+from repro.cli import main
+from repro.engine.codec import EncodedChunk, TokenCodec
+from repro.service import ServiceConfig, iter_wal, recover, serve
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.wal import (
+    FRAME_ADVANCE,
+    FRAME_CHUNK,
+    WalError,
+    encode_chunk_record,
+    encode_frame,
+    parse_chunk_record,
+)
+from repro.service.wire import (
+    BINARY_MIN_PROTOCOL,
+    MAX_FRAME_BYTES,
+    SOCKET_FRAME_INGEST,
+    SOCKET_FRAME_RESPONSE,
+    SOCKET_HEADER,
+    SOCKET_MAGIC,
+    FrameError,
+    encode_socket_frame,
+    read_exact,
+    read_socket_frame,
+)
+from repro.streams.batched import BatchedIngestor, iter_chunks
+from repro.streams.generators import zipf_stream
+
+DATA_DIR = Path(__file__).parent / "data"
+
+#: The chunk baked into the committed golden frame.
+GOLDEN_ITEMS = ["alpha", "beta", "alpha", ("10.0.0.1", 443), 7]
+GOLDEN_WEIGHTS = [1.0, 2.0, 1.0, 0.5, 3.0]
+
+
+def _chunk(items, weights=None) -> EncodedChunk:
+    return TokenCodec().encode_chunk(items, weights)
+
+
+def _serve_in_thread(config):
+    """Start a server on an OS-picked port; returns (server, teardown)."""
+    server = serve(config, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+    def teardown():
+        server.shutdown()
+        server.server_close()
+        server.service.close()
+        thread.join(timeout=5)
+
+    return server, teardown
+
+
+@pytest.fixture()
+def v3_server():
+    """A live binary-capable (default) server, torn down after."""
+    server, teardown = _serve_in_thread(
+        ServiceConfig(num_counters=600, num_shards=3, k=10)
+    )
+    try:
+        yield server
+    finally:
+        teardown()
+
+
+@pytest.fixture()
+def ndjson_server():
+    """A live NDJSON-only server (``binary=False``), torn down after."""
+    server, teardown = _serve_in_thread(
+        ServiceConfig(num_counters=600, num_shards=3, k=10, binary=False)
+    )
+    try:
+        yield server
+    finally:
+        teardown()
+
+
+@pytest.fixture()
+def wal_server(tmp_path):
+    """A live WAL-backed server at ``fsync=always``, torn down after."""
+    server, teardown = _serve_in_thread(
+        ServiceConfig(
+            num_counters=600,
+            num_shards=3,
+            k=10,
+            wal_dir=str(tmp_path / "wal"),
+            fsync="always",
+        )
+    )
+    try:
+        yield server
+    finally:
+        teardown()
+
+
+def _raw_connection(server):
+    """A bare TCP connection to ``server`` (caller closes)."""
+    return socket.create_connection(("127.0.0.1", server.port), timeout=10)
+
+
+def _frame_roundtrip(sock, frame):
+    """Send one raw frame, read one response frame back as a dict."""
+    sock.sendall(frame)
+    reader = sock.makefile("rb")
+    try:
+        frame_type, payload = read_socket_frame(reader)
+    finally:
+        reader.close()
+    assert frame_type == SOCKET_FRAME_RESPONSE
+    return json.loads(bytes(payload).decode("utf-8"))
+
+
+# --------------------------------------------------------------------------- #
+# Socket framing, pure codec level
+# --------------------------------------------------------------------------- #
+
+
+class TestSocketFraming:
+    def test_round_trip(self):
+        frame = encode_socket_frame(SOCKET_FRAME_INGEST, b"payload-bytes")
+        assert frame[0] == SOCKET_MAGIC
+        frame_type, payload = read_socket_frame(io.BytesIO(frame))
+        assert frame_type == SOCKET_FRAME_INGEST
+        assert bytes(payload) == b"payload-bytes"
+
+    def test_round_trip_with_magic_already_consumed(self):
+        frame = encode_socket_frame(SOCKET_FRAME_RESPONSE, b"{}")
+        reader = io.BytesIO(frame)
+        assert reader.read(1) == bytes([SOCKET_MAGIC])  # dispatch byte
+        frame_type, payload = read_socket_frame(reader, magic_consumed=True)
+        assert frame_type == SOCKET_FRAME_RESPONSE
+        assert bytes(payload) == b"{}"
+
+    def test_empty_payload_round_trips(self):
+        frame = encode_socket_frame(SOCKET_FRAME_INGEST, b"")
+        frame_type, payload = read_socket_frame(io.BytesIO(frame))
+        assert (frame_type, bytes(payload)) == (SOCKET_FRAME_INGEST, b"")
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(encode_socket_frame(SOCKET_FRAME_INGEST, b"x"))
+        frame[0] = 0x7B  # '{' -- an NDJSON line is not a frame
+        with pytest.raises(FrameError, match="magic"):
+            read_socket_frame(io.BytesIO(bytes(frame)))
+
+    def test_truncated_header_rejected(self):
+        frame = encode_socket_frame(SOCKET_FRAME_INGEST, b"x")
+        with pytest.raises(FrameError):
+            read_socket_frame(io.BytesIO(frame[: SOCKET_HEADER.size - 2]))
+
+    def test_truncated_payload_rejected(self):
+        frame = encode_socket_frame(SOCKET_FRAME_INGEST, b"full-payload")
+        with pytest.raises(FrameError):
+            read_socket_frame(io.BytesIO(frame[:-3]))
+
+    def test_oversize_declared_length_rejected_before_allocation(self):
+        header = SOCKET_HEADER.pack(
+            SOCKET_MAGIC, SOCKET_FRAME_INGEST, MAX_FRAME_BYTES + 1
+        )
+        with pytest.raises(FrameError, match="frame"):
+            read_socket_frame(io.BytesIO(header))
+
+    def test_oversize_payload_refused_at_encode(self):
+        class _Huge:
+            def __len__(self):
+                return MAX_FRAME_BYTES + 1
+
+        with pytest.raises(FrameError):
+            encode_socket_frame(SOCKET_FRAME_INGEST, _Huge())
+
+    def test_read_exact_loops_over_short_reads(self):
+        class _Dribble:
+            """A reader that returns one byte per call."""
+
+            def __init__(self, data):
+                self._data = io.BytesIO(data)
+
+            def read(self, count):
+                return self._data.read(min(count, 1))
+
+        assert read_exact(_Dribble(b"abcdef"), 6) == b"abcdef"
+        with pytest.raises(FrameError):
+            read_exact(_Dribble(b"abc"), 6)
+
+
+# --------------------------------------------------------------------------- #
+# Chunk records: the frame payload is a CRC-framed WAL record
+# --------------------------------------------------------------------------- #
+
+
+class TestChunkRecord:
+    def test_round_trip_is_zero_copy(self):
+        chunk = _chunk(GOLDEN_ITEMS, GOLDEN_WEIGHTS)
+        record = encode_chunk_record(chunk)
+        payload = parse_chunk_record(record)
+        assert isinstance(payload, memoryview)
+        assert bytes(payload) == serialization.dump_chunk_bytes(chunk)
+        decoded = serialization.load_chunk_bytes(payload)
+        assert decoded.items() == GOLDEN_ITEMS
+        assert [float(w) for w in decoded.weights] == GOLDEN_WEIGHTS
+
+    def test_record_equals_wal_frame_bytes(self):
+        """The wire record is byte-for-byte what ``append_chunk`` logs."""
+        chunk = _chunk(["a", "b", "a"])
+        assert encode_chunk_record(chunk) == encode_frame(
+            FRAME_CHUNK, serialization.dump_chunk_bytes(chunk)
+        )
+
+    def test_flipped_payload_byte_fails_crc(self):
+        record = bytearray(encode_chunk_record(_chunk(["a", "b"])))
+        record[-1] ^= 0x01
+        with pytest.raises(WalError, match="CRC"):
+            parse_chunk_record(bytes(record))
+
+    def test_wrong_frame_type_rejected(self):
+        record = encode_frame(FRAME_ADVANCE, b'{"bucket": 1}')
+        with pytest.raises(WalError):
+            parse_chunk_record(record)
+
+    def test_truncated_record_rejected(self):
+        record = encode_chunk_record(_chunk(["a"]))
+        with pytest.raises(WalError):
+            parse_chunk_record(record[:-1])
+        with pytest.raises(WalError):
+            parse_chunk_record(record[:4])
+
+    def test_trailing_garbage_rejected(self):
+        record = encode_chunk_record(_chunk(["a"]))
+        with pytest.raises(WalError):
+            parse_chunk_record(record + b"\x00")
+
+    def test_append_record_requires_a_framed_record(self, tmp_path):
+        from repro.service.wal import WriteAheadLog
+
+        log = WriteAheadLog(tmp_path / "wal")
+        try:
+            with pytest.raises(WalError, match="CRC-framed"):
+                log.append_record(b"not a frame")
+            record = encode_chunk_record(_chunk(["a", "b", "a"]))
+            position = log.append_record(record)
+            assert position.offset > 0
+        finally:
+            log.close()
+        replayed = list(iter_wal(tmp_path / "wal"))
+        assert len(replayed) == 1
+        assert replayed[0].frame_type == FRAME_CHUNK
+        assert replayed[0].payload == bytes(parse_chunk_record(record))
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end binary ingest
+# --------------------------------------------------------------------------- #
+
+
+class TestBinaryIngestEndToEnd:
+    def test_ping_negotiates_protocol_3(self, v3_server):
+        with ServiceClient(port=v3_server.port) as client:
+            assert client.protocol is None  # not negotiated yet
+            assert client.ping()
+            assert client.protocol >= BINARY_MIN_PROTOCOL
+
+    def test_binary_ingest_answers_queries_correctly(self, v3_server):
+        stream = zipf_stream(num_items=400, alpha=1.2, total=20_000, seed=8)
+        flows = [
+            ("10.0.0.1", 1024 + int(index) % 128, "tcp") for index in stream.items
+        ]
+        exact = collections.Counter(flows)
+        with ServiceClient(port=v3_server.port, binary="always") as client:
+            pushed = 0
+            for chunk in iter_chunks(flows, 4_096):
+                pushed += client.ingest(chunk)
+            assert pushed == len(flows)
+            client.snapshot(drain=True)
+            top = client.top_k(5)
+        assert top[0][0] == exact.most_common(1)[0][0]
+        # Every acked chunk rode a frame: the per-protocol counter proves
+        # nothing silently fell back to NDJSON.
+        exposition = v3_server.service.metrics.render()
+        assert 'repro_ingest_requests_total{protocol="binary"}' in exposition
+
+    def test_frames_and_ndjson_interleave_on_one_connection(self, v3_server):
+        with ServiceClient(port=v3_server.port) as client:
+            assert client.ingest(["x"] * 30 + ["y"] * 10) == 40  # frame
+            assert client.ping()  # NDJSON line on the same socket
+            assert client.ingest(["x"] * 5) == 5  # frame again
+            client.snapshot(drain=True)
+            assert client.estimate("x") == 35.0
+            assert client.estimate("y") == 10.0
+
+    def test_ingest_chunk_ships_preencoded_columns(self, v3_server):
+        codec = TokenCodec()
+        with ServiceClient(port=v3_server.port) as client:
+            chunk = codec.encode_chunk(["a", "b", "a"], [2.0, 1.0, 2.0])
+            assert client.ingest_chunk(chunk) == 3
+            client.snapshot(drain=True)
+            assert client.estimate("a") == 4.0
+
+    def test_batched_ingestor_drives_one_persistent_connection(self, v3_server):
+        """A client is an ``update_batch`` target: BatchedIngestor with a
+        codec streams encoded chunks over one socket as binary frames."""
+        stream = zipf_stream(num_items=200, alpha=1.3, total=10_000, seed=21)
+        items = [f"token-{int(v)}" for v in stream.items]
+        ingestor = BatchedIngestor(chunk_size=2_048, codec=TokenCodec())
+        with ServiceClient(port=v3_server.port) as client:
+            ingestor.feed(client, items)
+            client.snapshot(drain=True)
+            exact = collections.Counter(items)
+            heaviest, count = exact.most_common(1)[0]
+            assert client.estimate(heaviest) >= count
+        assert ingestor.tokens_processed == len(items)
+        exposition = v3_server.service.metrics.render()
+        assert 'repro_ingest_requests_total{protocol="binary"}' in exposition
+
+    def test_traced_ingest_rides_ndjson_with_full_span_chain(self, wal_server):
+        with ServiceClient(port=wal_server.port) as client:
+            assert client.ingest(["traced"] * 10, trace=True) == 10
+            trace = client.last_trace
+        assert trace is not None
+        spans = [span["name"] for span in trace["spans"]]
+        assert "decode" in spans and "wal_append" in spans
+
+    def test_binary_never_mode_uses_ndjson_only(self, v3_server):
+        with ServiceClient(port=v3_server.port, binary="never") as client:
+            assert client.ingest(["plain"] * 7) == 7
+        exposition = v3_server.service.metrics.render()
+        assert 'repro_ingest_requests_total{protocol="json"}' in exposition
+        assert 'repro_ingest_requests_total{protocol="binary"}' not in exposition
+
+    def test_uncarriable_token_fails_before_the_socket(self, v3_server):
+        with ServiceClient(port=v3_server.port, binary="always") as client:
+            with pytest.raises(serialization.SerializationError):
+                client.ingest([{"a": "dict"}])
+            assert client.protocol is None  # nothing ever touched the wire
+
+    def test_bad_weights_surface_as_service_error(self, v3_server):
+        with ServiceClient(port=v3_server.port, binary="always") as client:
+            with pytest.raises(ServiceError, match="finite"):
+                client.ingest(["a"], [float("nan")])
+
+    def test_invalid_binary_mode_rejected(self):
+        with pytest.raises(ValueError, match="binary"):
+            ServiceClient(port=1, binary="sometimes")
+
+    def test_from_url_http_refuses_always_mode(self):
+        with pytest.raises(ValueError, match="TCP"):
+            ServiceClient.from_url("http://127.0.0.1:80", binary="always")
+
+
+# --------------------------------------------------------------------------- #
+# Negotiation, both directions
+# --------------------------------------------------------------------------- #
+
+
+class TestNegotiation:
+    def test_ndjson_server_advertises_protocol_2(self, ndjson_server):
+        with ServiceClient(port=ndjson_server.port) as client:
+            assert client.ping()
+            assert client.protocol == 2
+
+    def test_auto_client_downgrades_and_still_ingests(self, ndjson_server):
+        with ServiceClient(port=ndjson_server.port, binary="auto") as client:
+            assert client.ingest(["legacy"] * 12) == 12
+            chunk = TokenCodec().encode_chunk(["legacy"] * 3)
+            assert client.ingest_chunk(chunk) == 3  # falls back to NDJSON
+            client.snapshot(drain=True)
+            assert client.estimate("legacy") == 15.0
+        exposition = ndjson_server.service.metrics.render()
+        assert 'repro_ingest_requests_total{protocol="json"}' in exposition
+        assert 'repro_ingest_requests_total{protocol="binary"}' not in exposition
+
+    def test_always_client_refuses_protocol_2_server(self, ndjson_server):
+        with ServiceClient(port=ndjson_server.port, binary="always") as client:
+            with pytest.raises(ServiceError, match="protocol 2"):
+                client.ingest(["nope"])
+
+    def test_raw_frame_against_ndjson_server_gets_one_error_line(
+        self, ndjson_server
+    ):
+        frame = encode_socket_frame(
+            SOCKET_FRAME_INGEST, encode_chunk_record(_chunk(["x"]))
+        )
+        with _raw_connection(ndjson_server) as sock:
+            sock.sendall(frame)
+            reader = sock.makefile("rb")
+            line = reader.readline()
+            response = json.loads(line.decode("utf-8"))
+            assert response["ok"] is False
+            assert "NDJSON" in response["error"]
+            assert reader.readline() == b""  # server closed the connection
+            reader.close()
+
+    def test_protocol_2_ndjson_client_works_against_v3_server(self, v3_server):
+        """A legacy client is raw NDJSON lines: no ping, no frames."""
+        with _raw_connection(v3_server) as sock:
+            reader = sock.makefile("rb")
+            for request in (
+                {"op": "ingest", "items": ["old"] * 9},
+                {"op": "snapshot", "drain": True},
+                {"op": "query", "type": "point", "item": "old"},
+            ):
+                sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
+                response = json.loads(reader.readline().decode("utf-8"))
+                assert response["ok"] is True
+            assert response["estimate"] == 9.0
+            reader.close()
+
+    def test_unknown_frame_type_errors_but_connection_survives(self, v3_server):
+        with _raw_connection(v3_server) as sock:
+            response = _frame_roundtrip(
+                sock, encode_socket_frame(SOCKET_FRAME_RESPONSE, b"{}")
+            )
+            assert response["ok"] is False
+            # Same connection still carries a good frame afterwards.
+            good = encode_socket_frame(
+                SOCKET_FRAME_INGEST, encode_chunk_record(_chunk(["ok"]))
+            )
+            response = _frame_roundtrip(sock, good)
+            assert response["ok"] is True and response["ingested"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# Corruption: rejected before the WAL, connection survives
+# --------------------------------------------------------------------------- #
+
+
+class TestCorruptFrames:
+    def test_crc_corrupt_record_rejected_and_never_logged(self, wal_server):
+        record = bytearray(encode_chunk_record(_chunk(["corrupt"] * 5)))
+        record[-1] ^= 0xFF
+        with _raw_connection(wal_server) as sock:
+            response = _frame_roundtrip(
+                sock, encode_socket_frame(SOCKET_FRAME_INGEST, bytes(record))
+            )
+            assert response["ok"] is False
+            assert "CRC" in response["error"]
+            assert wal_server.service.wal.frames_appended == 0
+            # The stream stays in sync: a clean retry on the same socket.
+            good = encode_socket_frame(
+                SOCKET_FRAME_INGEST, encode_chunk_record(_chunk(["clean"] * 5))
+            )
+            response = _frame_roundtrip(sock, good)
+            assert response["ok"] is True and response["ingested"] == 5
+            assert wal_server.service.wal.frames_appended == 1
+
+    def test_garbage_after_magic_byte_closes_with_frame_error(self, v3_server):
+        with _raw_connection(v3_server) as sock:
+            sock.sendall(bytes([SOCKET_MAGIC, 0xEE]) + b"\xff" * 4)
+            reader = sock.makefile("rb")
+            frame_type, payload = read_socket_frame(reader)
+            assert frame_type == SOCKET_FRAME_RESPONSE
+            response = json.loads(bytes(payload).decode("utf-8"))
+            assert response["ok"] is False
+            assert reader.read(1) == b""  # desynced stream: connection closed
+            reader.close()
+
+
+# --------------------------------------------------------------------------- #
+# Durability: client bytes land in the WAL verbatim and replay identically
+# --------------------------------------------------------------------------- #
+
+
+class TestWalByteIdentity:
+    def test_wal_holds_the_clients_exact_bytes(self, wal_server, tmp_path):
+        stream = zipf_stream(num_items=100, alpha=1.2, total=5_000, seed=13)
+        items = [f"flow-{int(v)}" for v in stream.items]
+        chunks = list(iter_chunks(items, 1_024))
+        with ServiceClient(port=wal_server.port, binary="always") as client:
+            for chunk in chunks:
+                client.ingest(chunk)
+                assert client.last_ingest_durable  # fsync=always
+        # Mirror the client's interning: one codec across the whole stream.
+        mirror = TokenCodec()
+        expected = [
+            serialization.dump_chunk_bytes(mirror.encode_chunk(chunk))
+            for chunk in chunks
+        ]
+        wal_dir = Path(wal_server.service.wal.directory)
+        records = [r for r in iter_wal(wal_dir) if r.frame_type == FRAME_CHUNK]
+        assert [r.payload for r in records] == expected
+
+    def test_binary_and_ndjson_ingest_recover_bit_identically(self, tmp_path):
+        stream = zipf_stream(num_items=300, alpha=1.1, total=15_000, seed=29)
+        items = [("host", int(v) % 64, f"svc-{int(v)}") for v in stream.items]
+        dumps = {}
+        for mode in ("always", "never"):
+            wal_dir = tmp_path / f"wal-{mode}"
+            server, teardown = _serve_in_thread(
+                ServiceConfig(
+                    num_counters=400,
+                    num_shards=3,
+                    k=8,
+                    wal_dir=str(wal_dir),
+                    fsync="always",
+                )
+            )
+            try:
+                with ServiceClient(port=server.port, binary=mode) as client:
+                    for chunk in iter_chunks(items, 2_048):
+                        client.ingest(chunk)
+            finally:
+                teardown()
+            result = recover(wal_dir)
+            assert result.tokens_replayed == len(items)
+            dumps[mode] = [
+                serialization.dumps(estimator) for estimator in result.estimators
+            ]
+        # Same stream, either wire: recovery rebuilds identical shards.
+        assert dumps["always"] == dumps["never"]
+
+
+# --------------------------------------------------------------------------- #
+# Golden frame: the committed byte layout must stay ingestible
+# --------------------------------------------------------------------------- #
+
+
+class TestGoldenV3Frame:
+    FIXTURE = DATA_DIR / "ingest-frame-v3.bin"
+
+    def test_fixture_parses_layer_by_layer(self):
+        raw = self.FIXTURE.read_bytes()
+        magic, frame_type, length = SOCKET_HEADER.unpack_from(raw)
+        assert (magic, frame_type) == (SOCKET_MAGIC, SOCKET_FRAME_INGEST)
+        assert length == len(raw) - SOCKET_HEADER.size
+        frame_type, record = read_socket_frame(io.BytesIO(raw))
+        assert frame_type == SOCKET_FRAME_INGEST
+        chunk = serialization.load_chunk_bytes(parse_chunk_record(record))
+        assert chunk.items() == GOLDEN_ITEMS
+        assert [float(w) for w in chunk.weights] == GOLDEN_WEIGHTS
+
+    def test_fixture_matches_current_encoder(self):
+        """Today's encoder still produces the committed bytes."""
+        chunk = _chunk(GOLDEN_ITEMS, GOLDEN_WEIGHTS)
+        frame = encode_socket_frame(SOCKET_FRAME_INGEST, encode_chunk_record(chunk))
+        assert frame == self.FIXTURE.read_bytes()
+
+    def test_fixture_replays_against_a_live_server(self, v3_server):
+        with _raw_connection(v3_server) as sock:
+            response = _frame_roundtrip(sock, self.FIXTURE.read_bytes())
+        assert response["ok"] is True and response["ingested"] == 5
+        with ServiceClient(port=v3_server.port) as client:
+            client.snapshot(drain=True)
+            assert client.estimate("alpha") == 2.0
+            assert client.estimate(("10.0.0.1", 443)) == 0.5
+
+
+# --------------------------------------------------------------------------- #
+# CLI surface
+# --------------------------------------------------------------------------- #
+
+
+class TestCliBinaryFlag:
+    def test_query_binary_refused_cleanly_by_ndjson_server(
+        self, ndjson_server, tmp_path
+    ):
+        workload = tmp_path / "tokens.txt"
+        workload.write_text("alpha\nbeta\nalpha\n", encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "query",
+                    "ingest",
+                    "--port",
+                    str(ndjson_server.port),
+                    "--input",
+                    str(workload),
+                    "--binary",
+                ]
+            )
+        message = str(excinfo.value)
+        assert message.startswith("service error:")
+        assert "protocol 2" in message and "\n" not in message
+
+    def test_query_binary_with_http_is_an_immediate_error(self):
+        with pytest.raises(SystemExit, match="TCP"):
+            main(
+                [
+                    "query",
+                    "ingest",
+                    "--port",
+                    "80",
+                    "--http",
+                    "--input",
+                    "unused",
+                    "--binary",
+                ]
+            )
+
+    def test_query_binary_succeeds_against_v3_server(
+        self, v3_server, tmp_path, capsys
+    ):
+        workload = tmp_path / "tokens.txt"
+        workload.write_text("alpha\nbeta\nalpha\n", encoding="utf-8")
+        assert (
+            main(
+                [
+                    "query",
+                    "ingest",
+                    "--port",
+                    str(v3_server.port),
+                    "--input",
+                    str(workload),
+                    "--binary",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert json.loads(out)["ingested"] == 3
+        exposition = v3_server.service.metrics.render()
+        assert 'repro_ingest_requests_total{protocol="binary"}' in exposition
+
+    def test_serve_parser_accepts_no_binary(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "--no-binary"])
+        assert args.no_binary is True
