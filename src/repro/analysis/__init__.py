@@ -1,0 +1,33 @@
+"""Static analysis and runtime concurrency verification for this repo.
+
+Two complementary analyzers:
+
+* the AST lint engine (:mod:`repro.analysis.framework` + rule modules),
+  run as ``repro lint`` or ``python -m repro.analysis`` — proves lock
+  discipline and exception-boundary conventions statically;
+* the lock-order witness (:mod:`repro.analysis.witness`) — instruments
+  ``threading.Lock`` at runtime, records the per-thread acquisition
+  graph, and fails the run on an ordering cycle with both stacks.
+"""
+
+from repro.analysis.framework import (
+    Finding,
+    Rule,
+    all_rules,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+)
+from repro.analysis.witness import LockOrderViolation, LockWitness, installed_witness
+
+__all__ = [
+    "Finding",
+    "LockOrderViolation",
+    "LockWitness",
+    "Rule",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "installed_witness",
+]

@@ -1,0 +1,107 @@
+"""Exception-boundary lint rules.
+
+L004  broad ``except Exception`` / ``except BaseException`` / bare
+      ``except`` is legal only at an annotated boundary layer
+      (``# repro-lint: boundary <reason>``) — or when the handler
+      re-raises, which is the cleanup-then-propagate pattern.
+L005  a boundary handler must actually *handle*: a body that is only
+      ``pass`` swallows the error silently, marker or not.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.framework import Finding, ModuleContext, Rule
+
+__all__ = ["BoundaryOnlyBroadExceptRule", "SilentBoundaryRule", "broad_handlers"]
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    kind = handler.type
+    if kind is None:
+        return True
+    if isinstance(kind, ast.Name):
+        return kind.id in _BROAD
+    if isinstance(kind, ast.Tuple):
+        return any(isinstance(el, ast.Name) and el.id in _BROAD for el in kind.elts)
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler's own body re-raises the caught exception."""
+    for node in ast.walk(handler):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+def _is_silent(handler: ast.ExceptHandler) -> bool:
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )
+        for stmt in handler.body
+    )
+
+
+def broad_handlers(tree: ast.Module) -> Iterator[ast.ExceptHandler]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and _is_broad(node):
+            yield node
+
+
+class BoundaryOnlyBroadExceptRule(Rule):
+    rule_id = "L004"
+    title = "broad except outside an annotated boundary layer"
+    rationale = (
+        "Catch-alls deep in the call graph hide real bugs (a KeyError in "
+        "merge logic becomes a silent accuracy loss).  They are only "
+        "legitimate at thread entry points and serving boundaries, where "
+        "the alternative is killing the thread — and those sites must "
+        "say so with `# repro-lint: boundary <reason>` and record the "
+        "error (counter, log, or surfaced state)."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for handler in broad_handlers(module.tree):
+            if _reraises(handler):
+                continue
+            if module.directives.boundary_reason(handler.lineno) is not None:
+                continue
+            caught = ast.unparse(handler.type) if handler.type is not None else "<bare except>"
+            yield module.finding(
+                self.rule_id,
+                handler,
+                f"broad `except {caught}` without a boundary marker; narrow "
+                "the catch or annotate with `# repro-lint: boundary <reason>`",
+            )
+
+
+class SilentBoundaryRule(Rule):
+    rule_id = "L005"
+    title = "broad except that swallows the error silently"
+    rationale = (
+        "Even at a boundary, `except Exception: pass` erases the only "
+        "evidence a failure happened.  Boundary handlers must increment "
+        "a counter, log, or stash the error for an operator surface."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for handler in broad_handlers(module.tree):
+            if _is_silent(handler):
+                caught = ast.unparse(handler.type) if handler.type is not None else "<bare except>"
+                yield module.finding(
+                    self.rule_id,
+                    handler,
+                    f"broad `except {caught}` whose body is only `pass`; "
+                    "record the error (counter/log/state) even at a boundary",
+                )

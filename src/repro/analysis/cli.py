@@ -1,0 +1,96 @@
+"""Command-line entry point for the lint engine.
+
+Exposed two ways: ``repro lint ...`` (a verb on the main CLI) and
+``python -m repro.analysis ...`` (works without installing the console
+script).  Exit status is 0 when clean, 1 when there are findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.analysis.framework import Rule, all_rules, analyze_paths
+from repro.analysis.report import render_json, render_rule_catalog, render_text
+
+__all__ = ["build_parser", "main"]
+
+
+def _default_paths() -> list[Path]:
+    """Lint ``src/`` when run from the repo root, else the working dir."""
+    src = Path("src")
+    return [src] if src.is_dir() else [Path(".")]
+
+
+def build_parser(parser: argparse.ArgumentParser | None = None) -> argparse.ArgumentParser:
+    if parser is None:
+        parser = argparse.ArgumentParser(
+            prog="repro lint",
+            description="Repo-specific concurrency lint: lock discipline, "
+            "critical-section hygiene, and exception boundaries.",
+        )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src/ if present, else .)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue with rationale and exit",
+    )
+    return parser
+
+
+def _select_rules(spec: str | None) -> list[Rule]:
+    rules = all_rules()
+    if spec is None:
+        return rules
+    wanted = {token.strip().upper() for token in spec.split(",") if token.strip()}
+    known = {rule.rule_id for rule in rules}
+    unknown = wanted - known
+    if unknown:
+        raise SystemExit(f"repro lint: unknown rule id(s): {', '.join(sorted(unknown))}")
+    return [rule for rule in rules if rule.rule_id in wanted]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run(args)
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation (shared with the `repro` CLI)."""
+    if args.list_rules:
+        print(render_rule_catalog(all_rules()))
+        return 0
+    rules = _select_rules(args.rules)
+    paths = list(args.paths) or _default_paths()
+    missing = [str(path) for path in paths if not path.exists()]
+    if missing:
+        print(f"repro lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    findings = analyze_paths(paths, rules=rules)
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,256 @@
+"""Rule framework for the repo-specific concurrency lint engine.
+
+The engine is deliberately small: every rule is an AST visitor over one
+module at a time, plus a shared directive language carried in comments.
+Three comment directives are recognised anywhere in a file (each is the
+hash character, then ``repro-lint:``, then the payload):
+
+``hot-path``
+    Tags the module as latency-sensitive.  Rules that only matter on the
+    hot path (e.g. L002, blocking calls under a lock) fire only in tagged
+    modules.
+
+``allow[L00X] <reason>``
+    Suppresses rule ``L00X`` on this line (or the line directly below,
+    so the directive can sit on its own line above a long statement).
+    The reason is mandatory: an allow without a rationale is itself a
+    finding (L000).
+
+``boundary <reason>``
+    Marks a broad ``except`` clause as a deliberate boundary layer
+    (thread entry points, scrape handlers, HTTP dispatch).  Recognised
+    by L004; a boundary without a reason is an L000 finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Directives",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "analyze_file",
+    "analyze_paths",
+    "iter_python_files",
+    "parse_directives",
+]
+
+_DIRECTIVE_RE = re.compile(r"#\s*repro-lint:\s*(?P<body>.+?)\s*$")
+_ALLOW_RE = re.compile(r"allow\[(?P<rules>[A-Z][A-Z0-9, ]*)\]\s*(?P<reason>.*)", re.DOTALL)
+_BOUNDARY_RE = re.compile(r"boundary\b[:\s-]*(?P<reason>.*)", re.DOTALL)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+@dataclass
+class Directives:
+    """Per-module directive table parsed from comments."""
+
+    hot_path: bool = False
+    #: line -> set of rule ids suppressed on that line
+    allows: dict[int, set[str]] = field(default_factory=dict)
+    #: line -> reason string for a boundary-layer marker
+    boundaries: dict[int, str] = field(default_factory=dict)
+    #: malformed directives: (line, message)
+    problems: list[tuple[int, str]] = field(default_factory=list)
+
+    def allowed(self, rule_id: str, line: int) -> bool:
+        """True when ``rule_id`` is suppressed at ``line``.
+
+        A directive suppresses its own line and the line below it, so it
+        can trail the offending statement or sit on its own line above.
+        """
+        return any(rule_id in self.allows.get(at, ()) for at in (line, line - 1))
+
+    def boundary_reason(self, line: int) -> str | None:
+        for at in (line, line - 1):
+            reason = self.boundaries.get(at)
+            if reason is not None:
+                return reason
+        return None
+
+
+def parse_directives(source: str) -> Directives:
+    directives = Directives()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _DIRECTIVE_RE.search(line)
+        if match is None:
+            continue
+        body = match.group("body")
+        if body == "hot-path":
+            directives.hot_path = True
+            continue
+        allow = _ALLOW_RE.fullmatch(body)
+        if allow is not None:
+            rules = {r.strip() for r in allow.group("rules").split(",") if r.strip()}
+            if not allow.group("reason").strip():
+                directives.problems.append(
+                    (lineno, "allow[...] directive requires a reason after the bracket")
+                )
+            directives.allows.setdefault(lineno, set()).update(rules)
+            continue
+        boundary = _BOUNDARY_RE.fullmatch(body)
+        if boundary is not None:
+            reason = boundary.group("reason").strip()
+            if not reason:
+                directives.problems.append((lineno, "boundary directive requires a reason"))
+            directives.boundaries[lineno] = reason
+            continue
+        directives.problems.append((lineno, f"unrecognised repro-lint directive: {body!r}"))
+    return directives
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to inspect one module."""
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    directives: Directives
+
+    def finding(self, rule_id: str, node: ast.AST | int, message: str) -> Finding:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(path=self.display_path, line=line, rule=rule_id, message=message)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id``/``title``/``rationale`` (surfaced by
+    ``repro lint --list-rules``) and implement :meth:`check`.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover - makes the override a generator
+
+
+class DirectiveHygieneRule(Rule):
+    """L000: malformed repro-lint directives are themselves findings."""
+
+    rule_id = "L000"
+    title = "malformed repro-lint directive"
+    rationale = (
+        "Suppressions and boundary markers are load-bearing documentation; "
+        "one without a reason (or with a typo in the directive) silently "
+        "weakens the whole gate."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for line, message in module.directives.problems:
+            yield module.finding(self.rule_id, line, message)
+
+
+def _registered_rules() -> list[Rule]:
+    # Imported lazily so framework.py stays import-cycle free.
+    from repro.analysis.boundaries import BoundaryOnlyBroadExceptRule, SilentBoundaryRule
+    from repro.analysis.locks import (
+        BareAcquireRule,
+        BlockingCallUnderLockRule,
+        LockedSuffixDisciplineRule,
+    )
+    from repro.analysis.ownership import UnlockedSharedAttributeRule
+
+    return [
+        DirectiveHygieneRule(),
+        BareAcquireRule(),
+        BlockingCallUnderLockRule(),
+        LockedSuffixDisciplineRule(),
+        BoundaryOnlyBroadExceptRule(),
+        SilentBoundaryRule(),
+        UnlockedSharedAttributeRule(),
+    ]
+
+
+def all_rules() -> list[Rule]:
+    """The registered rule set, in rule-id order."""
+    return sorted(_registered_rules(), key=lambda rule: rule.rule_id)
+
+
+def analyze_source(
+    source: str,
+    *,
+    path: Path | None = None,
+    display_path: str = "<string>",
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Run the rule set over one module's source text."""
+    tree = ast.parse(source, filename=display_path)
+    module = ModuleContext(
+        path=path or Path(display_path),
+        display_path=display_path,
+        source=source,
+        tree=tree,
+        directives=parse_directives(source),
+    )
+    active = list(rules) if rules is not None else all_rules()
+    findings: list[Finding] = []
+    for rule in active:
+        for finding in rule.check(module):
+            # L000 findings report directive problems and are never
+            # themselves suppressible.
+            if finding.rule != "L000" and module.directives.allowed(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def analyze_file(
+    path: Path, *, root: Path | None = None, rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    display = str(path.relative_to(root)) if root is not None else str(path)
+    source = path.read_text(encoding="utf-8")
+    try:
+        return analyze_source(source, path=path, display_path=display, rules=rules)
+    except SyntaxError as error:
+        line = error.lineno or 1
+        return [Finding(path=display, line=line, rule="L000", message=f"syntax error: {error.msg}")]
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield the python files under ``paths``, skipping hidden/cache dirs."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            parts = candidate.relative_to(path).parts
+            if any(part.startswith(".") or part == "__pycache__" for part in parts):
+                continue
+            yield candidate
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    *,
+    root: Path | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(analyze_file(path, root=root, rules=rules))
+    return sorted(findings)

@@ -1,0 +1,438 @@
+"""Concurrency lint rules: lock acquisition and critical-section hygiene.
+
+Rules in this module:
+
+L001  locks are acquired via ``with`` — a bare ``.acquire()`` is only
+      legal when a ``try/finally`` releasing the same lock follows
+      immediately (including the non-blocking try-lock idiom).
+L002  no blocking calls (``fsync``, socket send/recv, ``sleep``,
+      argument-less ``join``) inside a held-lock region of a module
+      carrying the hot-path directive.
+L003  ``_locked``-suffixed methods are called only while a lock is held
+      (or from another ``_locked`` method) and never re-acquire one of
+      their class's own locks.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.analysis.framework import Finding, ModuleContext, Rule
+
+__all__ = [
+    "BareAcquireRule",
+    "BlockingCallUnderLockRule",
+    "ClassLockInfo",
+    "LockedSuffixDisciplineRule",
+    "collect_class_locks",
+    "is_lock_expr",
+    "lock_expr_name",
+]
+
+#: ``threading.<factory>()`` calls whose result participates in lock ordering.
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
+
+#: Substrings that mark an attribute/variable as lock-like even without
+#: class-level inference (module-level locks, locks on other objects).
+_LOCKISH_NAMES = ("lock", "mutex")
+
+
+def _is_lock_factory_call(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _LOCK_FACTORIES:
+        base = func.value
+        return isinstance(base, ast.Name) and base.id == "threading"
+    if isinstance(func, ast.Name) and func.id in _LOCK_FACTORIES:
+        return True
+    return False
+
+
+def _is_lock_field_default(node: ast.expr) -> bool:
+    """dataclass form: ``field(default_factory=threading.Lock, ...)``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if not (isinstance(func, ast.Name) and func.id == "field"):
+        return False
+    for keyword in node.keywords:
+        if keyword.arg != "default_factory":
+            continue
+        value = keyword.value
+        if isinstance(value, ast.Attribute) and value.attr in _LOCK_FACTORIES:
+            return True
+        if isinstance(value, ast.Name) and value.id in _LOCK_FACTORIES:
+            return True
+    return False
+
+
+@dataclass
+class ClassLockInfo:
+    """Lock attributes a class owns, inferred from its assignments."""
+
+    name: str
+    owned_locks: set[str] = field(default_factory=set)
+    locked_methods: set[str] = field(default_factory=set)
+
+
+def collect_class_locks(klass: ast.ClassDef) -> ClassLockInfo:
+    info = ClassLockInfo(name=klass.name)
+    for node in ast.walk(klass):
+        if isinstance(node, ast.Assign) and _is_lock_factory_call(node.value):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    info.owned_locks.add(target.attr)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target = node.target
+            if isinstance(target, ast.Name) and (
+                _is_lock_factory_call(node.value) or _is_lock_field_default(node.value)
+            ):
+                info.owned_locks.add(target.id)
+            elif (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and _is_lock_factory_call(node.value)
+            ):
+                info.owned_locks.add(target.attr)
+    for stmt in klass.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) and stmt.name.endswith(
+            "_locked"
+        ):
+            info.locked_methods.add(stmt.name)
+    return info
+
+
+def lock_expr_name(node: ast.expr) -> str | None:
+    """Dotted-source name of ``node`` when it denotes a lock, else None."""
+    if isinstance(node, ast.Name):
+        terminal = node.id
+    elif isinstance(node, ast.Attribute):
+        terminal = node.attr
+    else:
+        return None
+    lowered = terminal.lower()
+    if any(hint in lowered for hint in _LOCKISH_NAMES):
+        return ast.unparse(node)
+    return None
+
+
+def is_lock_expr(node: ast.expr, owned_locks: set[str]) -> str | None:
+    """Like :func:`lock_expr_name` but also matches class-owned locks.
+
+    Class-level inference catches locks whose names carry no hint (e.g. a
+    ``threading.Condition`` stored as ``self._state``).
+    """
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr in owned_locks
+    ):
+        return ast.unparse(node)
+    return lock_expr_name(node)
+
+
+def _iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, ast.ClassDef | None]]:
+    """Yield every function with its directly enclosing class (if any)."""
+
+    def visit(node: ast.AST, klass: ast.ClassDef | None) -> Iterator[
+        tuple[ast.FunctionDef | ast.AsyncFunctionDef, ast.ClassDef | None]
+    ]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from visit(child, child)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, klass
+                # Nested defs report the same enclosing class.
+                yield from visit(child, klass)
+            else:
+                yield from visit(child, klass)
+
+    yield from visit(tree, None)
+
+
+_BODY_FIELDS = ("body", "orelse", "finalbody", "handlers")
+
+
+def _iter_statement_lists(root: ast.AST) -> Iterator[list[ast.stmt]]:
+    """Every list of sibling statements under ``root`` (handlers included)."""
+    stack: list[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        for fieldname in _BODY_FIELDS:
+            block = getattr(node, fieldname, None)
+            if not isinstance(block, list):
+                continue
+            stmts = [item for item in block if isinstance(item, ast.stmt)]
+            if stmts:
+                yield stmts
+            stack.extend(block)
+        if isinstance(node, ast.ExceptHandler):
+            continue
+
+
+def _acquire_calls(stmt: ast.stmt) -> Iterator[ast.Call]:
+    """``<lockish>.acquire(...)`` calls in ``stmt``'s own expressions.
+
+    Nested statements (e.g. a ``with`` body inside ``stmt``) are skipped:
+    their acquires pair with *their* sibling list, not this one.
+    """
+    stack: list[ast.AST] = [stmt]
+    while stack:
+        current = stack.pop()
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.stmt, ast.ExceptHandler, ast.Lambda)):
+                continue
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr == "acquire"
+                and lock_expr_name(child.func.value) is not None
+            ):
+                yield child
+            stack.append(child)
+
+
+def _releases_in_finally(stmt: ast.stmt, lock_name: str) -> bool:
+    if not isinstance(stmt, ast.Try):
+        return False
+    return any(
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "release"
+        and ast.unparse(node.func.value) == lock_name
+        for final_stmt in stmt.finalbody
+        for node in ast.walk(final_stmt)
+    )
+
+
+def _body_always_exits(body: list[ast.stmt]) -> bool:
+    return bool(body) and all(
+        isinstance(stmt, (ast.Return, ast.Raise, ast.Continue, ast.Break)) for stmt in body
+    )
+
+
+class BareAcquireRule(Rule):
+    rule_id = "L001"
+    title = "lock acquired without a guaranteed release"
+    rationale = (
+        "A bare .acquire() that is not immediately followed by a "
+        "try/finally releasing the same lock leaks the lock on any "
+        "exception between acquire and release, deadlocking every other "
+        "thread.  Use `with lock:`, or the guarded try-lock idiom."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for stmts in _iter_statement_lists(module.tree):
+            for index, stmt in enumerate(stmts):
+                for call in _acquire_calls(stmt):
+                    assert isinstance(call.func, ast.Attribute)
+                    lock_name = ast.unparse(call.func.value)
+                    next_stmt = stmts[index + 1] if index + 1 < len(stmts) else None
+                    ok = False
+                    if isinstance(stmt, ast.Expr) and stmt.value is call:
+                        # lock.acquire()  /  try: ... finally: lock.release()
+                        ok = next_stmt is not None and _releases_in_finally(
+                            next_stmt, lock_name
+                        )
+                    elif isinstance(stmt, ast.If) and any(
+                        node is call for node in ast.walk(stmt.test)
+                    ):
+                        # if not lock.acquire(blocking=False): return ...
+                        # try: ... finally: lock.release()
+                        ok = _body_always_exits(stmt.body) and (
+                            next_stmt is not None
+                            and _releases_in_finally(next_stmt, lock_name)
+                        )
+                    if not ok:
+                        yield module.finding(
+                            self.rule_id,
+                            call,
+                            f"`{lock_name}.acquire()` without an immediate "
+                            "try/finally release; acquire locks with `with` "
+                            "or the guarded try-lock idiom",
+                        )
+
+
+#: Attribute-call names that block the calling thread.
+_BLOCKING_ATTRS = {"fsync", "sleep", "send", "sendall", "recv", "recvfrom", "sendto"}
+#: Bare-name calls that block (``from time import sleep`` style).
+_BLOCKING_NAMES = {"sleep", "fsync"}
+
+
+def _blocking_call_label(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        if func.attr in _BLOCKING_ATTRS:
+            return ast.unparse(func)
+        # ``x.join()`` with no arguments is a thread/queue join; with an
+        # argument it is almost always ``str.join``.
+        if func.attr == "join" and not node.args and not node.keywords:
+            return ast.unparse(func)
+        return None
+    if isinstance(func, ast.Name) and func.id in _BLOCKING_NAMES:
+        return func.id
+    return None
+
+
+class _HeldLockWalker:
+    """Shared traversal tracking which locks are held at each node."""
+
+    def __init__(self, owned_locks: set[str]) -> None:
+        self.owned_locks = owned_locks
+
+    def walk(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        *,
+        start_held: bool,
+    ) -> Iterator[tuple[ast.AST, tuple[str, ...]]]:
+        """Yield (node, held-lock names) for every node in ``fn``'s body.
+
+        ``start_held`` seeds the walk as if a lock were already held
+        (used for ``_locked`` methods, whose contract is that the caller
+        holds the lock).
+        """
+        seed: tuple[str, ...] = ("<caller>",) if start_held else ()
+        for stmt in fn.body:
+            yield from self._visit(stmt, seed)
+
+    def _visit(
+        self, node: ast.AST, held: tuple[str, ...]
+    ) -> Iterator[tuple[ast.AST, tuple[str, ...]]]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A nested def's body runs when *called*, not where it is
+            # defined: the enclosing critical section does not apply.
+            return
+        yield node, held
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in node.items:
+                name = is_lock_expr(item.context_expr, self.owned_locks)
+                if name is not None:
+                    inner = inner + (name,)
+                yield from self._visit(item.context_expr, held)
+            for stmt in node.body:
+                yield from self._visit(stmt, inner)
+            return
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(child, held)
+
+
+class BlockingCallUnderLockRule(Rule):
+    rule_id = "L002"
+    title = "blocking call inside a critical section (hot-path module)"
+    rationale = (
+        "fsync, socket I/O, sleep, and joins can stall for milliseconds "
+        "to seconds.  Holding a lock across them turns one slow syscall "
+        "into a convoy: every producer thread queues behind it.  In "
+        "hot-path modules the critical section must stay compute-only."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.directives.hot_path:
+            return
+        class_locks = {
+            klass: collect_class_locks(klass)
+            for klass in ast.walk(module.tree)
+            if isinstance(klass, ast.ClassDef)
+        }
+        for fn, klass in _iter_functions(module.tree):
+            owned = class_locks[klass].owned_locks if klass is not None else set()
+            walker = _HeldLockWalker(owned)
+            start_held = fn.name.endswith("_locked")
+            for node, held in walker.walk(fn, start_held=start_held):
+                if not held or not isinstance(node, ast.Call):
+                    continue
+                label = _blocking_call_label(node)
+                if label is not None:
+                    yield module.finding(
+                        self.rule_id,
+                        node,
+                        f"blocking call `{label}(...)` while holding "
+                        f"`{held[-1]}` in a hot-path module",
+                    )
+
+
+class LockedSuffixDisciplineRule(Rule):
+    rule_id = "L003"
+    title = "_locked method called without the lock (or re-acquiring it)"
+    rationale = (
+        "The `_locked` suffix is this repo's ownership type: the caller "
+        "already holds the lock.  Calling one without a lock held races "
+        "the state it mutates; re-acquiring inside deadlocks instantly "
+        "on a non-reentrant Lock."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for klass in ast.walk(module.tree):
+            if not isinstance(klass, ast.ClassDef):
+                continue
+            info = collect_class_locks(klass)
+            if not info.locked_methods:
+                continue
+            for stmt in klass.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                walker = _HeldLockWalker(info.owned_locks)
+                in_locked = stmt.name.endswith("_locked")
+                for node, held in walker.walk(stmt, start_held=in_locked):
+                    # Re-acquire inside a _locked method.
+                    if in_locked and isinstance(node, (ast.With, ast.AsyncWith)):
+                        for item in node.items:
+                            expr = item.context_expr
+                            if (
+                                isinstance(expr, ast.Attribute)
+                                and isinstance(expr.value, ast.Name)
+                                and expr.value.id == "self"
+                                and expr.attr in info.owned_locks
+                            ):
+                                yield module.finding(
+                                    self.rule_id,
+                                    expr,
+                                    f"`{stmt.name}` re-acquires `self.{expr.attr}`; "
+                                    "its contract is that the caller already "
+                                    "holds the lock",
+                                )
+                    if in_locked and isinstance(node, ast.Call):
+                        func = node.func
+                        if (
+                            isinstance(func, ast.Attribute)
+                            and func.attr == "acquire"
+                            and isinstance(func.value, ast.Attribute)
+                            and isinstance(func.value.value, ast.Name)
+                            and func.value.value.id == "self"
+                            and func.value.attr in info.owned_locks
+                        ):
+                            yield module.finding(
+                                self.rule_id,
+                                node,
+                                f"`{stmt.name}` re-acquires `self.{func.value.attr}` "
+                                "via .acquire(); the caller already holds it",
+                            )
+                    # Call sites of _locked methods.
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id == "self"
+                        and node.func.attr in info.locked_methods
+                        and not held
+                    ):
+                        yield module.finding(
+                            self.rule_id,
+                            node,
+                            f"`self.{node.func.attr}()` called without holding "
+                            "a lock; `_locked` methods require the caller to "
+                            "hold the owning lock",
+                        )

@@ -1,0 +1,108 @@
+"""Lock-ownership typing for shared instance state.
+
+L006  In a class that owns a lock, an instance attribute mutated outside
+      ``__init__`` must have at least one assignment site under a lock
+      (a ``with <lock>`` block or a ``_locked`` method).  An attribute
+      whose every post-init mutation is lock-free is either a data race
+      or an undocumented single-writer contract — the latter gets an
+      ``allow[L006]`` annotation stating who the single writer is.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.analysis.framework import Finding, ModuleContext, Rule
+from repro.analysis.locks import _HeldLockWalker, collect_class_locks
+
+__all__ = ["UnlockedSharedAttributeRule"]
+
+#: Methods whose assignments are construction, not concurrent mutation.
+_INIT_METHODS = {"__init__", "__post_init__", "__new__"}
+
+
+@dataclass
+class _Site:
+    attr: str
+    line: int
+    locked: bool
+    method: str
+
+
+def _assigned_attrs(target: ast.expr) -> Iterator[str]:
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        yield target.attr
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _assigned_attrs(element)
+
+
+def _collect_sites(
+    klass: ast.ClassDef, owned_locks: set[str]
+) -> Iterator[_Site]:
+    walker = _HeldLockWalker(owned_locks)
+    for stmt in klass.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        in_locked = stmt.name.endswith("_locked")
+        for node, held in walker.walk(stmt, start_held=in_locked):
+            targets: list[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                for attr in _assigned_attrs(target):
+                    yield _Site(
+                        attr=attr,
+                        line=node.lineno,
+                        locked=bool(held),
+                        method=stmt.name,
+                    )
+
+
+class UnlockedSharedAttributeRule(Rule):
+    rule_id = "L006"
+    title = "shared attribute never assigned under a lock"
+    rationale = (
+        "In a lock-owning class every instance attribute is presumed "
+        "shared across threads.  If no mutation site takes a lock, the "
+        "attribute is either racy or relies on an implicit single-writer "
+        "contract nobody wrote down.  Guard one site, or annotate with "
+        "allow[L006] naming the single writer."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for klass in ast.walk(module.tree):
+            if not isinstance(klass, ast.ClassDef):
+                continue
+            info = collect_class_locks(klass)
+            if not info.owned_locks:
+                continue
+            sites_by_attr: dict[str, list[_Site]] = {}
+            for site in _collect_sites(klass, info.owned_locks):
+                sites_by_attr.setdefault(site.attr, []).append(site)
+            for attr, sites in sorted(sites_by_attr.items()):
+                if attr in info.owned_locks or attr.startswith("__"):
+                    continue
+                mutations = [s for s in sites if s.method not in _INIT_METHODS]
+                if not mutations:
+                    continue
+                if any(site.locked for site in sites):
+                    continue
+                first = min(mutations, key=lambda s: s.line)
+                yield module.finding(
+                    self.rule_id,
+                    first.line,
+                    f"`self.{attr}` is mutated in `{first.method}()` but no "
+                    f"assignment site in `{klass.name}` holds a lock; guard "
+                    "one site or annotate the single-writer contract",
+                )

@@ -1,0 +1,43 @@
+"""Rendering for lint findings: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.analysis.framework import Finding, Rule
+
+__all__ = ["render_json", "render_rule_catalog", "render_text"]
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One line per finding plus a per-rule summary footer."""
+    if not findings:
+        return "repro lint: clean (0 findings)"
+    lines = [finding.render() for finding in findings]
+    by_rule = Counter(finding.rule for finding in findings)
+    summary = ", ".join(f"{rule}={count}" for rule, count in sorted(by_rule.items()))
+    lines.append(f"repro lint: {len(findings)} finding(s) ({summary})")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    payload = [
+        {
+            "path": finding.path,
+            "line": finding.line,
+            "rule": finding.rule,
+            "message": finding.message,
+        }
+        for finding in findings
+    ]
+    return json.dumps({"findings": payload, "count": len(payload)}, indent=2)
+
+
+def render_rule_catalog(rules: Sequence[Rule]) -> str:
+    """The `--list-rules` output: id, title, and rationale per rule."""
+    blocks = []
+    for rule in rules:
+        blocks.append(f"{rule.rule_id}  {rule.title}\n    {rule.rationale}")
+    return "\n".join(blocks)

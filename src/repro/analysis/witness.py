@@ -1,0 +1,305 @@
+"""Runtime lock-order witness: deadlock *potential* detection.
+
+While installed, ``threading.Lock()`` returns an instrumented lock.
+Each lock is identified by its allocation site (``file:line`` of the
+frame that called ``threading.Lock()``), so every instance created at
+one site — e.g. the per-shard worker lock — shares an identity, and the
+ordering graph stays small and meaningful.
+
+For every *blocking* acquire made while the thread already holds a
+lock, the witness records a directed edge ``held-site -> wanted-site``
+together with the acquiring stack (which, because nesting is lexical,
+also shows where the held lock was taken).  Before the acquire proceeds
+it checks two things:
+
+* the same lock object is not already held by this thread (guaranteed
+  self-deadlock on a non-reentrant ``Lock``);
+* adding the edge does not close a cycle in the site graph (deadlock
+  potential: two threads interleaving those paths can block forever).
+
+A violation raises :class:`LockOrderViolation` *before* blocking, with
+the current stack and the stack recorded when the conflicting edge was
+first observed — the two sides of the would-be deadlock.  Non-blocking
+(``blocking=False``) acquires never add edges: a try-lock cannot block,
+so it cannot participate in a deadlock cycle.
+
+Enable in the test suite with ``REPRO_LOCK_WITNESS=1`` (see
+``tests/conftest.py``); the nightly CI matrix runs the stress tier with
+it on.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from collections.abc import Iterator
+from contextlib import contextmanager
+from types import TracebackType
+
+__all__ = [
+    "ENV_FLAG",
+    "LockOrderViolation",
+    "LockWitness",
+    "WitnessLock",
+    "current",
+    "install",
+    "installed_witness",
+    "uninstall",
+    "witness_enabled_by_env",
+]
+
+ENV_FLAG = "REPRO_LOCK_WITNESS"
+
+# Captured at import time, before any install() can patch threading.Lock:
+# the witness's own bookkeeping must use real locks.
+_REAL_LOCK_FACTORY = threading.Lock
+_WITNESS_FILE = __file__
+
+
+def witness_enabled_by_env() -> bool:
+    return os.environ.get(ENV_FLAG, "").strip().lower() in {"1", "true", "yes", "on"}
+
+
+class LockOrderViolation(AssertionError):
+    """A lock acquisition that would (or could) deadlock."""
+
+
+def _allocation_site() -> str:
+    """``file:line`` of the nearest frame outside witness/threading code."""
+    for frame in reversed(traceback.extract_stack()):
+        if frame.filename == _WITNESS_FILE:
+            continue
+        return f"{frame.filename}:{frame.lineno}"
+    return "<unknown>"
+
+
+def _current_stack() -> str:
+    thread = threading.current_thread()
+    frames = [
+        frame
+        for frame in traceback.extract_stack()
+        if frame.filename != _WITNESS_FILE
+    ]
+    rendered = "".join(traceback.format_list(frames[-12:]))
+    return f"thread {thread.name!r}:\n{rendered}"
+
+
+class WitnessLock:
+    """Drop-in ``threading.Lock`` replacement that reports to a witness.
+
+    Also duck-types well enough for ``threading.Condition(WitnessLock())``:
+    Condition falls back to plain ``acquire``/``release`` (and the
+    ``acquire(False)``-probe ``_is_owned``) when the wrapped lock lacks
+    the RLock save/restore protocol, so waits correctly pop and re-push
+    the held-lock stack.
+    """
+
+    __slots__ = ("_lock", "_witness", "site")
+
+    def __init__(self, witness: LockWitness, site: str) -> None:
+        self._witness = witness
+        self._lock = _REAL_LOCK_FACTORY()
+        self.site = site
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if blocking:
+            self._witness.check_before_blocking_acquire(self)
+        # repro-lint: allow[L001] this IS the lock wrapper; callers get the guarantee
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._witness.note_acquired(self)
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()
+        self._witness.note_released(self)
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "locked" if self._lock.locked() else "unlocked"
+        return f"<WitnessLock {state} site={self.site}>"
+
+
+class LockWitness:
+    """Records the lock acquisition graph and detects ordering cycles."""
+
+    def __init__(self) -> None:
+        self._mutex = _REAL_LOCK_FACTORY()
+        # (held_site, wanted_site) -> stack captured when first observed.
+        self._edges: dict[tuple[str, str], str] = {}
+        self._local = threading.local()
+        self.violations: list[LockOrderViolation] = []
+        # Informational counters; written racily on purpose (they are
+        # diagnostics, and taking _mutex per acquire would serialise the
+        # whole process under test).
+        self.acquisitions = 0
+        self.locks_created = 0
+
+    # -- lock factory ---------------------------------------------------
+
+    def make_lock(self) -> WitnessLock:
+        self.locks_created += 1
+        return WitnessLock(self, _allocation_site())
+
+    # -- per-thread held stack ------------------------------------------
+
+    def _held(self) -> list[WitnessLock]:
+        stack = getattr(self._local, "held", None)
+        if stack is None:
+            stack = []
+            self._local.held = stack
+        return stack
+
+    def held_sites(self) -> tuple[str, ...]:
+        """Sites of the locks the calling thread currently holds."""
+        return tuple(lock.site for lock in self._held())
+
+    # -- events ---------------------------------------------------------
+
+    def check_before_blocking_acquire(self, lock: WitnessLock) -> None:
+        held = self._held()
+        for other in held:
+            if other is lock:
+                self._fail(
+                    "self-deadlock: thread re-acquires a non-reentrant lock "
+                    f"it already holds (site {lock.site})\n" + _current_stack()
+                )
+        if not held:
+            return
+        holder = held[-1]
+        if holder.site == lock.site:
+            # Two instances from one allocation site (e.g. two shard
+            # worker locks) — not an ordering edge between distinct roles.
+            return
+        edge = (holder.site, lock.site)
+        stack = _current_stack()
+        with self._mutex:
+            self._edges.setdefault(edge, stack)
+            path = self._find_path(lock.site, holder.site)
+            if path is None:
+                return
+            conflict_lines = []
+            for src, dst in path:
+                conflict_lines.append(
+                    f"  recorded edge {src} -> {dst}, first seen at:\n"
+                    f"{self._edges[(src, dst)]}"
+                )
+            conflict = "\n".join(conflict_lines)
+        self._fail(
+            "lock-order cycle detected:\n"
+            f"  this thread holds {holder.site} and is acquiring {lock.site}:\n"
+            f"{stack}\n"
+            f"  conflicting prior ordering {lock.site} ~> {holder.site}:\n"
+            f"{conflict}"
+        )
+
+    def note_acquired(self, lock: WitnessLock) -> None:
+        self.acquisitions += 1
+        self._held().append(lock)
+
+    def note_released(self, lock: WitnessLock) -> None:
+        held = self._held()
+        # Out-of-order release is legal; search from the top.
+        for index in range(len(held) - 1, -1, -1):
+            if held[index] is lock:
+                del held[index]
+                return
+        # Released by a thread that never recorded the acquire (e.g. the
+        # witness was installed mid-flight).  Nothing to unwind.
+
+    # -- graph ----------------------------------------------------------
+
+    def _find_path(self, start: str, goal: str) -> list[tuple[str, str]] | None:
+        """DFS for a path start ~> goal in the edge graph (caller holds _mutex)."""
+        adjacency: dict[str, list[str]] = {}
+        for src, dst in self._edges:
+            adjacency.setdefault(src, []).append(dst)
+        stack: list[tuple[str, list[tuple[str, str]]]] = [(start, [])]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            for nxt in adjacency.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, path + [(node, nxt)]))
+        return None
+
+    def edge_count(self) -> int:
+        with self._mutex:
+            return len(self._edges)
+
+    def _fail(self, message: str) -> None:
+        violation = LockOrderViolation(message)
+        with self._mutex:
+            self.violations.append(violation)
+        raise violation
+
+
+# -- installation -------------------------------------------------------
+
+_installed: LockWitness | None = None
+_install_guard = _REAL_LOCK_FACTORY()
+
+
+def current() -> LockWitness | None:
+    """The witness currently patched into ``threading.Lock``, if any."""
+    return _installed
+
+
+def install(witness: LockWitness | None = None) -> LockWitness:
+    """Patch ``threading.Lock`` so new locks report to ``witness``.
+
+    Locks created before installation are untouched (they stay real
+    locks and never appear in the graph).  ``threading.Event`` and
+    ``queue.Queue`` allocate via ``threading.Lock()`` at call time, so
+    they are witnessed too — which is what lets the witness see
+    queue-vs-service lock ordering.
+    """
+    global _installed
+    with _install_guard:
+        if _installed is not None:
+            raise RuntimeError("lock witness already installed")
+        active = witness if witness is not None else LockWitness()
+        _installed = active
+        threading.Lock = active.make_lock  # type: ignore[assignment]
+    return active
+
+
+def uninstall() -> None:
+    global _installed
+    with _install_guard:
+        threading.Lock = _REAL_LOCK_FACTORY  # type: ignore[assignment]
+        _installed = None
+
+
+@contextmanager
+def installed_witness(witness: LockWitness | None = None) -> Iterator[LockWitness]:
+    """Context manager: install on entry, uninstall on exit.
+
+    On exit, if any violation was raised in a worker thread (and so did
+    not propagate into the ``with`` body), the first one is re-raised
+    here so the failure cannot be lost.
+    """
+    active = install(witness)
+    try:
+        yield active
+    finally:
+        uninstall()
+    if active.violations:
+        raise active.violations[0]

@@ -31,6 +31,10 @@ Installed as the ``repro`` console script.  Subcommands:
     Rebuild service state from a write-ahead log directory after a crash:
     load the latest checkpoint, replay newer segments, report and
     optionally persist the merged summary (:mod:`repro.service.recovery`).
+``lint``
+    Run the repo-specific concurrency lint engine over the source tree:
+    lock discipline, critical-section hygiene, and exception boundaries
+    (:mod:`repro.analysis`).
 
 Every subcommand works on plain text files so the tool composes with standard
 UNIX tooling (``cut``, ``zcat``, ...).
@@ -45,6 +49,7 @@ from pathlib import Path
 from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro import serialization
+from repro.analysis import cli as analysis_cli
 from repro.algorithms.base import FrequencyEstimator
 from repro.algorithms.frequent import Frequent
 from repro.algorithms.frequent_real import FrequentR
@@ -465,6 +470,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    return analysis_cli.run(args)
+
+
 # --------------------------------------------------------------------------- #
 # Argument parsing
 # --------------------------------------------------------------------------- #
@@ -763,6 +772,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="tokens per ingest request",
     )
     query.set_defaults(func=_cmd_query)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repo-specific concurrency lint engine",
+        description="AST lint for lock discipline, critical-section "
+        "hygiene, and exception boundaries (also: python -m repro.analysis).",
+    )
+    analysis_cli.build_parser(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

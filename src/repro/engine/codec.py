@@ -22,7 +22,7 @@ uses (producers encode, shard workers only read).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from collections.abc import Hashable, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -155,12 +155,12 @@ class TokenCodec:
 
     def __init__(
         self,
-        vocabulary: Optional[Iterable[Item]] = None,
+        vocabulary: Iterable[Item] | None = None,
         validate: bool = True,
     ) -> None:
         self._validate = validate
-        self._ids: Dict[Item, int] = {}
-        self._items: List[Item] = []
+        self._ids: dict[Item, int] = {}
+        self._items: list[Item] = []
         self._fingerprints = np.empty(1024, dtype=np.uint64)
         # Sorted sidecar mapping int64 token *values* to their ids, so
         # integer arrays encode with one vectorised searchsorted instead of
@@ -168,14 +168,14 @@ class TokenCodec:
         # pending lists and merge in on the next array encode.
         self._int_values = np.empty(0, dtype=np.int64)
         self._int_ids = np.empty(0, dtype=np.int64)
-        self._pending_int_values: List[int] = []
-        self._pending_int_ids: List[int] = []
+        self._pending_int_values: list[int] = []
+        self._pending_int_ids: list[int] = []
         # Dense value -> id lookup table, built when the int vocabulary's
         # value span is compact (e.g. rank-style ids): a plain gather there
         # is far cheaper than searchsorted.  ``None`` = stale; once the span
         # grows past the density bound it can only widen, so the table is
         # permanently disabled.
-        self._int_lut: Optional[np.ndarray] = None
+        self._int_lut: np.ndarray | None = None
         self._int_lut_min = 0
         self._int_lut_disabled = False
         if vocabulary is not None:
@@ -226,7 +226,7 @@ class TokenCodec:
             self._pending_int_ids.append(token_id)
         return token_id
 
-    def _int_tables(self) -> Tuple[np.ndarray, np.ndarray]:
+    def _int_tables(self) -> tuple[np.ndarray, np.ndarray]:
         """The sorted (values, ids) sidecar, merging in any pending interns."""
         if self._pending_int_values:
             values = np.concatenate(
@@ -315,7 +315,7 @@ class TokenCodec:
             out, hit = self._sidecar_lookup(items)
         return out
 
-    def _sidecar_lookup(self, items: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def _sidecar_lookup(self, items: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Candidate id per token plus a per-token hit mask (misses get id 0)."""
         values, ids = self._int_tables()
         if values.size == 0:
@@ -336,8 +336,8 @@ class TokenCodec:
         return np.where(hit, ids[positions], 0), hit
 
     def encode_chunk(
-        self, items: Sequence[Item], weights: Optional[Sequence[float]] = None
-    ) -> "EncodedChunk":
+        self, items: Sequence[Item], weights: Sequence[float] | None = None
+    ) -> EncodedChunk:
         """Encode one batch of tokens (and optional weights) into a chunk.
 
         ``encode`` always returns a freshly allocated id column and the
@@ -356,7 +356,7 @@ class TokenCodec:
         """The item owning dense id ``token_id``."""
         return self._items[token_id]
 
-    def decode(self, ids: Sequence[int]) -> List[Item]:
+    def decode(self, ids: Sequence[int]) -> list[Item]:
         """Decode an id sequence back into the original items."""
         table = self._items
         return [table[token_id] for token_id in np.asarray(ids, dtype=np.int64)]
@@ -365,12 +365,12 @@ class TokenCodec:
         """Gather the cached ``uint64`` fingerprints for an id array."""
         return self._fingerprints[: len(self._items)][np.asarray(ids, dtype=np.int64)]
 
-    def vocabulary(self) -> List[Item]:
+    def vocabulary(self) -> list[Item]:
         """All interned items in id order (id ``i`` is ``vocabulary()[i]``)."""
         return list(self._items)
 
     @classmethod
-    def from_vocabulary(cls, items: Iterable[Item]) -> "TokenCodec":
+    def from_vocabulary(cls, items: Iterable[Item]) -> TokenCodec:
         """Rebuild a codec from a vocabulary list (wire-format round trip)."""
         return cls(vocabulary=items)
 
@@ -399,7 +399,7 @@ class EncodedChunk:
 
     ids: np.ndarray
     codec: TokenCodec
-    weights: Optional[np.ndarray] = None
+    weights: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         # Copy, don't view: a chunk may sit on a shard queue after the
@@ -422,7 +422,7 @@ class EncodedChunk:
         table = self.codec._items
         return iter([table[token_id] for token_id in self.ids])
 
-    def items(self) -> List[Item]:
+    def items(self) -> list[Item]:
         """Decode the chunk back into its original items (arrival order)."""
         return self.codec.decode(self.ids)
 
@@ -443,7 +443,7 @@ class EncodedChunk:
             return int(self.ids.size)
         return int(np.count_nonzero(self.weights))
 
-    def aggregate(self) -> Tuple[np.ndarray, np.ndarray]:
+    def aggregate(self) -> tuple[np.ndarray, np.ndarray]:
         """Collapse the chunk into ``(distinct ids, total weights)`` columns.
 
         The columnar analogue of :func:`repro.algorithms.base.aggregate_batch`:
@@ -477,7 +477,7 @@ class EncodedChunk:
         object.__setattr__(self, "_aggregate_cache", result)
         return result
 
-    def select(self, indices: np.ndarray) -> "EncodedChunk":
+    def select(self, indices: np.ndarray) -> EncodedChunk:
         """A sub-chunk of the rows at ``indices`` (same codec, same order).
 
         Slices of an already-validated chunk are validated by construction,
@@ -504,7 +504,7 @@ def _validate_chunk_weights(ids: np.ndarray, weights: np.ndarray) -> None:
 
 
 def _trusted_chunk(
-    ids: np.ndarray, codec: TokenCodec, weights: Optional[np.ndarray]
+    ids: np.ndarray, codec: TokenCodec, weights: np.ndarray | None
 ) -> EncodedChunk:
     """Build a chunk from freshly allocated, already-validated columns.
 
@@ -518,7 +518,7 @@ def _trusted_chunk(
     return chunk
 
 
-def partition_chunk(chunk: EncodedChunk, num_shards: int) -> List[EncodedChunk]:
+def partition_chunk(chunk: EncodedChunk, num_shards: int) -> list[EncodedChunk]:
     """Hash-partition a chunk into ``num_shards`` sub-chunks (same codec).
 
     The single columnar fan-out kernel shared by in-process sharding

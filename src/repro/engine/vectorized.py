@@ -24,7 +24,7 @@ layers keep their historical import paths.
 from __future__ import annotations
 
 import functools
-from typing import Hashable, Sequence, Tuple
+from collections.abc import Hashable, Sequence
 
 import numpy as np
 
@@ -56,7 +56,7 @@ def _fnv1a(text: str) -> int:
     skipping the per-byte Python loop for every repeated token.
     """
     value = _FNV_OFFSET
-    for byte in text.encode("utf-8"):
+    for byte in text.encode():
         value ^= byte
         value = (value * _FNV_PRIME) & _U64_MASK
     return value
@@ -88,7 +88,7 @@ def stable_fingerprint(item: Hashable) -> int:
     return _fnv1a(repr(item))
 
 
-def fingerprint_array(items) -> np.ndarray:
+def fingerprint_array(items: Sequence[Hashable] | np.ndarray) -> np.ndarray:
     """Vectorised :func:`stable_fingerprint`: one ``uint64`` per item.
 
     Integer and boolean NumPy arrays are converted without any Python-level
@@ -155,7 +155,7 @@ def cw_sign_array(a: int, b: int, fingerprints: np.ndarray) -> np.ndarray:
 
 
 def hash_rows(
-    fingerprints: np.ndarray, coefficients: Sequence[Tuple[int, int]], width: int
+    fingerprints: np.ndarray, coefficients: Sequence[tuple[int, int]], width: int
 ) -> np.ndarray:
     """Stack one :func:`cw_hash_array` row per ``(a, b)`` coefficient pair.
 

@@ -45,11 +45,13 @@ runbook).
 
 from __future__ import annotations
 
+# repro-lint: hot-path
+
 import math
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any
 
 import numpy as np
 
@@ -89,10 +91,10 @@ def _mix_fingerprints(fps: np.ndarray) -> np.ndarray:
 
 # Quantiles exported as repro_observed_error{quantile="..."}; "1.0" is
 # the max, following the summary-metric convention.
-REPORT_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 1.0)
+REPORT_QUANTILES: tuple[float, ...] = (0.5, 0.95, 1.0)
 
 
-def _quantile(sorted_values: List[float], q: float) -> float:
+def _quantile(sorted_values: list[float], q: float) -> float:
     """Nearest-rank quantile of an ascending list (q in (0, 1])."""
     if not sorted_values:
         return 0.0
@@ -110,15 +112,15 @@ class AuditReport:
     sampled_weight: float
     observed_weight: float
     sample_rate: float
-    observed_error: Dict[float, float]  # quantile -> |estimate - exact|
+    observed_error: dict[float, float]  # quantile -> |estimate - exact|
     residual_upper: float
-    bound: Optional[float]
-    budget_ratio: Optional[float]
+    bound: float | None
+    budget_ratio: float | None
     topk_checked: int
     topk_max_error: float
     generated_at: float = field(default_factory=time.time)
 
-    def as_dict(self) -> Dict[str, Any]:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "snapshot_version": self.snapshot_version,
             "snapshot_stream_length": self.snapshot_stream_length,
@@ -158,12 +160,12 @@ class AccuracyAuditor:
         self.max_items = max_items
         self.interval = interval
         self._threshold = min(int(rate * _FULL_SCALE), _FULL_SCALE)
-        self._counts: Dict[Item, float] = {}
-        self._fps: Dict[Item, int] = {}
+        self._counts: dict[Item, float] = {}
+        self._fps: dict[Item, int] = {}
         self._observed_weight = 0.0
         self._sampled_weight = 0.0
         self._lock = threading.Lock()
-        self._report: Optional[AuditReport] = None
+        self._report: AuditReport | None = None
         self._report_monotonic = 0.0
         self._audit_lock = threading.Lock()
 
@@ -192,10 +194,11 @@ class AccuracyAuditor:
         path ignores it).
         """
         fps = _mix_fingerprints(chunk.fingerprints())
-        if self._threshold >= _FULL_SCALE:
-            index = np.arange(len(fps))
-        else:
-            index = np.nonzero(fps < np.uint64(self._threshold))[0]
+        index = (
+            np.arange(len(fps))
+            if self._threshold >= _FULL_SCALE
+            else np.nonzero(fps < np.uint64(self._threshold))[0]
+        )
         total = float(chunk.total_weight)
         if index.size == 0:
             with self._lock:
@@ -203,10 +206,11 @@ class AccuracyAuditor:
             return 0
         ids = np.asarray(chunk.ids)[index]
         items = chunk.codec.decode(ids)
-        if chunk.weights is not None:
-            weights = np.asarray(chunk.weights, dtype=np.float64)[index]
-        else:
-            weights = None
+        weights = (
+            np.asarray(chunk.weights, dtype=np.float64)[index]
+            if chunk.weights is not None
+            else None
+        )
         sampled_fps = fps[index]
         with self._lock:
             self._observed_weight += total
@@ -249,7 +253,7 @@ class AccuracyAuditor:
             sampled_weight = self._sampled_weight
             observed_weight = self._observed_weight
             rate = self.sample_rate
-        errors: List[float] = []
+        errors: list[float] = []
         for item, exact in counts.items():
             errors.append(abs(snapshot.estimate(item) - exact))
         errors.sort()
@@ -259,8 +263,8 @@ class AccuracyAuditor:
         top_counts = sorted(counts.values(), reverse=True)[: snapshot.k]
         total_weight = max(observed_weight, snapshot.stream_length)
         residual_upper = max(0.0, total_weight - sum(top_counts))
-        bound: Optional[float] = None
-        ratio: Optional[float] = None
+        bound: float | None = None
+        ratio: float | None = None
         try:
             bound = snapshot.constants.bound(
                 residual_upper, snapshot.estimator.num_counters, snapshot.k
@@ -269,10 +273,11 @@ class AccuracyAuditor:
             bound = None  # vacuous regime (m <= B*k); nothing to ratio against
         observed_max = observed[1.0]
         if bound is not None:
-            if bound > 0.0:
-                ratio = observed_max / bound
-            else:
-                ratio = 0.0 if observed_max == 0.0 else math.inf
+            ratio = (
+                observed_max / bound
+                if bound > 0.0
+                else (0.0 if observed_max == 0.0 else math.inf)
+            )
         topk_errors = [
             abs(estimate - counts[item])
             for item, estimate in snapshot.top_k(snapshot.k)
@@ -298,8 +303,8 @@ class AccuracyAuditor:
         return report
 
     def report(
-        self, snapshot: Optional[Snapshot], max_age: Optional[float] = None
-    ) -> Optional[AuditReport]:
+        self, snapshot: Snapshot | None, max_age: float | None = None
+    ) -> AuditReport | None:
         """Scrape-side accessor: cached report, refreshed at most every
         ``interval`` seconds (never concurrently).
 

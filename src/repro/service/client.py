@@ -43,7 +43,8 @@ import socket
 import urllib.error
 import urllib.parse
 import urllib.request
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from collections.abc import Sequence
+from typing import Any
 
 from repro import serialization
 from repro.algorithms.base import Item
@@ -74,7 +75,7 @@ BINARY_MODES = ("auto", "always", "never")
 _CLIENT_MAX_VOCABULARY = 1 << 20
 
 
-def _force_trace_field() -> Dict[str, Any]:
+def _force_trace_field() -> dict[str, Any]:
     """The request's ``trace`` field for a client-initiated forced trace.
 
     A fresh client-side context rides along as a W3C ``traceparent`` so
@@ -94,7 +95,7 @@ def _needs_tagging(item: Item) -> bool:
     return not serialization.json_lossless(item)
 
 
-def _encode_tagged_items(items: Sequence[Item]) -> List[str]:
+def _encode_tagged_items(items: Sequence[Item]) -> list[str]:
     """Encode one ingest chunk as tagged keys, once per distinct token.
 
     Skewed streams repeat a small set of tokens, so the per-chunk memo cuts
@@ -105,7 +106,7 @@ def _encode_tagged_items(items: Sequence[Item]) -> List[str]:
     collapses them.  Unhashable tokens fall through to ``encode_item_key``,
     which rejects them with the canonical admission error.
     """
-    memo: Dict[Item, str] = {}
+    memo: dict[Item, str] = {}
     encoded = []
     for item in items:
         try:
@@ -124,7 +125,7 @@ def _decode_wire_item(value: Any, tagged: Any) -> Item:
     return serialization.decode_item_key(value) if tagged else value
 
 
-def _entry_item(entry: Dict[str, Any]) -> Item:
+def _entry_item(entry: dict[str, Any]) -> Item:
     return _decode_wire_item(entry["item"], entry.get("item_tagged"))
 
 
@@ -160,26 +161,26 @@ class ServiceClient:
         # round-trip by up to the delayed-ACK timeout.
         self._socket.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._reader = self._socket.makefile("rb")
-        self._protocol: Optional[int] = None
+        self._protocol: int | None = None
         self._binary = binary
         #: Lazily-built ingest codec for the binary path; rotated once its
         #: vocabulary outgrows the bound (the server re-interns per chunk
         #: vocabulary anyway, so rotation is invisible on the wire).
-        self._codec: Optional[TokenCodec] = None
+        self._codec: TokenCodec | None = None
         #: WAL position of the most recent acked ingest (None when the
         #: server runs without a WAL) and whether that ack was durable
         #: (appended under fsync=always).
-        self.last_ingest_wal: Optional[Dict[str, Any]] = None
+        self.last_ingest_wal: dict[str, Any] | None = None
         self.last_ingest_durable: bool = False
         #: Per-stage latency breakdown of the most recent response, when
         #: that request was force-traced (``trace=True`` on ingest/point/
         #: top_k); ``None`` otherwise.
-        self.last_trace: Optional[Dict[str, Any]] = None
+        self.last_trace: dict[str, Any] | None = None
 
     @staticmethod
     def from_url(
         url: str, timeout: float = 30.0, binary: str = "auto"
-    ) -> "ServiceClient":
+    ) -> ServiceClient:
         """Build a client from a service URL, picking the transport.
 
         ``http://host:port`` speaks the operations HTTP plane
@@ -207,7 +208,7 @@ class ServiceClient:
         )
 
     @property
-    def protocol(self) -> Optional[int]:
+    def protocol(self) -> int | None:
         """The server's negotiated protocol version (``None`` before the
         first :meth:`ping` or protocol-dependent operation)."""
         return self._protocol
@@ -259,9 +260,9 @@ class ServiceClient:
     # Transport
     # ------------------------------------------------------------------ #
 
-    def call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    def call(self, request: dict[str, Any]) -> dict[str, Any]:
         """Send one request object; return the response, raising on errors."""
-        self._socket.sendall((json.dumps(request) + "\n").encode("utf-8"))
+        self._socket.sendall((json.dumps(request) + "\n").encode())
         line = self._reader.readline()
         if not line:
             raise ServiceError("connection closed by the service")
@@ -271,7 +272,7 @@ class ServiceClient:
             raise ServiceError(response.get("error", "unknown service error"))
         return response
 
-    def _read_frame_response(self) -> Dict[str, Any]:
+    def _read_frame_response(self) -> dict[str, Any]:
         """Read the response to one binary frame, raising on errors.
 
         A frame-capable server always answers a frame with a RESPONSE
@@ -309,10 +310,10 @@ class ServiceClient:
         finally:
             self._socket.close()
 
-    def __enter__(self) -> "ServiceClient":
+    def __enter__(self) -> ServiceClient:
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------ #
@@ -327,7 +328,7 @@ class ServiceClient:
     def ingest(
         self,
         items: Sequence[Item],
-        weights: Optional[Sequence[float]] = None,
+        weights: Sequence[float] | None = None,
         trace: bool = False,
     ) -> int:
         """Push one chunk of tokens; returns how many the service accepted.
@@ -366,7 +367,7 @@ class ServiceClient:
                 raise serialization.SerializationError(str(error)) from error
         if self._use_binary(trace):
             return self._ingest_binary(items, weights)
-        request: Dict[str, Any] = {"op": "ingest", "items": items}
+        request: dict[str, Any] = {"op": "ingest", "items": items}
         if any(_needs_tagging(item) for item in items):
             # Encode (and therefore validate) locally *before* the protocol
             # check: an uncarriable token must fail with the admission
@@ -386,7 +387,7 @@ class ServiceClient:
         return int(response["ingested"])
 
     def _ingest_binary(
-        self, items: List[Item], weights: Optional[Sequence[float]]
+        self, items: list[Item], weights: Sequence[float] | None
     ) -> int:
         """Encode one chunk locally and ship it as a binary frame.
 
@@ -433,8 +434,8 @@ class ServiceClient:
 
     def update_batch(
         self,
-        items: Union[EncodedChunk, Sequence[Item]],
-        weights: Optional[Sequence[float]] = None,
+        items: EncodedChunk | Sequence[Item],
+        weights: Sequence[float] | None = None,
     ) -> int:
         """Estimator-shaped ingest adapter.
 
@@ -448,11 +449,11 @@ class ServiceClient:
             return self.ingest_chunk(items)
         return self.ingest(items, weights)
 
-    def snapshot(self, drain: bool = True) -> Dict[str, Any]:
+    def snapshot(self, drain: bool = True) -> dict[str, Any]:
         """Force a new merged snapshot; returns its metadata."""
         return self.call({"op": "snapshot", "drain": drain})
 
-    def checkpoint(self) -> Dict[str, Any]:
+    def checkpoint(self) -> dict[str, Any]:
         """Force a durable WAL checkpoint; returns its metadata.
 
         Raises :class:`ServiceError` when the server runs without a
@@ -464,7 +465,7 @@ class ServiceClient:
         """Rotate the window ring; returns the new current bucket id."""
         return int(self.call({"op": "advance-window", "steps": steps})["bucket"])
 
-    def stats(self) -> Dict[str, Any]:
+    def stats(self) -> dict[str, Any]:
         return self.call({"op": "stats"})
 
     def shutdown(self) -> None:
@@ -473,7 +474,7 @@ class ServiceClient:
 
     # -- queries -------------------------------------------------------- #
 
-    def _point_request(self, request: Dict[str, Any], item: Item) -> Dict[str, Any]:
+    def _point_request(self, request: dict[str, Any], item: Item) -> dict[str, Any]:
         """Send a point-style query, tagging and decoding the item as needed."""
         if _needs_tagging(item):
             key = serialization.encode_item_key(item)  # validate before ping
@@ -488,13 +489,13 @@ class ServiceClient:
             del response["item_tagged"]
         return response
 
-    def point(self, item: Item, trace: bool = False) -> Dict[str, Any]:
+    def point(self, item: Item, trace: bool = False) -> dict[str, Any]:
         """Point query against the latest snapshot (estimate + guarantee).
 
         ``trace=True`` force-samples the query; the per-stage breakdown
         lands on :attr:`last_trace`.
         """
-        request: Dict[str, Any] = {"op": "query", "type": "point"}
+        request: dict[str, Any] = {"op": "query", "type": "point"}
         if trace:
             request["trace"] = _force_trace_field()
         return self._point_request(request, item)
@@ -502,51 +503,51 @@ class ServiceClient:
     def estimate(self, item: Item) -> float:
         return float(self.point(item)["estimate"])
 
-    def top_k(self, k: int, trace: bool = False) -> List[Tuple[Item, float]]:
-        request: Dict[str, Any] = {"op": "query", "type": "top-k", "k": k}
+    def top_k(self, k: int, trace: bool = False) -> list[tuple[Item, float]]:
+        request: dict[str, Any] = {"op": "query", "type": "top-k", "k": k}
         if trace:
             request["trace"] = _force_trace_field()
         response = self.call(request)
         return [(_entry_item(entry), entry["estimate"]) for entry in response["top_k"]]
 
-    def traces(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+    def traces(self, limit: int | None = None) -> list[dict[str, Any]]:
         """Recent sampled traces from the server's ring buffer."""
-        request: Dict[str, Any] = {"op": "traces"}
+        request: dict[str, Any] = {"op": "traces"}
         if limit is not None:
             request["limit"] = int(limit)
         return self.call(request)["traces"]
 
-    def audit(self) -> Dict[str, Any]:
+    def audit(self) -> dict[str, Any]:
         """Run an accuracy audit now; returns the report (see
         :class:`repro.service.audit.AuditReport`)."""
         return self.call({"op": "audit"})
 
-    def heavy_hitters(self, phi: float) -> List[Tuple[Item, float]]:
+    def heavy_hitters(self, phi: float) -> list[tuple[Item, float]]:
         response = self.call({"op": "query", "type": "heavy-hitters", "phi": phi})
         return [
             (_entry_item(entry), entry["estimate"])
             for entry in response["heavy_hitters"]
         ]
 
-    def window_point(self, item: Item, window: Optional[int] = None) -> Dict[str, Any]:
-        request: Dict[str, Any] = {"op": "query", "type": "window-point"}
+    def window_point(self, item: Item, window: int | None = None) -> dict[str, Any]:
+        request: dict[str, Any] = {"op": "query", "type": "window-point"}
         if window is not None:
             request["window"] = window
         return self._point_request(request, item)
 
     def window_top_k(
-        self, k: int, window: Optional[int] = None
-    ) -> List[Tuple[Item, float]]:
-        request: Dict[str, Any] = {"op": "query", "type": "window-top-k", "k": k}
+        self, k: int, window: int | None = None
+    ) -> list[tuple[Item, float]]:
+        request: dict[str, Any] = {"op": "query", "type": "window-top-k", "k": k}
         if window is not None:
             request["window"] = window
         response = self.call(request)
         return [(_entry_item(entry), entry["estimate"]) for entry in response["top_k"]]
 
     def window_heavy_hitters(
-        self, phi: float, window: Optional[int] = None
-    ) -> List[Tuple[Item, float]]:
-        request: Dict[str, Any] = {
+        self, phi: float, window: int | None = None
+    ) -> list[tuple[Item, float]]:
+        request: dict[str, Any] = {
             "op": "query",
             "type": "window-heavy-hitters",
             "phi": phi,
@@ -565,7 +566,7 @@ class ServiceClient:
 # --------------------------------------------------------------------------- #
 
 #: query type -> operations-plane route for the GET query endpoints.
-_HTTP_QUERY_ROUTES: Dict[str, str] = {
+_HTTP_QUERY_ROUTES: dict[str, str] = {
     "point": "/v1/point",
     "top-k": "/v1/top-k",
     "heavy-hitters": "/v1/heavy-hitters",
@@ -594,13 +595,13 @@ class HttpServiceClient(ServiceClient):
         # Deliberately no super().__init__(): there is no socket to open.
         self._base = f"http://{host}:{port}"
         self._timeout = timeout
-        self._protocol: Optional[int] = None
+        self._protocol: int | None = None
         # The HTTP plane has no frame transport: every ingest stays JSON.
         self._binary = "never"
-        self._codec: Optional[TokenCodec] = None
-        self.last_ingest_wal: Optional[Dict[str, Any]] = None
+        self._codec: TokenCodec | None = None
+        self.last_ingest_wal: dict[str, Any] | None = None
         self.last_ingest_durable: bool = False
-        self.last_trace: Optional[Dict[str, Any]] = None
+        self.last_trace: dict[str, Any] | None = None
 
     # -- transport ------------------------------------------------------- #
 
@@ -608,10 +609,10 @@ class HttpServiceClient(ServiceClient):
         self,
         method: str,
         path: str,
-        body: Optional[Dict[str, Any]] = None,
-        headers: Optional[Dict[str, str]] = None,
-    ) -> Dict[str, Any]:
-        data = None if body is None else json.dumps(body).encode("utf-8")
+        body: dict[str, Any] | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> dict[str, Any]:
+        data = None if body is None else json.dumps(body).encode()
         request_headers = dict(headers or {})
         if data:
             request_headers["Content-Type"] = "application/json"
@@ -623,25 +624,25 @@ class HttpServiceClient(ServiceClient):
         )
         try:
             with urllib.request.urlopen(request, timeout=self._timeout) as response:
-                payload = json.loads(response.read().decode("utf-8"))
+                payload = json.loads(response.read().decode())
                 self.last_trace = payload.get("trace")
         except urllib.error.HTTPError as error:
             # Service-level failures arrive as 4xx/5xx with the same
             # {"ok": false, "error": ...} payload the TCP protocol uses.
             try:
-                payload = json.loads(error.read().decode("utf-8"))
+                payload = json.loads(error.read().decode())
             except (ValueError, OSError):
                 raise ServiceError(f"HTTP {error.code} from {path}") from error
             raise ServiceError(
                 payload.get("error", f"HTTP {error.code} from {path}")
             ) from error
         except urllib.error.URLError as error:
-            raise ServiceError(f"cannot reach service at {self._base}: {error.reason}")
+            raise ServiceError(f"cannot reach service at {self._base}: {error.reason}") from error
         if not payload.get("ok"):
             raise ServiceError(payload.get("error", "unknown service error"))
         return payload
 
-    def call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    def call(self, request: dict[str, Any]) -> dict[str, Any]:
         """Translate one protocol op dict onto the REST surface."""
         op = request.get("op")
         if op == "ping":
@@ -681,11 +682,11 @@ class HttpServiceClient(ServiceClient):
             )
         raise ServiceError(f"op {op!r} has no HTTP route")
 
-    def _query(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    def _query(self, request: dict[str, Any]) -> dict[str, Any]:
         route = _HTTP_QUERY_ROUTES.get(request.get("type", ""))
         if route is None:
             raise ServiceError(f"query type {request.get('type')!r} has no HTTP route")
-        params: Dict[str, str] = {}
+        params: dict[str, str] = {}
         if "item" in request:
             item = request["item"]
             if request.get("item_encoding") == "tagged":
@@ -702,7 +703,7 @@ class HttpServiceClient(ServiceClient):
         for key in ("k", "phi", "window"):
             if key in request:
                 params[key] = str(request[key])
-        headers: Dict[str, str] = {}
+        headers: dict[str, str] = {}
         trace_field = request.get("trace")
         if trace_field:
             # Force-sample over HTTP: ?trace=1 plus the W3C header so the
@@ -720,11 +721,11 @@ class HttpServiceClient(ServiceClient):
 
     # -- HTTP-plane extras ----------------------------------------------- #
 
-    def healthz(self) -> Dict[str, Any]:
+    def healthz(self) -> dict[str, Any]:
         """The liveness payload (raises only if the plane is unreachable)."""
         return self._http("GET", "/healthz")
 
-    def readyz(self) -> Dict[str, Any]:
+    def readyz(self) -> dict[str, Any]:
         """The readiness payload -- returned, not raised, even when 503.
 
         A not-ready service is an *answer* (``{"ready": false, "checks":
@@ -734,22 +735,22 @@ class HttpServiceClient(ServiceClient):
         request = urllib.request.Request(self._base + "/readyz")
         try:
             with urllib.request.urlopen(request, timeout=self._timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
+                return json.loads(response.read().decode())
         except urllib.error.HTTPError as error:
             try:
-                return json.loads(error.read().decode("utf-8"))
+                return json.loads(error.read().decode())
             except (ValueError, OSError):
                 raise ServiceError(f"HTTP {error.code} from /readyz") from error
         except urllib.error.URLError as error:
-            raise ServiceError(f"cannot reach service at {self._base}: {error.reason}")
+            raise ServiceError(f"cannot reach service at {self._base}: {error.reason}") from error
 
     def metrics_text(self) -> str:
         """The raw Prometheus exposition payload of ``GET /metrics``."""
         request = urllib.request.Request(self._base + "/metrics")
         try:
             with urllib.request.urlopen(request, timeout=self._timeout) as response:
-                return response.read().decode("utf-8")
+                return response.read().decode()
         except urllib.error.HTTPError as error:
             raise ServiceError(f"HTTP {error.code} from /metrics") from error
         except urllib.error.URLError as error:
-            raise ServiceError(f"cannot reach service at {self._base}: {error.reason}")
+            raise ServiceError(f"cannot reach service at {self._base}: {error.reason}") from error

@@ -58,10 +58,12 @@ concurrently with TCP ingest; there is deliberately *no* shutdown route
 
 from __future__ import annotations
 
+import contextlib
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Dict, Optional
+from collections.abc import Callable
+from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
 from repro.service.dashboard import DASHBOARD_HTML
@@ -83,41 +85,44 @@ _LOG = get_logger("http")
 #: route pattern -> builder(query, body) -> service.handle() request dict.
 #: Patterns (not raw paths) also label ``repro_http_requests_total``, so
 #: metric cardinality is bounded by this table, never by request traffic.
-_GET_OPS: Dict[str, Callable[[Dict[str, str]], Dict[str, Any]]] = {}
-_POST_OPS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {}
+_GetBuilder = Callable[[dict[str, str]], dict[str, Any]]
+_PostBuilder = Callable[[dict[str, Any]], dict[str, Any]]
+
+_GET_OPS: dict[str, _GetBuilder] = {}
+_POST_OPS: dict[str, _PostBuilder] = {}
 
 
-def _get_op(pattern: str):
-    def register(fn):
+def _get_op(pattern: str) -> Callable[[_GetBuilder], _GetBuilder]:
+    def register(fn: _GetBuilder) -> _GetBuilder:
         _GET_OPS[pattern] = fn
         return fn
 
     return register
 
 
-def _post_op(pattern: str):
-    def register(fn):
+def _post_op(pattern: str) -> Callable[[_PostBuilder], _PostBuilder]:
+    def register(fn: _PostBuilder) -> _PostBuilder:
         _POST_OPS[pattern] = fn
         return fn
 
     return register
 
 
-def _item_params(query: Dict[str, str]) -> Dict[str, Any]:
+def _item_params(query: dict[str, str]) -> dict[str, Any]:
     if "item" not in query:
         raise ValueError("query requires an 'item' parameter")
-    request: Dict[str, Any] = {"item": query["item"]}
+    request: dict[str, Any] = {"item": query["item"]}
     if query.get("tagged") in ("1", "true", "yes"):
         request["item_encoding"] = "tagged"
     return request
 
 
-def _window_param(query: Dict[str, str]) -> Dict[str, Any]:
+def _window_param(query: dict[str, str]) -> dict[str, Any]:
     return {"window": int(query["window"])} if "window" in query else {}
 
 
 @_get_op("/v1/stats")
-def _route_stats(query: Dict[str, str]) -> Dict[str, Any]:
+def _route_stats(query: dict[str, str]) -> dict[str, Any]:
     return {"op": "stats"}
 
 
@@ -128,40 +133,40 @@ _SNAPSHOT_META = "__snapshot-meta__"
 
 
 @_get_op("/v1/snapshot")
-def _route_snapshot_meta(query: Dict[str, str]) -> Dict[str, Any]:
+def _route_snapshot_meta(query: dict[str, str]) -> dict[str, Any]:
     return {"op": _SNAPSHOT_META}
 
 
 @_get_op("/v1/top-k")
-def _route_top_k(query: Dict[str, str]) -> Dict[str, Any]:
-    request: Dict[str, Any] = {"op": "query", "type": "top-k"}
+def _route_top_k(query: dict[str, str]) -> dict[str, Any]:
+    request: dict[str, Any] = {"op": "query", "type": "top-k"}
     if "k" in query:
         request["k"] = int(query["k"])
     return request
 
 
 @_get_op("/v1/point")
-def _route_point(query: Dict[str, str]) -> Dict[str, Any]:
+def _route_point(query: dict[str, str]) -> dict[str, Any]:
     return {"op": "query", "type": "point", **_item_params(query)}
 
 
 @_get_op("/v1/heavy-hitters")
-def _route_heavy_hitters(query: Dict[str, str]) -> Dict[str, Any]:
+def _route_heavy_hitters(query: dict[str, str]) -> dict[str, Any]:
     if "phi" not in query:
         raise ValueError("heavy-hitters requires a 'phi' parameter")
     return {"op": "query", "type": "heavy-hitters", "phi": float(query["phi"])}
 
 
 @_get_op("/v1/window/top-k")
-def _route_window_top_k(query: Dict[str, str]) -> Dict[str, Any]:
-    request: Dict[str, Any] = {"op": "query", "type": "window-top-k"}
+def _route_window_top_k(query: dict[str, str]) -> dict[str, Any]:
+    request: dict[str, Any] = {"op": "query", "type": "window-top-k"}
     if "k" in query:
         request["k"] = int(query["k"])
     return {**request, **_window_param(query)}
 
 
 @_get_op("/v1/window/point")
-def _route_window_point(query: Dict[str, str]) -> Dict[str, Any]:
+def _route_window_point(query: dict[str, str]) -> dict[str, Any]:
     return {
         "op": "query",
         "type": "window-point",
@@ -171,7 +176,7 @@ def _route_window_point(query: Dict[str, str]) -> Dict[str, Any]:
 
 
 @_get_op("/v1/window/heavy-hitters")
-def _route_window_heavy_hitters(query: Dict[str, str]) -> Dict[str, Any]:
+def _route_window_heavy_hitters(query: dict[str, str]) -> dict[str, Any]:
     if "phi" not in query:
         raise ValueError("heavy-hitters requires a 'phi' parameter")
     return {
@@ -183,36 +188,36 @@ def _route_window_heavy_hitters(query: Dict[str, str]) -> Dict[str, Any]:
 
 
 @_get_op("/v1/traces")
-def _route_traces(query: Dict[str, str]) -> Dict[str, Any]:
-    request: Dict[str, Any] = {"op": "traces"}
+def _route_traces(query: dict[str, str]) -> dict[str, Any]:
+    request: dict[str, Any] = {"op": "traces"}
     if "limit" in query:
         request["limit"] = int(query["limit"])
     return request
 
 
 @_get_op("/v1/audit")
-def _route_audit(query: Dict[str, str]) -> Dict[str, Any]:
+def _route_audit(query: dict[str, str]) -> dict[str, Any]:
     return {"op": "audit"}
 
 
 @_post_op("/v1/ingest")
-def _route_ingest(body: Dict[str, Any]) -> Dict[str, Any]:
+def _route_ingest(body: dict[str, Any]) -> dict[str, Any]:
     return {"op": "ingest", **body}
 
 
 @_post_op("/v1/snapshot")
-def _route_snapshot(body: Dict[str, Any]) -> Dict[str, Any]:
+def _route_snapshot(body: dict[str, Any]) -> dict[str, Any]:
     return {"op": "snapshot", "drain": bool(body.get("drain", True))}
 
 
 @_post_op("/v1/checkpoint")
-def _route_checkpoint(body: Dict[str, Any]) -> Dict[str, Any]:
+def _route_checkpoint(body: dict[str, Any]) -> dict[str, Any]:
     return {"op": "checkpoint"}
 
 
 @_post_op("/v1/advance-window")
-def _route_advance_window(body: Dict[str, Any]) -> Dict[str, Any]:
-    request: Dict[str, Any] = {"op": "advance-window"}
+def _route_advance_window(body: dict[str, Any]) -> dict[str, Any]:
+    request: dict[str, Any] = {"op": "advance-window"}
     if "steps" in body:
         request["steps"] = body["steps"]
     return request
@@ -237,7 +242,7 @@ class _OperationsHandler(BaseHTTPRequestHandler):
         code: int,
         payload: bytes,
         content_type: str,
-        extra_headers: Optional[Dict[str, str]] = None,
+        extra_headers: dict[str, str] | None = None,
     ) -> None:
         self.send_response(code)
         self.send_header("Content-Type", content_type)
@@ -247,11 +252,11 @@ class _OperationsHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
-    def _send_json(self, code: int, payload: Dict[str, Any]) -> None:
+    def _send_json(self, code: int, payload: dict[str, Any]) -> None:
         # Error payloads always carry a trace_id (the correlation handle
         # for server logs and /v1/traces); traced responses additionally
         # get the breakdown as Server-Timing + traceparent headers.
-        headers: Optional[Dict[str, str]] = None
+        headers: dict[str, str] | None = None
         if not payload.get("ok"):
             payload.setdefault("trace_id", self._trace_id())
         breakdown = payload.get("trace")
@@ -264,7 +269,7 @@ class _OperationsHandler(BaseHTTPRequestHandler):
                 ).to_traceparent(),
             }
         self._send(
-            code, (json.dumps(payload) + "\n").encode("utf-8"), _JSON, headers
+            code, (json.dumps(payload) + "\n").encode(), _JSON, headers
         )
 
     def _trace_id(self) -> str:
@@ -277,9 +282,9 @@ class _OperationsHandler(BaseHTTPRequestHandler):
             self._trace_ctx = cached
         return cached
 
-    def _trace_request(self, query: Dict[str, str]) -> Dict[str, Any]:
+    def _trace_request(self, query: dict[str, str]) -> dict[str, Any]:
         """The op request's ``trace`` field, from ``?trace=1`` / headers."""
-        field: Dict[str, Any] = {}
+        field: dict[str, Any] = {}
         traceparent = self.headers.get("traceparent")
         if traceparent:
             field["traceparent"] = traceparent
@@ -290,19 +295,19 @@ class _OperationsHandler(BaseHTTPRequestHandler):
     def _count(self, pattern: str, code: int) -> None:
         self.server.count_request(pattern, code)
 
-    def _read_body(self) -> Dict[str, Any]:
+    def _read_body(self) -> dict[str, Any]:
         try:
             length = int(self.headers.get("Content-Length") or 0)
         except ValueError:
-            raise ValueError("Content-Length header must be an integer")
+            raise ValueError("Content-Length header must be an integer") from None
         if length == 0:
             return {}
-        body = json.loads(self.rfile.read(length).decode("utf-8"))
+        body = json.loads(self.rfile.read(length).decode())
         if not isinstance(body, dict):
             raise ValueError("request body must be a JSON object")
         return body
 
-    def _dispatch_op(self, pattern: str, request: Dict[str, Any]) -> None:
+    def _dispatch_op(self, pattern: str, request: dict[str, Any]) -> None:
         service = self.server.service
         if service is None:
             self._send_json(503, {"ok": False, "error": "service recovering"})
@@ -331,6 +336,7 @@ class _OperationsHandler(BaseHTTPRequestHandler):
             handler()
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away mid-response; nothing to answer
+        # repro-lint: boundary HTTP dispatch; logged, 500 JSON, counted in http_requests_total
         except Exception as error:  # noqa: BLE001 - the HTTP boundary
             trace_id = self._trace_id()
             _LOG.error(
@@ -342,7 +348,7 @@ class _OperationsHandler(BaseHTTPRequestHandler):
                 },
                 exc_info=True,
             )
-            try:
+            with contextlib.suppress(OSError):  # response channel already broken
                 self._send_json(
                     500,
                     {
@@ -351,8 +357,6 @@ class _OperationsHandler(BaseHTTPRequestHandler):
                         "trace_id": trace_id,
                     },
                 )
-            except OSError:
-                pass  # response channel already broken
             self._count(pattern_hint, 500)
 
     # -- GET ------------------------------------------------------------ #
@@ -364,7 +368,7 @@ class _OperationsHandler(BaseHTTPRequestHandler):
         split = urlsplit(self.path)
         path = split.path.rstrip("/") or "/"
         if path == "/":
-            self._send(200, DASHBOARD_HTML.encode("utf-8"), _HTML)
+            self._send(200, DASHBOARD_HTML.encode(), _HTML)
             self._count("/", 200)
             return
         if path == "/healthz":
@@ -424,7 +428,7 @@ class _OperationsHandler(BaseHTTPRequestHandler):
             )
             self._count("/metrics", 503)
             return
-        payload = registry.render().encode("utf-8")
+        payload = registry.render().encode()
         self._send(200, payload, CONTENT_TYPE_EXPOSITION)
         self._count("/metrics", 200)
 
@@ -475,10 +479,10 @@ class OperationsHttpServer(ThreadingHTTPServer):
         self,
         host: str = "127.0.0.1",
         port: int = 0,
-        service: Optional[HeavyHittersService] = None,
+        service: HeavyHittersService | None = None,
     ) -> None:
         self.service = service
-        self._thread: Optional[threading.Thread] = None
+        self._thread: threading.Thread | None = None
         super().__init__((host, port), _OperationsHandler)
 
     @property
@@ -486,7 +490,7 @@ class OperationsHttpServer(ThreadingHTTPServer):
         return self.server_address[1]
 
     @property
-    def registry(self) -> Optional[MetricsRegistry]:
+    def registry(self) -> MetricsRegistry | None:
         service = self.service
         return None if service is None else service.metrics
 
@@ -511,7 +515,7 @@ class OperationsHttpServer(ThreadingHTTPServer):
 
     # -- lifecycle ------------------------------------------------------ #
 
-    def start(self) -> "OperationsHttpServer":
+    def start(self) -> OperationsHttpServer:
         """Serve on a daemon thread (the TCP plane owns the main thread)."""
         if self._thread is not None:
             raise RuntimeError("HTTP server already started")
@@ -533,7 +537,7 @@ class OperationsHttpServer(ThreadingHTTPServer):
 def serve_http(
     host: str = "127.0.0.1",
     port: int = 0,
-    service: Optional[HeavyHittersService] = None,
+    service: HeavyHittersService | None = None,
 ) -> OperationsHttpServer:
     """Bind and start the HTTP plane on a daemon thread.
 

@@ -21,7 +21,7 @@ import json
 import logging
 import sys
 import time
-from typing import Any, Dict, Optional
+from typing import Any
 
 __all__ = ["JsonFormatter", "TextFormatter", "configure_logging", "get_logger"]
 
@@ -34,7 +34,7 @@ _RESERVED = frozenset(
 ) | {"message", "asctime", "taskName"}
 
 
-def _structured_fields(record: logging.LogRecord) -> Dict[str, Any]:
+def _structured_fields(record: logging.LogRecord) -> dict[str, Any]:
     return {
         key: value
         for key, value in record.__dict__.items()
@@ -52,7 +52,7 @@ class JsonFormatter(logging.Formatter):
     """One JSON object per line; stable keys, extras flattened in."""
 
     def format(self, record: logging.LogRecord) -> str:
-        payload: Dict[str, Any] = {
+        payload: dict[str, Any] = {
             "ts": _isoformat(record.created),
             "level": record.levelname.lower(),
             "logger": record.name,
@@ -87,7 +87,7 @@ class TextFormatter(logging.Formatter):
 def configure_logging(
     log_format: str = "text",
     level: str = "info",
-    stream: Optional[io.TextIOBase] = None,
+    stream: io.TextIOBase | None = None,
 ) -> logging.Logger:
     """Install one handler on the ``repro`` logger tree; idempotent.
 

@@ -38,10 +38,13 @@ check a scrape without a Prometheus install.
 
 from __future__ import annotations
 
+# repro-lint: hot-path
+
 import math
 import threading
 from bisect import bisect_left
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any
 
 __all__ = [
     "Counter",
@@ -57,7 +60,7 @@ __all__ = [
 #: Default histogram buckets for latencies, in seconds.  Tuned for the
 #: service's range: WAL fsyncs sit in the 0.1-10ms band, checkpoints and
 #: snapshot refreshes in the 1ms-1s band.
-DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
     0.0001,
     0.00025,
     0.0005,
@@ -75,7 +78,7 @@ DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
 )
 
 #: Default buckets for size-ish distributions (ingest batch sizes).
-DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
+DEFAULT_SIZE_BUCKETS: tuple[float, ...] = (
     1,
     8,
     64,
@@ -87,7 +90,7 @@ DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
     65_536,
 )
 
-_LabelValues = Tuple[str, ...]
+_LabelValues = tuple[str, ...]
 
 
 def render_value(value: float) -> str:
@@ -115,7 +118,7 @@ def _format_labels(names: Sequence[str], values: Sequence[str]) -> str:
         return ""
     pairs = ",".join(
         f'{name}="{_escape_label_value(str(value))}"'
-        for name, value in zip(names, values)
+        for name, value in zip(names, values, strict=True)
     )
     return "{" + pairs + "}"
 
@@ -143,11 +146,11 @@ class _Instrument:
     def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()) -> None:
         self.name = _check_name(name)
         self.help = help
-        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self.labelnames: tuple[str, ...] = tuple(labelnames)
         for label in self.labelnames:
             _check_name(label)
         self._lock = threading.Lock()
-        self._cells: Dict[_LabelValues, Any] = {}
+        self._cells: dict[_LabelValues, Any] = {}
         if not self.labelnames:
             self._cells[()] = self._new_cell()
 
@@ -192,7 +195,7 @@ class _Instrument:
 
     # -- rendering ------------------------------------------------------ #
 
-    def _sample_lines(self) -> List[str]:
+    def _sample_lines(self) -> list[str]:
         raise NotImplementedError
 
     def render(self) -> str:
@@ -235,16 +238,16 @@ class Counter(_Instrument):
 
     kind = "counter"
 
-    def _new_cell(self) -> List[float]:
+    def _new_cell(self) -> list[float]:
         return [0.0]
 
-    def _inc_cell(self, cell: List[float], amount: float) -> None:
+    def _inc_cell(self, cell: list[float], amount: float) -> None:
         if amount < 0:
             raise ValueError(f"counters only go up, got increment {amount}")
         with self._lock:
             cell[0] += amount
 
-    def _read_cell(self, cell: List[float]) -> float:
+    def _read_cell(self, cell: list[float]) -> float:
         with self._lock:
             return cell[0]
 
@@ -255,7 +258,7 @@ class Counter(_Instrument):
     def value(self) -> float:
         return self._read_cell(self._unlabelled())
 
-    def _sample_lines(self) -> List[str]:
+    def _sample_lines(self) -> list[str]:
         with self._lock:
             cells = [(values, cell[0]) for values, cell in self._cells.items()]
         return [
@@ -270,18 +273,18 @@ class Gauge(_Instrument):
 
     kind = "gauge"
 
-    def _new_cell(self) -> List[float]:
+    def _new_cell(self) -> list[float]:
         return [0.0]
 
-    def _inc_cell(self, cell: List[float], amount: float) -> None:
+    def _inc_cell(self, cell: list[float], amount: float) -> None:
         with self._lock:
             cell[0] += amount
 
-    def _set_cell(self, cell: List[float], value: float) -> None:
+    def _set_cell(self, cell: list[float], value: float) -> None:
         with self._lock:
             cell[0] = float(value)
 
-    def _read_cell(self, cell: List[float]) -> float:
+    def _read_cell(self, cell: list[float]) -> float:
         with self._lock:
             return cell[0]
 
@@ -298,7 +301,7 @@ class Gauge(_Instrument):
     def value(self) -> float:
         return self._read_cell(self._unlabelled())
 
-    def _sample_lines(self) -> List[str]:
+    def _sample_lines(self) -> list[str]:
         with self._lock:
             cells = [(values, cell[0]) for values, cell in self._cells.items()]
         return [
@@ -330,11 +333,11 @@ class Histogram(_Instrument):
         labelnames: Sequence[str] = (),
     ) -> None:
         bounds = [float(bound) for bound in buckets]
-        if not bounds or any(nxt <= prev for prev, nxt in zip(bounds, bounds[1:])):
+        if not bounds or any(nxt <= prev for prev, nxt in zip(bounds, bounds[1:], strict=False)):
             raise ValueError(f"buckets must be non-empty and increasing, got {buckets}")
         if math.isinf(bounds[-1]):
             bounds = bounds[:-1]  # the +Inf bucket is implicit
-        self.buckets: Tuple[float, ...] = tuple(bounds)
+        self.buckets: tuple[float, ...] = tuple(bounds)
         super().__init__(name, help, labelnames)
 
     def _new_cell(self) -> _HistogramCell:
@@ -366,7 +369,7 @@ class Histogram(_Instrument):
     def total(self) -> float:
         return self._read_cell(self._unlabelled())
 
-    def _sample_lines(self) -> List[str]:
+    def _sample_lines(self) -> list[str]:
         with self._lock:
             cells = [
                 (values, list(cell.counts), cell.total, cell.count)
@@ -375,7 +378,9 @@ class Histogram(_Instrument):
         lines = []
         for values, counts, total, count in sorted(cells):
             cumulative = 0
-            for bound, bucket_count in zip(self.buckets, counts):
+            # counts has one extra entry (the implicit +Inf bucket), so the
+            # shorter buckets sequence bounds the zip.
+            for bound, bucket_count in zip(self.buckets, counts, strict=False):
                 cumulative += bucket_count
                 bucket_labels = _format_labels(
                     (*self.labelnames, "le"), (*values, render_value(bound))
@@ -390,7 +395,7 @@ class Histogram(_Instrument):
 
 
 #: A callback yields ``(labels-dict-or-None, value)`` samples at scrape time.
-CallbackFn = Callable[[], Iterable[Tuple[Optional[Dict[str, str]], float]]]
+CallbackFn = Callable[[], Iterable[tuple[dict[str, str] | None, float]]]
 
 
 class _Callback:
@@ -452,8 +457,8 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._families: Dict[str, Any] = {}
-        self._order: List[str] = []
+        self._families: dict[str, Any] = {}
+        self._order: list[str] = []
         self.scrape_errors = Counter(
             "repro_metrics_scrape_errors_total",
             "Metric callbacks that raised during a scrape.",
@@ -506,7 +511,7 @@ class MetricsRegistry:
                 del self._families[name]
                 self._order.remove(name)
 
-    def get(self, name: str) -> Optional[Any]:
+    def get(self, name: str) -> Any | None:
         with self._lock:
             return self._families.get(name)
 
@@ -524,6 +529,7 @@ class MetricsRegistry:
         for family in families:
             try:
                 sections.append(family.render())
+            # repro-lint: boundary scrape rendering; counted in repro_scrape_errors_total
             except Exception:
                 # One broken callback must not take down the whole scrape;
                 # the error count itself is part of the scrape, which is
@@ -533,14 +539,14 @@ class MetricsRegistry:
         return "\n".join(sections) + "\n"
 
 
-def parse_exposition(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
+def parse_exposition(text: str) -> dict[str, dict[tuple[tuple[str, str], ...], float]]:
     """Parse exposition text into ``{name: {sorted-label-items: value}}``.
 
     The inverse of :meth:`MetricsRegistry.render` for sample lines (HELP /
     TYPE comments are skipped).  Raises :class:`ValueError` on a malformed
     sample line, which is what the format-validity tests lean on.
     """
-    samples: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    samples: dict[str, dict[tuple[tuple[str, str], ...], float]] = {}
     for line in text.splitlines():
         line = line.strip()
         if not line or line.startswith("#"):
@@ -548,7 +554,7 @@ def parse_exposition(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], f
         name_part, _, value_part = line.rpartition(" ")
         if not name_part:
             raise ValueError(f"malformed sample line {line!r}")
-        labels: Dict[str, str] = {}
+        labels: dict[str, str] = {}
         if "{" in name_part:
             if not name_part.endswith("}"):
                 raise ValueError(f"malformed label block in {line!r}")
@@ -561,7 +567,7 @@ def parse_exposition(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], f
                 if not blob.startswith('"', eq + 1):
                     raise ValueError(f"unquoted label value in {line!r}")
                 cursor = eq + 2
-                chars: List[str] = []
+                chars: list[str] = []
                 while True:
                     ch = blob[cursor]
                     if ch == "\\":

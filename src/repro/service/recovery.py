@@ -35,7 +35,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple, Union
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
 
 from repro import serialization
 from repro.algorithms.base import FrequencyEstimator
@@ -81,18 +82,18 @@ class RecoveryResult:
     proved constants, e.g. ``ExactCounter``).
     """
 
-    estimators: List[FrequencyEstimator]
-    merge: Optional[MergeResult]
-    window: Optional[WindowedSummarizer]
+    estimators: list[FrequencyEstimator]
+    merge: MergeResult | None
+    window: WindowedSummarizer | None
     k: int
     checkpoint_version: int
-    resumed_from: Optional[WalPosition]
-    replayed_to: Optional[WalPosition]
+    resumed_from: WalPosition | None
+    replayed_to: WalPosition | None
     chunks_replayed: int
     tokens_replayed: int
     advances_replayed: int
     scan: WalScanStats
-    manifest: Optional[Dict[str, Any]]
+    manifest: dict[str, Any] | None
 
     @property
     def num_shards(self) -> int:
@@ -113,7 +114,7 @@ class RecoveryResult:
         raise RecoveryError("no merged estimator available")
 
 
-def _factory_from_manifest(manifest: Dict[str, Any]) -> EstimatorFactory:
+def _factory_from_manifest(manifest: dict[str, Any]) -> EstimatorFactory:
     """Rebuild the per-shard estimator factory recorded by the service."""
     # Imported lazily: the server module imports repro.service.wal, and
     # recovery must stay importable from it without a cycle.
@@ -132,12 +133,12 @@ def _factory_from_manifest(manifest: Dict[str, Any]) -> EstimatorFactory:
 
 
 def recover(
-    wal_dir: Union[str, Path],
-    make_estimator: Optional[EstimatorFactory] = None,
-    num_shards: Optional[int] = None,
-    k: Optional[int] = None,
-    merge_mode: Optional[str] = None,
-    window_buckets: Optional[int] = None,
+    wal_dir: str | Path,
+    make_estimator: EstimatorFactory | None = None,
+    num_shards: int | None = None,
+    k: int | None = None,
+    merge_mode: str | None = None,
+    window_buckets: int | None = None,
 ) -> RecoveryResult:
     """Rebuild service state from ``wal_dir`` (checkpoint + replay).
 
@@ -179,8 +180,8 @@ def recover(
     #    position it covers.
     checkpoint = load_checkpoint(wal_dir)
     checkpoint_version = 0
-    resumed_from: Optional[WalPosition] = None
-    window: Optional[WindowedSummarizer] = None
+    resumed_from: WalPosition | None = None
+    window: WindowedSummarizer | None = None
     if window_buckets > 0:
         window = WindowedSummarizer(
             make_estimator, num_buckets=window_buckets, k=max(1, k)
@@ -244,7 +245,7 @@ def recover(
         replayed_to = record.position
 
     # 3. The queryable merged summary, carrying the (3A, A+B) guarantee.
-    merge: Optional[MergeResult] = None
+    merge: MergeResult | None = None
     try:
         merge = merge_summaries(
             estimators, k=max(1, k), make_estimator=make_estimator, mode=merge_mode
@@ -277,8 +278,8 @@ def recover(
 
 
 def resume_service(
-    config: "ServiceConfig", wal_dir: Optional[Union[str, Path]] = None
-) -> Tuple["HeavyHittersService", Optional[RecoveryResult]]:
+    config: "ServiceConfig", wal_dir: str | Path | None = None
+) -> tuple["HeavyHittersService", RecoveryResult | None]:
     """Build a service, restoring prior WAL state into it when present.
 
     Returns ``(service, result)`` where ``result`` is ``None`` if the WAL
@@ -292,7 +293,7 @@ def resume_service(
     wal_dir = Path(wal_dir if wal_dir is not None else config.wal_dir or "")
     if not str(wal_dir):
         raise RecoveryError("resume_service requires a WAL directory")
-    result: Optional[RecoveryResult] = None
+    result: RecoveryResult | None = None
     if wal_dir.is_dir() and (list_segments(wal_dir) or list_checkpoints(wal_dir)):
         result = recover(
             wal_dir,
@@ -308,7 +309,7 @@ def resume_service(
     return service, result
 
 
-def compact(wal_dir: Union[str, Path], result: RecoveryResult) -> Path:
+def compact(wal_dir: str | Path, result: RecoveryResult) -> Path:
     """Checkpoint a finished recovery and prune the segments it covers.
 
     Writes ``checkpoint-<version+1>`` holding the recovered shard (and

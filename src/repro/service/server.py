@@ -49,17 +49,20 @@ were actually merged (see :mod:`repro.service.windows`).
 
 from __future__ import annotations
 
+# repro-lint: hot-path
+
 import json
 import math
 import socketserver
 import threading
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Tuple
+from collections.abc import Callable, Iterable
+from typing import TYPE_CHECKING, Any
 
 from repro import serialization
 from repro.algorithms.base import FrequencyEstimator, Item
-from repro.engine.codec import TokenAdmissionError, TokenCodec
+from repro.engine.codec import EncodedChunk, TokenAdmissionError, TokenCodec
 from repro.algorithms.frequent import Frequent
 from repro.algorithms.frequent_real import FrequentR
 from repro.algorithms.space_saving import SpaceSaving
@@ -116,7 +119,7 @@ PROTOCOL_VERSION = 3
 _MISSING = object()
 
 #: (algorithm name, weighted?) -> summary class, mirroring the CLI registry.
-SERVICE_ALGORITHMS: Dict[Tuple[str, bool], Callable[[int], FrequencyEstimator]] = {
+SERVICE_ALGORITHMS: dict[tuple[str, bool], Callable[[int], FrequencyEstimator]] = {
     ("spacesaving", False): lambda m: SpaceSaving(num_counters=m),
     ("spacesaving", True): lambda m: SpaceSavingR(num_counters=m),
     ("frequent", False): lambda m: Frequent(num_counters=m),
@@ -136,7 +139,7 @@ class ServiceConfig:
     queue_depth: int = DEFAULT_QUEUE_DEPTH
     window_buckets: int = 0
     snapshot_interval: float = 0.0
-    snapshot_dir: Optional[str] = None
+    snapshot_dir: str | None = None
     compress: bool = False
     merge_mode: str = "all_counters"
     #: Bound on the ingest codec's vocabulary: past this many distinct
@@ -146,7 +149,7 @@ class ServiceConfig:
     max_vocabulary: int = 1 << 20
     #: Write-ahead log directory (``None`` = no durability: tokens since
     #: the last snapshot are lost on a crash, the pre-WAL behaviour).
-    wal_dir: Optional[str] = None
+    wal_dir: str | None = None
     #: WAL fsync policy: ``"always"`` (acked => on disk), ``"interval"``
     #: (bounded loss window) or ``"off"`` (page cache only).
     fsync: str = "interval"
@@ -190,7 +193,7 @@ class ServiceConfig:
     #: downgrade knob for fleets still draining v2-only clients.
     binary: bool = True
 
-    def manifest(self) -> Dict[str, Any]:
+    def manifest(self) -> dict[str, Any]:
         """The fields recovery needs to rebuild this service's estimators."""
         return {
             "algorithm": self.algorithm,
@@ -213,12 +216,12 @@ class ServiceConfig:
         return SERVICE_ALGORITHMS[key](self.num_counters)
 
 
-def _guarantee_payload(constants: TailGuarantee, k: int, m: int) -> Dict[str, float]:
+def _guarantee_payload(constants: TailGuarantee, k: int, m: int) -> dict[str, float]:
     """The guarantee constants attached to every certified answer."""
     return {"a": constants.a, "b": constants.b, "k": k, "num_counters": m}
 
 
-def _wire_item(item: Item) -> Tuple[Any, bool]:
+def _wire_item(item: Item) -> tuple[Any, bool]:
     """Encode one token for a JSON response.
 
     Returns ``(value, tagged)``: the raw item when JSON carries its type
@@ -232,12 +235,12 @@ def _wire_item(item: Item) -> Tuple[Any, bool]:
     return serialization.encode_item_key(item), True
 
 
-def _wire_entries(pairs: Iterable[Tuple[Item, float]]) -> List[Dict[str, Any]]:
+def _wire_entries(pairs: Iterable[tuple[Item, float]]) -> list[dict[str, Any]]:
     """``{"item", "estimate"}`` response rows, tagging items as needed."""
     entries = []
     for item, estimate in pairs:
         value, tagged = _wire_item(item)
-        entry: Dict[str, Any] = {"item": value, "estimate": estimate}
+        entry: dict[str, Any] = {"item": value, "estimate": estimate}
         if tagged:
             entry["item_tagged"] = True
         entries.append(entry)
@@ -261,7 +264,7 @@ class HeavyHittersService:
             compress=config.compress,
             mode=config.merge_mode,
         )
-        self.windowed: Optional[WindowedSummarizer] = None
+        self.windowed: WindowedSummarizer | None = None
         if config.window_buckets > 0:
             self.windowed = WindowedSummarizer(
                 config.make_estimator,
@@ -273,7 +276,7 @@ class HeavyHittersService:
         # lock serialises interning across connection threads; the shard
         # workers only *read* the codec, which is safe concurrently.
         self._codec = TokenCodec()
-        self._decode_memo: Dict[str, Item] = {}
+        self._decode_memo: dict[str, Item] = {}
         self._ingest_lock = threading.Lock()
         self.shutdown_requested = threading.Event()
         self._started = False
@@ -284,7 +287,7 @@ class HeavyHittersService:
         # Ambient samples only land in the ring (responses stay
         # byte-identical for unsuspecting clients); forced traces get the
         # breakdown attached to their response.
-        self.tracer: Optional[Tracer] = None
+        self.tracer: Tracer | None = None
         if config.tracing:
             self.tracer = Tracer(
                 sample_rate=config.trace_sample_rate,
@@ -292,7 +295,7 @@ class HeavyHittersService:
             )
         # Accuracy auditing: a deterministic hash-sampled exact mirror of
         # the ingest stream, compared against snapshots at scrape time.
-        self.auditor: Optional[AccuracyAuditor] = None
+        self.auditor: AccuracyAuditor | None = None
         if config.audit_rate > 0:
             self.auditor = AccuracyAuditor(
                 rate=config.audit_rate,
@@ -304,7 +307,7 @@ class HeavyHittersService:
         # are limited to per-chunk counter bumps; everything the service
         # already tracks (queue depths, WAL byte counts, snapshot age) is
         # exposed through scrape-time callbacks at zero ingest cost.
-        self.metrics: Optional[MetricsRegistry] = None
+        self.metrics: MetricsRegistry | None = None
         self._m_tokens = self._m_batches = self._m_batch_size = None
         self._m_rejections = self._m_checkpoint_seconds = None
         self._m_ingest_requests = None
@@ -349,12 +352,15 @@ class HeavyHittersService:
         # policy) before any shard sees it, and the ingest lock spans
         # append + enqueue so a checkpoint's WAL position always agrees
         # exactly with what the shards have been handed.
-        self.wal: Optional[WriteAheadLog] = None
+        self.wal: WriteAheadLog | None = None
         self._checkpoint_lock = threading.Lock()
         self._checkpoint_version = 0
-        self._checkpoint_ticker: Optional[threading.Thread] = None
+        self._checkpoint_ticker: threading.Thread | None = None
         self._checkpoint_stop = threading.Event()
-        self.last_checkpoint_error: Optional[BaseException] = None
+        self.last_checkpoint_error: BaseException | None = None
+        #: Periodic checkpoints that failed (and were retried); exposed as
+        #: repro_checkpoint_errors_total so silent disk trouble pages.
+        self.checkpoint_errors_total = 0
         if config.wal_dir is not None:
             self.wal = WriteAheadLog(
                 config.wal_dir,
@@ -377,8 +383,8 @@ class HeavyHittersService:
         registry = self.metrics
         assert registry is not None
 
-        def shard_samples(key: str):
-            def sample():
+        def shard_samples(key: str) -> Callable[[], list[tuple[dict[str, str], float]]]:
+            def sample() -> list[tuple[dict[str, str], float]]:
                 return [
                     ({"shard": str(row["shard"])}, float(row[key]))
                     for row in self.sharded.queue_stats()
@@ -449,6 +455,12 @@ class HeavyHittersService:
             "counter",
             lambda: [(None, float(self.snapshots.refreshes_total))],
         )
+        registry.register_callback(
+            "repro_snapshot_refresh_errors_total",
+            "Periodic snapshot refreshes that failed and will be retried.",
+            "counter",
+            lambda: [(None, float(self.snapshots.refresh_errors_total))],
+        )
         if self.wal is not None:
             registry.register_callback(
                 "repro_wal_frames_appended_total",
@@ -473,6 +485,12 @@ class HeavyHittersService:
                 "Version of the most recent durable checkpoint.",
                 "gauge",
                 lambda: [(None, float(self._checkpoint_version))],
+            )
+            registry.register_callback(
+                "repro_checkpoint_errors_total",
+                "Periodic checkpoints that failed and will be retried.",
+                "counter",
+                lambda: [(None, float(self.checkpoint_errors_total))],
             )
         if self.windowed is not None:
             registry.register_callback(
@@ -504,7 +522,7 @@ class HeavyHittersService:
             # The auditor may be detached later (restore() of recovered
             # state the mirror never saw), so every callback re-reads
             # self.auditor and degrades to no samples.
-            def observed_error_samples():
+            def observed_error_samples() -> list[tuple[dict[str, str], float]]:
                 auditor = self.auditor
                 report = (
                     None
@@ -526,7 +544,7 @@ class HeavyHittersService:
                 observed_error_samples,
             )
 
-            def budget_ratio_samples():
+            def budget_ratio_samples() -> list[tuple[dict[str, str], float]]:
                 auditor = self.auditor
                 report = (
                     None
@@ -596,16 +614,18 @@ class HeavyHittersService:
     # Lifecycle
     # ------------------------------------------------------------------ #
 
-    def start(self) -> "HeavyHittersService":
+    def start(self) -> HeavyHittersService:
         self.sharded.start()
         if self.config.snapshot_interval > 0:
             self.snapshots.start(self.config.snapshot_interval)
         if self.wal is not None and self.config.checkpoint_interval > 0:
             self._start_checkpoint_ticker(self.config.checkpoint_interval)
+        # repro-lint: allow[L006] single-writer lifecycle flag, control thread only
         self._started = True
         return self
 
     def close(self) -> None:
+        # repro-lint: allow[L006] single-writer lifecycle flag, control thread only
         self._closed = True
         self._stop_checkpoint_ticker()
         self.snapshots.stop()
@@ -622,7 +642,7 @@ class HeavyHittersService:
         """True when every readiness check passes (see :meth:`readiness`)."""
         return all(self.readiness().values())
 
-    def readiness(self) -> Dict[str, bool]:
+    def readiness(self) -> dict[str, bool]:
         """Per-check readiness verdicts backing ``GET /readyz``.
 
         Ready means the service can take traffic *now*: it has been
@@ -655,6 +675,7 @@ class HeavyHittersService:
             # The exact mirror starts empty at process start; recovered
             # estimators carry history it never saw, so every comparison
             # would be skewed.  Disable rather than mislead.
+            # repro-lint: allow[L006] single-writer: restore() runs before start(), no readers yet
             self.auditor = None
             self._log.info(
                 "accuracy auditor disabled: recovered state predates the "
@@ -666,7 +687,7 @@ class HeavyHittersService:
     # Checkpointing
     # ------------------------------------------------------------------ #
 
-    def checkpoint(self) -> Dict[str, Any]:
+    def checkpoint(self) -> dict[str, Any]:
         """Write a durable checkpoint and prune the WAL segments it covers.
 
         Under the ingest lock the current WAL tail is captured and the
@@ -727,11 +748,18 @@ class HeavyHittersService:
                 try:
                     self.checkpoint()
                     self.last_checkpoint_error = None
+                # repro-lint: boundary checkpoint-ticker thread entry point
                 except Exception as exc:
                     # A transient failure (full disk) must not kill the
-                    # ticker: record it and retry next interval.
+                    # ticker: record it, count it, and retry next interval.
+                    self.checkpoint_errors_total += 1
                     self.last_checkpoint_error = exc
+                    self._log.warning(
+                        "periodic checkpoint failed; retrying next interval",
+                        extra={"error": repr(exc)},
+                    )
 
+        # repro-lint: allow[L006] single-writer: ticker handle touched only by the control thread
         self._checkpoint_ticker = threading.Thread(
             target=tick, name="wal-checkpoint", daemon=True
         )
@@ -744,17 +772,17 @@ class HeavyHittersService:
         self._checkpoint_ticker.join()
         self._checkpoint_ticker = None
 
-    def __enter__(self) -> "HeavyHittersService":
+    def __enter__(self) -> HeavyHittersService:
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------ #
     # Request handling
     # ------------------------------------------------------------------ #
 
-    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    def handle(self, request: dict[str, Any]) -> dict[str, Any]:
         """Dispatch one request dict; never raises, errors become payloads.
 
         Tracing rides the same path: a sampling decision per request,
@@ -770,7 +798,7 @@ class HeavyHittersService:
         handler = self._OPS.get(op)
         if handler is None:
             return {"ok": False, "error": f"unknown op {op!r}"}
-        trace: Optional[Trace] = None
+        trace: Trace | None = None
         if self.tracer is not None:
             trace = self.tracer.begin(op, request.get("trace"))
         timed = trace is not None or self._slow_threshold > 0.0
@@ -792,7 +820,7 @@ class HeavyHittersService:
                 if trace.forced:
                     response["trace"] = trace.breakdown()
             if self._slow_threshold > 0.0 and elapsed >= self._slow_threshold:
-                extra: Dict[str, Any] = {"op": op, "seconds": round(elapsed, 6)}
+                extra: dict[str, Any] = {"op": op, "seconds": round(elapsed, 6)}
                 if trace is not None:
                     extra["trace_id"] = trace.trace_id
                 self._log.warning("slow request", extra=extra)
@@ -810,8 +838,8 @@ class HeavyHittersService:
         return PROTOCOL_VERSION if self.config.binary else 2
 
     def _op_ping(
-        self, request: Dict[str, Any], trace: Optional[Trace] = None
-    ) -> Dict[str, Any]:
+        self, request: dict[str, Any], trace: Trace | None = None
+    ) -> dict[str, Any]:
         # "tracing"/"audit" are capability advertisements, not protocol
         # bumps: the trace request field is optional and ignored by older
         # servers, so protocol 2 carries it gracefully.
@@ -824,7 +852,7 @@ class HeavyHittersService:
             "audit": self.auditor is not None,
         }
 
-    def _decode_tagged_items(self, keys: List[Any]) -> List[Item]:
+    def _decode_tagged_items(self, keys: list[Any]) -> list[Item]:
         """Decode tagged wire items, memoising once per distinct key string.
 
         A skewed ingest stream repeats a small set of keys, so after warm-up
@@ -861,8 +889,8 @@ class HeavyHittersService:
             self._decode_memo.clear()
 
     def _apply_chunk_locked(
-        self, chunk, record: bytes, trace: Optional[Trace]
-    ) -> Tuple[float, WalPosition]:
+        self, chunk: EncodedChunk, record: bytes, trace: Trace | None
+    ) -> tuple[float, WalPosition]:
         """WAL append of a pre-framed record + shard fan-out, under the lock.
 
         ``record`` is the one CRC-framed serialisation of ``chunk`` --
@@ -898,7 +926,7 @@ class HeavyHittersService:
             self.auditor.observe_chunk(chunk)
         return ingested, wal_position
 
-    def _apply_chunk_unlogged(self, chunk, trace: Optional[Trace]) -> float:
+    def _apply_chunk_unlogged(self, chunk: EncodedChunk, trace: Trace | None) -> float:
         """Shard fan-out without a WAL; runs *outside* the ingest lock."""
         if trace is not None:
             mark = time.perf_counter()
@@ -913,12 +941,12 @@ class HeavyHittersService:
 
     def _ingest_response(
         self,
-        chunk,
+        chunk: EncodedChunk,
         ingested: float,
-        wal_position: Optional[WalPosition],
+        wal_position: WalPosition | None,
         protocol: str,
-        trace: Optional[Trace],
-    ) -> Dict[str, Any]:
+        trace: Trace | None,
+    ) -> dict[str, Any]:
         """The shared ingest epilogue: forced-trace barrier, metrics, ack."""
         if trace is not None and trace.forced:
             # Barrier for forced traces only: draining the queues lets the
@@ -945,8 +973,8 @@ class HeavyHittersService:
         return response
 
     def _op_ingest(
-        self, request: Dict[str, Any], trace: Optional[Trace] = None
-    ) -> Dict[str, Any]:
+        self, request: dict[str, Any], trace: Trace | None = None
+    ) -> dict[str, Any]:
         items = request.get("items")
         if not isinstance(items, list):
             return {"ok": False, "error": "ingest requires an 'items' list"}
@@ -963,7 +991,7 @@ class HeavyHittersService:
         # error payload) instead of re-checking every token occurrence,
         # and the resulting chunk fans out to the shards with one
         # vectorised shard_array call.
-        wal_position: Optional[WalPosition] = None
+        wal_position: WalPosition | None = None
         with self._ingest_lock:
             self._maybe_rotate_codec_locked()
             # Trace spans are recorded with bare perf_counter deltas
@@ -992,8 +1020,8 @@ class HeavyHittersService:
         return self._ingest_response(chunk, ingested, wal_position, "json", trace)
 
     def _op_ingest_binary(
-        self, request: Dict[str, Any], trace: Optional[Trace] = None
-    ) -> Dict[str, Any]:
+        self, request: dict[str, Any], trace: Trace | None = None
+    ) -> dict[str, Any]:
         """One wire-protocol-v3 ingest frame (synthesised by the transport).
 
         ``request["record"]`` is the raw frame payload: a complete
@@ -1013,7 +1041,7 @@ class HeavyHittersService:
         if not isinstance(record, (bytes, bytearray, memoryview)):
             return {"ok": False, "error": "binary ingest requires a chunk record"}
         payload = parse_chunk_record(record)
-        wal_position: Optional[WalPosition] = None
+        wal_position: WalPosition | None = None
         with self._ingest_lock:
             self._maybe_rotate_codec_locked()
             if trace is not None:
@@ -1038,16 +1066,16 @@ class HeavyHittersService:
         return self._ingest_response(chunk, ingested, wal_position, "binary", trace)
 
     def _op_snapshot(
-        self, request: Dict[str, Any], trace: Optional[Trace] = None
-    ) -> Dict[str, Any]:
+        self, request: dict[str, Any], trace: Trace | None = None
+    ) -> dict[str, Any]:
         snapshot = self.snapshots.refresh(
             drain=bool(request.get("drain", True)), trace=trace
         )
         return {"ok": True, **self._snapshot_payload(snapshot)}
 
     def _op_advance_window(
-        self, request: Dict[str, Any], trace: Optional[Trace] = None
-    ) -> Dict[str, Any]:
+        self, request: dict[str, Any], trace: Trace | None = None
+    ) -> dict[str, Any]:
         if self.windowed is None:
             return {"ok": False, "error": "service started without windows"}
         steps = int(request.get("steps", 1))
@@ -1064,13 +1092,13 @@ class HeavyHittersService:
         return {"ok": True, "bucket": bucket}
 
     def _op_checkpoint(
-        self, request: Dict[str, Any], trace: Optional[Trace] = None
-    ) -> Dict[str, Any]:
+        self, request: dict[str, Any], trace: Trace | None = None
+    ) -> dict[str, Any]:
         return {"ok": True, **self.checkpoint()}
 
     def _op_traces(
-        self, request: Dict[str, Any], trace: Optional[Trace] = None
-    ) -> Dict[str, Any]:
+        self, request: dict[str, Any], trace: Trace | None = None
+    ) -> dict[str, Any]:
         """Export the recent-traces ring (``GET /v1/traces`` over HTTP)."""
         if self.tracer is None:
             return {
@@ -1085,8 +1113,8 @@ class HeavyHittersService:
         }
 
     def _op_audit(
-        self, request: Dict[str, Any], trace: Optional[Trace] = None
-    ) -> Dict[str, Any]:
+        self, request: dict[str, Any], trace: Trace | None = None
+    ) -> dict[str, Any]:
         """Run one accuracy audit now, against the latest snapshot."""
         if self.auditor is None:
             return {
@@ -1099,10 +1127,10 @@ class HeavyHittersService:
         return {"ok": True, **report.as_dict()}
 
     def _op_stats(
-        self, request: Dict[str, Any], trace: Optional[Trace] = None
-    ) -> Dict[str, Any]:
+        self, request: dict[str, Any], trace: Trace | None = None
+    ) -> dict[str, Any]:
         latest = self.snapshots.latest
-        stats: Dict[str, Any] = {
+        stats: dict[str, Any] = {
             "ok": True,
             "algorithm": self.config.algorithm,
             "num_counters": self.config.num_counters,
@@ -1156,14 +1184,14 @@ class HeavyHittersService:
         return stats
 
     def _op_shutdown(
-        self, request: Dict[str, Any], trace: Optional[Trace] = None
-    ) -> Dict[str, Any]:
+        self, request: dict[str, Any], trace: Trace | None = None
+    ) -> dict[str, Any]:
         self.shutdown_requested.set()
         return {"ok": True, "stopping": True}
 
     def _op_query(
-        self, request: Dict[str, Any], trace: Optional[Trace] = None
-    ) -> Dict[str, Any]:
+        self, request: dict[str, Any], trace: Trace | None = None
+    ) -> dict[str, Any]:
         query_type = request.get("type")
         if query_type in ("point", "top-k", "heavy-hitters"):
             return self._snapshot_query(query_type, request, trace)
@@ -1173,8 +1201,8 @@ class HeavyHittersService:
 
     # -- snapshot-backed queries --------------------------------------- #
 
-    def _snapshot_payload(self, snapshot: Snapshot) -> Dict[str, Any]:
-        payload: Dict[str, Any] = {
+    def _snapshot_payload(self, snapshot: Snapshot) -> dict[str, Any]:
+        payload: dict[str, Any] = {
             "version": snapshot.version,
             "stream_length": snapshot.stream_length,
             "shard_lengths": list(snapshot.shard_lengths),
@@ -1194,7 +1222,7 @@ class HeavyHittersService:
         return payload
 
     @staticmethod
-    def _query_item(request: Dict[str, Any]) -> Item:
+    def _query_item(request: dict[str, Any]) -> Item:
         """The point-query target, decoding the tagged form when flagged."""
         item = request["item"]
         if request.get("item_encoding") == "tagged":
@@ -1214,9 +1242,9 @@ class HeavyHittersService:
     def _snapshot_query(
         self,
         query_type: str,
-        request: Dict[str, Any],
-        trace: Optional[Trace] = None,
-    ) -> Dict[str, Any]:
+        request: dict[str, Any],
+        trace: Trace | None = None,
+    ) -> dict[str, Any]:
         snapshot = self.snapshots.latest_or_refresh(trace=trace)
         if trace is not None:
             mark = time.perf_counter()
@@ -1247,7 +1275,7 @@ class HeavyHittersService:
 
     # -- window-backed queries ----------------------------------------- #
 
-    def _window_query(self, query_type: str, request: Dict[str, Any]) -> Dict[str, Any]:
+    def _window_query(self, query_type: str, request: dict[str, Any]) -> dict[str, Any]:
         if self.windowed is None:
             return {"ok": False, "error": "service started without windows"}
         window = request.get("window")
@@ -1257,7 +1285,7 @@ class HeavyHittersService:
         num_counters = (
             0 if answer.estimator is None else answer.estimator.num_counters
         )
-        response: Dict[str, Any] = {
+        response: dict[str, Any] = {
             "ok": True,
             "window": answer.window,
             "buckets_merged": answer.buckets_merged,
@@ -1283,7 +1311,7 @@ class HeavyHittersService:
             response["heavy_hitters"] = _wire_entries(answer.heavy_hitters(phi))
         return response
 
-    _OPS: Dict[str, Callable[..., Dict[str, Any]]] = {
+    _OPS: dict[str, Callable[..., dict[str, Any]]] = {
         "ping": _op_ping,
         "ingest": _op_ingest,
         "ingest-binary": _op_ingest_binary,
@@ -1339,7 +1367,7 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                 response = {"ok": False, "error": f"invalid JSON: {error}"}
             else:
                 response = service.handle(request)
-            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+            self.wfile.write((json.dumps(response) + "\n").encode())
             self.wfile.flush()
             op = request.get("op") if isinstance(request, dict) else None
             if op == "shutdown" and response.get("ok"):
@@ -1374,7 +1402,7 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                         }
                     )
                     + "\n"
-                ).encode("utf-8")
+                ).encode()
             )
             self.wfile.flush()
             return False
@@ -1392,8 +1420,8 @@ class _RequestHandler(socketserver.StreamRequestHandler):
         self._respond_frame(response)
         return True
 
-    def _respond_frame(self, response: Dict[str, Any]) -> None:
-        body = json.dumps(response).encode("utf-8")
+    def _respond_frame(self, response: dict[str, Any]) -> None:
+        body = json.dumps(response).encode()
         self.wfile.write(encode_socket_frame(SOCKET_FRAME_RESPONSE, body))
         self.wfile.flush()
 
@@ -1417,7 +1445,7 @@ def serve(
     config: ServiceConfig,
     host: str = "127.0.0.1",
     port: int = 0,
-    service: Optional[HeavyHittersService] = None,
+    service: HeavyHittersService | None = None,
 ) -> ServiceServer:
     """Start a service and a server for it; returns the (running) server.
 

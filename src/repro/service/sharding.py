@@ -27,17 +27,23 @@ queryable snapshots from.
 
 from __future__ import annotations
 
+# repro-lint: hot-path
+
 import math
 import queue
 import threading
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.algorithms.base import FrequencyEstimator, Item
 from repro.engine.codec import EncodedChunk, partition_chunk, validate_tokens
 from repro.sketches.hashing import fingerprint_array, shard_array, shard_for
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.service.tracing import Trace
 
 EstimatorFactory = Callable[[], FrequencyEstimator]
 
@@ -51,14 +57,14 @@ _STOP = object()
 
 #: One shard's batch: a plain ``(items, weights)`` pair or an encoded
 #: columnar sub-chunk (whose weights, if any, travel inside the chunk).
-ShardBatch = Tuple[Union[Sequence[Item], EncodedChunk], Optional[Sequence[float]]]
+ShardBatch = tuple[Sequence[Item] | EncodedChunk, Sequence[float] | None]
 
 
 def partition_batch(
-    items: Union[Sequence[Item], EncodedChunk],
+    items: Sequence[Item] | EncodedChunk,
     num_shards: int,
-    weights: Optional[Sequence[float]] = None,
-) -> Dict[int, ShardBatch]:
+    weights: Sequence[float] | None = None,
+) -> dict[int, ShardBatch]:
     """Split a chunk of tokens into per-shard ``(items, weights)`` batches.
 
     Placement is one vectorised ``shard_array`` call over the chunk's
@@ -122,7 +128,7 @@ def partition_batch(
     shard_ids = shard_array(fingerprint_array(items), num_shards)
     if isinstance(items, np.ndarray):
         weight_array = None if weights is None else np.asarray(weights)
-        parts_arrays: Dict[int, ShardBatch] = {}
+        parts_arrays: dict[int, ShardBatch] = {}
         for shard in np.unique(shard_ids):
             mask = shard_ids == shard
             parts_arrays[int(shard)] = (
@@ -130,16 +136,16 @@ def partition_batch(
                 None if weight_array is None else weight_array[mask],
             )
         return parts_arrays
-    parts: Dict[int, Tuple[List[Item], Optional[List[float]]]] = {}
+    parts: dict[int, tuple[list[Item], list[float] | None]] = {}
     if weights is None:
-        for item, shard in zip(items, shard_ids.tolist()):
+        for item, shard in zip(items, shard_ids.tolist(), strict=True):
             entry = parts.get(shard)
             if entry is None:
                 entry = ([], None)
                 parts[shard] = entry
             entry[0].append(item)
         return parts
-    for item, weight, shard in zip(items, weights, shard_ids.tolist()):
+    for item, weight, shard in zip(items, weights, shard_ids.tolist(), strict=True):
         entry = parts.get(shard)
         if entry is None:
             entry = ([], [])
@@ -177,6 +183,8 @@ class _ShardWorker(threading.Thread):
                     started = time.perf_counter()
                 with self.lock:
                     self.estimator.update_batch(items, weights)
+                    self.tokens_applied += len(items)
+                    self.batches_applied += 1
                 if trace is not None:
                     trace.add_span(
                         "shard_apply",
@@ -184,14 +192,14 @@ class _ShardWorker(threading.Thread):
                         shard=self.shard_id,
                         tokens=len(items),
                     )
-                self.tokens_applied += len(items)
-                self.batches_applied += 1
-            except BaseException as exc:  # surfaced to producers on flush()
+            # repro-lint: boundary shard-thread entry point; errors surface to producers on flush()
+            except BaseException as exc:
                 # Only the failing batch is dropped; batches queued behind
                 # it still apply.  The first error wins until surfaced.
-                self.batches_failed += 1
-                if self.error is None:
-                    self.error = exc
+                with self.lock:
+                    self.batches_failed += 1
+                    if self.error is None:
+                        self.error = exc
             finally:
                 self.queue.task_done()
 
@@ -253,7 +261,7 @@ class ShardedSummarizer:
     # Lifecycle
     # ------------------------------------------------------------------ #
 
-    def start(self) -> "ShardedSummarizer":
+    def start(self) -> ShardedSummarizer:
         """Start the shard worker threads (idempotent)."""
         with self._state:
             if self._closed:
@@ -285,10 +293,10 @@ class ShardedSummarizer:
             for worker in self._workers:
                 worker.join()
 
-    def __enter__(self) -> "ShardedSummarizer":
+    def __enter__(self) -> ShardedSummarizer:
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     @property
@@ -323,9 +331,9 @@ class ShardedSummarizer:
 
     def ingest(
         self,
-        items: Union[Sequence[Item], EncodedChunk],
-        weights: Optional[Sequence[float]] = None,
-        trace=None,
+        items: Sequence[Item] | EncodedChunk,
+        weights: Sequence[float] | None = None,
+        trace: Trace | None = None,
     ) -> int:
         """Route a chunk of tokens to their shards; returns tokens enqueued.
 
@@ -368,7 +376,7 @@ class ShardedSummarizer:
                 self._active_producers -= 1
                 self._state.notify_all()
 
-    def ingest_weighted(self, pairs: Sequence[Tuple[Item, float]]) -> int:
+    def ingest_weighted(self, pairs: Sequence[tuple[Item, float]]) -> int:
         """Route ``(item, weight)`` pairs to their shards."""
         items = [item for item, _ in pairs]
         weights = [weight for _, weight in pairs]
@@ -398,9 +406,10 @@ class ShardedSummarizer:
         poisoned by one bad batch.
         """
         for worker in self._workers:
-            error = worker.error
-            if error is not None:
+            with worker.lock:
+                error = worker.error
                 worker.error = None
+            if error is not None:
                 raise RuntimeError(
                     f"shard {worker.shard_id} failed while applying a batch "
                     "(the failed batch was dropped)"
@@ -427,10 +436,10 @@ class ShardedSummarizer:
                 raise RuntimeError(
                     "shard state can only be restored before the summarizer starts"
                 )
-            for worker, estimator in zip(self._workers, estimators):
+            for worker, estimator in zip(self._workers, estimators, strict=True):
                 worker.estimator = estimator
 
-    def shard_payloads(self) -> List[Dict]:
+    def shard_payloads(self) -> list[dict[str, Any]]:
         """Consistent serialised per-shard payloads (checkpoint contents).
 
         Each payload is dumped under that shard's lock, so it sits on a
@@ -450,7 +459,7 @@ class ShardedSummarizer:
     # Reading the shards
     # ------------------------------------------------------------------ #
 
-    def shard_summaries(self) -> List[FrequencyEstimator]:
+    def shard_summaries(self) -> list[FrequencyEstimator]:
         """The live per-shard summaries, after a full flush barrier.
 
         The returned estimators are the workers' own instances; only read
@@ -460,7 +469,7 @@ class ShardedSummarizer:
         self.flush()
         return [worker.estimator for worker in self._workers]
 
-    def snapshot_summaries(self) -> List[FrequencyEstimator]:
+    def snapshot_summaries(self) -> list[FrequencyEstimator]:
         """Consistent, independent copies of every shard summary.
 
         Each copy is taken under that shard's lock (so it sits on a batch
@@ -486,7 +495,7 @@ class ShardedSummarizer:
                 total += worker.estimator.stream_length
         return total
 
-    def shard_stats(self) -> List[Dict[str, float]]:
+    def shard_stats(self) -> list[dict[str, float]]:
         """Per-shard bookkeeping (applied tokens, stream length, counters)."""
         stats = []
         for worker in self._workers:
@@ -503,7 +512,7 @@ class ShardedSummarizer:
                 )
         return stats
 
-    def queue_stats(self) -> List[Dict[str, float]]:
+    def queue_stats(self) -> list[dict[str, float]]:
         """Lock-free per-shard progress counters, cheap enough per scrape.
 
         Unlike :meth:`shard_stats` this never touches a shard lock, so a

@@ -25,13 +25,18 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, List, Mapping, Optional, Tuple, Union
+from collections.abc import Callable, Mapping
 
 from repro import serialization
 from repro.algorithms.base import FrequencyEstimator, Item
 from repro.core.merging import MergeResult, merge_summaries
 from repro.core.tail_guarantee import GuaranteeCheck, TailGuarantee
 from repro.service.sharding import ShardedSummarizer
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.service.tracing import Trace
 
 EstimatorFactory = Callable[[], FrequencyEstimator]
 
@@ -49,9 +54,9 @@ class Snapshot:
     version: int
     merge: MergeResult
     stream_length: float
-    shard_lengths: Tuple[float, ...]
-    path: Optional[Path] = None
-    wire: Optional[serialization.WireCost] = None
+    shard_lengths: tuple[float, ...]
+    path: Path | None = None
+    wire: serialization.WireCost | None = None
 
     @property
     def estimator(self) -> FrequencyEstimator:
@@ -79,11 +84,11 @@ class Snapshot:
         """Point query: estimated total frequency of ``item``."""
         return self.merge.estimator.estimate(item)
 
-    def top_k(self, k: int) -> List[Tuple[Item, float]]:
+    def top_k(self, k: int) -> list[tuple[Item, float]]:
         """The ``k`` largest estimated frequencies."""
         return self.merge.estimator.top_k(k)
 
-    def heavy_hitters(self, phi: float) -> List[Tuple[Item, float]]:
+    def heavy_hitters(self, phi: float) -> list[tuple[Item, float]]:
         """Items estimated above ``phi`` of the *true* total stream weight.
 
         Thresholds against the recorded total ingest weight rather than the
@@ -130,28 +135,31 @@ class SnapshotManager:
 
     sharded: ShardedSummarizer
     k: int
-    make_estimator: Optional[EstimatorFactory] = None
-    directory: Optional[Union[str, Path]] = None
+    make_estimator: EstimatorFactory | None = None
+    directory: str | Path | None = None
     compress: bool = False
     mode: str = "all_counters"
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     _refresh_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
-    _latest: Optional[Snapshot] = field(default=None, repr=False)
+    _latest: Snapshot | None = field(default=None, repr=False)
     _version: int = field(default=0, repr=False)
-    _ticker: Optional[threading.Thread] = field(default=None, repr=False)
+    _ticker: threading.Thread | None = field(default=None, repr=False)
     _stop: threading.Event = field(default_factory=threading.Event, repr=False)
     #: The exception of the most recent failed periodic refresh (None when
     #: the last tick succeeded); the stats op surfaces it to operators.
-    last_refresh_error: Optional[BaseException] = field(default=None, repr=False)
+    last_refresh_error: BaseException | None = field(default=None, repr=False)
     #: Observability bookkeeping, read by the metrics plane at scrape time:
     #: wall-clock instant and duration of the most recent successful
     #: refresh, plus a lifetime refresh count.  ``snapshot age`` -- the
     #: operator's staleness signal -- is ``time.time() - last_refresh_wall``.
-    last_refresh_wall: Optional[float] = field(default=None, repr=False)
-    last_refresh_seconds: Optional[float] = field(default=None, repr=False)
+    last_refresh_wall: float | None = field(default=None, repr=False)
+    last_refresh_seconds: float | None = field(default=None, repr=False)
     refreshes_total: int = field(default=0, repr=False)
+    #: Periodic refreshes that failed (and were retried); exposed as
+    #: repro_snapshot_refresh_errors_total by the metrics plane.
+    refresh_errors_total: int = field(default=0, repr=False)
 
-    def snapshot_age_seconds(self) -> Optional[float]:
+    def snapshot_age_seconds(self) -> float | None:
         """Seconds since the latest snapshot was built (None before any)."""
         with self._lock:
             if self.last_refresh_wall is None:
@@ -171,7 +179,7 @@ class SnapshotManager:
     # Building snapshots
     # ------------------------------------------------------------------ #
 
-    def refresh(self, drain: bool = False, trace=None) -> Snapshot:
+    def refresh(self, drain: bool = False, trace: Trace | None = None) -> Snapshot:
         """Merge consistent shard copies into a new versioned snapshot.
 
         With ``drain=True`` the shard queues are flushed first, so the
@@ -243,7 +251,7 @@ class SnapshotManager:
         )
 
     @staticmethod
-    def load(path: Union[str, Path]) -> FrequencyEstimator:
+    def load(path: str | Path) -> FrequencyEstimator:
         """Reload a persisted snapshot's merged summary from disk."""
         return serialization.load_bytes(Path(path).read_bytes())
 
@@ -252,12 +260,12 @@ class SnapshotManager:
     # ------------------------------------------------------------------ #
 
     @property
-    def latest(self) -> Optional[Snapshot]:
+    def latest(self) -> Snapshot | None:
         """The most recent snapshot (None before the first refresh)."""
         with self._lock:
             return self._latest
 
-    def latest_or_refresh(self, trace=None) -> Snapshot:
+    def latest_or_refresh(self, trace: Trace | None = None) -> Snapshot:
         """The latest snapshot, building the first one if none exists."""
         snapshot = self.latest
         if snapshot is None:
@@ -280,12 +288,18 @@ class SnapshotManager:
             while not self._stop.wait(interval):
                 try:
                     self.refresh()
-                    self.last_refresh_error = None
+                    with self._lock:
+                        self.last_refresh_error = None
+                # repro-lint: boundary snapshot-ticker thread entry point
                 except Exception as exc:
                     # A transient failure (full disk, shard error) must not
-                    # kill the ticker: record it and retry next interval.
-                    self.last_refresh_error = exc
+                    # kill the ticker: record it, count it, and retry next
+                    # interval.
+                    with self._lock:
+                        self.last_refresh_error = exc
+                        self.refresh_errors_total += 1
 
+        # repro-lint: allow[L006] single-writer: ticker handle touched only by the control thread
         self._ticker = threading.Thread(
             target=tick, name="snapshot-ticker", daemon=True
         )

@@ -36,13 +36,15 @@ shard_apply pipeline.
 
 from __future__ import annotations
 
+# repro-lint: hot-path
+
 import os
 import random
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any
 
 __all__ = [
     "TraceContext",
@@ -92,7 +94,7 @@ class TraceContext:
     sampled: bool = True
 
     @classmethod
-    def new(cls, sampled: bool = True) -> "TraceContext":
+    def new(cls, sampled: bool = True) -> TraceContext:
         return cls(trace_id=_new_trace_id(), span_id=_new_span_id(), sampled=sampled)
 
     def to_traceparent(self) -> str:
@@ -100,7 +102,7 @@ class TraceContext:
         return f"{_TRACEPARENT_VERSION}-{self.trace_id}-{self.span_id}-{flags}"
 
 
-def parse_traceparent(header: Any) -> Optional[TraceContext]:
+def parse_traceparent(header: Any) -> TraceContext | None:
     """Parse a W3C ``traceparent`` header; ``None`` on any malformation.
 
     Tolerant by design: a bad header from an arbitrary client must never
@@ -154,17 +156,17 @@ class Trace:
         op: str,
         context: TraceContext,
         forced: bool = False,
-        parent_span_id: Optional[str] = None,
+        parent_span_id: str | None = None,
     ) -> None:
         self.context = context
         self.op = op
         self.forced = forced
         self.parent_span_id = parent_span_id
         self.started_wall = time.time()
-        self.duration_seconds: Optional[float] = None
-        self.error: Optional[str] = None
-        self._spans: List[Dict[str, Any]] = []
-        self._annotations: Dict[str, Any] = {}
+        self.duration_seconds: float | None = None
+        self.error: str | None = None
+        self._spans: list[dict[str, Any]] = []
+        self._annotations: dict[str, Any] = {}
         self._lock = threading.Lock()
 
     @property
@@ -176,7 +178,7 @@ class Trace:
         return self.context.span_id
 
     def add_span(self, name: str, seconds: float, **attrs: Any) -> None:
-        span: Dict[str, Any] = {"name": name, "seconds": seconds}
+        span: dict[str, Any] = {"name": name, "seconds": seconds}
         if attrs:
             span.update(attrs)
         with self._lock:
@@ -187,13 +189,16 @@ class Trace:
             self._annotations.update(attrs)
 
     def finish(self, duration_seconds: float) -> None:
-        self.duration_seconds = duration_seconds
+        # Under the span lock: the trace ring can be exported (as_dict)
+        # from another thread while the handler is still finishing.
+        with self._lock:
+            self.duration_seconds = duration_seconds
 
-    def breakdown(self) -> Dict[str, Any]:
+    def breakdown(self) -> dict[str, Any]:
         """Compact per-stage latency breakdown for the client response."""
         with self._lock:
             spans = [dict(span) for span in self._spans]
-        payload: Dict[str, Any] = {
+        payload: dict[str, Any] = {
             "trace_id": self.trace_id,
             "span_id": self.span_id,
             "op": self.op,
@@ -210,12 +215,12 @@ class Trace:
             payload["total_ms"] = round(self.duration_seconds * 1000.0, 4)
         return payload
 
-    def as_dict(self) -> Dict[str, Any]:
+    def as_dict(self) -> dict[str, Any]:
         """Full record for the ``/v1/traces`` export."""
         with self._lock:
             spans = [dict(span) for span in self._spans]
             annotations = dict(self._annotations)
-        record: Dict[str, Any] = {
+        record: dict[str, Any] = {
             "trace_id": self.trace_id,
             "span_id": self.span_id,
             "op": self.op,
@@ -257,7 +262,7 @@ class Tracer:
         self.started_total = 0
         self.forced_total = 0
 
-    def begin(self, op: str, trace_request: Any = None) -> Optional[Trace]:
+    def begin(self, op: str, trace_request: Any = None) -> Trace | None:
         """Decide sampling for one request; return a ``Trace`` or ``None``.
 
         ``trace_request`` is the raw value of the request's optional
@@ -268,7 +273,7 @@ class Tracer:
         to recording this journey.
         """
         forced = False
-        parent: Optional[TraceContext] = None
+        parent: TraceContext | None = None
         if isinstance(trace_request, dict):
             forced = bool(trace_request.get("force"))
             parent = parse_traceparent(trace_request.get("traceparent"))
@@ -294,7 +299,7 @@ class Tracer:
                 self.forced_total += 1
         return trace
 
-    def snapshot(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+    def snapshot(self, limit: int | None = None) -> list[dict[str, Any]]:
         """Export recent traces, most recent first."""
         with self._lock:
             traces = list(self._ring)
@@ -308,7 +313,7 @@ class Tracer:
             return len(self._ring)
 
 
-def format_server_timing(breakdown: Dict[str, Any]) -> str:
+def format_server_timing(breakdown: dict[str, Any]) -> str:
     """Render a breakdown as a ``Server-Timing`` response header value.
 
     Browsers surface this in devtools for free; curl users read it raw.

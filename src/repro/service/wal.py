@@ -70,6 +70,8 @@ delivery (idempotence requires deduplication upstream).
 
 from __future__ import annotations
 
+# repro-lint: hot-path
+
 import json
 import os
 import re
@@ -79,10 +81,14 @@ import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, Any
 
 from repro import serialization
 from repro.engine.codec import EncodedChunk, TokenCodec
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only; the WAL stays
+    from repro.service.tracing import Trace  # decoupled from tracing at runtime
 
 #: Valid values of the ``fsync`` knob.
 FSYNC_POLICIES = ("always", "interval", "off")
@@ -135,11 +141,11 @@ class WalPosition:
     segment: int
     offset: int
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> dict[str, int]:
         return {"segment": self.segment, "offset": self.offset}
 
     @classmethod
-    def from_dict(cls, payload: Dict[str, Any]) -> "WalPosition":
+    def from_dict(cls, payload: dict[str, Any]) -> WalPosition:
         try:
             return cls(segment=int(payload["segment"]), offset=int(payload["offset"]))
         except (KeyError, TypeError, ValueError) as error:
@@ -171,11 +177,11 @@ class WalScanStats:
         return self.truncated_bytes > 0
 
 
-def segment_path(directory: Union[str, Path], index: int) -> Path:
+def segment_path(directory: str | Path, index: int) -> Path:
     return Path(directory) / f"{SEGMENT_PREFIX}{index:08d}{SEGMENT_SUFFIX}"
 
 
-def list_segments(directory: Union[str, Path]) -> List[Tuple[int, Path]]:
+def list_segments(directory: str | Path) -> list[tuple[int, Path]]:
     """All segment files in ``directory``, sorted by index."""
     segments = []
     for entry in Path(directory).iterdir():
@@ -209,7 +215,7 @@ def encode_chunk_record(chunk: EncodedChunk, compress: bool = False) -> bytes:
     )
 
 
-def parse_chunk_record(record: Union[bytes, bytearray, memoryview]) -> memoryview:
+def parse_chunk_record(record: bytes | bytearray | memoryview) -> memoryview:
     """Validate a CRC-framed chunk record; returns a view of its payload.
 
     The view aliases ``record`` -- no copy.  Raises :class:`WalError`
@@ -281,14 +287,14 @@ class WriteAheadLog:
 
     def __init__(
         self,
-        directory: Union[str, Path],
+        directory: str | Path,
         fsync: str = "interval",
         fsync_interval: float = DEFAULT_FSYNC_INTERVAL,
         max_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
-        max_segment_age: Optional[float] = None,
+        max_segment_age: float | None = None,
         compress: bool = False,
-        append_timer: Optional[Any] = None,
-        fsync_timer: Optional[Any] = None,
+        append_timer: Any | None = None,
+        fsync_timer: Any | None = None,
     ) -> None:
         if fsync not in FSYNC_POLICIES:
             raise ValueError(
@@ -315,7 +321,7 @@ class WriteAheadLog:
         self._lock = threading.Lock()
         self._closed = False
         self._last_fsync = time.monotonic()
-        self._last_fsync_seconds: Optional[float] = None
+        self._last_fsync_seconds: float | None = None
         self._dirty = False
         self.frames_appended = 0
         self.bytes_appended = 0
@@ -331,9 +337,10 @@ class WriteAheadLog:
             # damage would sit mid-log and poison every later recovery.
             self.repaired_bytes = _repair_segment_tail(existing[-1][1])
         self._segment_index = (existing[-1][0] + 1) if existing else 1
-        self._open_segment()
+        # repro-lint: allow[L003] construction happens-before any concurrent access
+        self._open_segment_locked()
         self._flusher_stop = threading.Event()
-        self._flusher: Optional[threading.Thread] = None
+        self._flusher: threading.Thread | None = None
         if self.fsync == "interval":
             # The append path only fsyncs when another append arrives, so
             # without this thread a burst followed by silence could sit in
@@ -349,19 +356,22 @@ class WriteAheadLog:
     # Appending
     # ------------------------------------------------------------------ #
 
-    def _open_segment(self) -> None:
+    def _open_segment_locked(self) -> None:
         path = segment_path(self.directory, self._segment_index)
-        self._file = open(path, "ab")
+        # noqa'd: the segment handle outlives this scope; closed on rotate/close.
+        self._file = open(path, "ab")  # noqa: SIM115
         self._file.write(SEGMENT_MAGIC)
         self._file.flush()
         self._offset = len(SEGMENT_MAGIC)
         self._segment_opened = time.monotonic()
 
-    def append(self, frame_type: int, payload: bytes, trace=None) -> WalPosition:
+    def append(
+        self, frame_type: int, payload: bytes, trace: Trace | None = None
+    ) -> WalPosition:
         """Frame ``payload`` and append it; returns its end position."""
         return self.append_record(encode_frame(frame_type, payload), trace=trace)
 
-    def append_record(self, record: bytes, trace=None) -> WalPosition:
+    def append_record(self, record: bytes, trace: Trace | None = None) -> WalPosition:
         """Append one *pre-framed* record verbatim; returns its end position.
 
         ``record`` must already carry the marker/type/length/crc header
@@ -403,7 +413,7 @@ class WriteAheadLog:
             timer.observe(time.perf_counter() - start)
         return position
 
-    def append_chunk(self, chunk: EncodedChunk, trace=None) -> WalPosition:
+    def append_chunk(self, chunk: EncodedChunk, trace: Trace | None = None) -> WalPosition:
         """Log one encoded ingest chunk (wire-format v2 payload)."""
         return self.append_record(
             encode_chunk_record(chunk, compress=self.compress), trace=trace
@@ -413,7 +423,7 @@ class WriteAheadLog:
         """Log a window-advance so recovery reproduces bucket boundaries."""
         if steps < 1:
             raise ValueError(f"steps must be >= 1, got {steps}")
-        payload = json.dumps({"steps": int(steps)}).encode("utf-8")
+        payload = json.dumps({"steps": int(steps)}).encode()
         return self.append(FRAME_ADVANCE, payload)
 
     def _fsync_locked(self) -> None:
@@ -424,6 +434,7 @@ class WriteAheadLog:
         noise next to the fsync itself.
         """
         start = time.perf_counter()
+        # repro-lint: allow[L002] fsync under the WAL lock IS the durability contract
         os.fsync(self._file.fileno())
         elapsed = time.perf_counter() - start
         self._last_fsync_seconds = elapsed
@@ -480,7 +491,7 @@ class WriteAheadLog:
         self._file.close()
         self._segment_index += 1
         self.rotations += 1
-        self._open_segment()
+        self._open_segment_locked()
 
     def rotate(self) -> int:
         """Close the current segment and start a new one; returns its index."""
@@ -528,20 +539,21 @@ class WriteAheadLog:
         self._flusher_stop.set()
         if self._flusher is not None:
             self._flusher.join()
-            self._flusher = None
         with self._lock:
+            self._flusher = None
             if self._closed:
                 return
             self._closed = True
             self._file.flush()
             if self.fsync != "off":
+                # repro-lint: allow[L002] final fsync at close; no concurrent appenders remain
                 os.fsync(self._file.fileno())
             self._file.close()
 
-    def __enter__(self) -> "WriteAheadLog":
+    def __enter__(self) -> WriteAheadLog:
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -556,7 +568,7 @@ class WriteAheadLog:
 # --------------------------------------------------------------------------- #
 
 
-def _frame_at(data: bytes, offset: int) -> Optional[Tuple[int, int, bytes]]:
+def _frame_at(data: bytes, offset: int) -> tuple[int, int, bytes] | None:
     """Parse one frame at ``offset``; ``(frame_type, end, payload)`` or None."""
     if len(data) - offset < _FRAME_HEADER.size:
         return None
@@ -687,9 +699,9 @@ def _scan_segment(
 
 
 def iter_wal(
-    directory: Union[str, Path],
-    start: Optional[WalPosition] = None,
-    stats: Optional[WalScanStats] = None,
+    directory: str | Path,
+    start: WalPosition | None = None,
+    stats: WalScanStats | None = None,
 ) -> Iterator[WalRecord]:
     """Replay every frame in ``directory`` after ``start``, in log order.
 
@@ -713,7 +725,7 @@ def iter_wal(
 
 
 def decode_chunk_record(
-    record: WalRecord, codec: Optional[TokenCodec] = None
+    record: WalRecord, codec: TokenCodec | None = None
 ) -> EncodedChunk:
     """Decode a chunk frame back into an :class:`EncodedChunk`.
 
@@ -733,7 +745,7 @@ def decode_chunk_record(
 def decode_advance_record(record: WalRecord) -> int:
     """Decode a window-advance frame into its step count."""
     try:
-        payload = json.loads(record.payload.decode("utf-8"))
+        payload = json.loads(record.payload.decode())
         steps = int(payload["steps"])
     except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
         raise WalError(
@@ -761,11 +773,11 @@ def _atomic_write(path: Path, data: bytes, durable: bool = True) -> None:
     os.replace(scratch, path)
 
 
-def checkpoint_path(directory: Union[str, Path], version: int) -> Path:
+def checkpoint_path(directory: str | Path, version: int) -> Path:
     return Path(directory) / f"{CHECKPOINT_PREFIX}{version:06d}{CHECKPOINT_SUFFIX}"
 
 
-def list_checkpoints(directory: Union[str, Path]) -> List[Tuple[int, Path]]:
+def list_checkpoints(directory: str | Path) -> list[tuple[int, Path]]:
     checkpoints = []
     for entry in Path(directory).iterdir():
         match = _CHECKPOINT_PATTERN.match(entry.name)
@@ -776,11 +788,11 @@ def list_checkpoints(directory: Union[str, Path]) -> List[Tuple[int, Path]]:
 
 
 def write_checkpoint(
-    directory: Union[str, Path],
+    directory: str | Path,
     version: int,
     position: WalPosition,
-    shard_payloads: List[Dict[str, Any]],
-    window_buckets: Optional[List[Tuple[int, Dict[str, Any]]]] = None,
+    shard_payloads: list[dict[str, Any]],
+    window_buckets: list[tuple[int, dict[str, Any]]] | None = None,
     keep_previous: int = 1,
     durable: bool = True,
 ) -> Path:
@@ -789,7 +801,7 @@ def write_checkpoint(
     ``shard_payloads`` are :func:`repro.serialization.dump` dictionaries,
     one per shard, whose state covers the log exactly up to ``position``.
     """
-    payload: Dict[str, Any] = {
+    payload: dict[str, Any] = {
         "format": CHECKPOINT_FORMAT,
         "version": CHECKPOINT_VERSION,
         "checkpoint_version": int(version),
@@ -804,7 +816,7 @@ def write_checkpoint(
     path = checkpoint_path(directory, version)
     _atomic_write(
         path,
-        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8"),
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(),
         durable=durable,
     )
     for old_version, old_path in list_checkpoints(directory):
@@ -814,8 +826,8 @@ def write_checkpoint(
 
 
 def load_checkpoint(
-    directory: Union[str, Path],
-) -> Optional[Tuple[Dict[str, Any], Path]]:
+    directory: str | Path,
+) -> tuple[dict[str, Any], Path] | None:
     """The newest readable checkpoint (payload, path), or ``None``.
 
     A checkpoint that fails to parse raises :class:`WalError` -- a corrupt
@@ -842,17 +854,17 @@ def load_checkpoint(
 # --------------------------------------------------------------------------- #
 
 
-def write_manifest(directory: Union[str, Path], config: Dict[str, Any]) -> Path:
+def write_manifest(directory: str | Path, config: dict[str, Any]) -> Path:
     """Record the service configuration so recovery needs no flags."""
     payload = {"format": MANIFEST_FORMAT, **config}
     path = Path(directory) / MANIFEST_NAME
     _atomic_write(
-        path, json.dumps(payload, sort_keys=True, indent=2).encode("utf-8")
+        path, json.dumps(payload, sort_keys=True, indent=2).encode()
     )
     return path
 
 
-def read_manifest(directory: Union[str, Path]) -> Optional[Dict[str, Any]]:
+def read_manifest(directory: str | Path) -> dict[str, Any] | None:
     """The recorded service configuration, or ``None`` if absent."""
     path = Path(directory) / MANIFEST_NAME
     if not path.exists():

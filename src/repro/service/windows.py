@@ -22,10 +22,12 @@ the snapshot path does.
 
 from __future__ import annotations
 
+# repro-lint: hot-path
+
 import collections
 import threading
 from dataclasses import dataclass
-from typing import Callable, Deque, List, Mapping, Optional, Sequence, Tuple
+from collections.abc import Callable, Mapping, Sequence
 
 from repro import serialization
 from repro.algorithms.base import FrequencyEstimator, Item
@@ -47,14 +49,14 @@ class WindowAnswer:
     answer rather than raising.
     """
 
-    estimator: Optional[FrequencyEstimator]
+    estimator: FrequencyEstimator | None
     k: int
     constants: TailGuarantee
     window: int
     buckets_merged: int
     stream_length: float
-    oldest_bucket: Optional[int]
-    newest_bucket: Optional[int]
+    oldest_bucket: int | None
+    newest_bucket: int | None
 
     @property
     def empty(self) -> bool:
@@ -66,13 +68,13 @@ class WindowAnswer:
             return 0.0
         return self.estimator.estimate(item)
 
-    def top_k(self, k: int) -> List[Tuple[Item, float]]:
+    def top_k(self, k: int) -> list[tuple[Item, float]]:
         """The ``k`` heaviest items of the window."""
         if self.estimator is None:
             return []
         return self.estimator.top_k(k)
 
-    def heavy_hitters(self, phi: float) -> List[Tuple[Item, float]]:
+    def heavy_hitters(self, phi: float) -> list[tuple[Item, float]]:
         """Items above ``phi`` of the window's total weight."""
         if not 0.0 < phi < 1.0:
             raise ValueError(f"phi must lie in (0, 1), got {phi}")
@@ -158,7 +160,7 @@ class WindowedSummarizer:
         self.num_buckets = num_buckets
         self.k = k
         self._lock = threading.Lock()
-        self._buckets: Deque[_Bucket] = collections.deque(
+        self._buckets: collections.deque[_Bucket] = collections.deque(
             [_Bucket(0, make_estimator())], maxlen=num_buckets
         )
         #: Lifetime count of bucket rotations, read by the metrics plane.
@@ -186,7 +188,7 @@ class WindowedSummarizer:
             self._buckets[-1].estimator.update(item, weight)
 
     def update_batch(
-        self, items: Sequence[Item], weights: Optional[Sequence[float]] = None
+        self, items: Sequence[Item], weights: Sequence[float] | None = None
     ) -> None:
         """Record a chunk of tokens in the current bucket (batched path).
 
@@ -219,7 +221,7 @@ class WindowedSummarizer:
     # Durability hooks (checkpoint / crash recovery)
     # ------------------------------------------------------------------ #
 
-    def bucket_states(self) -> List[Tuple[int, FrequencyEstimator]]:
+    def bucket_states(self) -> list[tuple[int, FrequencyEstimator]]:
         """``(bucket id, estimator)`` for every live bucket, oldest first.
 
         The estimators are the ring's own instances -- only read them while
@@ -229,7 +231,7 @@ class WindowedSummarizer:
         with self._lock:
             return [(bucket.bucket_id, bucket.estimator) for bucket in self._buckets]
 
-    def bucket_payloads(self) -> List[Tuple[int, dict]]:
+    def bucket_payloads(self) -> list[tuple[int, dict]]:
         """Consistent serialised copies of every live bucket (oldest first).
 
         Taken under the ingest lock at a batch boundary -- the write-ahead
@@ -243,7 +245,7 @@ class WindowedSummarizer:
             ]
 
     def restore_buckets(
-        self, states: Sequence[Tuple[int, FrequencyEstimator]]
+        self, states: Sequence[tuple[int, FrequencyEstimator]]
     ) -> None:
         """Replace the ring with recovered ``(bucket id, estimator)`` state.
 
@@ -255,7 +257,7 @@ class WindowedSummarizer:
         if not entries:
             raise ValueError("restore_buckets requires at least one bucket")
         ids = [bucket_id for bucket_id, _ in entries]
-        if any(b <= a for a, b in zip(ids, ids[1:])):
+        if any(b <= a for a, b in zip(ids, ids[1:], strict=False)):
             raise ValueError(f"bucket ids must be strictly increasing, got {ids}")
         with self._lock:
             self._buckets = collections.deque(
@@ -270,7 +272,7 @@ class WindowedSummarizer:
     # Queries
     # ------------------------------------------------------------------ #
 
-    def live_buckets(self) -> List[Tuple[int, float]]:
+    def live_buckets(self) -> list[tuple[int, float]]:
         """(bucket id, bucket weight) for every bucket still in the ring."""
         with self._lock:
             return [
@@ -278,7 +280,7 @@ class WindowedSummarizer:
                 for bucket in self._buckets
             ]
 
-    def query(self, window: Optional[int] = None, k: Optional[int] = None) -> WindowAnswer:
+    def query(self, window: int | None = None, k: int | None = None) -> WindowAnswer:
         """Merge the last ``window`` buckets into one certified answer.
 
         ``window`` defaults to the full ring; it may not exceed the ring

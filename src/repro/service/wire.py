@@ -40,7 +40,7 @@ two sides cannot drift apart.
 from __future__ import annotations
 
 import struct
-from typing import BinaryIO, Tuple
+from typing import BinaryIO
 
 #: First byte of every binary socket frame.  Outside the ASCII range, so
 #: no NDJSON request line can begin with it.
@@ -99,7 +99,7 @@ def read_exact(reader: BinaryIO, count: int) -> bytes:
 
 def read_socket_frame(
     reader: BinaryIO, magic_consumed: bool = False
-) -> Tuple[int, bytes]:
+) -> tuple[int, bytes]:
     """Read one frame; returns ``(frame_type, payload)``.
 
     ``magic_consumed=True`` is for the server's dispatcher, which has

@@ -6,7 +6,26 @@ import pytest
 
 from repro.algorithms.frequent import Frequent
 from repro.algorithms.space_saving import SpaceSaving, SpaceSavingHeap
+from repro.analysis import witness as lock_witness
 from repro.streams.generators import heavy_plus_noise_stream, uniform_stream, zipf_stream
+
+
+@pytest.fixture(autouse=True)
+def _lock_order_witness():
+    """Opt-in runtime deadlock-potential detection (REPRO_LOCK_WITNESS=1).
+
+    When the env flag is set, every ``threading.Lock()`` created during a
+    test is instrumented: per-thread acquisition ordering is recorded and
+    any ordering cycle (or same-thread re-acquire) fails the run with the
+    two conflicting stacks.  The nightly CI matrix runs the stress tier
+    under this flag; locally: ``REPRO_LOCK_WITNESS=1 pytest tests/``.
+    """
+    if not lock_witness.witness_enabled_by_env():
+        yield None
+        return
+    active = lock_witness.LockWitness()
+    with lock_witness.installed_witness(active):
+        yield active
 
 
 @pytest.fixture(scope="session")

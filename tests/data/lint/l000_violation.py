@@ -1,0 +1,4 @@
+"""Fixture: L000 — an unrecognised repro-lint directive is a finding."""
+
+# repro-lint: bogus-directive  lint-expect: L000
+X = 1

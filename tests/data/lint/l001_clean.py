@@ -1,0 +1,27 @@
+"""Clean counterpart for L001: with-statement and both guarded idioms."""
+import threading
+
+lock = threading.Lock()
+
+
+def with_statement():
+    with lock:
+        print("critical")
+
+
+def guarded_try_lock():
+    if not lock.acquire(blocking=False):
+        return False
+    try:
+        print("critical")
+    finally:
+        lock.release()
+    return True
+
+
+def acquire_then_finally():
+    lock.acquire()
+    try:
+        print("critical")
+    finally:
+        lock.release()

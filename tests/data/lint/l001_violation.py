@@ -1,0 +1,10 @@
+"""Fixture: L001 — a bare acquire whose release is not guaranteed."""
+import threading
+
+lock = threading.Lock()
+
+
+def leaky():
+    lock.acquire()  # lint-expect: L001
+    print("critical")
+    lock.release()

@@ -1,0 +1,16 @@
+"""Clean counterpart for L002: blocking work happens outside the lock."""
+# repro-lint: hot-path
+import threading
+import time
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = []
+
+    def fast_section(self):
+        with self._lock:
+            items = list(self._pending)
+        time.sleep(0.01)
+        return ", ".join(items)

@@ -1,0 +1,18 @@
+"""Fixture: L002 — blocking calls inside a critical section (hot path)."""
+# repro-lint: hot-path
+import threading
+import time
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._thread = threading.Thread(target=print)
+
+    def slow_section(self):
+        with self._lock:
+            time.sleep(0.1)  # lint-expect: L002
+
+    def join_under_lock(self):
+        with self._lock:
+            self._thread.join()  # lint-expect: L002

@@ -1,0 +1,24 @@
+"""Clean counterpart for L003: callers hold the lock first."""
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def _append_locked(self, item):
+        self._items.append(item)
+
+    def _drain_locked(self):
+        # Calling a sibling _locked method is fine: same contract.
+        self._append_locked(None)
+        self._items.clear()
+
+    def add(self, item):
+        with self._lock:
+            self._append_locked(item)
+
+    def drain(self):
+        with self._lock:
+            self._drain_locked()

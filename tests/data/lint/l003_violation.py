@@ -1,0 +1,18 @@
+"""Fixture: L003 — _locked-method discipline violations."""
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def _append_locked(self, item):
+        self._items.append(item)
+
+    def _rotate_locked(self):
+        with self._lock:  # lint-expect: L003
+            self._items.clear()
+
+    def add(self, item):
+        self._append_locked(item)  # lint-expect: L003

@@ -1,0 +1,21 @@
+"""Clean counterpart for L004: annotated boundary, and re-raise pattern."""
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def boundary():
+    try:
+        return 1 / 0
+    # repro-lint: boundary demo thread entry point; the error is logged
+    except Exception as exc:
+        log.error("failed: %r", exc)
+        return None
+
+
+def cleanup_and_reraise():
+    try:
+        return 1 / 0
+    except BaseException:
+        log.error("failed")
+        raise

@@ -1,0 +1,8 @@
+"""Fixture: L004 — broad except without a boundary annotation."""
+
+
+def brittle():
+    try:
+        return 1 / 0
+    except Exception as exc:  # lint-expect: L004
+        return exc

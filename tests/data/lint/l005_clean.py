@@ -1,0 +1,13 @@
+"""Clean counterpart for L005: the boundary records the failure."""
+
+errors_total = 0
+
+
+def record():
+    global errors_total
+    try:
+        return 1 / 0
+    # repro-lint: boundary demo boundary; failures are counted
+    except Exception:
+        errors_total += 1
+        return None

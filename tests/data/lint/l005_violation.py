@@ -1,0 +1,9 @@
+"""Fixture: L005 — an annotated boundary that still swallows silently."""
+
+
+def swallow():
+    try:
+        return 1 / 0
+    # repro-lint: boundary demo boundary that must still record errors
+    except Exception:  # lint-expect: L005
+        pass

@@ -1,0 +1,12 @@
+"""Clean counterpart for L006: at least one site guards the attribute."""
+import threading
+
+
+class Stats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.tokens = 0
+
+    def bump(self, amount):
+        with self._lock:
+            self.tokens += amount

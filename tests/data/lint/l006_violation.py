@@ -1,0 +1,11 @@
+"""Fixture: L006 — shared state with no locked assignment site at all."""
+import threading
+
+
+class Stats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.tokens = 0
+
+    def bump(self, amount):
+        self.tokens += amount  # lint-expect: L006
