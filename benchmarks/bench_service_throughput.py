@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import threading
 import time
@@ -83,6 +84,12 @@ MIN_BINARY_SPEEDUP = 2.0
 #: not another serialisation pass); the extra headroom absorbs shared-CI
 #: runner noise, which moves the columnar numerator by +-15% run to run.
 MAX_COLUMNAR_GAP = 2.5
+#: ``--check`` floor for the process backend at 4 shards: separate
+#: interpreters must actually beat the GIL.  Only enforced when the
+#: artifact's row was recorded on a host with at least 4 cores -- on a
+#: single-core box the process backend pays IPC for no parallelism and
+#: the row is informational.
+MIN_PROCESS_SPEEDUP = 1.8
 
 STREAM = zipf_stream(num_items=10_000, alpha=1.1, total=50_000, seed=79)
 
@@ -133,9 +140,12 @@ def _run_sharded(
     snapshot: bool = False,
     codec: Optional[TokenCodec] = None,
     chunk_size: int = CHUNK_SIZE,
+    backend: str = "thread",
 ) -> dict:
     """Sharded ingest of the same chunks; optionally time a snapshot too."""
-    with ShardedSummarizer(_make_estimator, num_shards=num_shards) as sharded:
+    with ShardedSummarizer(
+        _make_estimator, num_shards=num_shards, backend=backend
+    ) as sharded:
         start = time.perf_counter()
         for chunk in iter_chunks(items, chunk_size):
             if codec is not None:
@@ -326,6 +336,34 @@ def run_comparison(rounds: int = 3, total: int = 50_000) -> List[dict]:
                 }
             )
 
+    # Thread-vs-process backend rows: the same columnar chunks, with the
+    # shard workers in separate interpreters fed framed chunk records over
+    # pipes.  Each row records the host core count: on a single-core box
+    # the process backend pays pipe IPC for no parallelism, so --check
+    # only enforces MIN_PROCESS_SPEEDUP when the row says cores >= 4.
+    cores = os.cpu_count() or 1
+    for num_shards in SHARD_COUNTS:
+        best_seconds = min(
+            _run_sharded(items, num_shards, codec=codec, backend="process")[
+                "ingest_seconds"
+            ]
+            for _ in range(max(1, rounds))
+        )
+        rows.append(
+            {
+                "config": f"sharded-{num_shards}-process",
+                "shards": num_shards,
+                "columnar": True,
+                "backend": "process",
+                "cores": cores,
+                "tokens": len(items),
+                "chunk_size": CHUNK_SIZE,
+                "ingest_seconds": best_seconds,
+                "tokens_per_second": len(items) / best_seconds,
+                "snapshot_seconds": None,
+            }
+        )
+
     # Admission control before/after: per-item check_item loop (pre-v2
     # server) vs the codec-amortised handle() path.
     for mode in ("scalar", "codec"):
@@ -400,7 +438,12 @@ def check_artifact(path: str) -> int:
       protocol complexity it added;
     * ``socket-binary`` stays within ``MAX_COLUMNAR_GAP`` of
       ``wire-columnar`` -- the socket may cost syscalls and framing, but
-      not another serialisation pass (the zero-copy claim, as a number).
+      not another serialisation pass (the zero-copy claim, as a number);
+    * when the artifact carries process-backend rows recorded on a host
+      with at least 4 cores, ``sharded-4-process`` must beat
+      ``sharded-4-columnar`` (the thread backend) by
+      ``MIN_PROCESS_SPEEDUP`` -- the GIL-escape claim, as a number.  On
+      smaller hosts the ratio is printed but not enforced.
     """
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
     rows = {row["config"]: row for row in payload["results"]}
@@ -438,6 +481,33 @@ def check_artifact(path: str) -> int:
             file=sys.stderr,
         )
         failed = True
+    process_row = rows.get("sharded-4-process")
+    thread_row = rows.get("sharded-4-columnar")
+    if process_row is not None and thread_row is not None:
+        row_cores = int(process_row.get("cores") or 0)
+        ratio = (
+            process_row["tokens_per_second"] / thread_row["tokens_per_second"]
+        )
+        print(
+            f"process vs thread backend at 4 shards: {ratio:.2f}x "
+            f"({process_row['tokens_per_second']:,.0f} vs "
+            f"{thread_row['tokens_per_second']:,.0f} tok/s on "
+            f"{row_cores} core(s); floor {MIN_PROCESS_SPEEDUP:.1f}x "
+            f"when cores >= 4)"
+        )
+        if row_cores >= 4 and ratio < MIN_PROCESS_SPEEDUP:
+            print(
+                f"REGRESSION: process backend fell below "
+                f"{MIN_PROCESS_SPEEDUP:.1f}x of thread-backend throughput "
+                f"at 4 shards on a {row_cores}-core host",
+                file=sys.stderr,
+            )
+            failed = True
+        elif row_cores < 4:
+            print(
+                "  (speedup floor not enforced: row recorded on a host "
+                "with fewer than 4 cores)"
+            )
     return 1 if failed else 0
 
 

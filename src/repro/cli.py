@@ -251,6 +251,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         num_counters=args.counters,
         num_shards=args.shards,
+        shard_backend=args.shard_backend,
         k=args.k,
         weighted=args.weighted,
         window_buckets=args.window_buckets,
@@ -312,9 +313,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         http_server.attach(server.service)
     host, port = server.server_address[:2]
     wal_note = f", wal={args.wal_dir} fsync={args.fsync}" if args.wal_dir else ""
+    backend_note = f" backend={server.service.sharded.backend_name}"
     print(
-        f"serving {args.algorithm} (m={args.counters}, shards={args.shards}, "
-        f"k={args.k}{wal_note}) on {host}:{port}",
+        f"serving {args.algorithm} (m={args.counters}, shards={args.shards}"
+        f"{backend_note}, k={args.k}{wal_note}) on {host}:{port}",
         flush=True,
     )
     try:
@@ -594,6 +596,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--counters", type=int, default=1_000, help="counter budget m per shard")
     serve.add_argument("--shards", type=int, default=4, help="concurrent shard workers")
+    serve.add_argument(
+        "--shard-backend",
+        choices=["thread", "process"],
+        default=None,
+        help="shard workers as threads (default; one interpreter, GIL-bound "
+        "aggregate ingest) or as supervised worker processes (one per shard, "
+        "fed the framed chunk records over pipes -- scales ingest across "
+        "cores; dead workers restart from checkpoint + WAL replay); "
+        "unset falls back to $REPRO_SHARD_BACKEND, then thread",
+    )
     serve.add_argument("--k", type=int, default=10, help="tail parameter of snapshot guarantees")
     serve.add_argument(
         "--weighted", action="store_true", help="use the Section 6.1 weighted variants"

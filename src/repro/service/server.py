@@ -76,7 +76,11 @@ from repro.service.audit import (
 )
 from repro.service.logging import get_logger
 from repro.service.metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
-from repro.service.sharding import DEFAULT_QUEUE_DEPTH, ShardedSummarizer
+from repro.service.sharding import (
+    DEFAULT_QUEUE_DEPTH,
+    ShardedSummarizer,
+    resolve_backend,
+)
 from repro.service.snapshots import Snapshot, SnapshotManager
 from repro.service.tracing import (
     DEFAULT_RING_SIZE,
@@ -137,6 +141,12 @@ class ServiceConfig:
     k: int = 10
     weighted: bool = False
     queue_depth: int = DEFAULT_QUEUE_DEPTH
+    #: Shard worker backend: ``"thread"`` (shards as threads in this
+    #: interpreter, GIL-bound aggregate throughput), ``"process"`` (each
+    #: shard a supervised ``multiprocessing`` worker fed the CRC-framed
+    #: chunk records over a pipe -- scales ingest past the GIL), or
+    #: ``None`` to resolve from ``REPRO_SHARD_BACKEND`` (default thread).
+    shard_backend: str | None = None
     window_buckets: int = 0
     snapshot_interval: float = 0.0
     snapshot_dir: str | None = None
@@ -252,10 +262,18 @@ class HeavyHittersService:
 
     def __init__(self, config: ServiceConfig) -> None:
         self.config = config
+        # Backend seam: thread workers by default; process workers put
+        # each shard on its own core, supervised by the parent.  The
+        # rebuild hook closes over self so a worker that dies under a
+        # WAL-backed service is restarted from checkpoint + WAL replay
+        # (self.wal is constructed below, before any worker can die).
+        backend = resolve_backend(config.shard_backend)
         self.sharded = ShardedSummarizer(
             config.make_estimator,
             num_shards=config.num_shards,
             queue_depth=config.queue_depth,
+            backend=backend,
+            rebuild_shard=self._rebuild_shard if backend == "process" else None,
         )
         self.snapshots = SnapshotManager(
             self.sharded,
@@ -410,6 +428,26 @@ class HeavyHittersService:
             "counter",
             shard_samples("batches_applied"),
         )
+        if self.sharded.backend_name == "process":
+            # Supervisor columns only the process backend maintains.
+            registry.register_callback(
+                "repro_shard_restarts_total",
+                "Times each shard's worker process died and was restarted.",
+                "counter",
+                shard_samples("restarts"),
+            )
+            registry.register_callback(
+                "repro_shard_worker_up",
+                "1 while the shard's worker process is running, else 0.",
+                "gauge",
+                shard_samples("alive"),
+            )
+            registry.register_callback(
+                "repro_shard_process_rss_bytes",
+                "Resident set size of each shard's worker process.",
+                "gauge",
+                shard_samples("rss_bytes"),
+            )
         registry.register_callback(
             "repro_stream_weight",
             "Total token weight enqueued to the shards since start.",
@@ -601,6 +639,7 @@ class HeavyHittersService:
                         "weighted": str(self.config.weighted).lower(),
                         "num_counters": str(self.config.num_counters),
                         "num_shards": str(self.config.num_shards),
+                        "shard_backend": self.sharded.backend_name,
                         "protocol": str(self.protocol),
                         "wal": "on" if self.wal is not None else "off",
                         "fsync": self.config.fsync,
@@ -681,6 +720,34 @@ class HeavyHittersService:
                 "accuracy auditor disabled: recovered state predates the "
                 "exact mirror",
                 extra={"recovered_weight": result.stream_length},
+            )
+
+    def _rebuild_shard(self, shard_id: int) -> FrequencyEstimator | None:
+        """Rebuild one shard's summary for a restarting worker process.
+
+        Called by the process backend's supervisor when a shard worker
+        dies.  With a WAL the replacement's summary is rebuilt from the
+        latest checkpoint plus a replay of that shard's WAL records
+        (placement via ``shard_for`` is deterministic, so the replay
+        routes exactly the records the dead worker owned).  Runs under
+        the ingest lock: no append+dispatch pair is in flight during the
+        replay, so every chunk the dead worker was ever sent -- applied
+        or still in its pipe -- is on disk and replayed, and nothing is
+        double-applied.  Without a WAL there is nothing to replay;
+        returning ``None`` restarts the worker with an empty summary
+        (the documented durability of a WAL-less service).
+        """
+        if self.wal is None:
+            return None
+        from repro.service.recovery import rebuild_shard
+
+        with self._ingest_lock:
+            self.wal.sync()
+            return rebuild_shard(
+                self.wal.directory,
+                self.config.make_estimator,
+                shard_id,
+                self.config.num_shards,
             )
 
     # ------------------------------------------------------------------ #
@@ -917,7 +984,10 @@ class HeavyHittersService:
             now = time.perf_counter()
             trace.add_span("wal_append", now - mark)
             mark = now
-        ingested = self.sharded.ingest(chunk, trace=trace)
+        # The same framed bytes just appended to the WAL ride the worker
+        # pipes under the process backend -- client -> WAL -> child with
+        # no re-serialisation; the thread backend ignores ``record``.
+        ingested = self.sharded.ingest(chunk, trace=trace, record=record)
         if trace is not None:
             trace.add_span("shard_enqueue", time.perf_counter() - mark)
         if self.windowed is not None:

@@ -6,31 +6,69 @@ heavy-hitters service can *shard* its ingest path -- hash-partition the
 token stream across ``N`` workers, let each worker maintain its own
 summary, and merge on demand -- without giving up certified answers.
 
-:class:`ShardedSummarizer` implements the ingest side:
+:class:`ShardedSummarizer` implements the ingest side behind a
+**backend seam** (:func:`resolve_backend`):
 
-* tokens are routed with :func:`shard_for` (a stable fingerprint modulo the
-  shard count, the same placement rule :mod:`repro.distributed.partition`
-  uses for cross-site hash partitioning, so in-process shards and remote
-  sites agree on who owns an item);
-* each shard is a daemon thread draining a *bounded* queue -- producers
-  block when a shard falls behind, which is the service's backpressure;
-* a shard applies each dequeued chunk through the batched fast path
-  (:meth:`~repro.algorithms.base.FrequencyEstimator.update_batch`), so the
-  per-token cost is the PR-1 aggregated one, not a Python-level loop.
+``thread`` (default)
+    Each shard is a daemon thread draining a *bounded* queue -- producers
+    block when a shard falls behind, which is the service's backpressure.
+    A shard applies each dequeued chunk through the batched fast path
+    (:meth:`~repro.algorithms.base.FrequencyEstimator.update_batch`), so
+    the per-token cost is the PR-1 aggregated one, not a Python-level
+    loop.  All shards share one interpreter: aggregate throughput is
+    GIL-bound.
+
+``process``
+    Each shard is a ``multiprocessing`` worker process fed over a pipe
+    carrying the CRC-framed chunk records of
+    :func:`repro.service.wal.encode_chunk_record` -- the same bytes the
+    WAL and the wire-v3 binary protocol use, so a client-encoded chunk
+    travels client -> WAL -> child process without re-serialisation.
+    Every worker receives the full record and applies only its own
+    sub-chunk (placement via the same vectorised ``shard_array`` as the
+    thread backend, so summaries are bit-identical between backends).
+    Workers answer snapshot/checkpoint requests with
+    :func:`repro.serialization.dump` payloads over the result channel and
+    are supervised by the parent: a dead worker flips
+    :meth:`workers_alive` (readiness), is restarted, and -- when the
+    owning service supplies a ``rebuild_shard`` hook -- rebuilds its
+    summary from the latest checkpoint plus WAL replay.
+
+Tokens are routed with :func:`shard_for` (a stable fingerprint modulo the
+shard count, the same placement rule :mod:`repro.distributed.partition`
+uses for cross-site hash partitioning, so in-process shards, worker
+processes and remote sites all agree on who owns an item).
 
 Shard summaries are read either live (:meth:`shard_summaries`, after a
-:meth:`flush` barrier) or as consistent copies taken under the per-shard
-locks (:meth:`snapshot_summaries`) while ingestion keeps running -- the
-latter is what :class:`repro.service.snapshots.SnapshotManager` builds
-queryable snapshots from.
+:meth:`flush` barrier) or as consistent copies taken on a batch boundary
+(:meth:`snapshot_summaries`) while ingestion keeps running -- the latter
+is what :class:`repro.service.snapshots.SnapshotManager` builds queryable
+snapshots from.
 """
 
 from __future__ import annotations
 
 # repro-lint: hot-path
 
+import atexit
+import json
 import math
+import multiprocessing
+
+# `multiprocessing.util` registers the atexit reaper that terminates
+# daemon worker processes at interpreter exit.  Plain ``import
+# multiprocessing`` does NOT pull it in -- it loads lazily at the first
+# ``Process`` construction, which would be *after*
+# ``_ProcessShardBackend.__init__`` registered its own exit handler and
+# would therefore run *before* it under atexit's LIFO order, terminating
+# workers while the supervisor still believes it should restart them.
+# Importing it eagerly pins the order: reaper first in, last out.
+import multiprocessing.util  # noqa: F401
+import os
+import pickle
 import queue
+import signal
+import struct
 import threading
 import time
 from collections.abc import Callable, Sequence
@@ -39,20 +77,52 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.algorithms.base import FrequencyEstimator, Item
-from repro.engine.codec import EncodedChunk, partition_chunk, validate_tokens
+from repro.engine.codec import EncodedChunk, TokenCodec, partition_chunk, validate_tokens
 from repro.sketches.hashing import fingerprint_array, shard_array, shard_for
 
-if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from multiprocessing.connection import Connection
+
     from repro.service.tracing import Trace
 
 EstimatorFactory = Callable[[], FrequencyEstimator]
+RebuildHook = Callable[[int], "FrequencyEstimator | None"]
 
 #: Default bound on the number of pending chunks per shard queue.  Small
 #: enough that a stalled shard exerts backpressure on producers quickly,
 #: large enough to keep workers busy across producer hiccups.
 DEFAULT_QUEUE_DEPTH = 64
 
+#: The supported shard backends (see the module docstring).
+BACKENDS = ("thread", "process")
+
+#: Poll interval for every bounded wait that must recheck worker
+#: liveness: a producer blocked on a full queue, a flush barrier, a
+#: snapshot round trip.  Small enough that a dead worker surfaces as a
+#: prompt ``RuntimeError`` instead of a hang; large enough that the
+#: recheck is free next to the work it guards.
+_LIVENESS_POLL_SECONDS = 0.05
+
+#: How long close() waits for a worker process to drain and exit before
+#: escalating to terminate().
+_CLOSE_JOIN_SECONDS = 10.0
+
 _STOP = object()
+
+
+def resolve_backend(name: str | None = None) -> str:
+    """Resolve a shard backend name (``None`` = env default).
+
+    ``None`` falls back to the ``REPRO_SHARD_BACKEND`` environment
+    variable (the hook CI uses to run the whole service tier against the
+    process backend), then to ``"thread"``.
+    """
+    resolved = name or os.environ.get("REPRO_SHARD_BACKEND") or "thread"
+    if resolved not in BACKENDS:
+        raise ValueError(
+            f"unknown shard backend {resolved!r}; expected one of {BACKENDS}"
+        )
+    return resolved
 
 
 #: One shard's batch: a plain ``(items, weights)`` pair or an encoded
@@ -204,6 +274,891 @@ class _ShardWorker(threading.Thread):
                 self.queue.task_done()
 
 
+class _ThreadShardBackend:
+    """The in-interpreter backend: one :class:`_ShardWorker` per shard."""
+
+    name = "thread"
+
+    def __init__(
+        self,
+        make_estimator: EstimatorFactory,
+        num_shards: int,
+        queue_depth: int,
+    ) -> None:
+        self.num_shards = num_shards
+        self.workers = [
+            _ShardWorker(shard_id, make_estimator(), queue_depth)
+            for shard_id in range(num_shards)
+        ]
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def start(self) -> None:
+        for worker in self.workers:
+            worker.start()
+
+    def close(self) -> None:
+        for worker in self.workers:
+            # A dead worker cannot drain its queue: skip the sentinel
+            # (its join below returns immediately) instead of blocking
+            # forever on a full queue -- the close() half of the
+            # dead-worker hang fixed in dispatch().
+            while worker.is_alive():
+                try:
+                    worker.queue.put(_STOP, timeout=_LIVENESS_POLL_SECONDS)
+                    break
+                except queue.Full:
+                    continue
+        for worker in self.workers:
+            worker.join()
+
+    def workers_alive(self) -> bool:
+        return all(worker.is_alive() for worker in self.workers)
+
+    # -- ingest -------------------------------------------------------- #
+
+    def dispatch(
+        self,
+        items: Sequence[Item] | EncodedChunk,
+        weights: Sequence[float] | None,
+        trace: "Trace | None",
+        record: bytes | None,
+        account: Callable[[int, int], None],
+    ) -> int:
+        # The pre-framed record (when the caller has one) is a WAL/wire
+        # concern; the thread backend hands workers the in-memory chunk.
+        del record
+        parts = partition_batch(items, self.num_shards, weights)
+        for shard_id, batch in parts.items():
+            # Queue entries are (items, weights, trace): the worker
+            # records a shard_apply span for sampled requests.
+            self._put_batch(self.workers[shard_id], (batch[0], batch[1], trace))
+            # Stats roll per part, not after the loop: if a later put
+            # fails, the shards that already received their parts will
+            # still apply them, and queue_stats()-backed metrics must
+            # agree with those applied totals.
+            account(len(batch[0]), 1)
+        return len(items)
+
+    def _put_batch(
+        self, worker: _ShardWorker, entry: tuple[Any, Any, "Trace | None"]
+    ) -> None:
+        """Bounded put that rechecks worker liveness instead of hanging.
+
+        A dead worker's queue never drains, so a blocking ``put`` against
+        a full queue would strand the producer forever (and ``close()``
+        behind it, waiting on ``_active_producers``).  Poll with a short
+        timeout and surface the dead shard as a ``RuntimeError``.
+        """
+        while True:
+            if not worker.is_alive():
+                raise RuntimeError(
+                    f"shard {worker.shard_id} worker thread is not running; "
+                    "batch not enqueued"
+                )
+            try:
+                worker.queue.put(entry, timeout=_LIVENESS_POLL_SECONDS)
+                return
+            except queue.Full:
+                continue
+
+    # -- barriers and errors ------------------------------------------- #
+
+    def flush(self) -> None:
+        for worker in self.workers:
+            pending = worker.queue
+            # queue.join() has no timeout and would hang on a dead
+            # worker's unfinished batches; wait on the same condition it
+            # uses, rechecking liveness.
+            with pending.all_tasks_done:
+                while pending.unfinished_tasks:
+                    if not worker.is_alive():
+                        raise RuntimeError(
+                            f"shard {worker.shard_id} worker thread died with "
+                            f"{pending.unfinished_tasks} batch(es) outstanding"
+                        )
+                    pending.all_tasks_done.wait(_LIVENESS_POLL_SECONDS)
+
+    def pop_error(self) -> tuple[int, BaseException | str] | None:
+        for worker in self.workers:
+            with worker.lock:
+                error = worker.error
+                worker.error = None
+            if error is not None:
+                return worker.shard_id, error
+        return None
+
+    def inject_error(self, shard_id: int, error: BaseException) -> None:
+        with self.workers[shard_id].lock:
+            self.workers[shard_id].error = error
+
+    # -- durability and reads ------------------------------------------ #
+
+    def restore(self, estimators: Sequence[FrequencyEstimator]) -> None:
+        for worker, estimator in zip(self.workers, estimators, strict=True):
+            worker.estimator = estimator
+
+    def payloads(self) -> list[dict[str, Any]]:
+        from repro import serialization
+
+        payloads = []
+        for worker in self.workers:
+            with worker.lock:
+                payloads.append(serialization.dump(worker.estimator))
+        return payloads
+
+    def summaries_live(self) -> list[FrequencyEstimator]:
+        return [worker.estimator for worker in self.workers]
+
+    def snapshot_copies(self) -> list[FrequencyEstimator]:
+        from repro import serialization
+
+        copies = []
+        for worker in self.workers:
+            with worker.lock:
+                payload = serialization.dump(worker.estimator)
+            copies.append(serialization.load(payload))
+        return copies
+
+    def stream_length(self) -> float:
+        total = 0.0
+        for worker in self.workers:
+            with worker.lock:
+                total += worker.estimator.stream_length
+        return total
+
+    def shard_stats(self) -> list[dict[str, float]]:
+        stats = []
+        for worker in self.workers:
+            with worker.lock:
+                stats.append(
+                    {
+                        "shard": worker.shard_id,
+                        "tokens_applied": worker.tokens_applied,
+                        "batches_applied": worker.batches_applied,
+                        "stream_length": worker.estimator.stream_length,
+                        "counters_in_use": len(worker.estimator),
+                        "pending_batches": worker.queue.qsize(),
+                    }
+                )
+        return stats
+
+    def queue_stats(self) -> list[dict[str, float]]:
+        return [
+            {
+                "shard": worker.shard_id,
+                "pending_batches": worker.queue.qsize(),
+                "tokens_applied": worker.tokens_applied,
+                "batches_applied": worker.batches_applied,
+                "batches_failed": worker.batches_failed,
+            }
+            for worker in self.workers
+        ]
+
+
+# --------------------------------------------------------------------------- #
+# Process backend wire format (parent <-> shard worker process)
+# --------------------------------------------------------------------------- #
+#
+# Requests ride the data pipe in FIFO order, so a flush ping or snapshot
+# request doubles as a barrier behind every chunk sent before it:
+#
+#   b"C" + <seq u32, traced u8> + <CRC-framed chunk record>   apply a chunk
+#   b"F" + <seq u32>                                          flush ping
+#   b"S" + <seq u32>                                          snapshot request
+#   b"Q"                                                      drain and exit
+#
+# Replies come back on the result pipe:
+#
+#   b"A" + _DONE (per-chunk completion: counters + apply duration)
+#          [+ utf-8 error text when ok == 0]
+#   b"F" + <seq u32>                                          flush ack
+#   b"S" + <seq u32, kind u8> + payload                       snapshot reply
+#
+# A snapshot reply of kind 0 is the canonical JSON encoding of
+# serialization.dump (checkpoint currency); kind 1 is a pickle fallback
+# for estimator classes outside the serialisation registry.
+
+_CHUNK_HEADER = struct.Struct("<IB")  # seq, traced
+_SEQ_STRUCT = struct.Struct("<I")
+_SNAP_HEADER = struct.Struct("<IB")  # seq, kind
+#: seq, traced, ok, tokens, duration, tokens_applied, batches_applied,
+#: batches_failed, counters_in_use, stream_length
+_DONE = struct.Struct("<IBBQdQQQQd")
+
+_SNAP_JSON = 0
+_SNAP_PICKLE = 1
+_SNAP_ERROR = 2
+
+
+def _shard_process_main(
+    shard_id: int,
+    num_shards: int,
+    estimator: FrequencyEstimator,
+    data_conn: "Connection",
+    result_conn: "Connection",
+) -> None:
+    """Entry point of one shard worker process.
+
+    Decodes each CRC-framed chunk record against its own codec (the
+    record carries the compacted vocabulary, so no codec object crosses
+    the process boundary), selects its own sub-chunk with the shared
+    ``shard_array`` placement, and applies it through ``update_batch`` --
+    the same two calls the thread backend makes, so per-shard summaries
+    are bit-identical between backends.
+    """
+    # Late imports keep the child's work self-contained; both modules are
+    # already loaded in the forked image.
+    from repro import serialization
+    from repro.service.wal import parse_chunk_record
+
+    # The parent handles shutdown (the b"Q" message / pipe EOF); a
+    # terminal-delivered SIGINT must not kill workers mid-batch.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    codec = TokenCodec()
+    tokens_applied = 0
+    batches_applied = 0
+    batches_failed = 0
+    counters_in_use = 0
+    try:
+        while True:
+            try:
+                message = data_conn.recv_bytes()
+            except (EOFError, OSError):
+                # repro-lint: boundary parent closed the pipe; treat as shutdown
+                return
+            tag = message[:1]
+            if tag == b"C":
+                seq, traced = _CHUNK_HEADER.unpack_from(message, 1)
+                record = memoryview(message)[1 + _CHUNK_HEADER.size :]
+                started = time.perf_counter()
+                ok = 1
+                tokens = 0
+                error_text = b""
+                try:
+                    payload = parse_chunk_record(record)
+                    chunk = serialization.load_chunk_bytes(payload, codec)
+                    if num_shards > 1:
+                        sub_chunk = partition_chunk(chunk, num_shards)[shard_id]
+                    else:
+                        sub_chunk = chunk
+                    tokens = len(sub_chunk)
+                    if tokens:
+                        estimator.update_batch(sub_chunk, None)
+                        tokens_applied += tokens
+                        batches_applied += 1
+                        counters_in_use = len(estimator)
+                # repro-lint: boundary shard-process apply loop; the failed batch is dropped and reported to the parent
+                except Exception as exc:
+                    ok = 0
+                    tokens = 0
+                    batches_failed += 1
+                    error_text = f"{type(exc).__name__}: {exc}".encode(
+                        "utf-8", "replace"
+                    )
+                duration = time.perf_counter() - started
+                result_conn.send_bytes(
+                    b"A"
+                    + _DONE.pack(
+                        seq,
+                        traced,
+                        ok,
+                        tokens,
+                        duration,
+                        tokens_applied,
+                        batches_applied,
+                        batches_failed,
+                        counters_in_use,
+                        estimator.stream_length,
+                    )
+                    + error_text
+                )
+            elif tag == b"F":
+                result_conn.send_bytes(b"F" + message[1:5])
+            elif tag == b"S":
+                (seq,) = _SEQ_STRUCT.unpack_from(message, 1)
+                try:
+                    blob = json.dumps(
+                        serialization.dump(estimator), sort_keys=True
+                    ).encode()
+                    kind = _SNAP_JSON
+                except serialization.SerializationError:
+                    # Estimator class outside the serialisation registry
+                    # (e.g. a sketch in a differential test): fall back to
+                    # pickle so snapshot_summaries() still works.
+                    try:
+                        blob = pickle.dumps(estimator)
+                        kind = _SNAP_PICKLE
+                    # repro-lint: boundary a snapshot that cannot serialise must not kill a healthy worker
+                    except Exception as exc:
+                        blob = f"{type(exc).__name__}: {exc}".encode(
+                            "utf-8", "replace"
+                        )
+                        kind = _SNAP_ERROR
+                result_conn.send_bytes(b"S" + _SNAP_HEADER.pack(seq, kind) + blob)
+            elif tag == b"Q":
+                return
+    finally:
+        try:
+            result_conn.close()
+            data_conn.close()
+        except OSError:  # repro-lint: boundary best-effort fd cleanup on exit
+            pass
+
+
+class _ProcessShardSlot:
+    """Parent-side handle for one shard worker process.
+
+    All mutable state is guarded by ``state`` (one condition per slot):
+    producers wait on it for queue room, flush/snapshot callers wait on
+    it for their reply, and the reader thread notifies it as completions
+    arrive.
+    """
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.state = threading.Condition(threading.Lock())
+        # Everything below is guarded by ``state``.
+        self.generation = 0
+        self.process: Any = None
+        self.data_conn: "Connection | None" = None
+        self.reader: threading.Thread | None = None
+        self.ready = False
+        self.seq = 0
+        self.inflight = 0
+        self.error: str | None = None
+        self.tokens_applied = 0
+        self.batches_applied = 0
+        self.batches_failed = 0
+        self.counters_in_use = 0
+        self.stream_length = 0.0
+        self.restarts = 0
+        self.traces: dict[int, "Trace"] = {}
+        self.flush_acks: set[int] = set()
+        self.snapshots: dict[int, tuple[int, bytes]] = {}
+
+    def pid(self) -> int | None:
+        process = self.process
+        return process.pid if process is not None else None
+
+
+def _process_rss_bytes(pid: int | None) -> float:
+    """Resident set size of ``pid`` via /proc (0.0 when unavailable)."""
+    if pid is None:
+        return 0.0
+    try:
+        with open(f"/proc/{pid}/statm", "rb") as handle:
+            fields = handle.read().split()
+        return float(int(fields[1]) * os.sysconf("SC_PAGE_SIZE"))
+    except (OSError, IndexError, ValueError):  # repro-lint: boundary non-Linux or raced exit; metric reads 0
+        return 0.0
+
+
+class _ProcessShardBackend:
+    """Shard workers as supervised ``multiprocessing`` processes.
+
+    Broadcast design: every worker receives the full chunk record and
+    selects its own sub-chunk, so the producer does no per-shard
+    partitioning or re-encoding -- the single GIL-bound parent thread
+    only moves bytes, and the partition + decode + apply work runs on
+    the workers' own cores.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        make_estimator: EstimatorFactory,
+        num_shards: int,
+        queue_depth: int,
+        rebuild_shard: RebuildHook | None = None,
+    ) -> None:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "the process shard backend requires the 'fork' start method "
+                "(unavailable on this platform); use the thread backend"
+            )
+        self._ctx = multiprocessing.get_context("fork")
+        self.make_estimator = make_estimator
+        self.num_shards = num_shards
+        self.queue_depth = queue_depth
+        self.rebuild_shard = rebuild_shard
+        self.slots = [_ProcessShardSlot(shard_id) for shard_id in range(num_shards)]
+        self._restored: list[FrequencyEstimator] | None = None
+        # Producer-side codec for plain-sequence ingest (the server hands
+        # us pre-encoded chunks/records; tests and benches may not).
+        # Interning is not thread-safe, hence the lock.
+        self._codec = TokenCodec()
+        self._codec_lock = threading.Lock()
+        # repro-lint: allow[L006] single-writer: close()/_atexit_close() are the only writers, reader threads only read
+        self._closing = False
+        self._restart_threads: list[threading.Thread] = []
+        self._restart_lock = threading.Lock()
+        # Interpreter-exit guard for backends abandoned without close().
+        # atexit runs LIFO and multiprocessing registered its reaper when
+        # this module eagerly imported `multiprocessing.util` (see the
+        # import block), so this handler runs *first*: it stops the
+        # supervisor before the reaper terminates the daemon workers --
+        # otherwise the reader threads would see those deaths as crashes
+        # and fork replacement workers mid-shutdown, after the reaper
+        # already ran, leaking them past interpreter exit.
+        atexit.register(self._atexit_close)
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def start(self) -> None:
+        restored = self._restored
+        # repro-lint: allow[L006] single-writer: set by restore() and consumed once here, both before any worker exists
+        self._restored = None
+        for slot in self.slots:
+            estimator = (
+                restored[slot.shard_id] if restored is not None
+                else self.make_estimator()
+            )
+            self._spawn(slot, estimator, restart=False)
+
+    def _spawn(
+        self, slot: _ProcessShardSlot, estimator: FrequencyEstimator, restart: bool
+    ) -> None:
+        """Start one worker process and its reader thread; flips ready."""
+        data_recv, data_send = self._ctx.Pipe(duplex=False)
+        result_recv, result_send = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_shard_process_main,
+            args=(slot.shard_id, self.num_shards, estimator, data_recv, result_send),
+            name=f"shard-proc-{slot.shard_id}",
+            daemon=True,
+        )
+        process.start()
+        # The child inherited its ends across the fork; drop the parent's
+        # duplicates so a dead child reads as EOF/EPIPE, not a hang.
+        data_recv.close()
+        result_send.close()
+        with slot.state:
+            slot.generation += 1
+            generation = slot.generation
+            slot.process = process
+            slot.data_conn = data_send
+            slot.inflight = 0
+            slot.traces.clear()
+            slot.flush_acks.clear()
+            slot.snapshots.clear()
+            if restart:
+                slot.restarts += 1
+            slot.ready = True
+            reader = threading.Thread(
+                target=self._reader_loop,
+                args=(slot, result_recv, generation),
+                name=f"shard-{slot.shard_id}-reader",
+                daemon=True,
+            )
+            slot.reader = reader
+            slot.state.notify_all()
+        reader.start()
+
+    def _atexit_close(self) -> None:
+        """Stop supervision at interpreter exit; workers are reaped next.
+
+        Restarting here would fork workers nobody will ever terminate
+        (multiprocessing's reaper has not run yet but will not run
+        again for them).  The daemon workers themselves are terminated
+        by that reaper immediately after this handler.
+        """
+        # repro-lint: allow[L006] single-writer: interpreter-exit path; reader threads only test the flag
+        self._closing = True
+
+    def close(self) -> None:
+        atexit.unregister(self._atexit_close)
+        # repro-lint: allow[L006] single-writer: close() is the only writer; reader threads only test the flag
+        self._closing = True
+        with self._restart_lock:
+            restart_threads = list(self._restart_threads)
+        for thread in restart_threads:
+            thread.join()
+        # FIFO pipes make b"Q" a drain barrier: it lands behind every
+        # pending chunk, so a live worker applies its backlog first.
+        for slot in self.slots:
+            with slot.state:
+                conn = slot.data_conn
+                slot.ready = False
+            if conn is not None:
+                try:
+                    conn.send_bytes(b"Q")
+                except (BrokenPipeError, OSError):  # repro-lint: boundary worker already dead; nothing to drain
+                    pass
+        for slot in self.slots:
+            process = slot.process
+            if process is not None:
+                process.join(timeout=_CLOSE_JOIN_SECONDS)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=_CLOSE_JOIN_SECONDS)
+                if process.is_alive():  # pragma: no cover - last resort
+                    process.kill()
+                    process.join()
+            with slot.state:
+                conn = slot.data_conn
+                slot.data_conn = None
+            if conn is not None:
+                conn.close()
+            reader = slot.reader
+            if reader is not None:
+                reader.join(timeout=_CLOSE_JOIN_SECONDS)
+
+    def workers_alive(self) -> bool:
+        for slot in self.slots:
+            with slot.state:
+                if not slot.ready:
+                    return False
+        return True
+
+    # -- supervision --------------------------------------------------- #
+
+    def _reader_loop(
+        self, slot: _ProcessShardSlot, conn: "Connection", generation: int
+    ) -> None:
+        """Drain one worker's result pipe; detect its death on EOF."""
+        from repro.service.tracing import Trace  # noqa: F401 - annotation only
+
+        while True:
+            try:
+                message = conn.recv_bytes()
+            except (EOFError, OSError):
+                # repro-lint: boundary worker exit (or SIGKILL): flip readiness and hand off to the supervisor
+                break
+            tag = message[:1]
+            if tag == b"A":
+                fields = _DONE.unpack_from(message, 1)
+                (seq, traced, ok, tokens, duration) = fields[:5]
+                trace = None
+                with slot.state:
+                    if slot.generation != generation:
+                        break
+                    slot.inflight -= 1
+                    (
+                        slot.tokens_applied,
+                        slot.batches_applied,
+                        slot.batches_failed,
+                        slot.counters_in_use,
+                        slot.stream_length,
+                    ) = fields[5:]
+                    if not ok:
+                        text = message[1 + _DONE.size :].decode("utf-8", "replace")
+                        if slot.error is None:
+                            slot.error = (
+                                "failed while applying a batch "
+                                f"(the failed batch was dropped): {text}"
+                            )
+                    if traced:
+                        trace = slot.traces.pop(seq, None)
+                    slot.state.notify_all()
+                if trace is not None and tokens:
+                    # Outside the slot lock: add_span takes the trace's own
+                    # lock and must not nest under ours.
+                    trace.add_span(
+                        "shard_apply",
+                        duration,
+                        shard=slot.shard_id,
+                        tokens=int(tokens),
+                    )
+            elif tag == b"F":
+                (seq,) = _SEQ_STRUCT.unpack_from(message, 1)
+                with slot.state:
+                    slot.flush_acks.add(seq)
+                    slot.state.notify_all()
+            elif tag == b"S":
+                seq, kind = _SNAP_HEADER.unpack_from(message, 1)
+                blob = bytes(memoryview(message)[1 + _SNAP_HEADER.size :])
+                with slot.state:
+                    slot.snapshots[seq] = (kind, blob)
+                    slot.state.notify_all()
+        conn.close()
+        with slot.state:
+            if slot.generation != generation:
+                return
+            slot.ready = False
+            if not self._closing and slot.error is None:
+                slot.error = "worker process exited unexpectedly (supervisor restarting it)"
+            slot.state.notify_all()
+        if not self._closing:
+            self._schedule_restart(slot, generation)
+
+    def _schedule_restart(self, slot: _ProcessShardSlot, generation: int) -> None:
+        thread = threading.Thread(
+            target=self._restart,
+            args=(slot, generation),
+            name=f"shard-{slot.shard_id}-restart",
+            daemon=True,
+        )
+        with self._restart_lock:
+            if self._closing:
+                return
+            self._restart_threads.append(thread)
+        thread.start()
+
+    def _restart(self, slot: _ProcessShardSlot, generation: int) -> None:
+        """Supervisor path: respawn a dead worker with rebuilt state.
+
+        The rebuild hook (when the owning service is WAL-backed) replays
+        the latest checkpoint plus the dead shard's WAL records under the
+        service's ingest lock, so every chunk the old worker was ever
+        sent -- applied or still in its pipe when it died -- is
+        reconstructed before the replacement accepts new traffic.
+        """
+        with slot.state:
+            if self._closing or slot.generation != generation:
+                return
+        process = slot.process
+        if process is not None:
+            process.join(timeout=_CLOSE_JOIN_SECONDS)
+        estimator: FrequencyEstimator | None = None
+        if self.rebuild_shard is not None:
+            try:
+                estimator = self.rebuild_shard(slot.shard_id)
+            # repro-lint: boundary supervisor thread: a failed rebuild falls back to an empty summary rather than leaving the shard down
+            except Exception as exc:
+                with slot.state:
+                    slot.error = (
+                        f"restart rebuild failed ({type(exc).__name__}: {exc}); "
+                        "worker restarted with an empty summary"
+                    )
+        if estimator is None:
+            estimator = self.make_estimator()
+        if self._closing:
+            return
+        self._spawn(slot, estimator, restart=True)
+
+    # -- ingest -------------------------------------------------------- #
+
+    def dispatch(
+        self,
+        items: Sequence[Item] | EncodedChunk,
+        weights: Sequence[float] | None,
+        trace: "Trace | None",
+        record: bytes | None,
+        account: Callable[[int, int], None],
+    ) -> int:
+        if record is None:
+            if isinstance(items, EncodedChunk):
+                if weights is not None:
+                    raise ValueError(
+                        "weights must be None when ingesting an EncodedChunk"
+                    )
+                chunk = items
+            else:
+                with self._codec_lock:
+                    chunk = self._codec.encode_chunk(items, weights)
+            from repro.service.wal import encode_chunk_record
+
+            record = encode_chunk_record(chunk)
+            count = len(chunk)
+        else:
+            count = len(items)
+        if count == 0:
+            return 0
+        first_error: RuntimeError | None = None
+        accounted_tokens = False
+        for slot in self.slots:
+            try:
+                self._send_chunk(slot, record, trace)
+            # repro-lint: boundary best-effort broadcast: live shards still get their parts; a WAL rebuild recovers the dead one
+            except RuntimeError as exc:
+                if first_error is None:
+                    first_error = exc
+                continue
+            # Chunk tokens count once (the shards partition among
+            # themselves); batches count per record delivered.
+            account(0 if accounted_tokens else count, 1)
+            accounted_tokens = True
+        if first_error is not None:
+            raise first_error
+        return count
+
+    def _send_chunk(
+        self, slot: _ProcessShardSlot, record: bytes, trace: "Trace | None"
+    ) -> None:
+        with slot.state:
+            while True:
+                if not slot.ready:
+                    raise RuntimeError(
+                        f"shard {slot.shard_id} worker process is not running "
+                        "(dead or restarting); batch not enqueued"
+                    )
+                if slot.inflight < self.queue_depth:
+                    break
+                slot.state.wait(_LIVENESS_POLL_SECONDS)
+            slot.seq = (slot.seq + 1) & 0xFFFFFFFF
+            seq = slot.seq
+            traced = 1 if trace is not None else 0
+            if trace is not None:
+                slot.traces[seq] = trace
+                if len(slot.traces) > 1024:
+                    # A reader stall must not grow this unboundedly; the
+                    # oldest trace just loses its shard_apply span.
+                    slot.traces.pop(next(iter(slot.traces)))
+            conn = slot.data_conn
+            assert conn is not None  # ready implies a live connection
+            try:
+                # Held under the slot lock: interleaved send_bytes from two
+                # producers would corrupt the pipe framing.
+                conn.send_bytes(b"C" + _CHUNK_HEADER.pack(seq, traced) + record)
+            except (BrokenPipeError, OSError) as exc:
+                slot.ready = False
+                if slot.error is None:
+                    slot.error = "worker process died mid-send"
+                raise RuntimeError(
+                    f"shard {slot.shard_id} worker process died; batch not enqueued"
+                ) from exc
+            slot.inflight += 1
+
+    # -- barriers and errors ------------------------------------------- #
+
+    def flush(self) -> None:
+        for slot in self.slots:
+            self._flush_slot(slot)
+
+    def _flush_slot(self, slot: _ProcessShardSlot) -> None:
+        with slot.state:
+            seq = self._send_control(slot, b"F")
+            while seq not in slot.flush_acks:
+                if not slot.ready:
+                    raise RuntimeError(
+                        f"shard {slot.shard_id} worker process died during flush"
+                    )
+                slot.state.wait(_LIVENESS_POLL_SECONDS)
+            slot.flush_acks.discard(seq)
+
+    def _send_control(self, slot: _ProcessShardSlot, tag: bytes) -> int:
+        """Send a control ping; caller holds ``slot.state``."""
+        if not slot.ready:
+            raise RuntimeError(
+                f"shard {slot.shard_id} worker process is not running "
+                "(dead or restarting)"
+            )
+        slot.seq = (slot.seq + 1) & 0xFFFFFFFF
+        seq = slot.seq
+        conn = slot.data_conn
+        assert conn is not None
+        try:
+            conn.send_bytes(tag + _SEQ_STRUCT.pack(seq))
+        except (BrokenPipeError, OSError) as exc:
+            slot.ready = False
+            raise RuntimeError(
+                f"shard {slot.shard_id} worker process died"
+            ) from exc
+        return seq
+
+    def pop_error(self) -> tuple[int, BaseException | str] | None:
+        for slot in self.slots:
+            with slot.state:
+                error = slot.error
+                slot.error = None
+            if error is not None:
+                return slot.shard_id, error
+        return None
+
+    def inject_error(self, shard_id: int, error: BaseException) -> None:
+        with self.slots[shard_id].state:
+            self.slots[shard_id].error = (
+                f"failed while applying a batch (the failed batch was "
+                f"dropped): {type(error).__name__}: {error}"
+            )
+
+    # -- durability and reads ------------------------------------------ #
+
+    def restore(self, estimators: Sequence[FrequencyEstimator]) -> None:
+        self._restored = list(estimators)
+
+    def _snapshot_slot(self, slot: _ProcessShardSlot) -> tuple[int, bytes]:
+        with slot.state:
+            seq = self._send_control(slot, b"S")
+            while seq not in slot.snapshots:
+                if not slot.ready:
+                    raise RuntimeError(
+                        f"shard {slot.shard_id} worker process died during "
+                        "a snapshot request"
+                    )
+                slot.state.wait(_LIVENESS_POLL_SECONDS)
+            kind, blob = slot.snapshots.pop(seq)
+        if kind == _SNAP_ERROR:
+            raise RuntimeError(
+                f"shard {slot.shard_id} summary class has no serialisation "
+                f"support and could not be pickled: {blob.decode('utf-8', 'replace')}"
+            )
+        return kind, blob
+
+    def payloads(self) -> list[dict[str, Any]]:
+        payloads = []
+        for slot in self.slots:
+            kind, blob = self._snapshot_slot(slot)
+            if kind != _SNAP_JSON:
+                raise RuntimeError(
+                    f"shard {slot.shard_id} summary class has no serialisation "
+                    "support; it cannot be checkpointed"
+                )
+            payloads.append(json.loads(blob.decode()))
+        return payloads
+
+    def summaries_live(self) -> list[FrequencyEstimator]:
+        # No live references exist across a process boundary; callers get
+        # the same snapshot copies the read path uses.
+        return self.snapshot_copies()
+
+    def snapshot_copies(self) -> list[FrequencyEstimator]:
+        from repro import serialization
+
+        copies = []
+        for slot in self.slots:
+            kind, blob = self._snapshot_slot(slot)
+            if kind == _SNAP_JSON:
+                copies.append(serialization.load(json.loads(blob.decode())))
+            else:
+                copies.append(pickle.loads(blob))
+        return copies
+
+    def stream_length(self) -> float:
+        total = 0.0
+        for slot in self.slots:
+            with slot.state:
+                total += slot.stream_length
+        return total
+
+    def shard_stats(self) -> list[dict[str, float]]:
+        stats = []
+        for slot in self.slots:
+            with slot.state:
+                stats.append(
+                    {
+                        "shard": slot.shard_id,
+                        "tokens_applied": slot.tokens_applied,
+                        "batches_applied": slot.batches_applied,
+                        "stream_length": slot.stream_length,
+                        "counters_in_use": slot.counters_in_use,
+                        "pending_batches": slot.inflight,
+                    }
+                )
+        return stats
+
+    def queue_stats(self) -> list[dict[str, float]]:
+        # Lock-free like the thread backend's: individually-consistent
+        # reads of counters the reader threads maintain, plus the
+        # supervisor columns the process metrics expose (restart count,
+        # per-process RSS, liveness).
+        return [
+            {
+                "shard": slot.shard_id,
+                "pending_batches": slot.inflight,
+                "tokens_applied": slot.tokens_applied,
+                "batches_applied": slot.batches_applied,
+                "batches_failed": slot.batches_failed,
+                "restarts": slot.restarts,
+                "alive": 1.0 if slot.ready else 0.0,
+                "rss_bytes": _process_rss_bytes(slot.pid()),
+            }
+            for slot in self.slots
+        ]
+
+
 class ShardedSummarizer:
     """Hash-partitioned concurrent ingestion into per-shard summaries.
 
@@ -219,6 +1174,16 @@ class ShardedSummarizer:
     queue_depth:
         Bound on pending chunks per shard; producers block (backpressure)
         when a shard's queue is full.
+    backend:
+        ``"thread"`` (default), ``"process"``, or ``None`` to resolve via
+        the ``REPRO_SHARD_BACKEND`` environment variable -- see
+        :func:`resolve_backend` and the module docstring.
+    rebuild_shard:
+        Process backend only: called by the supervisor with a shard id
+        when that shard's worker process dies, returning the summary the
+        replacement should start from (the service wires this to a
+        checkpoint + WAL replay).  ``None`` restarts dead workers with an
+        empty summary.
 
     Examples
     --------
@@ -236,6 +1201,8 @@ class ShardedSummarizer:
         make_estimator: EstimatorFactory,
         num_shards: int,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        backend: str | None = "thread",
+        rebuild_shard: RebuildHook | None = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -243,42 +1210,65 @@ class ShardedSummarizer:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
         self.make_estimator = make_estimator
         self.num_shards = num_shards
-        self._workers = [
-            _ShardWorker(shard_id, make_estimator(), queue_depth)
-            for shard_id in range(num_shards)
-        ]
+        backend_name = resolve_backend(backend)
+        self._backend: _ThreadShardBackend | _ProcessShardBackend
+        if backend_name == "process":
+            self._backend = _ProcessShardBackend(
+                make_estimator, num_shards, queue_depth, rebuild_shard
+            )
+        else:
+            self._backend = _ThreadShardBackend(
+                make_estimator, num_shards, queue_depth
+            )
         self._started = False
         self._closed = False
         # Guards the lifecycle flags, the stats counters, and the count of
         # producers currently inside ingest(); close() waits on it so the
-        # _STOP sentinels always land *behind* every in-flight batch.
+        # backend shutdown always lands *behind* every in-flight batch.
         self._state = threading.Condition(threading.Lock())
         self._active_producers = 0
         self.tokens_enqueued = 0
         self.batches_enqueued = 0
+
+    @property
+    def backend_name(self) -> str:
+        """Which backend runs the shard workers (``thread`` / ``process``)."""
+        return self._backend.name
+
+    @property
+    def _workers(self) -> list[_ShardWorker]:
+        """The thread backend's workers (tests and fault injection only)."""
+        if not isinstance(self._backend, _ThreadShardBackend):
+            raise RuntimeError(
+                "the process backend has no in-interpreter workers; use "
+                "inject_shard_error() / queue_stats() instead"
+            )
+        return self._backend.workers
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
 
     def start(self) -> ShardedSummarizer:
-        """Start the shard worker threads (idempotent)."""
+        """Start the shard workers (idempotent)."""
         with self._state:
             if self._closed:
                 raise RuntimeError("summarizer is closed")
             if self._started:
                 return self
             self._started = True
-        for worker in self._workers:
-            worker.start()
+        self._backend.start()
         return self
 
     def close(self) -> None:
         """Drain every queue, stop the workers and join them.
 
         Waits for in-flight ingest() calls to finish enqueueing before the
-        stop sentinels go out, so no batch can land behind a sentinel (which
-        would drop its tokens and leave flush() waiting forever).
+        backend shuts down, so no batch can land behind a stop sentinel
+        (which would drop its tokens and leave flush() waiting forever).
+        A producer stuck on a dead worker cannot stall this wait: its
+        bounded put notices the dead worker and errors out (see the
+        backends' dispatch paths).
         """
         with self._state:
             if self._closed:
@@ -288,10 +1278,7 @@ class ShardedSummarizer:
                 self._state.wait()
             started = self._started
         if started:
-            for worker in self._workers:
-                worker.queue.put(_STOP)
-            for worker in self._workers:
-                worker.join()
+            self._backend.close()
 
     def __enter__(self) -> ShardedSummarizer:
         return self.start()
@@ -310,16 +1297,18 @@ class ShardedSummarizer:
             return self._closed
 
     def workers_alive(self) -> bool:
-        """True while every shard thread is running and able to drain.
+        """True while every shard worker is running and able to drain.
 
         The readiness probe's "shards draining" check: a dead worker means
-        its queue will back up until producers block forever, so the
-        service must stop advertising itself as ready.
+        its queue backs up until producers error out, so the service must
+        stop advertising itself as ready.  Under the process backend this
+        also covers the supervisor's restart window: a shard whose worker
+        process died reads as not-alive until its replacement is running.
         """
         with self._state:
             if not self._started or self._closed:
                 return False
-        return all(worker.is_alive() for worker in self._workers)
+        return self._backend.workers_alive()
 
     # ------------------------------------------------------------------ #
     # Ingest
@@ -334,6 +1323,7 @@ class ShardedSummarizer:
         items: Sequence[Item] | EncodedChunk,
         weights: Sequence[float] | None = None,
         trace: Trace | None = None,
+        record: bytes | None = None,
     ) -> int:
         """Route a chunk of tokens to their shards; returns tokens enqueued.
 
@@ -347,7 +1337,15 @@ class ShardedSummarizer:
         thread, or give each producer its own codec, or serialise encoding
         externally (see :class:`~repro.engine.codec.TokenCodec`).
 
+        ``record`` -- the pre-framed :func:`wal.encode_chunk_record` bytes
+        of ``items`` when the caller already built (or received) them --
+        lets the process backend forward the exact client/WAL bytes to the
+        worker pipes with no re-serialisation; the thread backend ignores
+        it.
+
         Blocks when a destination shard's queue is full (backpressure).
+        If a shard worker dies, the bounded put re-checks its liveness and
+        raises ``RuntimeError`` instead of blocking forever.
 
         A sampled ``trace`` (see :mod:`repro.service.tracing`) rides
         along with each sub-batch; the owning worker appends a
@@ -362,30 +1360,49 @@ class ShardedSummarizer:
             self._active_producers += 1
         try:
             self._raise_pending_errors()
-            parts = partition_batch(items, self.num_shards, weights)
-            for shard_id, batch in parts.items():
-                # Queue entries are (items, weights, trace): the worker
-                # records a shard_apply span for sampled requests.
-                self._workers[shard_id].queue.put((batch[0], batch[1], trace))
-            with self._state:
-                self.batches_enqueued += len(parts)
-                self.tokens_enqueued += len(items)
-            return len(items)
+            return self._backend.dispatch(
+                items, weights, trace, record, self._account
+            )
         finally:
             with self._state:
                 self._active_producers -= 1
                 self._state.notify_all()
 
-    def ingest_weighted(self, pairs: Sequence[tuple[Item, float]]) -> int:
-        """Route ``(item, weight)`` pairs to their shards."""
+    def _account(self, tokens: int, batches: int) -> None:
+        """Roll enqueue stats as each part lands on its shard queue.
+
+        Called by the backends once per delivered part, *inside* their
+        fan-out loops: if a later shard's enqueue fails, the parts already
+        delivered will still be applied, and ``queue_stats()``-backed
+        metrics must agree with those applied totals.
+        """
+        with self._state:
+            self.tokens_enqueued += tokens
+            self.batches_enqueued += batches
+
+    def ingest_weighted(
+        self,
+        pairs: Sequence[tuple[Item, float]],
+        trace: Trace | None = None,
+    ) -> int:
+        """Route ``(item, weight)`` pairs to their shards.
+
+        A sampled ``trace`` is forwarded exactly as in :meth:`ingest`, so
+        weighted requests record their ``shard_apply`` spans too.
+        """
         items = [item for item, _ in pairs]
         weights = [weight for _, weight in pairs]
-        return self.ingest(items, weights)
+        return self.ingest(items, weights, trace=trace)
 
     def flush(self) -> None:
-        """Block until every enqueued chunk has been applied to its shard."""
-        for worker in self._workers:
-            worker.queue.join()
+        """Block until every enqueued chunk has been applied to its shard.
+
+        Raises ``RuntimeError`` when a shard worker died with batches
+        outstanding -- those batches can never be applied (under a
+        WAL-backed process backend the supervisor rebuilds them into the
+        replacement worker from the log).
+        """
+        self._backend.flush()
         self._raise_pending_errors()
 
     def raise_pending_errors(self) -> None:
@@ -405,15 +1422,25 @@ class ShardedSummarizer:
         subsequent ingests proceed instead of the whole service staying
         poisoned by one bad batch.
         """
-        for worker in self._workers:
-            with worker.lock:
-                error = worker.error
-                worker.error = None
-            if error is not None:
-                raise RuntimeError(
-                    f"shard {worker.shard_id} failed while applying a batch "
-                    "(the failed batch was dropped)"
-                ) from error
+        entry = self._backend.pop_error()
+        if entry is None:
+            return
+        shard_id, error = entry
+        if isinstance(error, BaseException):
+            raise RuntimeError(
+                f"shard {shard_id} failed while applying a batch "
+                "(the failed batch was dropped)"
+            ) from error
+        raise RuntimeError(f"shard {shard_id} {error}")
+
+    def inject_shard_error(self, shard_id: int, error: BaseException) -> None:
+        """Record ``error`` as if shard ``shard_id`` failed a batch.
+
+        Fault-injection hook for tests: the next ingest/flush surfaces it
+        through :meth:`raise_pending_errors` exactly like a real worker
+        failure, regardless of backend.
+        """
+        self._backend.inject_error(shard_id, error)
 
     # ------------------------------------------------------------------ #
     # Durability hooks (checkpoint / crash recovery)
@@ -436,102 +1463,74 @@ class ShardedSummarizer:
                 raise RuntimeError(
                     "shard state can only be restored before the summarizer starts"
                 )
-            for worker, estimator in zip(self._workers, estimators, strict=True):
-                worker.estimator = estimator
+            self._backend.restore(estimators)
 
     def shard_payloads(self) -> list[dict[str, Any]]:
         """Consistent serialised per-shard payloads (checkpoint contents).
 
-        Each payload is dumped under that shard's lock, so it sits on a
-        batch boundary; unlike :meth:`snapshot_summaries` the payloads are
-        not rebuilt into estimators -- the checkpoint writer persists the
-        dictionaries directly.
+        Each payload sits on a batch boundary (taken under the shard's
+        lock in the thread backend; answered between batches by the
+        worker process itself in the process backend); unlike
+        :meth:`snapshot_summaries` the payloads are not rebuilt into
+        estimators -- the checkpoint writer persists the dictionaries
+        directly.
         """
-        from repro import serialization
-
-        payloads = []
-        for worker in self._workers:
-            with worker.lock:
-                payloads.append(serialization.dump(worker.estimator))
-        return payloads
+        return self._backend.payloads()
 
     # ------------------------------------------------------------------ #
     # Reading the shards
     # ------------------------------------------------------------------ #
 
     def shard_summaries(self) -> list[FrequencyEstimator]:
-        """The live per-shard summaries, after a full flush barrier.
+        """The per-shard summaries, after a full flush barrier.
 
-        The returned estimators are the workers' own instances; only read
-        them while no further ingest is in flight (use
-        :meth:`snapshot_summaries` otherwise).
+        Thread backend: the workers' own live instances -- only read them
+        while no further ingest is in flight (use
+        :meth:`snapshot_summaries` otherwise).  Process backend: no live
+        reference can cross the process boundary, so these are the same
+        consistent copies :meth:`snapshot_summaries` returns.
         """
         self.flush()
-        return [worker.estimator for worker in self._workers]
+        return self._backend.summaries_live()
 
     def snapshot_summaries(self) -> list[FrequencyEstimator]:
         """Consistent, independent copies of every shard summary.
 
-        Each copy is taken under that shard's lock (so it sits on a batch
-        boundary) via a serialisation round trip; ingestion on the other
-        shards continues undisturbed.  This is the read path the snapshot
-        layer uses while the service keeps ingesting.
+        Each copy sits on a batch boundary (a serialisation round trip
+        under the shard's lock in the thread backend; a snapshot request
+        answered between batches by the worker process in the process
+        backend); ingestion on the other shards continues undisturbed.
+        This is the read path the snapshot layer uses while the service
+        keeps ingesting.
         """
-        from repro import serialization
-
-        copies = []
-        for worker in self._workers:
-            with worker.lock:
-                payload = serialization.dump(worker.estimator)
-            copies.append(serialization.load(payload))
-        return copies
+        return self._backend.snapshot_copies()
 
     @property
     def stream_length(self) -> float:
-        """Total weight applied across all shards so far."""
-        total = 0.0
-        for worker in self._workers:
-            with worker.lock:
-                total += worker.estimator.stream_length
-        return total
+        """Total weight applied across all shards so far.
+
+        Under the process backend this reads the parent's completion
+        counters, which trail the workers by at most the in-flight pipe
+        contents; a :meth:`flush` makes it exact.
+        """
+        return self._backend.stream_length()
 
     def shard_stats(self) -> list[dict[str, float]]:
         """Per-shard bookkeeping (applied tokens, stream length, counters)."""
-        stats = []
-        for worker in self._workers:
-            with worker.lock:
-                stats.append(
-                    {
-                        "shard": worker.shard_id,
-                        "tokens_applied": worker.tokens_applied,
-                        "batches_applied": worker.batches_applied,
-                        "stream_length": worker.estimator.stream_length,
-                        "counters_in_use": len(worker.estimator),
-                        "pending_batches": worker.queue.qsize(),
-                    }
-                )
-        return stats
+        return self._backend.shard_stats()
 
     def queue_stats(self) -> list[dict[str, float]]:
         """Lock-free per-shard progress counters, cheap enough per scrape.
 
-        Unlike :meth:`shard_stats` this never touches a shard lock, so a
-        metrics scrape cannot stall (or be stalled by) a worker applying a
-        batch; the integer reads are each individually consistent.
+        Unlike :meth:`shard_stats` this never blocks on a shard applying
+        a batch; the integer reads are each individually consistent.  The
+        process backend adds its supervisor columns: ``restarts``,
+        ``alive`` and ``rss_bytes`` per worker process.
         """
-        return [
-            {
-                "shard": worker.shard_id,
-                "pending_batches": worker.queue.qsize(),
-                "tokens_applied": worker.tokens_applied,
-                "batches_applied": worker.batches_applied,
-                "batches_failed": worker.batches_failed,
-            }
-            for worker in self._workers
-        ]
+        return self._backend.queue_stats()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ShardedSummarizer(shards={self.num_shards}, "
-            f"enqueued={self.tokens_enqueued})"
+            f"backend={self._backend.name}, enqueued={self.tokens_enqueued})"
         )

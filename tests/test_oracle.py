@@ -241,6 +241,83 @@ class TestSketchOracle:
             assert scalar.estimate(item) == columnar.estimate(item)
 
 
+def feed_backend(factory, pairs, weighted, backend, num_shards=4):
+    """Columnar sharded ingest on the given backend; per-shard copies.
+
+    Both backends are fed the same :class:`EncodedChunk` sequence from a
+    fresh producer codec -- the thread backend partitions it in-process;
+    the process backend frames it as a chunk record, pipes it to every
+    worker, and each worker re-decodes against its own codec.  Chunk
+    boundaries and chunk order are identical, so the codecs intern the
+    vocabulary in the same first-appearance order and the per-shard
+    applications are the same computation.
+    """
+    codec = TokenCodec()
+    with ShardedSummarizer(
+        factory, num_shards=num_shards, backend=backend
+    ) as sharded:
+        for chunk in iter_chunks(pairs, CHUNK_SIZE):
+            items = [item for item, _ in chunk]
+            weights = [weight for _, weight in chunk] if weighted else None
+            sharded.ingest(codec.encode_chunk(items, weights))
+        sharded.flush()
+        if backend == "process":
+            return sharded.snapshot_summaries()
+        # Live references (post-flush) so sketches -- which have no
+        # serialised snapshot form -- can be compared too.
+        return sharded.shard_summaries()
+
+
+@pytest.mark.parametrize("seed", [7, 29])
+class TestBackendDifferentialOracle:
+    """The process backend is the same computation as the thread backend:
+    per-shard summaries and the Theorem 11 merge are bit-identical on the
+    same stream, for counter summaries and sketch tables alike."""
+
+    @pytest.mark.parametrize("name", sorted(COUNTER_FACTORIES))
+    def test_counter_summaries_bit_identical(self, name, seed):
+        factory = COUNTER_FACTORIES[name]
+        pairs = random_stream(seed, length=8_000)
+        thread_shards = feed_backend(factory, pairs, False, "thread")
+        process_shards = feed_backend(factory, pairs, False, "process")
+        for thread_shard, process_shard in zip(thread_shards, process_shards):
+            assert serialization.dumps(thread_shard) == serialization.dumps(
+                process_shard
+            )
+        merged_thread = merge_summaries(thread_shards, k=K, make_estimator=factory)
+        merged_process = merge_summaries(
+            process_shards, k=K, make_estimator=factory
+        )
+        assert serialization.dumps(merged_thread.estimator) == serialization.dumps(
+            merged_process.estimator
+        )
+        check = merged_process.check(oracle_of(pairs))
+        assert check.holds, check.description
+
+    @pytest.mark.parametrize("name", sorted(WEIGHTED_FACTORIES))
+    def test_weighted_summaries_bit_identical(self, name, seed):
+        factory = WEIGHTED_FACTORIES[name]
+        pairs = random_stream(seed, length=8_000, weighted=True)
+        thread_shards = feed_backend(factory, pairs, True, "thread")
+        process_shards = feed_backend(factory, pairs, True, "process")
+        for thread_shard, process_shard in zip(thread_shards, process_shards):
+            assert serialization.dumps(thread_shard) == serialization.dumps(
+                process_shard
+            )
+        check = merge_summaries(
+            process_shards, k=K, make_estimator=factory
+        ).check(oracle_of(pairs))
+        assert check.holds, check.description
+
+    def test_sketch_tables_bit_identical(self, seed):
+        factory = lambda: CountMinSketch(width=512, depth=4, seed=9)  # noqa: E731
+        pairs = random_stream(seed, length=6_000)
+        thread_shards = feed_backend(factory, pairs, False, "thread")
+        process_shards = feed_backend(factory, pairs, False, "process")
+        for thread_shard, process_shard in zip(thread_shards, process_shards):
+            assert (thread_shard._table == process_shard._table).all()
+
+
 @pytest.mark.parametrize("seed", [13])
 class TestRecoveryOracle:
     def test_wal_recovery_within_merged_bound(self, tmp_path, seed):

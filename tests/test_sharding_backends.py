@@ -1,0 +1,508 @@
+"""Shard-backend tests: worker failure paths and the process backend.
+
+Covers ISSUE 10's satellite regressions against the thread backend --
+producers must not hang on a dead worker's full queue, fan-out
+accounting must roll per delivered part, ``close()`` must not deadlock
+behind a stuck producer -- and the tentpole process backend: lifecycle,
+thread/process bit-identity, supervised restart after SIGKILL, rebuild
+from checkpoint + WAL replay, and the supervisor columns in
+``queue_stats()``.
+"""
+
+import collections
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro import serialization
+from repro.algorithms.space_saving import SpaceSaving
+from repro.service import sharding
+from repro.service.sharding import ShardedSummarizer, resolve_backend, shard_for
+from repro.streams.exact import ExactCounter
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def _kill_worker_thread(sharded, shard_id):
+    """Stop one thread-backend worker as if it had died."""
+    worker = sharded._workers[shard_id]
+    worker.queue.put(sharding._STOP)
+    worker.join(timeout=10)
+    assert not worker.is_alive()
+    return worker
+
+
+class UnregisteredCounter(ExactCounter):
+    """Outside the serialisation registry; picklable (module-level)."""
+
+
+def _token_for_shard(shard_id, num_shards, prefix="tok"):
+    """A token that shard_for routes to ``shard_id``."""
+    for i in range(10_000):
+        token = f"{prefix}{i}"
+        if shard_for(token, num_shards) == shard_id:
+            return token
+    raise AssertionError("no token found for shard")
+
+
+def _run_with_watchdog(fn, timeout=10.0):
+    """Run ``fn`` on a thread; fail the test if it never finishes.
+
+    The pre-fix behaviour of the bugs below is an unbounded block, which
+    a plain test would report as a hang rather than a failure.
+    """
+    result = {}
+
+    def target():
+        try:
+            result["value"] = fn()
+        except BaseException as exc:  # surfaced to the test thread
+            result["error"] = exc
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(timeout=timeout)
+    assert not thread.is_alive(), "call did not return within the timeout"
+    if "error" in result:
+        raise result["error"]
+    return result.get("value")
+
+
+class TestDeadWorkerDoesNotHangProducers:
+    """Regression: ingest() used a plain blocking queue.put, so a worker
+    that died with a full queue stranded the producer forever (and then
+    close(), waiting on _active_producers, deadlocked behind it)."""
+
+    def test_ingest_raises_instead_of_hanging(self):
+        sharded = ShardedSummarizer(ExactCounter, num_shards=1, queue_depth=1)
+        sharded.start()
+        try:
+            worker = _kill_worker_thread(sharded, 0)
+            # Fill the dead worker's queue so a blocking put could never
+            # complete, then ingest: the timed put must notice the dead
+            # worker and raise rather than block.
+            worker.queue.put((["stuck"], None, None))
+
+            def attempt():
+                with pytest.raises(RuntimeError, match="shard 0.*not running"):
+                    sharded.ingest(["a"])
+
+            _run_with_watchdog(attempt)
+        finally:
+            _run_with_watchdog(sharded.close)
+
+    def test_close_skips_dead_workers_full_queue(self):
+        sharded = ShardedSummarizer(ExactCounter, num_shards=1, queue_depth=1)
+        sharded.start()
+        worker = _kill_worker_thread(sharded, 0)
+        worker.queue.put((["stuck"], None, None))
+        # close() must not block putting its stop sentinel on the full
+        # queue of a worker that will never drain it.
+        _run_with_watchdog(sharded.close)
+
+    def test_flush_raises_on_dead_worker_with_backlog(self):
+        sharded = ShardedSummarizer(ExactCounter, num_shards=1, queue_depth=4)
+        sharded.start()
+        try:
+            worker = _kill_worker_thread(sharded, 0)
+            worker.queue.put((["never applied"], None, None))
+
+            def attempt():
+                with pytest.raises(RuntimeError, match="died with"):
+                    sharded.flush()
+
+            _run_with_watchdog(attempt)
+        finally:
+            _run_with_watchdog(sharded.close)
+
+
+class TestFanOutAccounting:
+    """Regression: tokens_enqueued/batches_enqueued were bumped once
+    after the whole fan-out loop, so a put that raised midway left the
+    parts already delivered (and applied!) unaccounted, drifting the
+    queue_stats()-backed metrics away from shard applied totals."""
+
+    def test_partial_fanout_still_counts_delivered_parts(self):
+        sharded = ShardedSummarizer(ExactCounter, num_shards=2, queue_depth=4)
+        sharded.start()
+        try:
+            # Shard 1's queue is about to break; order the batch so shard
+            # 0's part is delivered first (dict order follows first
+            # appearance), then the put for shard 1's part raises.
+            def broken_put(*args, **kwargs):
+                raise RuntimeError("queue wiring broke")
+
+            sharded._workers[1].queue.put = broken_put
+            shard0 = _token_for_shard(0, 2)
+            shard1 = _token_for_shard(1, 2)
+            batch = [shard0, shard0, shard1]
+            with pytest.raises(RuntimeError, match="queue wiring broke"):
+                sharded.ingest(batch)
+            sharded.flush()
+            # Shard 0 received and applied its two tokens; the enqueue
+            # counters must agree with that, not read zero.
+            assert sharded.tokens_enqueued == 2
+            assert sharded.batches_enqueued == 1
+            stats = {row["shard"]: row for row in sharded.queue_stats()}
+            assert stats[0]["tokens_applied"] == 2
+            assert stats[1]["tokens_applied"] == 0
+        finally:
+            del sharded._workers[1].queue.put
+            sharded.close()
+
+    def test_full_fanout_counts_every_part(self):
+        with ShardedSummarizer(ExactCounter, num_shards=4) as sharded:
+            sharded.ingest([f"tok{i}" for i in range(100)])
+            sharded.flush()
+            assert sharded.tokens_enqueued == 100
+            applied = sum(
+                row["tokens_applied"] for row in sharded.queue_stats()
+            )
+            assert applied == 100
+
+
+class TestBackendResolution:
+    def test_default_is_thread(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARD_BACKEND", raising=False)
+        assert resolve_backend(None) == "thread"
+        assert resolve_backend("thread") == "thread"
+        assert resolve_backend("process") == "process"
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_BACKEND", "process")
+        assert resolve_backend(None) == "process"
+        # An explicit name always wins over the environment.
+        assert resolve_backend("thread") == "thread"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown shard backend"):
+            resolve_backend("greenlet")
+
+    def test_backend_name_property(self):
+        with ShardedSummarizer(ExactCounter, num_shards=1) as sharded:
+            assert sharded.backend_name == "thread"
+
+    def test_workers_attribute_is_thread_only(self):
+        with ShardedSummarizer(
+            ExactCounter, num_shards=1, backend="process"
+        ) as sharded:
+            assert sharded.backend_name == "process"
+            with pytest.raises(RuntimeError, match="no in-interpreter workers"):
+                sharded._workers  # noqa: B018 - the access itself is the test
+
+
+class TestInjectShardError:
+    """The backend-neutral fault hook both backends honour."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_injected_error_surfaces_once(self, backend):
+        with ShardedSummarizer(
+            ExactCounter, num_shards=2, backend=backend
+        ) as sharded:
+            sharded.ingest(["a", "b"])
+            sharded.flush()
+            sharded.inject_shard_error(1, RuntimeError("poisoned batch"))
+            with pytest.raises(RuntimeError, match="shard 1"):
+                sharded.flush()
+            # Error cleared after surfacing: the service recovers.
+            sharded.ingest(["c"])
+            sharded.flush()
+
+
+class TestProcessBackend:
+    def test_counts_match_thread_backend_exactly(self):
+        stream = [f"tok{i % 61}" for i in range(4000)]
+
+        def run(backend):
+            with ShardedSummarizer(
+                lambda: SpaceSaving(num_counters=128),
+                num_shards=4,
+                backend=backend,
+            ) as sharded:
+                for start in range(0, len(stream), 700):
+                    sharded.ingest(stream[start : start + 700])
+                sharded.flush()
+                return [
+                    serialization.dumps(summary)
+                    for summary in sharded.snapshot_summaries()
+                ]
+
+        assert run("thread") == run("process")
+
+    def test_encoded_chunk_and_record_paths(self):
+        from repro.engine.codec import TokenCodec
+        from repro.service.wal import encode_chunk_record
+
+        codec = TokenCodec()
+        chunk = codec.encode_chunk(["a", "b", "a", "c"])
+        record = encode_chunk_record(chunk)
+        with ShardedSummarizer(
+            ExactCounter, num_shards=2, backend="process"
+        ) as sharded:
+            # Pre-framed record (the server's WAL path) and plain chunk
+            # (no record) both land the same tokens.
+            sharded.ingest(chunk, record=bytes(record))
+            sharded.ingest(chunk)
+            sharded.flush()
+            assert sharded.stream_length == 8.0
+            merged = collections.Counter()
+            for summary in sharded.snapshot_summaries():
+                for item, count in summary.counters().items():
+                    merged[item] += count
+            assert merged == {"a": 4.0, "b": 2.0, "c": 2.0}
+
+    def test_weighted_and_traced_ingest(self):
+        from repro.service.tracing import Trace, TraceContext
+
+        trace = Trace(op="ingest", context=TraceContext.new(), forced=True)
+        with ShardedSummarizer(
+            ExactCounter, num_shards=2, backend="process"
+        ) as sharded:
+            sharded.ingest_weighted([("a", 2.0), ("b", 3.0)], trace=trace)
+            sharded.flush()
+            assert sharded.stream_length == 5.0
+        spans = [s for s in trace.as_dict()["spans"] if s["name"] == "shard_apply"]
+        assert spans and sum(s["tokens"] for s in spans) == 2
+
+    def test_worker_error_reported_and_cleared(self):
+        class ExplodesOnce(ExactCounter):
+            def update_batch(self, items, weights=None):
+                if "bad" in items:
+                    raise RuntimeError("boom")
+                super().update_batch(items, weights)
+
+        with ShardedSummarizer(
+            ExplodesOnce, num_shards=1, backend="process"
+        ) as sharded:
+            sharded.ingest(["bad"])
+            sharded.ingest(["survivor"])
+            with pytest.raises(RuntimeError, match="dropped.*boom"):
+                sharded.flush()
+            sharded.ingest(["good", "good"])
+            sharded.flush()
+            assert sharded.stream_length == 3.0
+
+    def test_shard_payloads_round_trip(self):
+        with ShardedSummarizer(
+            lambda: SpaceSaving(num_counters=64),
+            num_shards=2,
+            backend="process",
+        ) as sharded:
+            sharded.ingest(["a", "b", "a"])
+            sharded.flush()
+            payloads = sharded.shard_payloads()
+            restored = [serialization.load(p) for p in payloads]
+            assert sum(est.stream_length for est in restored) == 3.0
+
+    def test_unregistered_estimator_snapshots_via_pickle(self):
+        # Classes outside the serialisation registry (e.g. sketches in a
+        # differential test) still answer snapshot requests -- the worker
+        # falls back to pickle -- while checkpoints must refuse.
+        with ShardedSummarizer(
+            UnregisteredCounter, num_shards=1, backend="process"
+        ) as sharded:
+            sharded.ingest(["a", "a", "b"])
+            sharded.flush()
+            (copy,) = sharded.snapshot_summaries()
+            assert isinstance(copy, UnregisteredCounter)
+            assert copy.counters() == {"a": 2.0, "b": 1.0}
+            with pytest.raises(RuntimeError, match="serialisation"):
+                sharded.shard_payloads()
+
+    def test_restore_shards_before_start(self):
+        primed = ExactCounter()
+        primed.update("seeded", 7.0)
+        sharded = ShardedSummarizer(
+            ExactCounter, num_shards=1, backend="process"
+        )
+        sharded.restore_shards([primed])
+        sharded.start()
+        try:
+            sharded.ingest(["x"])
+            sharded.flush()
+            assert sharded.stream_length == 8.0
+        finally:
+            sharded.close()
+
+    def test_queue_stats_supervisor_columns(self):
+        with ShardedSummarizer(
+            ExactCounter, num_shards=2, backend="process"
+        ) as sharded:
+            sharded.ingest(["a", "b"])
+            sharded.flush()
+            for row in sharded.queue_stats():
+                assert row["alive"] == 1.0
+                assert row["restarts"] == 0
+                assert row["rss_bytes"] > 0
+
+    def test_concurrent_producers(self):
+        stream = [f"tok{i % 31}" for i in range(2000)]
+        with ShardedSummarizer(
+            ExactCounter, num_shards=2, queue_depth=4, backend="process"
+        ) as sharded:
+
+            def produce(tokens):
+                for start in range(0, len(tokens), 250):
+                    sharded.ingest(tokens[start : start + 250])
+
+            threads = [
+                threading.Thread(target=produce, args=(stream[0::2],)),
+                threading.Thread(target=produce, args=(stream[1::2],)),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            sharded.flush()
+            assert sharded.stream_length == float(len(stream))
+            assert sharded.tokens_enqueued == len(stream)
+
+
+def _wait_for(predicate, timeout=30.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestProcessSupervision:
+    def test_sigkill_flips_readiness_then_restarts(self):
+        with ShardedSummarizer(
+            ExactCounter, num_shards=2, backend="process"
+        ) as sharded:
+            sharded.ingest(["a", "b", "c"])
+            sharded.flush()
+            slot = sharded._backend.slots[0]
+            generation = slot.generation
+            os.kill(slot.pid(), signal.SIGKILL)
+            # The supervisor restarts the worker (a new generation) and
+            # readiness returns; without a rebuild hook the replacement
+            # starts empty.
+            assert _wait_for(
+                lambda: slot.generation > generation and sharded.workers_alive()
+            )
+            stats = {row["shard"]: row for row in sharded.queue_stats()}
+            assert stats[0]["restarts"] == 1
+            assert stats[1]["restarts"] == 0
+            # The death was recorded and surfaces exactly once.
+            with pytest.raises(RuntimeError, match="exited unexpectedly"):
+                for _ in range(200):
+                    sharded.ingest(["x"])
+                    sharded.flush()
+            sharded.ingest(["y"])
+            sharded.flush()
+
+    def test_no_workers_leak_past_interpreter_exit(self, tmp_path):
+        """An abandoned (never close()d) backend must not fork workers at
+        interpreter exit.
+
+        multiprocessing's atexit reaper terminates the daemon workers; the
+        reader threads see those deaths and -- pre-fix -- the supervisor
+        forked replacements *after* the reaper had already run, leaking
+        live processes past exit.  The script reproduces that order
+        deterministically: run the atexit chain by hand (ours first, then
+        multiprocessing's, same LIFO order as a real exit), give the
+        restart threads a window to fork, then hard-exit.
+        """
+        import subprocess
+        import sys
+
+        # The script reports worker pids through a file, not stdout: a
+        # leaked worker inherits the parent's stdout pipe and holds it
+        # open forever, which would hang capture_output here -- turning a
+        # leak regression into a 60s timeout instead of a pid list.
+        script = tmp_path / "abandon.py"
+        pid_file = tmp_path / "pids.txt"
+        script.write_text(
+            f"""
+import atexit, os, time
+from repro.service.sharding import ShardedSummarizer
+from repro.streams.exact import ExactCounter
+
+sharded = ShardedSummarizer(ExactCounter, num_shards=4, backend="process")
+sharded.start()
+sharded.ingest(["a", "b", "c"])
+sharded.flush()
+backend = sharded._backend
+atexit._run_exitfuncs()      # our guard, then multiprocessing's reaper
+time.sleep(1.0)              # the pre-fix restart window
+pids = [slot.process.pid for slot in backend.slots if slot.process is not None]
+with open({str(pid_file)!r}, "w") as fh:
+    fh.write(" ".join(str(pid) for pid in pids))
+os._exit(0)                  # skip further cleanup: survivors stay leaked
+""",
+            encoding="utf-8",
+        )
+        import repro
+
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [package_root, env.get("PYTHONPATH", "")])
+        )
+        subprocess.run(
+            [sys.executable, str(script)],
+            stdin=subprocess.DEVNULL,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            timeout=60,
+            env=env,
+            check=True,
+        )
+        pids = [int(p) for p in pid_file.read_text(encoding="utf-8").split()]
+        assert pids
+        time.sleep(0.5)
+        leaked = [pid for pid in pids if os.path.isdir(f"/proc/{pid}")]
+        for pid in leaked:  # clean up before failing the assertion
+            os.kill(pid, signal.SIGKILL)
+        assert not leaked, f"worker processes survived interpreter exit: {leaked}"
+
+    def test_restart_uses_rebuild_hook(self):
+        rebuilt_shards = []
+
+        def rebuild(shard_id):
+            rebuilt_shards.append(shard_id)
+            primed = ExactCounter()
+            primed.update("rebuilt", 42.0)
+            return primed
+
+        with ShardedSummarizer(
+            ExactCounter, num_shards=2, backend="process", rebuild_shard=rebuild
+        ) as sharded:
+            sharded.ingest(["a", "b"])
+            sharded.flush()
+            slot = sharded._backend.slots[1]
+            generation = slot.generation
+            os.kill(slot.pid(), signal.SIGKILL)
+            assert _wait_for(
+                lambda: slot.generation > generation and sharded.workers_alive()
+            )
+            assert rebuilt_shards == [1]
+            copies = sharded.snapshot_summaries()
+            assert copies[1].estimate("rebuilt") == 42.0
+
+    def test_failed_rebuild_falls_back_to_empty(self):
+        def rebuild(shard_id):
+            raise OSError("checkpoint unreadable")
+
+        with ShardedSummarizer(
+            ExactCounter, num_shards=1, backend="process", rebuild_shard=rebuild
+        ) as sharded:
+            sharded.ingest(["a"])
+            sharded.flush()
+            slot = sharded._backend.slots[0]
+            generation = slot.generation
+            os.kill(slot.pid(), signal.SIGKILL)
+            assert _wait_for(
+                lambda: slot.generation > generation and sharded.workers_alive()
+            )
+            with pytest.raises(RuntimeError, match="rebuild failed"):
+                sharded.raise_pending_errors()
+            sharded.ingest(["b"])
+            sharded.flush()
+            assert sharded.stream_length == 1.0

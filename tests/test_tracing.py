@@ -237,6 +237,37 @@ class TestTracedPipeline:
         names = [span["name"] for span in response["trace"]["spans"]]
         assert "query_execute" in names
 
+    def test_weighted_ingest_forwards_trace_to_shard_apply(self):
+        """Regression: ingest_weighted() used to drop its trace on the
+        floor (it could not even accept one), so forced traces on weighted
+        ingest silently lost their shard_apply spans."""
+        from repro.service.sharding import ShardedSummarizer
+        from repro.streams.exact import ExactCounter
+
+        trace = Trace(op="ingest", context=TraceContext.new(), forced=True)
+        with ShardedSummarizer(ExactCounter, num_shards=2) as sharded:
+            sharded.ingest_weighted([("a", 2.0), ("b", 3.0)], trace=trace)
+            sharded.flush()
+        spans = trace.as_dict()["spans"]
+        apply_spans = [span for span in spans if span["name"] == "shard_apply"]
+        assert apply_spans, spans
+        assert sum(span["tokens"] for span in apply_spans) == 2
+
+    def test_weighted_service_ingest_breakdown_has_shard_apply(self, wal_service):
+        """The service-level view of the same regression: a forced trace
+        on a weighted ingest request records its shard_apply spans."""
+        response = wal_service.handle(
+            {
+                "op": "ingest",
+                "items": ["a", "b", "a"],
+                "weights": [2.0, 3.0, 1.0],
+                "trace": {"force": True},
+            }
+        )
+        assert response["ok"]
+        names = [span["name"] for span in response["trace"]["spans"]]
+        assert "shard_apply" in names, names
+
     def test_traces_op_reports_ring(self, wal_service):
         wal_service.handle(
             {"op": "ingest", "items": ["a"], "trace": {"force": True}}

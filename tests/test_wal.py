@@ -422,7 +422,7 @@ class TestCheckpointRecovery:
         config, service = self._service(tmp_path)
         service.handle({"op": "ingest", "items": ["ok"] * 3})
         service.sharded.flush()
-        service.sharded._workers[0].error = RuntimeError("poisoned batch")
+        service.sharded.inject_shard_error(0, RuntimeError("poisoned batch"))
         frames_before = service.wal.frames_appended
         response = service.handle({"op": "ingest", "items": ["rejected"] * 4})
         assert not response["ok"]
